@@ -1,0 +1,59 @@
+//! §2.5.3 ablation: cruise-missile invalidates (4 routes) versus
+//! conventional point-to-point invalidation (one message per sharer) on
+//! a 4-chip sharing storm.
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::workloads::{SynthConfig, Workload};
+use piranha::{Machine, SystemConfig};
+
+fn storm() -> Workload {
+    // Read-mostly sharing lets sharer sets grow to ~7 nodes before the
+    // occasional store invalidates them — the regime where the 4-route
+    // CMI budget binds.
+    Workload::Synth(SynthConfig {
+        load_frac: 0.45,
+        store_frac: 0.02,
+        shared_frac: 0.9,
+        shared_bytes: 16 << 10,
+        ..SynthConfig::light()
+    })
+}
+
+fn run(routes: usize) -> (f64, u64) {
+    // Eight chips: up to seven sharers per line, so the 4-route CMI
+    // budget actually binds (with ≤5 nodes it degenerates to
+    // point-to-point anyway).
+    let mut cfg = SystemConfig::piranha_pn(1).scaled_to_chips(8);
+    cfg.cmi_routes = routes;
+    let mut m = Machine::new(cfg, &storm());
+    let r = m.run(8_000, 20_000);
+    (r.throughput_ipns(), m.network().delivered())
+}
+
+fn bench(c: &mut Criterion) {
+    let (t4, m4) = run(4);
+    let (tp, mp) = run(1024); // degenerates to point-to-point invals
+    println!(
+        "cmi: 4 routes -> {t4:.3} instrs/ns ({m4} msgs) | point-to-point -> {tp:.3} instrs/ns ({mp} msgs)"
+    );
+    println!(
+        "cmi latency claim (paper: 'superior invalidation latencies by avoiding \
+serializations'): {:.2}x throughput under an invalidation storm; the \
+message bound itself (<=4 injected invals, <=128 buffered headers per \
+node) is structural and unit-tested in piranha-protocol::msg",
+        t4 / tp
+    );
+    let mut g = c.benchmark_group("cmi");
+    g.bench_function("routes4", |b| b.iter(|| std::hint::black_box(run(4))));
+    g.bench_function("point_to_point", |b| b.iter(|| std::hint::black_box(run(1024))));
+    g.finish();
+}
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

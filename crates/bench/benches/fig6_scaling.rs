@@ -1,0 +1,38 @@
+//! Figure 6: core-count scaling of one Piranha chip (speedup and L1-miss
+//! breakdown).
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::workloads::{OltpConfig, Workload};
+use piranha::SystemConfig;
+use piranha_bench::bench_run;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::Oltp(OltpConfig::paper_default());
+    let mut g = c.benchmark_group("fig6");
+    for n in [1usize, 2, 4, 8] {
+        let r = bench_run(SystemConfig::piranha_pn(n), &w);
+        let (h, f, m) = r.l1_miss_breakdown();
+        println!(
+            "fig6 P{n}: {:.2} instrs/ns | L1 misses: {:.0}% L2, {:.0}% fwd, {:.0}% mem",
+            r.throughput_ipns(),
+            h * 100.0,
+            f * 100.0,
+            m * 100.0
+        );
+        g.bench_function(format!("oltp/P{n}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(bench_run(SystemConfig::piranha_pn(n), &w).total_instrs())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

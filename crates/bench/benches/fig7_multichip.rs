@@ -1,0 +1,35 @@
+//! Figure 7: glueless multi-chip scaling with the inter-node protocol.
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::workloads::{OltpConfig, Workload};
+use piranha::SystemConfig;
+use piranha_bench::bench_run;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::Oltp(OltpConfig::paper_default());
+    let mut g = c.benchmark_group("fig7");
+    let mut base = None;
+    for chips in [1usize, 2, 4] {
+        let cfg = if chips == 1 {
+            SystemConfig::piranha_pn(4)
+        } else {
+            SystemConfig::piranha_pn(4).scaled_to_chips(chips)
+        };
+        let r = bench_run(cfg.clone(), &w);
+        let b0 = *base.get_or_insert(r.throughput_ipns());
+        println!("fig7 {} chips: speedup {:.2}", chips, r.throughput_ipns() / b0);
+        g.bench_function(format!("oltp/chips{chips}"), |b| {
+            b.iter(|| std::hint::black_box(bench_run(cfg.clone(), &w).total_instrs()))
+        });
+    }
+    g.finish();
+}
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

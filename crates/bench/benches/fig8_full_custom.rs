@@ -1,0 +1,36 @@
+//! Figure 8: the full-custom chip (P8F) versus OOO and ASIC P8.
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::workloads::{DssConfig, OltpConfig, Workload};
+use piranha::SystemConfig;
+use piranha_bench::bench_run;
+
+fn bench(c: &mut Criterion) {
+    let oltp = Workload::Oltp(OltpConfig::paper_default());
+    let dss = Workload::Dss(DssConfig::paper_default());
+    let mut g = c.benchmark_group("fig8");
+    for (name, cfg) in [
+        ("OOO", SystemConfig::ooo()),
+        ("P8", SystemConfig::piranha_p8()),
+        ("P8F", SystemConfig::piranha_p8f()),
+    ] {
+        let r = bench_run(cfg.clone(), &oltp);
+        println!("fig8 OLTP {name}: {:.2} instrs/ns", r.throughput_ipns());
+        g.bench_function(format!("oltp/{name}"), |b| {
+            b.iter(|| std::hint::black_box(bench_run(cfg.clone(), &oltp).total_instrs()))
+        });
+        g.bench_function(format!("dss/{name}"), |b| {
+            b.iter(|| std::hint::black_box(bench_run(cfg.clone(), &dss).total_instrs()))
+        });
+    }
+    g.finish();
+}
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §2.4: RDRAM open-page behaviour — the raw channel model and the
+//! OLTP-driven page hit rate.
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::mem::{Rdram, RdramConfig};
+use piranha::types::{LineAddr, SimTime};
+use piranha::workloads::{OltpConfig, Workload};
+use piranha::{Machine, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut m = Machine::new(
+        SystemConfig::piranha_p8(),
+        &Workload::Oltp(OltpConfig::paper_default()),
+    );
+    m.run(piranha_bench::BENCH_WARMUP, piranha_bench::BENCH_MEASURE);
+    println!(
+        "mem_pages: OLTP open-page hit rate {:.0}% (paper claims >50% at full block traffic)",
+        m.mem_page_hit_rate() * 100.0
+    );
+    c.bench_function("mem/rdram_sequential_access", |b| {
+        b.iter(|| {
+            let mut r = Rdram::new(RdramConfig::with_banks(8));
+            let mut t = SimTime::ZERO;
+            for i in 0..512u64 {
+                t = r.access(t, LineAddr(i * 8)).full;
+            }
+            std::hint::black_box(r.page_hit_rate())
+        })
+    });
+    c.bench_function("mem/rdram_random_access", |b| {
+        b.iter(|| {
+            let mut r = Rdram::new(RdramConfig::with_banks(8));
+            let mut rng = piranha::kernel::Prng::seed_from_u64(1);
+            let mut t = SimTime::ZERO;
+            for _ in 0..512 {
+                t = r.access(t, LineAddr(rng.below(1 << 20))).full;
+            }
+            std::hint::black_box(r.page_hit_rate())
+        })
+    });
+}
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

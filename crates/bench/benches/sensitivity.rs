@@ -1,0 +1,39 @@
+//! §4 sensitivity: the pessimistic P8 design point and the TPC-C-like
+//! workload variant.
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::workloads::{OltpConfig, Workload};
+use piranha::SystemConfig;
+use piranha_bench::bench_run;
+
+fn bench(c: &mut Criterion) {
+    let tpcb = Workload::Oltp(OltpConfig::paper_default());
+    let tpcc = Workload::Oltp(OltpConfig::tpcc_like());
+    let p8 = bench_run(SystemConfig::piranha_p8(), &tpcb);
+    let pess = bench_run(SystemConfig::piranha_p8_pessimistic(), &tpcb);
+    println!(
+        "sensitivity: pessimistic P8 keeps {:.0}% of P8's throughput",
+        pess.throughput_ipns() / p8.throughput_ipns() * 100.0
+    );
+    let mut g = c.benchmark_group("sensitivity");
+    g.bench_function("oltp/P8-pessimistic", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                bench_run(SystemConfig::piranha_p8_pessimistic(), &tpcb).total_instrs(),
+            )
+        })
+    });
+    g.bench_function("tpcc/P8", |b| {
+        b.iter(|| std::hint::black_box(bench_run(SystemConfig::piranha_p8(), &tpcc).total_instrs()))
+    });
+    g.finish();
+}
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 1: configuration parameters (regeneration is pure formatting;
+//! the bench guards against accidental cost creep in config assembly).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rendered = piranha::experiments::table1();
+    println!("{rendered}");
+    c.bench_function("table1/render", |b| {
+        b.iter(|| std::hint::black_box(piranha::experiments::table1()))
+    });
+}
+
+fn cfg() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

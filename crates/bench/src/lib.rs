@@ -1,0 +1,22 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation (the binaries in the `piranha` crate print the full-scale
+//! versions; the benches measure simulator throughput on reduced runs so
+//! `cargo bench` stays fast) plus component microbenchmarks.
+
+#![warn(missing_docs)]
+
+use piranha::workloads::Workload;
+use piranha::{Machine, RunResult, SystemConfig};
+
+/// Instructions per CPU for one bench iteration (small on purpose).
+pub const BENCH_WARMUP: u64 = 20_000;
+/// Measured instructions per CPU for one bench iteration.
+pub const BENCH_MEASURE: u64 = 40_000;
+
+/// Run one configuration at bench scale and return the measured window.
+pub fn bench_run(cfg: SystemConfig, w: &Workload) -> RunResult {
+    let mut m = Machine::new(cfg, w);
+    m.run(BENCH_WARMUP, BENCH_MEASURE)
+}

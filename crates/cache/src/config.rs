@@ -1,0 +1,137 @@
+//! Geometry configuration for the cache hierarchy.
+
+use piranha_types::LINE_BYTES;
+
+/// Geometry of one first-level cache.
+///
+/// Defaults to the paper's 64 KB two-way design (§2.1); the sensitivity
+/// experiment in §4 also uses 32 KB direct-mapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl L1Config {
+    /// The paper's baseline L1: 64 KB, 2-way (Table 1).
+    pub fn paper_default() -> Self {
+        L1Config { size_bytes: 64 * 1024, ways: 2 }
+    }
+
+    /// The pessimistic L1 from the §4 sensitivity study: 32 KB, 1-way.
+    pub fn pessimistic() -> Self {
+        L1Config { size_bytes: 32 * 1024, ways: 1 }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity not a
+    /// whole number of ways of lines).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "L1 must have at least one way");
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = lines as usize / self.ways;
+        assert!(
+            sets > 0 && sets * self.ways == lines as usize,
+            "L1 geometry {}B/{} ways does not tile into sets",
+            self.size_bytes,
+            self.ways
+        );
+        sets
+    }
+}
+
+impl Default for L1Config {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Geometry of one L2 bank.
+///
+/// The paper's L2 is 1 MB split into eight banks, 8-way set-associative
+/// (§2.3); the OOO baseline uses a 1.5 MB 6-way unified L2 (Table 1),
+/// which we model as a single bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2BankConfig {
+    /// Capacity of this bank in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl L2BankConfig {
+    /// One of Piranha's eight banks: 128 KB, 8-way.
+    pub fn paper_default() -> Self {
+        L2BankConfig { size_bytes: 128 * 1024, ways: 8 }
+    }
+
+    /// The OOO baseline's unified L2 modelled as one bank: 1.5 MB, 6-way.
+    pub fn ooo_unified() -> Self {
+        L2BankConfig { size_bytes: 1536 * 1024, ways: 6 }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not tile (see [`L1Config::sets`]).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "L2 bank must have at least one way");
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = lines as usize / self.ways;
+        assert!(
+            sets > 0 && sets * self.ways == lines as usize,
+            "L2 geometry {}B/{} ways does not tile into sets",
+            self.size_bytes,
+            self.ways
+        );
+        sets
+    }
+}
+
+impl Default for L2BankConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = L1Config::paper_default();
+        assert_eq!(c.sets(), 512); // 64KB / 64B / 2 ways
+    }
+
+    #[test]
+    fn pessimistic_l1_geometry() {
+        let c = L1Config::pessimistic();
+        assert_eq!(c.sets(), 512); // 32KB / 64B / 1 way
+    }
+
+    #[test]
+    fn paper_l2_bank_geometry() {
+        let c = L2BankConfig::paper_default();
+        assert_eq!(c.sets(), 256); // 128KB / 64B / 8 ways
+    }
+
+    #[test]
+    fn ooo_l2_geometry() {
+        let c = L2BankConfig::ooo_unified();
+        assert_eq!(c.sets(), 4096); // 1.5MB / 64B / 6 ways
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn bad_geometry_panics() {
+        // 7 lines do not tile into 2-way sets.
+        L1Config { size_bytes: 7 * 64, ways: 2 }.sets();
+    }
+}

@@ -1,0 +1,18 @@
+//! Calibration helper: prints the key figure shapes at a chosen scale.
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => RunScale::full(),
+        _ => RunScale::quick(),
+    };
+    let t0 = std::time::Instant::now();
+    println!("{}", experiments::render_bars("Fig5 OLTP", &experiments::fig5(&experiments::oltp(), scale)));
+    println!("[{:.1}s]", t0.elapsed().as_secs_f32());
+    println!("{}", experiments::render_bars("Fig5 DSS", &experiments::fig5(&experiments::dss(), scale)));
+    println!("[{:.1}s]", t0.elapsed().as_secs_f32());
+    println!("Fig6a speedups: {:?}", experiments::fig6a(scale));
+    println!("Fig6b breakdown: {:?}", experiments::fig6b(scale));
+    println!("Mem page hit rate: {:.2}", experiments::mem_pages(scale));
+    println!("[{:.1}s total]", t0.elapsed().as_secs_f32());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: single-chip performance of Piranha (P1, P8)
+//! versus the out-of-order (OOO) and in-order (INO) baselines on OLTP
+//! and DSS, with execution-time breakdowns (OOO = 100).
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "{}",
+        experiments::render_bars("Figure 5 — OLTP (normalized execution time, OOO = 100)",
+            &experiments::fig5(&experiments::oltp(), scale))
+    );
+    println!(
+        "{}",
+        experiments::render_bars("Figure 5 — DSS (normalized execution time, OOO = 100)",
+            &experiments::fig5(&experiments::dss(), scale))
+    );
+}
+
+fn scale_from_args() -> RunScale {
+    if std::env::args().any(|a| a == "--quick") { RunScale::quick() } else { RunScale::full() }
+}

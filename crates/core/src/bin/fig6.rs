@@ -1,0 +1,20 @@
+//! Regenerates Figure 6: (a) Piranha's OLTP speedup with 1..8 on-chip
+//! CPUs, and (b) the L1-miss breakdown (L2 hit / L2 fwd / L2 miss).
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+    println!("Figure 6(a) — OLTP speedup vs number of cores (P1 = 1.0)");
+    for (name, s) in experiments::fig6a(scale) {
+        println!("  {name:<4} {s:>6.2}x");
+    }
+    println!("\nFigure 6(b) — L1 miss breakdown (fractions)");
+    println!("  {:<4} {:>8} {:>8} {:>8}", "Cfg", "L2 Hit", "L2 Fwd", "L2 Miss");
+    for (name, h, f, m) in experiments::fig6b(scale) {
+        println!("  {name:<4} {h:>8.2} {f:>8.2} {m:>8.2}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: OLTP speedup of multi-chip (NUMA) systems —
+//! 4-CPU Piranha chips versus OOO chips, 1 to 4 chips.
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+    println!("Figure 7 — multi-chip OLTP speedup (vs each design's single chip)");
+    println!("  {:<6} {:>10} {:>10}", "Chips", "Piranha", "OOO");
+    for (chips, p, o) in experiments::fig7(scale) {
+        println!("  {chips:<6} {p:>10.2} {o:>10.2}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 8: the performance potential of a full-custom
+//! Piranha (P8F) on OLTP and DSS (OOO = 100).
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+    println!(
+        "{}",
+        experiments::render_bars("Figure 8 — OLTP (OOO = 100)",
+            &experiments::fig8(&experiments::oltp(), scale))
+    );
+    println!(
+        "{}",
+        experiments::render_bars("Figure 8 — DSS (OOO = 100)",
+            &experiments::fig8(&experiments::dss(), scale))
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates the §2.4 claim: RDRAM open-page hit rate on OLTP with a
+//! ~1 µs page-open policy.
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+    let r = experiments::mem_pages(scale);
+    println!("RDRAM open-page hit rate on OLTP (1µs hold): {:.0}%", r * 100.0);
+}

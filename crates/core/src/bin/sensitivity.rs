@@ -1,0 +1,15 @@
+//! Regenerates the §4 sensitivity results: the pessimistic P8 variant
+//! and the TPC-C-like workload.
+use piranha::experiments::{self, RunScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+    println!("§4 sensitivity (speedups)");
+    for (label, s) in experiments::sensitivity(scale) {
+        println!("  {label:<32} {s:>6.2}x");
+    }
+}

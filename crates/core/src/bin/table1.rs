@@ -1,0 +1,4 @@
+//! Regenerates Table 1: parameters for the different processor designs.
+fn main() {
+    println!("{}", piranha::experiments::table1());
+}

@@ -1,0 +1,153 @@
+//! Per-core statistics: the raw material of Figures 5 and 6.
+
+use piranha_types::FillSource;
+
+/// Indexable stall categories.
+pub const STALL_KINDS: usize = 5;
+
+fn stall_index(s: FillSource) -> usize {
+    match s {
+        FillSource::L2Hit => 0,
+        FillSource::L2Fwd => 1,
+        FillSource::LocalMem => 2,
+        FillSource::RemoteMem => 3,
+        FillSource::RemoteDirty => 4,
+    }
+}
+
+/// Counters accumulated by a core model.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Memory-stall cycles, by where the miss was serviced.
+    pub stall_cycles: [u64; STALL_KINDS],
+    /// Cycles lost to branch mispredictions.
+    pub branch_penalty_cycles: u64,
+    /// Cycles the core sat on a full store buffer.
+    pub sb_full_cycles: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache misses (loads).
+    pub l1d_misses: u64,
+    /// Store-buffer transactions issued (upgrades + write misses).
+    pub sb_reqs: u64,
+    /// L1 load/ifetch hits.
+    pub l1_hits: u64,
+    /// TLB misses (instruction + data).
+    pub tlb_misses: u64,
+    /// Cycles spent in TLB miss handling (counted as CPU busy, like the
+    /// Alpha's PALcode fills).
+    pub tlb_miss_cycles: u64,
+    /// Fill counts by service point (the Figure 6(b) breakdown).
+    pub fills: [u64; STALL_KINDS],
+}
+
+impl CoreStats {
+    /// Record a fill and (optionally) the blocking stall it caused.
+    pub fn record_fill(&mut self, source: FillSource, stall_cycles: u64) {
+        let i = stall_index(source);
+        self.fills[i] += 1;
+        self.stall_cycles[i] += stall_cycles;
+    }
+
+    /// Total memory stall cycles.
+    pub fn total_stall(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+
+    /// Stall cycles attributed to on-chip L2 service ("L2 hit stall" in
+    /// Figure 5 — includes forwarded requests served by another L1).
+    pub fn l2_hit_stall(&self) -> u64 {
+        self.stall_cycles[0] + self.stall_cycles[1]
+    }
+
+    /// Stall cycles attributed to misses past the L2 ("L2 miss stall").
+    pub fn l2_miss_stall(&self) -> u64 {
+        self.stall_cycles[2] + self.stall_cycles[3] + self.stall_cycles[4]
+    }
+
+    /// Fill count serviced by the L2 itself.
+    pub fn fills_l2_hit(&self) -> u64 {
+        self.fills[0]
+    }
+
+    /// Fill count forwarded to another on-chip L1.
+    pub fn fills_l2_fwd(&self) -> u64 {
+        self.fills[1]
+    }
+
+    /// Fill count that went to (local or remote) memory.
+    pub fn fills_l2_miss(&self) -> u64 {
+        self.fills[2] + self.fills[3] + self.fills[4]
+    }
+
+    /// The difference `self - earlier` (for measurement windows after a
+    /// warm-up phase).
+    pub fn diff(&self, earlier: &CoreStats) -> CoreStats {
+        let mut d = CoreStats { instrs: self.instrs - earlier.instrs, ..Default::default() };
+        for i in 0..STALL_KINDS {
+            d.stall_cycles[i] = self.stall_cycles[i] - earlier.stall_cycles[i];
+            d.fills[i] = self.fills[i] - earlier.fills[i];
+        }
+        d.branch_penalty_cycles = self.branch_penalty_cycles - earlier.branch_penalty_cycles;
+        d.sb_full_cycles = self.sb_full_cycles - earlier.sb_full_cycles;
+        d.l1i_misses = self.l1i_misses - earlier.l1i_misses;
+        d.l1d_misses = self.l1d_misses - earlier.l1d_misses;
+        d.sb_reqs = self.sb_reqs - earlier.sb_reqs;
+        d.l1_hits = self.l1_hits - earlier.l1_hits;
+        d.tlb_misses = self.tlb_misses - earlier.tlb_misses;
+        d.tlb_miss_cycles = self.tlb_miss_cycles - earlier.tlb_miss_cycles;
+        d
+    }
+
+    /// Merge another core's statistics into this one (for chip totals).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.instrs += other.instrs;
+        for i in 0..STALL_KINDS {
+            self.stall_cycles[i] += other.stall_cycles[i];
+            self.fills[i] += other.fills[i];
+        }
+        self.branch_penalty_cycles += other.branch_penalty_cycles;
+        self.sb_full_cycles += other.sb_full_cycles;
+        self.l1i_misses += other.l1i_misses;
+        self.l1d_misses += other.l1d_misses;
+        self.sb_reqs += other.sb_reqs;
+        self.l1_hits += other.l1_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.tlb_miss_cycles += other.tlb_miss_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_recording_buckets_correctly() {
+        let mut s = CoreStats::default();
+        s.record_fill(FillSource::L2Hit, 8);
+        s.record_fill(FillSource::L2Fwd, 12);
+        s.record_fill(FillSource::LocalMem, 40);
+        s.record_fill(FillSource::RemoteDirty, 90);
+        assert_eq!(s.l2_hit_stall(), 20);
+        assert_eq!(s.l2_miss_stall(), 130);
+        assert_eq!(s.total_stall(), 150);
+        assert_eq!(s.fills_l2_hit(), 1);
+        assert_eq!(s.fills_l2_fwd(), 1);
+        assert_eq!(s.fills_l2_miss(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = CoreStats { instrs: 10, ..Default::default() };
+        a.record_fill(FillSource::L2Hit, 5);
+        let mut b = CoreStats { instrs: 20, branch_penalty_cycles: 7, ..Default::default() };
+        b.record_fill(FillSource::L2Hit, 3);
+        a.merge(&b);
+        assert_eq!(a.instrs, 30);
+        assert_eq!(a.stall_cycles[0], 8);
+        assert_eq!(a.fills[0], 2);
+        assert_eq!(a.branch_penalty_cycles, 7);
+    }
+}

@@ -1,0 +1,340 @@
+//! A two-pass assembler for the Alpha-like ISA.
+//!
+//! Syntax, one instruction per line; `;` or `#` begins a comment; labels
+//! end with `:` and may share a line with an instruction.
+//!
+//! ```text
+//!     addi r1, r31, 64       ; r1 = 64
+//! top:
+//!     ldq  r2, 0(r1)         ; r2 = mem[r1]
+//!     add  r3, r3, r2
+//!     addi r1, r1, 8
+//!     subi r4, r4, 1
+//!     bne  r4, top
+//!     stq  r3, 8(r31)
+//!     wh64 (r5)
+//!     halt
+//! ```
+//!
+//! Mnemonics: `add sub mul and or xor sll srl cmpeq cmplt cmpult` (three
+//! registers), the same with an `i` suffix (register, register, immediate),
+//! `ldq ra, disp(rb)`, `stq ra, disp(rb)`, `wh64 (rb)`, conditional
+//! branches `beq bne blt bge ble bgt ra, label`, `br label`, `halt`, and
+//! the pseudo-instruction `li ra, imm` (expands to `addi ra, r31, imm`).
+
+use std::collections::BTreeMap;
+
+use crate::{AluOp, Cond, Instr, Program, Reg};
+
+/// An assembly error, with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assemble `source` into a [`Program`] with text base 0.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] identifying the offending line for unknown
+/// mnemonics, malformed operands, bad register names, or undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// let p = piranha_isa::asm::assemble("li r1, 5\nhalt").unwrap();
+/// assert_eq!(p.instrs.len(), 2);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_at(source, 0)
+}
+
+/// Assemble `source` with the given text base address.
+///
+/// # Errors
+///
+/// Same conditions as [`assemble`].
+pub fn assemble_at(source: &str, text_base: u64) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, record labels, collect raw statements.
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut stmts: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find([';', '#']) {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("invalid label {label:?}")));
+            }
+            if labels.insert(label.to_string(), stmts.len() as u32).is_some() {
+                return Err(err(lineno, format!("duplicate label {label:?}")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if !text.is_empty() {
+            stmts.push((lineno, text.to_string()));
+        }
+    }
+
+    // Pass 2: encode.
+    let mut instrs = Vec::with_capacity(stmts.len());
+    for (lineno, text) in &stmts {
+        instrs.push(encode(*lineno, text, &labels)?);
+    }
+    Ok(Program { instrs, labels, text_base })
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<Reg, AsmError> {
+    let tok = tok.trim();
+    let n: u32 = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got {tok:?}")))?
+        .parse()
+        .map_err(|_| err(line, format!("bad register {tok:?}")))?;
+    if n >= crate::NUM_REGS as u32 {
+        return Err(err(line, format!("register out of range: {tok}")));
+    }
+    Ok(n as Reg)
+}
+
+fn parse_imm(line: usize, tok: &str) -> Result<i32, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate {tok:?}")))?
+    } else {
+        body.parse().map_err(|_| err(line, format!("bad immediate {tok:?}")))?
+    };
+    let v = if neg { -v } else { v };
+    i32::try_from(v).map_err(|_| err(line, format!("immediate out of range: {tok}")))
+}
+
+/// Parse `disp(rb)` memory operand syntax.
+fn parse_mem(line: usize, tok: &str) -> Result<(i32, Reg), AsmError> {
+    let tok = tok.trim();
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected disp(reg), got {tok:?}")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing ')' in {tok:?}")))?;
+    let disp_str = tok[..open].trim();
+    let disp = if disp_str.is_empty() { 0 } else { parse_imm(line, disp_str)? };
+    let rb = parse_reg(line, &close[open + 1..])?;
+    Ok((disp, rb))
+}
+
+fn parse_label(line: usize, tok: &str, labels: &BTreeMap<String, u32>) -> Result<u32, AsmError> {
+    labels
+        .get(tok.trim())
+        .copied()
+        .ok_or_else(|| err(line, format!("undefined label {tok:?}")))
+}
+
+fn alu_op(mnemonic: &str) -> Option<(AluOp, bool)> {
+    let (base, imm) = match mnemonic.strip_suffix('i') {
+        // `cmpulti` etc. end with 'i' only in the immediate form; the bare
+        // names that happen to end in 'i' don't exist in this ISA.
+        Some(base) => (base, true),
+        None => (mnemonic, false),
+    };
+    let op = match base {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "cmpeq" => AluOp::Cmpeq,
+        "cmplt" => AluOp::Cmplt,
+        "cmpult" => AluOp::Cmpult,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn branch_cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        _ => None?,
+    })
+}
+
+fn encode(line: usize, text: &str, labels: &BTreeMap<String, u32>) -> Result<Instr, AsmError> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let ops: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+        }
+    };
+
+    if let Some((op, imm_form)) = alu_op(&mnemonic) {
+        want(3)?;
+        let ra = parse_reg(line, ops[0])?;
+        let rb = parse_reg(line, ops[1])?;
+        return if imm_form {
+            Ok(Instr::AluImm { op, ra, rb, imm: parse_imm(line, ops[2])? })
+        } else {
+            Ok(Instr::Alu { op, ra, rb, rc: parse_reg(line, ops[2])? })
+        };
+    }
+    if let Some(cond) = branch_cond(&mnemonic) {
+        want(2)?;
+        let ra = parse_reg(line, ops[0])?;
+        let target = parse_label(line, ops[1], labels)?;
+        return Ok(Instr::Br { cond, ra, target });
+    }
+    match mnemonic.as_str() {
+        "ldq" => {
+            want(2)?;
+            let ra = parse_reg(line, ops[0])?;
+            let (disp, rb) = parse_mem(line, ops[1])?;
+            Ok(Instr::Ldq { ra, rb, disp })
+        }
+        "stq" => {
+            want(2)?;
+            let ra = parse_reg(line, ops[0])?;
+            let (disp, rb) = parse_mem(line, ops[1])?;
+            Ok(Instr::Stq { ra, rb, disp })
+        }
+        "wh64" => {
+            want(1)?;
+            let (disp, rb) = parse_mem(line, ops[0])?;
+            if disp != 0 {
+                return Err(err(line, "wh64 takes a bare (reg) operand"));
+            }
+            Ok(Instr::Wh64 { rb })
+        }
+        "br" => {
+            want(1)?;
+            Ok(Instr::Jmp { target: parse_label(line, ops[0], labels)? })
+        }
+        "li" => {
+            want(2)?;
+            let ra = parse_reg(line, ops[0])?;
+            let imm = parse_imm(line, ops[1])?;
+            Ok(Instr::AluImm { op: AluOp::Add, ra, rb: crate::ZERO_REG, imm })
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(err(line, format!("unknown mnemonic {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_form() {
+        let p = assemble(
+            r#"
+            start:
+                li    r1, 0x40
+                add   r2, r1, r1
+                subi  r3, r2, -4
+                mul   r4, r2, r3
+                cmpulti r5, r4, 100
+                ldq   r6, 8(r1)
+                stq   r6, -8(r1)
+                wh64  (r6)
+                beq   r5, done
+                br    start
+            done:
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 11);
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.label("done"), Some(10));
+        assert_eq!(p.instrs[0], Instr::AluImm { op: AluOp::Add, ra: 1, rb: 31, imm: 0x40 });
+        assert_eq!(p.instrs[2], Instr::AluImm { op: AluOp::Sub, ra: 3, rb: 2, imm: -4 });
+        assert_eq!(p.instrs[5], Instr::Ldq { ra: 6, rb: 1, disp: 8 });
+        assert_eq!(p.instrs[6], Instr::Stq { ra: 6, rb: 1, disp: -8 });
+        assert_eq!(p.instrs[7], Instr::Wh64 { rb: 6 });
+        assert_eq!(p.instrs[8], Instr::Br { cond: Cond::Eq, ra: 5, target: 10 });
+        assert_eq!(p.instrs[9], Instr::Jmp { target: 0 });
+        assert_eq!(p.instrs[10], Instr::Halt);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble("br end\nhalt\nend: halt").unwrap();
+        assert_eq!(p.instrs[0], Instr::Jmp { target: 2 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; nothing\n\n# also nothing\nhalt ; trailing\n").unwrap();
+        assert_eq!(p.instrs.len(), 1);
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let p = assemble("a: b: halt").unwrap();
+        assert_eq!(p.label("a"), Some(0));
+        assert_eq!(p.label("b"), Some(0));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(assemble("frob r1, r2").unwrap_err().message.contains("unknown mnemonic"));
+        assert!(assemble("add r1, r2").unwrap_err().message.contains("expects 3"));
+        assert!(assemble("add r1, r2, r99").unwrap_err().message.contains("out of range"));
+        assert!(assemble("br nowhere").unwrap_err().message.contains("undefined label"));
+        assert!(assemble("x: halt\nx: halt").unwrap_err().message.contains("duplicate"));
+        assert!(assemble("ldq r1, r2").unwrap_err().message.contains("disp(reg)"));
+        let e = assemble("halt\nadd r1, r2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn text_base_applies() {
+        let p = assemble_at("halt", 0x8000).unwrap();
+        assert_eq!(p.pc_of(0), 0x8000);
+    }
+}

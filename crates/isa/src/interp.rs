@@ -1,0 +1,395 @@
+//! A functional interpreter for the Alpha-like ISA.
+//!
+//! The interpreter is *architectural only*: it computes what each
+//! instruction does and reports a per-instruction [`Exec`] record (kind,
+//! PC, memory address) that the timing models in `piranha-cpu` replay
+//! through the simulated memory hierarchy. Memory is sparse (paged), so
+//! programs can use large, scattered address ranges cheaply.
+
+use std::collections::HashMap;
+
+use piranha_types::Addr;
+
+use crate::{Instr, Program, Reg, NUM_REGS, ZERO_REG};
+
+/// What category of work one retired instruction represents; the timing
+/// models charge cycles by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecKind {
+    /// Single-cycle integer operation.
+    Alu,
+    /// Multi-cycle (pipelined) multiply.
+    Mul,
+    /// Data load from the given address.
+    Load(Addr),
+    /// Data store to the given address.
+    Store(Addr),
+    /// Write-hint for the full line at the given address.
+    WriteHint(Addr),
+    /// Control transfer; `taken` says whether the branch redirected fetch.
+    Branch {
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// The halt instruction.
+    Halt,
+}
+
+/// One retired instruction, as seen by a timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exec {
+    /// Byte address of the instruction (for I-cache modelling).
+    pub pc: Addr,
+    /// What the instruction did.
+    pub kind: ExecKind,
+}
+
+/// A runtime fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// The PC fell outside the program.
+    PcOutOfRange {
+        /// The bad instruction index.
+        index: u32,
+    },
+    /// The cycle budget given to [`Machine::run`] expired before `halt`.
+    OutOfFuel,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::PcOutOfRange { index } => write!(f, "pc out of range: instruction {index}"),
+            Trap::OutOfFuel => write!(f, "instruction budget exhausted before halt"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable data memory.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl SparseMem {
+    /// Read a 64-bit little-endian word (unallocated memory reads as 0).
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(Addr(addr.0 + i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Write a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(Addr(addr.0 + i as u64), *b);
+        }
+    }
+
+    fn read_u8(&self, addr: Addr) -> u8 {
+        let page = addr.0 >> PAGE_SHIFT;
+        let off = (addr.0 as usize) & (PAGE_BYTES - 1);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    fn write_u8(&mut self, addr: Addr, value: u8) {
+        let page = addr.0 >> PAGE_SHIFT;
+        let off = (addr.0 as usize) & (PAGE_BYTES - 1);
+        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
+    }
+}
+
+/// The architectural state of one Alpha-like CPU: register file, PC, and
+/// sparse data memory.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_isa::{asm, Machine};
+/// let prog = asm::assemble("li r1, 7\nstq r1, 0(r31)\nldq r2, 0(r31)\nhalt").unwrap();
+/// let mut m = Machine::new(prog);
+/// m.run(100).unwrap();
+/// assert_eq!(m.reg(2), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    regs: [u64; NUM_REGS],
+    /// Instruction index (not byte address) of the next instruction.
+    pc: u32,
+    mem: SparseMem,
+    halted: bool,
+    retired: u64,
+}
+
+impl Machine {
+    /// A machine about to execute `program` from its first instruction,
+    /// with zeroed registers and memory.
+    pub fn new(program: Program) -> Self {
+        Machine {
+            program,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            mem: SparseMem::default(),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Read register `r` (register 31 always reads 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r == ZERO_REG {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    /// Write register `r` (writes to register 31 are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r != ZERO_REG {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// The data memory, for setting up inputs and inspecting results.
+    pub fn mem(&self) -> &SparseMem {
+        &self.mem
+    }
+
+    /// Mutable access to data memory.
+    pub fn mem_mut(&mut self) -> &mut SparseMem {
+        &mut self.mem
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execute one instruction and report what it did.
+    ///
+    /// Returns `None` if the machine has already halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::PcOutOfRange`] if control flowed past the end of
+    /// the program.
+    pub fn step(&mut self) -> Result<Option<Exec>, Trap> {
+        if self.halted {
+            return Ok(None);
+        }
+        let index = self.pc;
+        let instr = *self
+            .program
+            .instrs
+            .get(index as usize)
+            .ok_or(Trap::PcOutOfRange { index })?;
+        let pc = Addr(self.program.pc_of(index));
+        self.pc += 1;
+        self.retired += 1;
+
+        let kind = match instr {
+            Instr::Alu { op, ra, rb, rc } => {
+                let v = op.eval(self.reg(rb), self.reg(rc));
+                self.set_reg(ra, v);
+                if op.is_multiply() {
+                    ExecKind::Mul
+                } else {
+                    ExecKind::Alu
+                }
+            }
+            Instr::AluImm { op, ra, rb, imm } => {
+                let v = op.eval(self.reg(rb), imm as i64 as u64);
+                self.set_reg(ra, v);
+                if op.is_multiply() {
+                    ExecKind::Mul
+                } else {
+                    ExecKind::Alu
+                }
+            }
+            Instr::Ldq { ra, rb, disp } => {
+                let addr = Addr(self.reg(rb).wrapping_add(disp as i64 as u64));
+                let v = self.mem.read_u64(addr);
+                self.set_reg(ra, v);
+                ExecKind::Load(addr)
+            }
+            Instr::Stq { ra, rb, disp } => {
+                let addr = Addr(self.reg(rb).wrapping_add(disp as i64 as u64));
+                self.mem.write_u64(addr, self.reg(ra));
+                ExecKind::Store(addr)
+            }
+            Instr::Wh64 { rb } => {
+                let addr = Addr(self.reg(rb));
+                // Architecturally, wh64 may zero the target line; we model
+                // it as a pure ownership hint with no data effect.
+                ExecKind::WriteHint(addr)
+            }
+            Instr::Br { cond, ra, target } => {
+                let taken = cond.eval(self.reg(ra));
+                if taken {
+                    self.pc = target;
+                }
+                ExecKind::Branch { taken }
+            }
+            Instr::Jmp { target } => {
+                self.pc = target;
+                ExecKind::Branch { taken: true }
+            }
+            Instr::Halt => {
+                self.halted = true;
+                ExecKind::Halt
+            }
+        };
+        Ok(Some(Exec { pc, kind }))
+    }
+
+    /// Run until `halt` or until `fuel` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfFuel`] if the budget expires first, or
+    /// [`Trap::PcOutOfRange`] on a wild control transfer.
+    pub fn run(&mut self, fuel: u64) -> Result<(), Trap> {
+        for _ in 0..fuel {
+            if self.step()?.is_none() {
+                return Ok(());
+            }
+            if self.halted {
+                return Ok(());
+            }
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(Trap::OutOfFuel)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_src(src: &str) -> Machine {
+        let mut m = Machine::new(assemble(src).unwrap());
+        m.run(100_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // Sum 1..=10 into r3.
+        let m = run_src(
+            r#"
+                li r1, 10
+            top:
+                add r3, r3, r1
+                subi r1, r1, 1
+                bgt r1, top
+                halt
+            "#,
+        );
+        assert_eq!(m.reg(3), 55);
+    }
+
+    #[test]
+    fn memory_round_trip_and_exec_records() {
+        let mut m = Machine::new(
+            assemble("li r1, 0x100\nli r2, 99\nstq r2, 8(r1)\nldq r3, 8(r1)\nhalt").unwrap(),
+        );
+        let mut kinds = Vec::new();
+        while let Some(e) = m.step().unwrap() {
+            kinds.push(e.kind);
+            if m.halted() {
+                break;
+            }
+        }
+        assert_eq!(m.reg(3), 99);
+        assert!(matches!(kinds[2], ExecKind::Store(a) if a.0 == 0x108));
+        assert!(matches!(kinds[3], ExecKind::Load(a) if a.0 == 0x108));
+        assert!(matches!(kinds[4], ExecKind::Halt));
+        assert_eq!(m.retired(), 5);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let m = run_src("li r31, 42\naddi r1, r31, 0\nhalt");
+        assert_eq!(m.reg(31), 0);
+        assert_eq!(m.reg(1), 0);
+    }
+
+    #[test]
+    fn unallocated_memory_reads_zero() {
+        let m = run_src("li r1, 0x123456\nldq r2, 0(r1)\nhalt");
+        assert_eq!(m.reg(2), 0);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken_records() {
+        let mut m = Machine::new(assemble("li r1, 1\nbeq r1, skip\nskip: halt").unwrap());
+        m.step().unwrap();
+        let e = m.step().unwrap().unwrap();
+        assert_eq!(e.kind, ExecKind::Branch { taken: false });
+    }
+
+    #[test]
+    fn wh64_reports_line_address() {
+        let mut m = Machine::new(assemble("li r1, 0x1000\nwh64 (r1)\nhalt").unwrap());
+        m.step().unwrap();
+        let e = m.step().unwrap().unwrap();
+        assert_eq!(e.kind, ExecKind::WriteHint(Addr(0x1000)));
+    }
+
+    #[test]
+    fn out_of_fuel_traps() {
+        let mut m = Machine::new(assemble("top: br top").unwrap());
+        assert_eq!(m.run(10), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn falling_off_the_end_traps() {
+        let mut m = Machine::new(assemble("li r1, 1").unwrap());
+        m.step().unwrap();
+        assert!(matches!(m.step(), Err(Trap::PcOutOfRange { index: 1 })));
+    }
+
+    #[test]
+    fn halted_machine_steps_to_none() {
+        let mut m = Machine::new(assemble("halt").unwrap());
+        m.step().unwrap();
+        assert!(m.halted());
+        assert_eq!(m.step().unwrap(), None);
+    }
+
+    #[test]
+    fn negative_displacement_wraps_correctly() {
+        let m = run_src("li r1, 0x100\nli r2, 5\nstq r2, -8(r1)\nldq r3, -8(r1)\nhalt");
+        assert_eq!(m.reg(3), 5);
+    }
+
+    #[test]
+    fn sparse_mem_u64_round_trip() {
+        let mut mem = SparseMem::default();
+        mem.write_u64(Addr(0xfffe), 0x0123_4567_89ab_cdef); // straddles a page
+        assert_eq!(mem.read_u64(Addr(0xfffe)), 0x0123_4567_89ab_cdef);
+    }
+}

@@ -1,0 +1,307 @@
+//! An Alpha-like instruction set for the Piranha core model.
+//!
+//! Piranha's CPU core "uses a single-issue, in-order design capable of
+//! executing the Alpha instruction set" (paper §2.1). This crate provides
+//! the subset needed to demonstrate that core executing real programs: a
+//! 64-bit integer register file, loads/stores, conditional branches, and
+//! the Alpha `wh64` write-hint instruction that backs the protocol's
+//! *exclusive-without-data* request (paper §2.5.3 footnote 2).
+//!
+//! Three layers:
+//!
+//! * [`Instr`] — the instruction representation;
+//! * [`asm`] — a two-pass assembler from a simple textual syntax;
+//! * [`Machine`] — a functional interpreter that yields one [`Exec`]
+//!   record per retired instruction, which the timing models in
+//!   `piranha-cpu` consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use piranha_isa::{asm, Machine};
+//!
+//! let prog = asm::assemble(
+//!     r#"
+//!         addi r1, r31, 10    ; r1 = 10
+//!     loop:
+//!         addi r2, r2, 3
+//!         subi r1, r1, 1
+//!         bne  r1, loop
+//!         halt
+//!     "#,
+//! ).unwrap();
+//! let mut m = Machine::new(prog);
+//! m.run(1_000).unwrap();
+//! assert_eq!(m.reg(2), 30);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod interp;
+
+pub use interp::{Exec, ExecKind, Machine, Trap};
+
+/// Number of architectural integer registers. Register 31 always reads as
+/// zero, as on Alpha.
+pub const NUM_REGS: usize = 32;
+
+/// The always-zero register (Alpha `r31`).
+pub const ZERO_REG: u8 = 31;
+
+/// A register name (0..=31).
+pub type Reg = u8;
+
+/// Binary ALU operations (the Alpha "operate" format subset we model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (executes in the pipelined 5-stage ALU).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Compare equal (result 1 or 0).
+    Cmpeq,
+    /// Compare signed less-than (result 1 or 0).
+    Cmplt,
+    /// Compare unsigned less-than (result 1 or 0).
+    Cmpult,
+}
+
+impl AluOp {
+    /// Evaluate the operation on two 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Cmpeq => (a == b) as u64,
+            AluOp::Cmplt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Cmpult => (a < b) as u64,
+        }
+    }
+
+    /// Whether this op uses the long (multiply) pipe.
+    pub fn is_multiply(self) -> bool {
+        matches!(self, AluOp::Mul)
+    }
+}
+
+/// Branch conditions (tested against register `ra`, as in Alpha's
+/// conditional branch format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if `ra == 0`.
+    Eq,
+    /// Branch if `ra != 0`.
+    Ne,
+    /// Branch if `ra < 0` (signed).
+    Lt,
+    /// Branch if `ra >= 0` (signed).
+    Ge,
+    /// Branch if `ra <= 0` (signed).
+    Le,
+    /// Branch if `ra > 0` (signed).
+    Gt,
+}
+
+impl Cond {
+    /// Evaluate the condition against a register value.
+    pub fn eval(self, v: u64) -> bool {
+        let s = v as i64;
+        match self {
+            Cond::Eq => s == 0,
+            Cond::Ne => s != 0,
+            Cond::Lt => s < 0,
+            Cond::Ge => s >= 0,
+            Cond::Le => s <= 0,
+            Cond::Gt => s > 0,
+        }
+    }
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `ra = rb op rc`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        ra: Reg,
+        /// First source register.
+        rb: Reg,
+        /// Second source register.
+        rc: Reg,
+    },
+    /// `ra = rb op imm` (Alpha's literal form).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        ra: Reg,
+        /// Source register.
+        rb: Reg,
+        /// Immediate operand.
+        imm: i32,
+    },
+    /// `ra = mem[rb + disp]` (64-bit load, Alpha `ldq`).
+    Ldq {
+        /// Destination register.
+        ra: Reg,
+        /// Base register.
+        rb: Reg,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `mem[rb + disp] = ra` (64-bit store, Alpha `stq`).
+    Stq {
+        /// Source register.
+        ra: Reg,
+        /// Base register.
+        rb: Reg,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// Write hint: the full cache line at `rb` will be entirely written
+    /// (Alpha `wh64`); acquires exclusive ownership without data.
+    Wh64 {
+        /// Register holding the line address.
+        rb: Reg,
+    },
+    /// Conditional branch on `ra` to instruction index `target`.
+    Br {
+        /// Condition on `ra`.
+        cond: Cond,
+        /// Tested register.
+        ra: Reg,
+        /// Destination instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jmp {
+        /// Destination instruction index.
+        target: u32,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// Destination register written by this instruction, if any.
+    pub fn dest(self) -> Option<Reg> {
+        match self {
+            Instr::Alu { ra, .. } | Instr::AluImm { ra, .. } | Instr::Ldq { ra, .. } => {
+                (ra != ZERO_REG).then_some(ra)
+            }
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction.
+    pub fn sources(self) -> Vec<Reg> {
+        match self {
+            Instr::Alu { rb, rc, .. } => vec![rb, rc],
+            Instr::AluImm { rb, .. } => vec![rb],
+            Instr::Ldq { rb, .. } => vec![rb],
+            Instr::Stq { ra, rb, .. } => vec![ra, rb],
+            Instr::Wh64 { rb } => vec![rb],
+            Instr::Br { ra, .. } => vec![ra],
+            Instr::Jmp { .. } | Instr::Halt => vec![],
+        }
+    }
+}
+
+/// An assembled program: instructions plus symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instruction sequence; instruction *i* notionally lives at byte
+    /// address `text_base + 4*i`.
+    pub instrs: Vec<Instr>,
+    /// Label name → instruction index.
+    pub labels: std::collections::BTreeMap<String, u32>,
+    /// Base byte address of the text segment (for I-cache modelling).
+    pub text_base: u64,
+}
+
+impl Program {
+    /// The byte address of instruction `index` (Alpha instructions are 4
+    /// bytes).
+    pub fn pc_of(&self, index: u32) -> u64 {
+        self.text_base + 4 * index as u64
+    }
+
+    /// Look up a label's instruction index.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), u64::MAX);
+        assert_eq!(AluOp::Mul.eval(7, 6), 42);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.eval(1, 65), 2, "shift amount is mod 64");
+        assert_eq!(AluOp::Srl.eval(8, 2), 2);
+        assert_eq!(AluOp::Cmpeq.eval(4, 4), 1);
+        assert_eq!(AluOp::Cmplt.eval(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Cmpult.eval(u64::MAX, 0), 0, "max > 0 unsigned");
+        assert!(AluOp::Mul.is_multiply());
+        assert!(!AluOp::Add.is_multiply());
+    }
+
+    #[test]
+    fn cond_semantics() {
+        let neg = (-5i64) as u64;
+        assert!(Cond::Eq.eval(0) && !Cond::Eq.eval(1));
+        assert!(Cond::Ne.eval(1) && !Cond::Ne.eval(0));
+        assert!(Cond::Lt.eval(neg) && !Cond::Lt.eval(0));
+        assert!(Cond::Ge.eval(0) && !Cond::Ge.eval(neg));
+        assert!(Cond::Le.eval(0) && Cond::Le.eval(neg) && !Cond::Le.eval(1));
+        assert!(Cond::Gt.eval(1) && !Cond::Gt.eval(0));
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Alu { op: AluOp::Add, ra: 1, rb: 2, rc: 3 };
+        assert_eq!(i.dest(), Some(1));
+        assert_eq!(i.sources(), vec![2, 3]);
+        // Writes to r31 are discarded, so it is not a real destination.
+        let z = Instr::AluImm { op: AluOp::Add, ra: ZERO_REG, rb: 0, imm: 1 };
+        assert_eq!(z.dest(), None);
+        let s = Instr::Stq { ra: 4, rb: 5, disp: 0 };
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), vec![4, 5]);
+    }
+
+    #[test]
+    fn program_pc_mapping() {
+        let p = Program { instrs: vec![Instr::Halt], labels: Default::default(), text_base: 0x1000 };
+        assert_eq!(p.pc_of(0), 0x1000);
+        assert_eq!(p.pc_of(3), 0x100c);
+    }
+}

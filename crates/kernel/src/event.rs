@@ -1,0 +1,175 @@
+//! The future event list.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use piranha_types::SimTime;
+
+/// A deterministic future event list.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO tie-breaking via a monotone sequence number), which
+/// is what makes whole-system simulations reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_kernel::EventQueue;
+/// use piranha_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime(100), 1u32);
+/// q.schedule(SimTime(100), 2u32);
+/// q.schedule(SimTime(50), 3u32);
+/// let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, [3, 1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the time of the last event popped —
+    /// the simulation may never schedule into the past.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled at {time} is in the past (now = {})",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Remove and return the earliest event, advancing the queue's notion
+    /// of "now" to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 'c');
+        q.schedule(SimTime(10), 'a');
+        q.schedule(SimTime(20), 'b');
+        assert_eq!(q.pop(), Some((SimTime(10), 'a')));
+        assert_eq!(q.pop(), Some((SimTime(20), 'b')));
+        assert_eq!(q.pop(), Some((SimTime(30), 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime(5), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime(5));
+        // Scheduling at exactly `now` is allowed.
+        q.schedule(SimTime(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(9), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), 0);
+        q.schedule(SimTime(2), 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Queueing-theoretic resource models.
+//!
+//! Contention in the simulator — an L2 bank that can start one lookup per
+//! cycle, a Rambus channel with 1.6 GB/s of bandwidth, a protocol engine
+//! occupied for a few microinstructions per transaction — is modelled with
+//! *servers*: a request arriving at time `t` begins service at
+//! `max(t, busy_until)` and completes after its service time. Queueing
+//! delay therefore emerges naturally from overlapping requests without
+//! simulating individual queue slots.
+
+use piranha_types::{Duration, SimTime};
+
+/// A single-server FIFO queue (an M/G/1-style resource).
+///
+/// # Examples
+///
+/// ```
+/// use piranha_kernel::Server;
+/// use piranha_types::{Duration, SimTime};
+///
+/// let mut s = Server::new();
+/// // Two back-to-back 10 ns jobs arriving at the same instant: the second
+/// // queues behind the first.
+/// let a = s.acquire(SimTime::ZERO, Duration::from_ns(10));
+/// let b = s.acquire(SimTime::ZERO, Duration::from_ns(10));
+/// assert_eq!(a.as_ns(), 10);
+/// assert_eq!(b.as_ns(), 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    busy_until: SimTime,
+    busy_time: Duration,
+    jobs: u64,
+}
+
+impl Server {
+    /// An idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a job arriving at `now` needing `service` time; returns its
+    /// completion time.
+    pub fn acquire(&mut self, now: SimTime, service: Duration) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done;
+        self.busy_time += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// When the server next falls idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total service time delivered (for utilization statistics).
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over `[0, horizon]` as a fraction.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.as_ps() == 0 {
+            0.0
+        } else {
+            self.busy_time.as_ps() as f64 / horizon.as_ps() as f64
+        }
+    }
+}
+
+/// A bank of `k` identical servers with a shared FIFO queue (M/G/k-style);
+/// models resources with internal parallelism, such as the ICS's eight
+/// internal datapaths (paper §2.2).
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    busy_until: Vec<SimTime>,
+    busy_time: Duration,
+    jobs: u64,
+}
+
+impl MultiServer {
+    /// A bank of `k` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "a MultiServer needs at least one server");
+        MultiServer { busy_until: vec![SimTime::ZERO; k], busy_time: Duration::ZERO, jobs: 0 }
+    }
+
+    /// Submit a job arriving at `now`; it is served by the earliest-free
+    /// server. Returns the completion time.
+    pub fn acquire(&mut self, now: SimTime, service: Duration) -> SimTime {
+        let (idx, _) = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("non-empty by construction");
+        let start = now.max(self.busy_until[idx]);
+        let done = start + service;
+        self.busy_until[idx] = done;
+        self.busy_time += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// Number of servers in the bank.
+    pub fn width(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Total service time delivered across all servers.
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+}
+
+/// A bandwidth-limited link: service time is proportional to transfer
+/// size. Used for Rambus channels (1.6 GB/s) and interconnect links
+/// (8 GB/s per channel — paper §2.4, §2.6.1).
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    server: Server,
+    ps_per_byte_num: u64,
+    ps_per_byte_den: u64,
+}
+
+impl Pipe {
+    /// A pipe with the given bandwidth in GB/s (decimal: 1 GB/s = 1 byte/ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb_per_s` is zero.
+    pub fn from_gb_per_s(gb_per_s: u64) -> Self {
+        assert!(gb_per_s > 0, "pipe bandwidth must be positive");
+        // 1 GB/s = 1 byte per ns = 1000 ps per byte.
+        Pipe { server: Server::new(), ps_per_byte_num: 1000, ps_per_byte_den: gb_per_s }
+    }
+
+    /// Time to transfer `bytes` at full bandwidth (no queueing).
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        Duration::from_ps((bytes * self.ps_per_byte_num).div_ceil(self.ps_per_byte_den))
+    }
+
+    /// Submit a `bytes`-sized transfer arriving at `now`; returns its
+    /// completion time including queueing behind earlier transfers.
+    pub fn acquire(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let t = self.transfer_time(bytes);
+        self.server.acquire(now, t)
+    }
+
+    /// When the pipe next falls idle (for load-aware routing decisions).
+    pub fn busy_until(&self) -> SimTime {
+        self.server.busy_until()
+    }
+
+    /// Total busy time (for utilization statistics).
+    pub fn busy_time(&self) -> Duration {
+        self.server.busy_time()
+    }
+
+    /// Number of transfers served.
+    pub fn jobs(&self) -> u64 {
+        self.server.jobs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_queues_fifo() {
+        let mut s = Server::new();
+        let d = Duration::from_ns(5);
+        assert_eq!(s.acquire(SimTime::ZERO, d).as_ns(), 5);
+        assert_eq!(s.acquire(SimTime::ZERO, d).as_ns(), 10);
+        // A job arriving after the backlog drains starts immediately.
+        assert_eq!(s.acquire(SimTime::from_ns(100), d).as_ns(), 105);
+        assert_eq!(s.jobs(), 3);
+        assert_eq!(s.busy_time().as_ns(), 15);
+    }
+
+    #[test]
+    fn server_utilization() {
+        let mut s = Server::new();
+        s.acquire(SimTime::ZERO, Duration::from_ns(25));
+        assert!((s.utilization(SimTime::from_ns(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn multi_server_overlaps_up_to_width() {
+        let mut m = MultiServer::new(2);
+        let d = Duration::from_ns(10);
+        assert_eq!(m.acquire(SimTime::ZERO, d).as_ns(), 10);
+        assert_eq!(m.acquire(SimTime::ZERO, d).as_ns(), 10); // second server
+        assert_eq!(m.acquire(SimTime::ZERO, d).as_ns(), 20); // queues
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.jobs(), 3);
+        assert_eq!(m.busy_time().as_ns(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_width_multi_server_panics() {
+        let _ = MultiServer::new(0);
+    }
+
+    #[test]
+    fn pipe_scales_with_size() {
+        let mut p = Pipe::from_gb_per_s(2); // 0.5 ns per byte
+        assert_eq!(p.transfer_time(64).as_ns(), 32);
+        assert_eq!(p.acquire(SimTime::ZERO, 64).as_ns(), 32);
+        assert_eq!(p.acquire(SimTime::ZERO, 64).as_ns(), 64);
+        assert_eq!(p.jobs(), 2);
+    }
+
+    #[test]
+    fn rambus_channel_rate_matches_paper() {
+        // Paper §2.4: each RDRAM channel moves a 64-byte line's remainder in
+        // 30 ns after the critical word; 1.6 GB/s ≈ 40 ns per 64 bytes.
+        let p = Pipe::from_gb_per_s(1); // conservative integer-GB/s model
+        assert_eq!(p.transfer_time(64).as_ns(), 64);
+    }
+}

@@ -1,0 +1,217 @@
+//! Statistics primitives feeding the paper's tables and figures.
+
+use piranha_types::Duration;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_kernel::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A ratio of two counters (e.g. hit rate); avoids division-by-zero
+/// footguns at reporting time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ratio {
+    /// Numerator events.
+    pub hits: Counter,
+    /// Total events.
+    pub total: Counter,
+}
+
+impl Ratio {
+    /// A zeroed ratio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event which either counts toward the numerator or not.
+    pub fn record(&mut self, hit: bool) {
+        self.total.inc();
+        if hit {
+            self.hits.inc();
+        }
+    }
+
+    /// The ratio as a fraction, or 0 if no events were recorded.
+    pub fn value(&self) -> f64 {
+        if self.total.get() == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / self.total.get() as f64
+        }
+    }
+}
+
+/// A power-of-two-bucketed latency histogram.
+///
+/// Buckets by `log2(ns)`: bucket *i* holds samples in `[2^i, 2^(i+1))` ns,
+/// with a dedicated first bucket for sub-nanosecond samples.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_kernel::Histogram;
+/// use piranha_types::Duration;
+/// let mut h = Histogram::new();
+/// h.record(Duration::from_ns(80));
+/// h.record(Duration::from_ns(12));
+/// assert_eq!(h.count(), 2);
+/// assert!((h.mean_ns() - 46.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; 40], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_ns();
+        let b = if ns == 0 { 0 } else { (64 - ns.leading_zeros()) as usize };
+        let b = b.min(self.buckets.len() - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample in nanoseconds (0 if empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// An approximate percentile (0..=100) in nanoseconds, resolved to
+    /// bucket upper bounds.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn ratio_handles_empty_and_counts() {
+        let mut r = Ratio::new();
+        assert_eq!(r.value(), 0.0);
+        r.record(true);
+        r.record(true);
+        r.record(false);
+        assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = Histogram::new();
+        for ns in [10u64, 20, 30] {
+            h.record(Duration::from_ns(ns));
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean_ns() - 20.0).abs() < 1e-12);
+        assert_eq!(h.max_ns(), 30);
+        assert_eq!(h.sum_ns(), 60);
+    }
+
+    #[test]
+    fn histogram_percentile_is_monotone() {
+        let mut h = Histogram::new();
+        for ns in 1..=1000u64 {
+            h.record(Duration::from_ns(ns));
+        }
+        let p50 = h.percentile_ns(50.0);
+        let p99 = h.percentile_ns(99.0);
+        assert!(p50 <= p99);
+        assert!((256..=1024).contains(&p50), "p50 bucket bound was {p50}");
+    }
+
+    #[test]
+    fn histogram_zero_sample_goes_to_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile_ns(100.0), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! One memory bank: the RDRAM channel plus the authoritative data
+//! (version) and directory stores for the lines homed at this bank.
+//!
+//! The paper's memory controller has no direct ICS access — "access to
+//! memory is controlled by and routed through the corresponding L2
+//! controller" at cache-line granularity, for both data and directory —
+//! so this type exposes exactly two operations, a line read and a line
+//! write, each of which also touches the directory bits (they live in the
+//! same ECC words).
+
+use std::collections::HashMap;
+
+use piranha_types::{LineAddr, SimTime};
+
+use crate::directory::DirEntry;
+use crate::rdram::{MemAccess, Rdram, RdramConfig};
+
+/// Configuration of a memory bank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemBankConfig {
+    /// The RDRAM channel parameters.
+    pub rdram: RdramConfig,
+}
+
+/// A memory bank: timing channel + version store + directory store.
+///
+/// Line "data" is modelled as a monotonically increasing version stamped
+/// by each writer (see the `piranha-cache` crate docs); unwritten memory
+/// reads as version 0.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_mem::{MemBank, MemBankConfig};
+/// use piranha_types::{LineAddr, SimTime};
+///
+/// let mut bank = MemBank::new(MemBankConfig::default());
+/// let (acc, version, dir) = bank.read(SimTime::ZERO, LineAddr(4));
+/// assert_eq!(version, 0);
+/// assert_eq!(dir, piranha_mem::DirEntry::Uncached);
+/// assert_eq!(acc.critical.as_ns(), 60);
+/// ```
+#[derive(Debug)]
+pub struct MemBank {
+    rdram: Rdram,
+    versions: HashMap<LineAddr, u64>,
+    directory: HashMap<LineAddr, DirEntry>,
+}
+
+impl MemBank {
+    /// A new bank with all lines at version 0 and uncached directories.
+    pub fn new(cfg: MemBankConfig) -> Self {
+        MemBank { rdram: Rdram::new(cfg.rdram), versions: HashMap::new(), directory: HashMap::new() }
+    }
+
+    /// Charge one line access for timing only (the caller reads the
+    /// version/directory later, at the access's completion time, so that
+    /// intervening writes are observed).
+    pub fn access(&mut self, now: SimTime, line: LineAddr) -> MemAccess {
+        self.rdram.access(now, line)
+    }
+
+    /// Read a line: returns the access timing, the stored version, and
+    /// the directory entry (read for free from the same ECC words).
+    pub fn read(&mut self, now: SimTime, line: LineAddr) -> (MemAccess, u64, DirEntry) {
+        let acc = self.rdram.access(now, line);
+        let v = self.versions.get(&line).copied().unwrap_or(0);
+        let d = self.directory.get(&line).cloned().unwrap_or_default();
+        (acc, v, d)
+    }
+
+    /// Write a line's data (a write-back); directory bits are unchanged.
+    pub fn write(&mut self, now: SimTime, line: LineAddr, version: u64) -> MemAccess {
+        let acc = self.rdram.access(now, line);
+        self.versions.insert(line, version);
+        acc
+    }
+
+    /// Update only the directory bits (charged as a normal line access —
+    /// the bits live in the line's ECC words).
+    pub fn write_directory(&mut self, now: SimTime, line: LineAddr, dir: DirEntry) -> MemAccess {
+        let acc = self.rdram.access(now, line);
+        self.directory.insert(line, dir);
+        acc
+    }
+
+    /// Write data and directory together (one access).
+    pub fn write_with_directory(
+        &mut self,
+        now: SimTime,
+        line: LineAddr,
+        version: u64,
+        dir: DirEntry,
+    ) -> MemAccess {
+        let acc = self.rdram.access(now, line);
+        self.versions.insert(line, version);
+        self.directory.insert(line, dir);
+        acc
+    }
+
+    /// Peek the directory without timing (for protocol-engine state
+    /// machines whose timing is charged separately by the simulator).
+    pub fn directory(&self, line: LineAddr) -> DirEntry {
+        self.directory.get(&line).cloned().unwrap_or_default()
+    }
+
+    /// Peek a version without timing (for invariant checks in tests).
+    pub fn version(&self, line: LineAddr) -> u64 {
+        self.versions.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Set the directory without timing (protocol-engine updates; the
+    /// engine charges its own memory access).
+    pub fn set_directory(&mut self, line: LineAddr, dir: DirEntry) {
+        self.directory.insert(line, dir);
+    }
+
+    /// Set a version without timing (used by workload setup).
+    pub fn set_version(&mut self, line: LineAddr, version: u64) {
+        self.versions.insert(line, version);
+    }
+
+    /// The underlying RDRAM channel (for page-hit statistics).
+    pub fn rdram(&self) -> &Rdram {
+        &self.rdram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::NodeSet;
+    use piranha_types::ids::NodeId;
+
+    #[test]
+    fn versions_persist_across_read_write() {
+        let mut b = MemBank::new(MemBankConfig::default());
+        assert_eq!(b.read(SimTime::ZERO, LineAddr(1)).1, 0);
+        b.write(SimTime::from_ns(200), LineAddr(1), 42);
+        assert_eq!(b.read(SimTime::from_ns(400), LineAddr(1)).1, 42);
+        assert_eq!(b.version(LineAddr(1)), 42);
+    }
+
+    #[test]
+    fn directory_travels_with_data() {
+        let mut b = MemBank::new(MemBankConfig::default());
+        let sharers: NodeSet = [NodeId(3)].into_iter().collect();
+        b.set_directory(LineAddr(7), DirEntry::Shared(sharers.clone()));
+        let (_, _, d) = b.read(SimTime::ZERO, LineAddr(7));
+        assert_eq!(d, DirEntry::Shared(sharers));
+        // Data write-backs leave the directory alone.
+        b.write(SimTime::from_ns(100), LineAddr(7), 5);
+        assert_ne!(b.directory(LineAddr(7)), DirEntry::Uncached);
+    }
+
+    #[test]
+    fn combined_write_sets_both() {
+        let mut b = MemBank::new(MemBankConfig::default());
+        b.write_with_directory(SimTime::ZERO, LineAddr(9), 11, DirEntry::Exclusive(NodeId(2)));
+        assert_eq!(b.version(LineAddr(9)), 11);
+        assert_eq!(b.directory(LineAddr(9)), DirEntry::Exclusive(NodeId(2)));
+    }
+
+    #[test]
+    fn timing_flows_through_rdram() {
+        let mut b = MemBank::new(MemBankConfig::default());
+        let (a1, _, _) = b.read(SimTime::ZERO, LineAddr(0));
+        assert!(!a1.page_hit);
+        let a2 = b.write_directory(a1.full, LineAddr(1), DirEntry::Uncached);
+        assert!(a2.page_hit, "directory update to the same page hits open");
+        assert_eq!(b.rdram().accesses(), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Direct Rambus DRAM channel timing with open-page tracking (paper §2.4).
+
+use std::collections::HashMap;
+
+use piranha_kernel::{MultiServer, Pipe, Ratio};
+use piranha_types::{Addr, Duration, LineAddr, SimTime};
+
+/// Timing parameters of one RDRAM channel.
+#[derive(Debug, Clone, Copy)]
+pub struct RdramConfig {
+    /// Latency to the critical word on a page miss (60 ns in the paper).
+    pub row_miss: Duration,
+    /// Latency to the critical word on an open-page hit (40 ns).
+    pub row_hit: Duration,
+    /// Additional time for the rest of the cache line (30 ns).
+    pub rest_of_line: Duration,
+    /// Device page size in bytes (512 in the paper's 64 Mbit generation).
+    pub page_bytes: u64,
+    /// How long a page stays open after its last access (~1 µs yields
+    /// >50% hits on OLTP per the paper).
+    pub page_hold: Duration,
+    /// Maximum simultaneously open pages across the channel's devices
+    /// (a fully populated chip has "as many as 2K pages open"; per
+    /// channel that is 2048 / 8 = 256).
+    pub max_open_pages: usize,
+    /// How many *global* cache lines map to one of this channel's device
+    /// pages. Banks are line-interleaved, so a channel owning every 8th
+    /// line sees a 512-byte page as 64 consecutive lines of the global
+    /// address space (8 lines/page × 8 channels).
+    pub page_span_lines: u64,
+    /// Channel bandwidth in GB/s (1.6 GB/s; modelled as the nearest
+    /// whole-GB/s pipe at 2 GB/s serialization with explicit
+    /// rest-of-line latency covering the difference).
+    pub channel_gb_s: u64,
+    /// Concurrent device banks per channel: row activations overlap
+    /// across the RDRAM devices' internal banks, so up to this many
+    /// accesses pipeline on one channel.
+    pub device_banks: usize,
+}
+
+impl RdramConfig {
+    /// The paper's channel parameters.
+    pub fn paper_default() -> Self {
+        RdramConfig {
+            row_miss: Duration::from_ns(60),
+            row_hit: Duration::from_ns(40),
+            rest_of_line: Duration::from_ns(30),
+            page_bytes: 512,
+            page_hold: Duration::from_ns(1000),
+            max_open_pages: 256,
+            page_span_lines: 64,
+            channel_gb_s: 2,
+            device_banks: 4,
+        }
+    }
+
+    /// The same channel timing for a chip with `banks` interleaved
+    /// memory controllers.
+    pub fn with_banks(banks: u64) -> Self {
+        let mut c = Self::paper_default();
+        c.page_span_lines = (c.page_bytes / piranha_types::LINE_BYTES) * banks;
+        c
+    }
+}
+
+impl Default for RdramConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// When the critical word is available.
+    pub critical: SimTime,
+    /// When the full line has transferred.
+    pub full: SimTime,
+    /// Whether the access hit an open page.
+    pub page_hit: bool,
+}
+
+/// One direct-Rambus channel: open-page state, access timing, and
+/// bandwidth occupancy.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_mem::{Rdram, RdramConfig};
+/// use piranha_types::{LineAddr, SimTime};
+///
+/// let mut m = Rdram::new(RdramConfig::paper_default());
+/// let first = m.access(SimTime::ZERO, LineAddr(0));
+/// assert!(!first.page_hit);
+/// assert_eq!(first.critical.as_ns(), 60);
+/// // A second access to the same 512-byte page soon after hits open.
+/// let second = m.access(first.full, LineAddr(1));
+/// assert!(second.page_hit);
+/// ```
+#[derive(Debug)]
+pub struct Rdram {
+    cfg: RdramConfig,
+    open_pages: HashMap<u64, SimTime>, // page -> last access time
+    channel: Pipe,
+    bank_busy: MultiServer,
+    page_hits: Ratio,
+}
+
+impl Rdram {
+    /// A new channel with all pages closed.
+    pub fn new(cfg: RdramConfig) -> Self {
+        Rdram {
+            cfg,
+            open_pages: HashMap::new(),
+            channel: Pipe::from_gb_per_s(cfg.channel_gb_s),
+            bank_busy: MultiServer::new(cfg.device_banks),
+            page_hits: Ratio::new(),
+        }
+    }
+
+    fn page_of(&self, line: LineAddr) -> u64 {
+        line.0 / self.cfg.page_span_lines
+    }
+
+    /// Perform a 64-byte line access (read or write — RDRAM timing is
+    /// symmetric at this abstraction) starting at `now`.
+    pub fn access(&mut self, now: SimTime, line: LineAddr) -> MemAccess {
+        let page = self.page_of(line);
+        let hit = self
+            .open_pages
+            .get(&page)
+            .is_some_and(|last| now.since(*last) <= self.cfg.page_hold);
+        self.page_hits.record(hit);
+        // Expire stale pages lazily and bound the open set.
+        if self.open_pages.len() >= self.cfg.max_open_pages {
+            let hold = self.cfg.page_hold;
+            self.open_pages.retain(|_, last| now.since(*last) <= hold);
+            if self.open_pages.len() >= self.cfg.max_open_pages {
+                // Close the least recently used page.
+                if let Some((&lru, _)) = self.open_pages.iter().min_by_key(|(_, t)| **t) {
+                    self.open_pages.remove(&lru);
+                }
+            }
+        }
+        self.open_pages.insert(page, now);
+
+        let access_lat = if hit { self.cfg.row_hit } else { self.cfg.row_miss };
+        // The device is occupied for the access; back-to-back requests to
+        // the channel queue.
+        let start = self.bank_busy.acquire(now, access_lat);
+        let critical = start;
+        // The rest of the line streams over the channel.
+        let full = self
+            .channel
+            .acquire(critical, piranha_types::LINE_BYTES)
+            .max(critical + self.cfg.rest_of_line);
+        MemAccess { critical, full, page_hit: hit }
+    }
+
+    /// Fraction of accesses that hit an open page.
+    pub fn page_hit_rate(&self) -> f64 {
+        self.page_hits.value()
+    }
+
+    /// Number of accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.page_hits.total.get()
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> RdramConfig {
+        self.cfg
+    }
+
+    /// The first byte address of the device page containing `addr`
+    /// (exposed for workload/page-locality analysis).
+    pub fn page_base(&self, addr: Addr) -> Addr {
+        Addr(addr.0 / self.cfg.page_bytes * self.cfg.page_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Rdram {
+        // Tests use an un-interleaved channel (8 lines per page) so page
+        // boundaries are easy to reason about.
+        let mut cfg = RdramConfig::paper_default();
+        cfg.page_span_lines = 8;
+        Rdram::new(cfg)
+    }
+
+    #[test]
+    fn cold_access_is_row_miss() {
+        let mut m = mk();
+        let a = m.access(SimTime::ZERO, LineAddr(0));
+        assert!(!a.page_hit);
+        assert_eq!(a.critical.as_ns(), 60);
+        assert_eq!(a.full.as_ns(), 92, "critical + 32ns line transfer at 2GB/s");
+    }
+
+    #[test]
+    fn open_page_hit_is_faster() {
+        let mut m = mk();
+        let a = m.access(SimTime::ZERO, LineAddr(0));
+        // Lines 0..8 share the 512-byte page.
+        let b = m.access(a.full, LineAddr(3));
+        assert!(b.page_hit);
+        assert_eq!(b.critical.since(a.full).as_ns(), 40);
+    }
+
+    #[test]
+    fn page_closes_after_hold_expires() {
+        let mut m = mk();
+        m.access(SimTime::ZERO, LineAddr(0));
+        let late = SimTime::from_ns(5_000); // > 1µs hold
+        let b = m.access(late, LineAddr(1));
+        assert!(!b.page_hit);
+    }
+
+    #[test]
+    fn different_pages_do_not_hit() {
+        let mut m = mk();
+        m.access(SimTime::ZERO, LineAddr(0));
+        let b = m.access(SimTime::from_ns(100), LineAddr(8)); // next 512B page
+        assert!(!b.page_hit);
+    }
+
+    #[test]
+    fn hit_rate_tracks_locality() {
+        let mut m = mk();
+        let mut t = SimTime::ZERO;
+        // Sequential scan: 8 lines per page -> 7/8 of accesses hit.
+        for i in 0..64 {
+            let a = m.access(t, LineAddr(i));
+            t = a.full;
+        }
+        let r = m.page_hit_rate();
+        assert!((r - 7.0 / 8.0).abs() < 0.01, "rate = {r}");
+        assert_eq!(m.accesses(), 64);
+    }
+
+    #[test]
+    fn device_banks_pipeline_then_queue() {
+        let mut cfg = RdramConfig::paper_default();
+        cfg.page_span_lines = 8;
+        cfg.device_banks = 2;
+        let mut m = Rdram::new(cfg);
+        let a = m.access(SimTime::ZERO, LineAddr(0));
+        // A second simultaneous access overlaps on another device bank...
+        let b = m.access(SimTime::ZERO, LineAddr(100));
+        assert_eq!(b.critical, a.critical, "two banks pipeline");
+        // ...but a third must queue.
+        let c = m.access(SimTime::ZERO, LineAddr(200));
+        assert!(c.critical > a.critical, "third access queues");
+    }
+
+    #[test]
+    fn interleaved_span_groups_lines() {
+        let m = Rdram::new(RdramConfig::with_banks(8));
+        assert_eq!(m.config().page_span_lines, 64);
+        let mut m = Rdram::new(RdramConfig::with_banks(8));
+        m.access(SimTime::ZERO, LineAddr(0));
+        // Line 63 is still in the same channel page under 8-way
+        // interleaving; line 64 is not.
+        assert!(m.access(SimTime::from_ns(100), LineAddr(63)).page_hit);
+        assert!(!m.access(SimTime::from_ns(200), LineAddr(64)).page_hit);
+    }
+
+    #[test]
+    fn open_page_set_is_bounded() {
+        let mut cfg = RdramConfig::paper_default();
+        cfg.page_span_lines = 8;
+        cfg.max_open_pages = 4;
+        let mut m = Rdram::new(cfg);
+        for i in 0..100 {
+            m.access(SimTime::from_ns(i * 10), LineAddr(i * 8));
+        }
+        assert!(m.open_pages.len() <= 5, "open set stayed bounded");
+    }
+
+    #[test]
+    fn page_base_helper() {
+        let m = mk();
+        assert_eq!(m.page_base(Addr(1000)), Addr(512));
+    }
+}

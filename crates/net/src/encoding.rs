@@ -1,0 +1,213 @@
+//! The DC-balanced 19-in-22 link encoding (paper §2.6.1).
+//!
+//! Each channel wire pair carries codewords in which exactly 11 of 22
+//! wires are high, so the net current along the channel is zero and a
+//! reference voltage for the differential receivers can be generated at
+//! the termination. 18 payload bits map to balanced codewords chosen so
+//! that *no two codewords are complementary* — achieved here by using
+//! only codewords whose most significant wire is 0 — and the 19th bit is
+//! encoded by inverting all 22 wires (which preserves balance and makes
+//! the code inversion-insensitive, allowing transformer coupling and
+//! statistical DC balance in the time domain).
+//!
+//! The 18-bit payload is mapped by *combinatorial unranking*: codewords
+//! with MSB 0 and weight 11 are the 21-choose-11 = 352,716 ways of
+//! placing 11 ones in the low 21 wires, indexed lexicographically; 2^18 =
+//! 262,144 of them are used.
+
+/// Number of wires per direction per channel.
+pub const WIRES: u32 = 22;
+/// Ones per codeword (DC balance).
+pub const WEIGHT: u32 = 11;
+/// Payload bits carried per codeword (16 data + 2 CRC/flow-control + 1
+/// inversion bit, per the paper).
+pub const PAYLOAD_BITS: u32 = 19;
+
+/// An encoding/decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload exceeds 19 bits.
+    PayloadTooWide(u32),
+    /// The received word is not a valid codeword (wrong weight or out of
+    /// the code space) — on a real link this triggers the CRC/retry path.
+    InvalidCodeword(u32),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::PayloadTooWide(v) => write!(f, "payload {v:#x} wider than 19 bits"),
+            CodecError::InvalidCodeword(w) => write!(f, "invalid 22-bit codeword {w:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Binomial coefficient (small arguments only).
+fn choose(n: u32, k: u32) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u64 = 1;
+    let mut den: u64 = 1;
+    for i in 0..k as u64 {
+        num *= (n as u64) - i;
+        den *= i + 1;
+    }
+    num / den
+}
+
+/// Unrank `index` into the lexicographically-ordered 21-bit words of
+/// weight 11 (bit 20 is the most significant position considered).
+fn unrank(mut index: u64) -> u32 {
+    let mut word = 0u32;
+    let mut ones_left = WEIGHT;
+    for pos in (0..WIRES - 1).rev() {
+        if ones_left == 0 {
+            break;
+        }
+        // Codewords with bit `pos` = 0 come first; there are
+        // choose(pos, ones_left) of them.
+        let without = choose(pos, ones_left);
+        if index < without {
+            continue;
+        }
+        index -= without;
+        word |= 1 << pos;
+        ones_left -= 1;
+    }
+    word
+}
+
+/// Rank a 21-bit weight-11 word back to its lexicographic index.
+fn rank(word: u32) -> u64 {
+    let mut index = 0u64;
+    let mut ones_left = WEIGHT;
+    for pos in (0..WIRES - 1).rev() {
+        if ones_left == 0 {
+            break;
+        }
+        if word & (1 << pos) != 0 {
+            index += choose(pos, ones_left);
+            ones_left -= 1;
+        }
+    }
+    index
+}
+
+/// Encode a 19-bit payload into a DC-balanced 22-bit codeword.
+///
+/// # Errors
+///
+/// Returns [`CodecError::PayloadTooWide`] if `payload >= 2^19`.
+///
+/// # Examples
+///
+/// ```
+/// let w = piranha_net::encode22(0x1234).unwrap();
+/// assert_eq!(w.count_ones(), 11);
+/// assert_eq!(piranha_net::decode22(w).unwrap(), 0x1234);
+/// ```
+pub fn encode22(payload: u32) -> Result<u32, CodecError> {
+    if payload >= 1 << PAYLOAD_BITS {
+        return Err(CodecError::PayloadTooWide(payload));
+    }
+    let invert = payload >> 18 != 0;
+    let base = unrank((payload & 0x3_ffff) as u64);
+    debug_assert_eq!(base.count_ones(), WEIGHT);
+    debug_assert_eq!(base >> (WIRES - 1), 0, "MSB must be 0 before inversion");
+    Ok(if invert { !base & ((1 << WIRES) - 1) } else { base })
+}
+
+/// Decode a 22-bit codeword back to its 19-bit payload.
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidCodeword`] if the word is not balanced or
+/// falls outside the code space.
+pub fn decode22(word: u32) -> Result<u32, CodecError> {
+    if word >= 1 << WIRES || word.count_ones() != WEIGHT {
+        return Err(CodecError::InvalidCodeword(word));
+    }
+    let inverted = word >> (WIRES - 1) != 0;
+    let base = if inverted { !word & ((1 << WIRES) - 1) } else { word };
+    let index = rank(base);
+    if index >= 1 << 18 {
+        return Err(CodecError::InvalidCodeword(word));
+    }
+    Ok(index as u32 | (u32::from(inverted) << 18))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_space_is_large_enough() {
+        // C(21,11) codewords with MSB 0 must cover 2^18 payloads.
+        assert!(choose(21, 11) >= 1 << 18);
+        assert_eq!(choose(22, 11), 705_432);
+        assert_eq!(choose(5, 0), 1);
+        assert_eq!(choose(3, 5), 0);
+    }
+
+    #[test]
+    fn every_codeword_is_balanced() {
+        for p in (0..1u32 << 19).step_by(997) {
+            let w = encode22(p).unwrap();
+            assert_eq!(w.count_ones(), WEIGHT, "payload {p:#x} -> unbalanced {w:#x}");
+        }
+    }
+
+    #[test]
+    fn round_trip_dense_sample() {
+        for p in (0..1u32 << 19).step_by(131) {
+            assert_eq!(decode22(encode22(p).unwrap()).unwrap(), p);
+        }
+        // Edges.
+        for p in [0, 1, (1 << 18) - 1, 1 << 18, (1 << 19) - 1] {
+            assert_eq!(decode22(encode22(p).unwrap()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn no_two_codewords_are_complementary() {
+        // Inversion flips the MSB, so the base code (MSB=0) and the
+        // inverted code (MSB=1) are disjoint; sample-check it.
+        for p in (0..1u32 << 18).step_by(1009) {
+            let w = encode22(p).unwrap();
+            let complement = !w & ((1 << WIRES) - 1);
+            // The complement decodes to the *same* low 18 bits with the
+            // inversion bit set — it is never the encoding of a different
+            // 18-bit payload.
+            assert_eq!(decode22(complement).unwrap(), p | (1 << 18));
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert_eq!(encode22(1 << 19), Err(CodecError::PayloadTooWide(1 << 19)));
+        assert_eq!(decode22(0), Err(CodecError::InvalidCodeword(0)));
+        assert_eq!(decode22((1 << 22) - 1), Err(CodecError::InvalidCodeword((1 << 22) - 1)));
+        // Balanced but out of code space: the lexicographically-largest
+        // MSB=0 weight-11 words beyond index 2^18 are invalid.
+        let top = unrank(choose(21, 11) - 1);
+        assert_eq!(decode22(top), Err(CodecError::InvalidCodeword(top)));
+        assert!(decode22(1 << 23).is_err(), "width check");
+    }
+
+    #[test]
+    fn rank_unrank_inverse_on_random_indices() {
+        for i in (0..choose(21, 11)).step_by(4099) {
+            assert_eq!(rank(unrank(i)), i);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::PayloadTooWide(0x80000).to_string().contains("wider"));
+        assert!(CodecError::InvalidCodeword(3).to_string().contains("invalid"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The Piranha system interconnect — paper §2.6.
+//!
+//! Three components per node move packets between chips:
+//!
+//! * the **output queue** ([`queues::OutQueue`]) accepts packets from the
+//!   protocol engines with four priority levels, giving transit traffic
+//!   priority over new injections;
+//! * the **router** ([`router::Network`]) is a topology-independent,
+//!   adaptive, virtual cut-through design descended from the S3.mp
+//!   S-Connect: when the preferred output link is busy it deflects
+//!   packets "hot-potato" onto another link with increasing age/priority,
+//!   which bounds buffering and guarantees progress;
+//! * the **input queue** ([`queues::InQueue`]) interprets arriving
+//!   packets through a disposition vector and lets low-priority traffic
+//!   bypass blocked high-priority traffic.
+//!
+//! Physically, each of the four channels per processing node is 22 wires
+//! per direction at 2 Gbit/s/wire with a DC-balanced 19-bits-in-22
+//! encoding ([`encoding`]) — implemented here exactly as described,
+//! including the inversion-insensitive 19th bit.
+
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod packet;
+pub mod queues;
+pub mod router;
+
+pub use encoding::{decode22, encode22, CodecError};
+pub use packet::{Packet, PacketKind, PRIORITIES};
+pub use queues::{InQueue, OutQueue};
+pub use router::{Network, NetworkConfig, Topology};

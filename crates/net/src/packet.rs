@@ -1,0 +1,120 @@
+//! Interconnect packet formats (paper §2.6.1).
+//!
+//! "The system interconnect supports two distinct packet types. The Short
+//! packet format is 128 bits long and is used for all data-less
+//! transactions. The Long packet has the same 128-bit header format along
+//! with a 64 byte (512 bit) data section."
+
+use piranha_types::{Lane, NodeId};
+
+/// Number of packet priority levels in the IQ/OQ (paper §2.6.2).
+pub const PRIORITIES: usize = 4;
+
+/// Whether a packet carries a data section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// 128-bit header only (requests, acks, grants).
+    Short,
+    /// Header plus 64-byte data section (fills, write-backs).
+    Long,
+}
+
+impl PacketKind {
+    /// Packet size in bytes on the wire.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PacketKind::Short => 16,
+            PacketKind::Long => 16 + 64,
+        }
+    }
+
+    /// Transfer time in interconnect clock cycles ("packets are
+    /// transferred in either 2 or 10 interconnect clock cycles": 8 bytes
+    /// per cycle over 22 wires carrying 16 data bits at 4x clock).
+    pub fn wire_cycles(self) -> u64 {
+        match self {
+            PacketKind::Short => 2,
+            PacketKind::Long => 10,
+        }
+    }
+}
+
+/// A packet in flight, generic over the protocol payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual lane (deadlock class).
+    pub lane: Lane,
+    /// Priority level (0 = lowest); raised when the packet is deflected.
+    pub priority: u8,
+    /// Short or long format.
+    pub kind: PacketKind,
+    /// Hop count so far (the router's "age": deflected packets age and
+    /// gain priority).
+    pub age: u32,
+    /// The protocol message.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// A fresh packet at priority implied by its lane.
+    pub fn new(src: NodeId, dst: NodeId, lane: Lane, kind: PacketKind, payload: P) -> Self {
+        let priority = match lane {
+            Lane::Io => 0,
+            Lane::Low => 1,
+            Lane::High => 2,
+        };
+        Packet { src, dst, lane, priority, kind, age: 0, payload }
+    }
+
+    /// Record a hop, aging the packet; sufficiently old packets rise to
+    /// the top priority so they cannot be deflected forever.
+    pub fn hop(&mut self, deflected: bool) {
+        self.age += 1;
+        if deflected && self.age.is_multiple_of(2) {
+            self.priority = (self.priority + 1).min(PRIORITIES as u8 - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(PacketKind::Short.bytes(), 16);
+        assert_eq!(PacketKind::Long.bytes(), 80);
+        assert_eq!(PacketKind::Short.wire_cycles(), 2);
+        assert_eq!(PacketKind::Long.wire_cycles(), 10);
+    }
+
+    #[test]
+    fn lane_sets_initial_priority() {
+        let p = Packet::new(NodeId(0), NodeId(1), Lane::High, PacketKind::Short, ());
+        assert_eq!(p.priority, 2);
+        let p = Packet::new(NodeId(0), NodeId(1), Lane::Io, PacketKind::Short, ());
+        assert_eq!(p.priority, 0);
+    }
+
+    #[test]
+    fn deflection_raises_priority_monotonically() {
+        let mut p = Packet::new(NodeId(0), NodeId(1), Lane::Low, PacketKind::Short, ());
+        let start = p.priority;
+        for _ in 0..10 {
+            p.hop(true);
+        }
+        assert_eq!(p.age, 10);
+        assert!(p.priority > start);
+        assert!(p.priority < PRIORITIES as u8);
+        // Plain hops age but do not escalate.
+        let mut q = Packet::new(NodeId(0), NodeId(1), Lane::Low, PacketKind::Short, ());
+        for _ in 0..10 {
+            q.hop(false);
+        }
+        assert_eq!(q.priority, 1);
+    }
+}

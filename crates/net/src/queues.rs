@@ -1,0 +1,183 @@
+//! The per-node input and output queues (paper §2.6.2).
+//!
+//! The OQ de-couples the router from the node through priority FIFOs: it
+//! supports four priority levels, never lets a lower-priority packet
+//! block a higher-priority one, and (in the router) transit traffic is
+//! preferred over new injections. The IQ has more buffer space (getting
+//! packets out of the expensive router quickly), also four priorities,
+//! and additionally lets *low*-priority traffic bypass blocked
+//! high-priority traffic when the former can proceed — both behaviours
+//! are modelled exactly by these queue structures.
+
+use std::collections::VecDeque;
+
+use crate::packet::PRIORITIES;
+
+/// A four-priority output queue: pop always returns the
+/// highest-priority non-empty FIFO, so low priority cannot block high.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_net::OutQueue;
+/// let mut q = OutQueue::new(8);
+/// q.push(0, "low").unwrap();
+/// q.push(3, "urgent").unwrap();
+/// assert_eq!(q.pop(), Some("urgent"));
+/// assert_eq!(q.pop(), Some("low"));
+/// ```
+#[derive(Debug)]
+pub struct OutQueue<T> {
+    fifos: [VecDeque<T>; PRIORITIES],
+    capacity: usize,
+}
+
+impl<T> OutQueue<T> {
+    /// A queue holding at most `capacity` packets per priority level.
+    pub fn new(capacity: usize) -> Self {
+        OutQueue { fifos: Default::default(), capacity }
+    }
+
+    /// Enqueue at `priority`; returns the packet back if that level is
+    /// full (the caller must apply back-pressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the priority level is at capacity.
+    pub fn push(&mut self, priority: u8, item: T) -> Result<(), T> {
+        let f = &mut self.fifos[priority as usize % PRIORITIES];
+        if f.len() >= self.capacity {
+            return Err(item);
+        }
+        f.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeue the oldest packet of the highest non-empty priority.
+    pub fn pop(&mut self) -> Option<T> {
+        self.fifos.iter_mut().rev().find_map(VecDeque::pop_front)
+    }
+
+    /// Total queued packets.
+    pub fn len(&self) -> usize {
+        self.fifos.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The input queue: four priorities plus the bypass rule — if the head
+/// of a higher priority class is *blocked* (its destination module is
+/// busy), a lower-priority packet whose destination can proceed is
+/// delivered instead.
+#[derive(Debug)]
+pub struct InQueue<T> {
+    fifos: [VecDeque<T>; PRIORITIES],
+    capacity: usize,
+}
+
+impl<T> InQueue<T> {
+    /// A queue holding at most `capacity` packets per priority level
+    /// (the IQ is sized larger than the OQ in the real design).
+    pub fn new(capacity: usize) -> Self {
+        InQueue { fifos: Default::default(), capacity }
+    }
+
+    /// Enqueue at `priority`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the priority level is at capacity.
+    pub fn push(&mut self, priority: u8, item: T) -> Result<(), T> {
+        let f = &mut self.fifos[priority as usize % PRIORITIES];
+        if f.len() >= self.capacity {
+            return Err(item);
+        }
+        f.push_back(item);
+        Ok(())
+    }
+
+    /// Deliver the best packet: the highest-priority head whose
+    /// destination `can_proceed`; lower-priority packets bypass blocked
+    /// higher-priority ones.
+    pub fn pop_ready(&mut self, mut can_proceed: impl FnMut(&T) -> bool) -> Option<T> {
+        for f in self.fifos.iter_mut().rev() {
+            if let Some(head) = f.front() {
+                if can_proceed(head) {
+                    return f.pop_front();
+                }
+                // Blocked: fall through to lower priorities (bypass).
+            }
+        }
+        None
+    }
+
+    /// Total queued packets.
+    pub fn len(&self) -> usize {
+        self.fifos.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_queue_priority_order() {
+        let mut q = OutQueue::new(4);
+        q.push(1, 'a').unwrap();
+        q.push(2, 'b').unwrap();
+        q.push(1, 'c').unwrap();
+        q.push(0, 'd').unwrap();
+        assert_eq!(q.len(), 4);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!['b', 'a', 'c', 'd']);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn out_queue_back_pressure() {
+        let mut q = OutQueue::new(1);
+        q.push(0, 1).unwrap();
+        assert_eq!(q.push(0, 2), Err(2));
+        // Other priorities unaffected.
+        q.push(1, 3).unwrap();
+    }
+
+    #[test]
+    fn in_queue_bypass_of_blocked_high_priority() {
+        let mut q = InQueue::new(4);
+        q.push(3, "blocked-high").unwrap();
+        q.push(0, "ready-low").unwrap();
+        // High priority's destination is busy: the low one bypasses.
+        let got = q.pop_ready(|t| *t != "blocked-high");
+        assert_eq!(got, Some("ready-low"));
+        // Once unblocked, high goes first.
+        q.push(0, "ready-low-2").unwrap();
+        assert_eq!(q.pop_ready(|_| true), Some("blocked-high"));
+    }
+
+    #[test]
+    fn in_queue_nothing_ready() {
+        let mut q = InQueue::new(4);
+        q.push(2, 1).unwrap();
+        assert_eq!(q.pop_ready(|_| false), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn in_queue_priority_wraps_safely() {
+        let mut q = InQueue::new(2);
+        // Priority 7 wraps into level 3 rather than panicking.
+        q.push(7, 'x').unwrap();
+        assert_eq!(q.pop_ready(|_| true), Some('x'));
+    }
+}

@@ -1,0 +1,451 @@
+//! The topology-independent adaptive router (paper §2.6.1).
+//!
+//! Based on the S-Connect design: virtual cut-through with a common
+//! buffer pool, "hot potato" routing with increasing age and priority
+//! when a message is non-optimally routed. Each Piranha processing node
+//! has four channels (I/O nodes have two); the paper's links run at
+//! 2 Gbit/s per wire for 4 GB/s of data per direction per channel.
+//!
+//! [`Network`] holds the topology, per-link bandwidth pipes, and
+//! shortest-path next-hop tables, and walks a packet hop by hop at
+//! injection time: at each node the preferred (shortest-path) output is
+//! used unless its queue is backed up beyond a patience threshold, in
+//! which case the packet deflects to the least-loaded alternative link
+//! and its age/priority rise — old packets stop deflecting, which
+//! guarantees delivery.
+
+use piranha_kernel::{Counter, Histogram, Pipe};
+use piranha_types::{Duration, NodeId, SimTime};
+
+use crate::packet::Packet;
+
+/// Maximum links per processing node (paper §2.6.1).
+pub const MAX_CHANNELS: usize = 4;
+
+/// A system topology: which nodes connect to which.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// adjacency[i] = neighbours of node i.
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// A topology from an explicit neighbour list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adjacency is asymmetric, contains self-loops or
+    /// out-of-range nodes, or is not connected.
+    pub fn custom(adj: Vec<Vec<NodeId>>) -> Self {
+        let n = adj.len();
+        for (i, nbrs) in adj.iter().enumerate() {
+            for &m in nbrs {
+                assert!((m.index()) < n, "neighbour {m} out of range");
+                assert_ne!(m.index(), i, "self-loop at node {i}");
+                assert!(
+                    adj[m.index()].contains(&NodeId(i as u16)),
+                    "asymmetric link {i} -> {m}"
+                );
+            }
+        }
+        let t = Topology { adj };
+        assert!(t.is_connected(), "topology must be connected");
+        t
+    }
+
+    /// A bidirectional ring of `n` nodes (2 channels per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "ring needs at least 2 nodes");
+        let adj = (0..n)
+            .map(|i| {
+                let prev = NodeId(((i + n - 1) % n) as u16);
+                let next = NodeId(((i + 1) % n) as u16);
+                if prev == next {
+                    vec![next] // n == 2
+                } else {
+                    vec![prev, next]
+                }
+            })
+            .collect();
+        Topology { adj }
+    }
+
+    /// A fully-connected topology (possible gluelessly up to 5 processing
+    /// nodes with 4 channels each); used for the paper's 4-chip scaling
+    /// study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > MAX_CHANNELS + 1`.
+    pub fn fully_connected(n: usize) -> Self {
+        assert!((2..=MAX_CHANNELS + 1).contains(&n), "full mesh limited by 4 channels/node");
+        let adj = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).map(|j| NodeId(j as u16)).collect())
+            .collect();
+        Topology { adj }
+    }
+
+    /// A 2-D mesh of `w x h` nodes (≤ 4 channels per node, the paper's
+    /// natural large-system topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the mesh is a single node.
+    pub fn mesh(w: usize, h: usize) -> Self {
+        assert!(w * h >= 2, "mesh needs at least 2 nodes");
+        let id = |x: usize, y: usize| NodeId((y * w + x) as u16);
+        let adj = (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                let mut nbrs = Vec::new();
+                if x > 0 {
+                    nbrs.push(id(x - 1, y));
+                }
+                if x + 1 < w {
+                    nbrs.push(id(x + 1, y));
+                }
+                if y > 0 {
+                    nbrs.push(id(x, y - 1));
+                }
+                if y + 1 < h {
+                    nbrs.push(id(x, y + 1));
+                }
+                nbrs
+            })
+            .collect();
+        Topology { adj }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of `n`.
+    pub fn neighbours(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n.index()]
+    }
+
+    /// Maximum degree (must be ≤ 4 for processing nodes).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    fn is_connected(&self) -> bool {
+        let n = self.adj.len();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for &m in &self.adj[i] {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    stack.push(m.index());
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// All-pairs next-hop table via BFS: `table[src][dst]` = neighbour to
+    /// take (self for src == dst).
+    fn next_hops(&self) -> Vec<Vec<NodeId>> {
+        let n = self.adj.len();
+        let mut table = vec![vec![NodeId(0); n]; n];
+        for dst in 0..n {
+            // BFS backwards from dst.
+            let mut dist = vec![usize::MAX; n];
+            let mut next = vec![NodeId(dst as u16); n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[dst] = 0;
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if dist[v.index()] == usize::MAX {
+                        dist[v.index()] = dist[u] + 1;
+                        // First hop from v toward dst is u.
+                        next[v.index()] = NodeId(u as u16);
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+            for src in 0..n {
+                table[src][dst] = next[src];
+            }
+        }
+        table
+    }
+}
+
+/// Interconnect timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Per-direction data bandwidth of one channel (4 GB/s in the paper).
+    pub link_gb_s: u64,
+    /// Fixed per-hop latency: router fall-through + wire flight.
+    pub hop_latency: Duration,
+    /// How long a packet waits for its preferred link before deflecting.
+    pub deflect_patience: Duration,
+    /// Age at which a packet stops deflecting and insists on the
+    /// shortest path (guarantees delivery).
+    pub max_deflect_age: u32,
+}
+
+impl NetworkConfig {
+    /// Paper-derived defaults: 4 GB/s links, ~16 ns per hop.
+    pub fn paper_default() -> Self {
+        NetworkConfig {
+            link_gb_s: 4,
+            hop_latency: Duration::from_ns(16),
+            deflect_patience: Duration::from_ns(30),
+            max_deflect_age: 8,
+        }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The inter-node network: topology + link occupancy + routing.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_net::{Network, NetworkConfig, Packet, PacketKind, Topology};
+/// use piranha_types::{Lane, NodeId, SimTime};
+///
+/// let mut net: Network<&str> =
+///     Network::new(Topology::ring(4), NetworkConfig::paper_default());
+/// let pkt = Packet::new(NodeId(0), NodeId(2), Lane::Low, PacketKind::Short, "hello");
+/// let (arrive, delivered) = net.send(SimTime::ZERO, pkt);
+/// assert_eq!(delivered.payload, "hello");
+/// assert_eq!(delivered.age, 2, "two ring hops");
+/// assert!(arrive.as_ns() >= 32);
+/// ```
+#[derive(Debug)]
+pub struct Network<P> {
+    topo: Topology,
+    cfg: NetworkConfig,
+    next_hop: Vec<Vec<NodeId>>,
+    /// links[src][k] = pipe for the k-th neighbour of src.
+    links: Vec<Vec<Pipe>>,
+    hops: Histogram,
+    deflections: Counter,
+    delivered: Counter,
+    _marker: std::marker::PhantomData<P>,
+}
+
+impl<P> Network<P> {
+    /// Build a network over `topo`.
+    pub fn new(topo: Topology, cfg: NetworkConfig) -> Self {
+        let next_hop = topo.next_hops();
+        let links = topo
+            .adj
+            .iter()
+            .map(|nbrs| nbrs.iter().map(|_| Pipe::from_gb_per_s(cfg.link_gb_s)).collect())
+            .collect();
+        Network {
+            topo,
+            cfg,
+            next_hop,
+            links,
+            hops: Histogram::new(),
+            deflections: Counter::new(),
+            delivered: Counter::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Inject `pkt` at its source at time `now`; walks it hop by hop
+    /// (cut-through, with hot-potato deflection under contention) and
+    /// returns its delivery time at the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if source or destination are out of range.
+    pub fn send(&mut self, now: SimTime, mut pkt: Packet<P>) -> (SimTime, Packet<P>) {
+        assert!(pkt.src.index() < self.topo.nodes(), "bad src {}", pkt.src);
+        assert!(pkt.dst.index() < self.topo.nodes(), "bad dst {}", pkt.dst);
+        let mut at = pkt.src;
+        let mut t = now;
+        let bytes = pkt.kind.bytes();
+        while at != pkt.dst {
+            let preferred = self.next_hop[at.index()][pkt.dst.index()];
+            let pref_k = self
+                .topo
+                .neighbours(at)
+                .iter()
+                .position(|&n| n == preferred)
+                .expect("next-hop table consistent with adjacency");
+            let pref_free = self.links[at.index()][pref_k].busy_until();
+            let mut chosen = pref_k;
+            let mut deflected = false;
+            if pref_free > t + self.cfg.deflect_patience && pkt.age < self.cfg.max_deflect_age {
+                // Hot potato: take the least-loaded other link if one is
+                // meaningfully freer.
+                if let Some((k, _)) = self
+                    .links[at.index()]
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != pref_k)
+                    .min_by_key(|(_, p)| p.busy_until())
+                {
+                    if self.links[at.index()][k].busy_until() + self.cfg.deflect_patience
+                        < pref_free
+                    {
+                        chosen = k;
+                        deflected = true;
+                        self.deflections.inc();
+                    }
+                }
+            }
+            let next = self.topo.neighbours(at)[chosen];
+            let sent = self.links[at.index()][chosen].acquire(t, bytes);
+            t = sent + self.cfg.hop_latency;
+            pkt.hop(deflected);
+            at = next;
+        }
+        self.delivered.inc();
+        self.hops.record(Duration::from_ns(pkt.age as u64));
+        (t, pkt)
+    }
+
+    /// Number of packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Number of deflections (non-optimal routing decisions).
+    pub fn deflections(&self) -> u64 {
+        self.deflections.get()
+    }
+
+    /// Mean hop count of delivered packets.
+    pub fn mean_hops(&self) -> f64 {
+        self.hops.mean_ns()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use piranha_types::Lane;
+
+    fn pkt(src: u16, dst: u16) -> Packet<u32> {
+        Packet::new(NodeId(src), NodeId(dst), Lane::Low, PacketKind::Short, 0)
+    }
+
+    #[test]
+    fn ring_topology_shape() {
+        let t = Topology::ring(6);
+        assert_eq!(t.nodes(), 6);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.neighbours(NodeId(0)), &[NodeId(5), NodeId(1)]);
+    }
+
+    #[test]
+    fn two_node_ring_has_single_link() {
+        let t = Topology::ring(2);
+        assert_eq!(t.neighbours(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn mesh_degrees_within_channel_budget() {
+        let t = Topology::mesh(4, 4);
+        assert_eq!(t.nodes(), 16);
+        assert!(t.max_degree() <= MAX_CHANNELS);
+    }
+
+    #[test]
+    fn fully_connected_limited_to_five() {
+        assert_eq!(Topology::fully_connected(5).max_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 channels")]
+    fn oversized_full_mesh_panics() {
+        Topology::fully_connected(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn asymmetric_custom_rejected() {
+        Topology::custom(vec![vec![NodeId(1)], vec![]]);
+    }
+
+    #[test]
+    fn shortest_paths_on_ring() {
+        let mut net: Network<u32> = Network::new(Topology::ring(8), NetworkConfig::paper_default());
+        let (_, p) = net.send(SimTime::ZERO, pkt(0, 3));
+        assert_eq!(p.age, 3);
+        let (_, p) = net.send(SimTime::ZERO, pkt(0, 6));
+        assert_eq!(p.age, 2, "goes the short way round");
+    }
+
+    #[test]
+    fn direct_link_latency() {
+        let cfg = NetworkConfig::paper_default();
+        let mut net: Network<u32> = Network::new(Topology::fully_connected(4), cfg);
+        let (t, p) = net.send(SimTime::ZERO, pkt(0, 3));
+        assert_eq!(p.age, 1);
+        // 16 bytes at 4 GB/s = 4ns + 16ns hop = 20ns.
+        assert_eq!(t.as_ns(), 20);
+    }
+
+    #[test]
+    fn long_packets_cost_more_wire_time() {
+        let mut net: Network<u32> =
+            Network::new(Topology::fully_connected(2), NetworkConfig::paper_default());
+        let long = Packet::new(NodeId(0), NodeId(1), Lane::High, PacketKind::Long, 0);
+        let (t, _) = net.send(SimTime::ZERO, long);
+        assert_eq!(t.as_ns(), 36, "80 bytes at 4 GB/s + 16ns hop");
+    }
+
+    #[test]
+    fn contention_deflects_but_delivers() {
+        let mut net: Network<u32> = Network::new(Topology::mesh(3, 3), NetworkConfig::paper_default());
+        // Saturate node 0's preferred link toward node 2 with many
+        // packets injected at the same instant.
+        let mut deliveries = 0;
+        for _ in 0..200 {
+            let long = Packet::new(NodeId(0), NodeId(2), Lane::High, PacketKind::Long, 0);
+            let (_, p) = net.send(SimTime::ZERO, long);
+            assert_eq!(p.dst, NodeId(2));
+            deliveries += 1;
+        }
+        assert_eq!(net.delivered(), deliveries);
+        assert!(net.deflections() > 0, "saturation must trigger hot-potato routing");
+    }
+
+    #[test]
+    fn every_pair_reachable_on_mesh() {
+        let mut net: Network<u32> = Network::new(Topology::mesh(4, 2), NetworkConfig::paper_default());
+        for s in 0..8u16 {
+            for d in 0..8u16 {
+                if s == d {
+                    continue;
+                }
+                let (t, p) = net.send(SimTime::ZERO, pkt(s, d));
+                assert_eq!(p.dst, NodeId(d));
+                assert!(t > SimTime::ZERO);
+            }
+        }
+        assert!(net.mean_hops() >= 1.0);
+    }
+}

@@ -1,0 +1,558 @@
+//! The microprogrammable protocol-engine core (paper §2.5.1, Figure 4).
+//!
+//! "The microcode memory supports 1024 21-bit-wide instructions ... Each
+//! microcode instruction consists of a 3-bit opcode, two 4-bit arguments,
+//! and a 10-bit address that points to the next instruction to be
+//! executed. Our design uses the following seven instruction types: SEND,
+//! RECEIVE, LSEND (to local node), LRECEIVE (from local node), TEST,
+//! SET, and MOVE. The RECEIVE, LRECEIVE, and TEST instructions behave as
+//! multi-way conditional branches that can have up to 16 different
+//! successor instructions, achieved by OR-ing a 4-bit condition code
+//! into the least significant bits of the 10-bit next-instruction
+//! address field."
+//!
+//! This module implements that machine exactly — including the
+//! even/odd-thread interleaved execution model (tracked for occupancy
+//! accounting) and a small microassembler with aligned dispatch tables
+//! for the 16-way branches. The production coherence protocol lives in
+//! [`crate::coherence`] as structurally-equivalent Rust; this module
+//! demonstrates and validates the hardware substrate, e.g. reproducing
+//! the paper's observation that "a typical read transaction to a remote
+//! home involves a total of four instructions at the remote engine".
+
+use piranha_types::LineAddr;
+
+use crate::tsrf::Tsrf;
+
+/// Microstore capacity (1024 instructions).
+pub const STORE_SIZE: usize = 1024;
+/// Per-thread state registers (4-bit addressable).
+pub const NUM_VARS: usize = 16;
+
+/// The seven microinstruction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Send a message (type from register `a`) to the external node held
+    /// in register `b`.
+    Send,
+    /// Suspend until an external message arrives; its 4-bit type is OR-ed
+    /// into the next-address field.
+    Receive,
+    /// Send a message (type from register `a`) to the local node.
+    LSend,
+    /// Suspend until a local message arrives (multi-way branch).
+    LReceive,
+    /// Multi-way branch on the low 4 bits of register `a`.
+    Test,
+    /// `var[a] = b` (immediate).
+    Set,
+    /// `var[a] = var[b]`.
+    Move,
+}
+
+/// One 21-bit microinstruction: opcode, two 4-bit arguments, 10-bit next
+/// address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroInstr {
+    /// Operation.
+    pub op: MicroOp,
+    /// First 4-bit argument (register index or message type).
+    pub a: u8,
+    /// Second 4-bit argument (register index or immediate).
+    pub b: u8,
+    /// 10-bit next-instruction address (base address for branches).
+    pub next: u16,
+}
+
+impl MicroInstr {
+    /// Pack into the 21-bit hardware encoding.
+    pub fn encode(self) -> u32 {
+        let op = match self.op {
+            MicroOp::Send => 0u32,
+            MicroOp::Receive => 1,
+            MicroOp::LSend => 2,
+            MicroOp::LReceive => 3,
+            MicroOp::Test => 4,
+            MicroOp::Set => 5,
+            MicroOp::Move => 6,
+        };
+        op | ((self.a as u32 & 0xf) << 3) | ((self.b as u32 & 0xf) << 7) | ((self.next as u32 & 0x3ff) << 11)
+    }
+
+    /// Unpack from the 21-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the unused opcode 7.
+    pub fn decode(bits: u32) -> Self {
+        let op = match bits & 0b111 {
+            0 => MicroOp::Send,
+            1 => MicroOp::Receive,
+            2 => MicroOp::LSend,
+            3 => MicroOp::LReceive,
+            4 => MicroOp::Test,
+            5 => MicroOp::Set,
+            6 => MicroOp::Move,
+            _ => panic!("opcode 7 is unused"),
+        };
+        MicroInstr {
+            op,
+            a: ((bits >> 3) & 0xf) as u8,
+            b: ((bits >> 7) & 0xf) as u8,
+            next: ((bits >> 11) & 0x3ff) as u16,
+        }
+    }
+}
+
+/// The TSRF had no free entry (or the line already has a thread); the
+/// engine must defer the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsrfFull;
+
+impl std::fmt::Display for TsrfFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no free TSRF entry")
+    }
+}
+
+impl std::error::Error for TsrfFull {}
+
+/// An observable effect of running microcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroEffect {
+    /// SEND: message of `msg_type` to the node id held in `dest_var`.
+    Send {
+        /// 4-bit message type.
+        msg_type: u8,
+        /// Value of the destination register.
+        dest: u16,
+    },
+    /// LSEND: message of `msg_type` delivered to the local node.
+    LocalSend {
+        /// 4-bit message type.
+        msg_type: u8,
+    },
+    /// The transaction's thread terminated and its TSRF entry was freed.
+    Done,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Thread {
+    pc: u16,
+    vars: [u16; NUM_VARS],
+    /// Waiting on Receive (false) or LReceive (true)? None = runnable.
+    waiting_local: Option<bool>,
+}
+
+/// The microsequencer: microstore + TSRF-resident threads.
+///
+/// Execution convention: a microinstruction whose `next` address equals
+/// its own address terminates the thread (the hardware equivalent is a
+/// dispatch back to the idle loop).
+#[derive(Debug)]
+pub struct MicroEngine {
+    store: Vec<MicroInstr>,
+    threads: Tsrf<Thread>,
+    executed: u64,
+    /// Instructions issued from even/odd thread slots (the interleaved
+    /// fetch model of §2.5.1).
+    issued_even_odd: [u64; 2],
+}
+
+impl MicroEngine {
+    /// Load a program (at most [`STORE_SIZE`] instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds the microstore.
+    pub fn new(program: Vec<MicroInstr>) -> Self {
+        assert!(program.len() <= STORE_SIZE, "program exceeds 1024-instruction microstore");
+        MicroEngine { store: program, threads: Tsrf::new(), executed: 0, issued_even_odd: [0; 2] }
+    }
+
+    /// Start a new transaction thread for `line` at `entry`, with
+    /// `vars[0] = v0` (conventionally the requester/destination node).
+    /// Runs until the thread suspends or terminates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsrfFull`] if the TSRF is full or the line already has
+    /// a thread.
+    pub fn start(
+        &mut self,
+        line: LineAddr,
+        entry: u16,
+        v0: u16,
+    ) -> Result<Vec<MicroEffect>, TsrfFull> {
+        let mut vars = [0u16; NUM_VARS];
+        vars[0] = v0;
+        self.threads
+            .alloc(line, Thread { pc: entry, vars, waiting_local: None })
+            .map_err(|_| TsrfFull)?;
+        Ok(self.run(line))
+    }
+
+    /// Deliver a message (external if `local` is false) of 4-bit type
+    /// `msg_type` to the thread waiting on `line`; resumes it through the
+    /// RECEIVE multi-way branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no thread is waiting on `line` in the matching receive
+    /// state — the protocol guarantees responses only arrive for waiting
+    /// transactions.
+    pub fn deliver(&mut self, line: LineAddr, msg_type: u8, local: bool) -> Vec<MicroEffect> {
+        let t = self.threads.get_mut(line).expect("no TSRF thread waiting on this line");
+        let Some(wait_local) = t.waiting_local else {
+            panic!("thread for {line} is not waiting");
+        };
+        assert_eq!(wait_local, local, "receive kind mismatch for {line}");
+        // The RECEIVE instruction ORs the condition code into the
+        // next-address field.
+        let recv = self.store[t.pc as usize];
+        t.pc = recv.next | (msg_type as u16 & 0xf);
+        t.waiting_local = None;
+        self.run(line)
+    }
+
+    /// Run the thread for `line` until it suspends or terminates.
+    fn run(&mut self, line: LineAddr) -> Vec<MicroEffect> {
+        let mut effects = Vec::new();
+        loop {
+            let slot_parity = (line.0 & 1) as usize;
+            let t = self.threads.get_mut(line).expect("thread exists");
+            let pc = t.pc;
+            let instr = self.store[pc as usize];
+            self.executed += 1;
+            self.issued_even_odd[slot_parity] += 1;
+            let mut next = instr.next;
+            match instr.op {
+                MicroOp::Send => {
+                    effects.push(MicroEffect::Send {
+                        msg_type: instr.a,
+                        dest: t.vars[instr.b as usize],
+                    });
+                }
+                MicroOp::LSend => {
+                    effects.push(MicroEffect::LocalSend { msg_type: instr.a });
+                }
+                MicroOp::Receive | MicroOp::LReceive => {
+                    t.waiting_local = Some(instr.op == MicroOp::LReceive);
+                    // pc stays at the receive; deliver() applies the
+                    // branch.
+                    return effects;
+                }
+                MicroOp::Test => {
+                    next |= t.vars[instr.a as usize] & 0xf;
+                }
+                MicroOp::Set => {
+                    t.vars[instr.a as usize] = instr.b as u16;
+                }
+                MicroOp::Move => {
+                    t.vars[instr.a as usize] = t.vars[instr.b as usize];
+                }
+            }
+            if next == pc {
+                self.threads.free(line);
+                effects.push(MicroEffect::Done);
+                return effects;
+            }
+            self.threads.get_mut(line).expect("thread exists").pc = next;
+        }
+    }
+
+    /// Total microinstructions executed (the engine-occupancy metric).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Instructions issued from even-/odd-parity thread slots.
+    pub fn issued_even_odd(&self) -> [u64; 2] {
+        self.issued_even_odd
+    }
+
+    /// The thread table (for tests).
+    pub fn occupancy(&self) -> usize {
+        self.threads.occupied()
+    }
+}
+
+/// A tiny microassembler: resolves labels, aligns 16-way dispatch tables.
+#[derive(Debug, Default)]
+pub struct MicroAsm {
+    instrs: Vec<Option<MicroInstr>>,
+    labels: std::collections::HashMap<String, u16>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl MicroAsm {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn here(&self) -> u16 {
+        self.instrs.len() as u16
+    }
+
+    fn push(&mut self, i: MicroInstr) -> &mut Self {
+        self.instrs.push(Some(i));
+        self
+    }
+
+    /// Define `name` at the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate labels.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let here = self.here();
+        assert!(
+            self.labels.insert(name.to_string(), here).is_none(),
+            "duplicate label {name}"
+        );
+        self
+    }
+
+    /// Align the current address to a 16-instruction boundary (for
+    /// dispatch tables), padding with terminating no-ops.
+    pub fn align16(&mut self) -> &mut Self {
+        while !self.here().is_multiple_of(16) {
+            let here = self.here();
+            // A SET that loops to itself: unreachable padding.
+            self.push(MicroInstr { op: MicroOp::Set, a: 0, b: 0, next: here });
+        }
+        self
+    }
+
+    /// Emit SEND of `msg_type` to the node in `dest_var`, falling through.
+    pub fn send(&mut self, msg_type: u8, dest_var: u8) -> &mut Self {
+        let next = self.here() + 1;
+        self.push(MicroInstr { op: MicroOp::Send, a: msg_type, b: dest_var, next })
+    }
+
+    /// Emit LSEND of `msg_type`, falling through.
+    pub fn lsend(&mut self, msg_type: u8) -> &mut Self {
+        let next = self.here() + 1;
+        self.push(MicroInstr { op: MicroOp::LSend, a: msg_type, b: 0, next })
+    }
+
+    /// Emit a terminating LSEND (its `next` points at itself).
+    pub fn lsend_end(&mut self, msg_type: u8) -> &mut Self {
+        let here = self.here();
+        self.push(MicroInstr { op: MicroOp::LSend, a: msg_type, b: 0, next: here })
+    }
+
+    /// Emit a terminating SEND.
+    pub fn send_end(&mut self, msg_type: u8, dest_var: u8) -> &mut Self {
+        let here = self.here();
+        self.push(MicroInstr { op: MicroOp::Send, a: msg_type, b: dest_var, next: here })
+    }
+
+    /// Emit RECEIVE dispatching through the 16-aligned table at `table`.
+    pub fn receive(&mut self, table: &str) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, table.to_string()));
+        self.push(MicroInstr { op: MicroOp::Receive, a: 0, b: 0, next: 0 })
+    }
+
+    /// Emit LRECEIVE dispatching through the table at `table`.
+    pub fn lreceive(&mut self, table: &str) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, table.to_string()));
+        self.push(MicroInstr { op: MicroOp::LReceive, a: 0, b: 0, next: 0 })
+    }
+
+    /// Emit TEST on `var` dispatching through the table at `table`.
+    pub fn test(&mut self, var: u8, table: &str) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, table.to_string()));
+        self.push(MicroInstr { op: MicroOp::Test, a: var, b: 0, next: 0 })
+    }
+
+    /// Emit SET `var = imm`, falling through.
+    pub fn set(&mut self, var: u8, imm: u8) -> &mut Self {
+        let next = self.here() + 1;
+        self.push(MicroInstr { op: MicroOp::Set, a: var, b: imm, next })
+    }
+
+    /// Emit MOVE `dst = src`, falling through.
+    pub fn mov(&mut self, dst: u8, src: u8) -> &mut Self {
+        let next = self.here() + 1;
+        self.push(MicroInstr { op: MicroOp::Move, a: dst, b: src, next })
+    }
+
+    /// Emit an unconditional jump (encoded as a MOVE r0←r0 with an
+    /// explicit next address).
+    pub fn jump(&mut self, target: &str) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, target.to_string()));
+        self.push(MicroInstr { op: MicroOp::Move, a: 0, b: 0, next: 0 })
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undefined labels or misaligned dispatch tables.
+    pub fn assemble(mut self) -> Vec<MicroInstr> {
+        for (at, name) in std::mem::take(&mut self.fixups) {
+            let &target = self
+                .labels
+                .get(&name)
+                .unwrap_or_else(|| panic!("undefined microcode label {name:?}"));
+            let instr = self.instrs[at].as_mut().unwrap();
+            if matches!(instr.op, MicroOp::Receive | MicroOp::LReceive | MicroOp::Test) {
+                assert_eq!(target % 16, 0, "dispatch table {name:?} must be 16-aligned");
+            }
+            instr.next = target;
+        }
+        self.instrs.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in [
+            MicroOp::Send,
+            MicroOp::Receive,
+            MicroOp::LSend,
+            MicroOp::LReceive,
+            MicroOp::Test,
+            MicroOp::Set,
+            MicroOp::Move,
+        ] {
+            let i = MicroInstr { op, a: 0xa, b: 0x5, next: 0x3ff };
+            assert_eq!(MicroInstr::decode(i.encode()), i);
+            assert!(i.encode() < 1 << 21, "fits in 21 bits");
+        }
+    }
+
+    /// The paper's example: "a typical read transaction to a remote home
+    /// involves a total of four instructions at the remote engine of the
+    /// requesting node: a SEND of the request to the home, a RECEIVE of
+    /// the reply, a TEST of a state variable, and an LSEND that replies
+    /// to the waiting processor at that node."
+    #[test]
+    fn remote_read_takes_four_instructions() {
+        const MSG_READ: u8 = 1;
+        const MSG_DATA: u8 = 2;
+        const MSG_FILL: u8 = 3;
+
+        let mut asm = MicroAsm::new();
+        // Entry: var0 holds the home node id; var1 a state variable.
+        asm.label("read");
+        asm.send(MSG_READ, 0); // SEND read -> home
+        asm.receive("reply_table"); // RECEIVE reply
+        asm.align16();
+        asm.label("reply_table");
+        // Table slot for MSG_DATA (= index 2).
+        for i in 0..16u8 {
+            if i == MSG_DATA {
+                asm.test(1, "state_table");
+            } else {
+                let here = asm.here();
+                asm.push(MicroInstr { op: MicroOp::Set, a: 0, b: 0, next: here });
+            }
+        }
+        asm.align16();
+        asm.label("state_table");
+        // var1 == 0: plain fill.
+        asm.lsend_end(MSG_FILL);
+        for _ in 1..16 {
+            let here = asm.here();
+            asm.push(MicroInstr { op: MicroOp::Set, a: 0, b: 0, next: here });
+        }
+        let engine_prog = asm.assemble();
+        let mut eng = MicroEngine::new(engine_prog);
+
+        let line = LineAddr(42);
+        let fx = eng.start(line, 0, /* home = */ 7).unwrap();
+        assert_eq!(fx, vec![MicroEffect::Send { msg_type: MSG_READ, dest: 7 }]);
+        assert_eq!(eng.occupancy(), 1, "thread parked in TSRF awaiting reply");
+
+        let fx = eng.deliver(line, MSG_DATA, false);
+        assert_eq!(
+            fx,
+            vec![MicroEffect::LocalSend { msg_type: MSG_FILL }, MicroEffect::Done]
+        );
+        assert_eq!(eng.occupancy(), 0, "TSRF entry freed");
+        assert_eq!(eng.executed(), 4, "SEND + RECEIVE + TEST + LSEND");
+    }
+
+    #[test]
+    fn test_branches_on_state_variable() {
+        let mut asm = MicroAsm::new();
+        asm.label("entry");
+        asm.set(2, 3); // var2 = 3
+        asm.test(2, "table");
+        asm.align16();
+        asm.label("table");
+        for i in 0..16u8 {
+            if i == 3 {
+                asm.lsend_end(9);
+            } else {
+                asm.lsend_end(0);
+            }
+        }
+        let mut eng = MicroEngine::new(asm.assemble());
+        let fx = eng.start(LineAddr(0), 0, 0).unwrap();
+        assert_eq!(fx, vec![MicroEffect::LocalSend { msg_type: 9 }, MicroEffect::Done]);
+    }
+
+    #[test]
+    fn move_and_set_update_vars() {
+        let mut asm = MicroAsm::new();
+        asm.set(1, 5);
+        asm.mov(2, 1);
+        asm.send_end(1, 2); // send to node in var2 (=5)
+        let mut eng = MicroEngine::new(asm.assemble());
+        let fx = eng.start(LineAddr(0), 0, 0).unwrap();
+        assert_eq!(fx, vec![MicroEffect::Send { msg_type: 1, dest: 5 }, MicroEffect::Done]);
+    }
+
+    #[test]
+    fn tsrf_full_rejects_new_transactions() {
+        let mut asm = MicroAsm::new();
+        asm.receive("t");
+        asm.align16();
+        asm.label("t");
+        for _ in 0..16 {
+            asm.lsend_end(0);
+        }
+        let mut eng = MicroEngine::new(asm.assemble());
+        for i in 0..16 {
+            eng.start(LineAddr(i), 0, 0).unwrap();
+        }
+        assert!(eng.start(LineAddr(99), 0, 0).is_err());
+    }
+
+    #[test]
+    fn interleaved_issue_counters_track_parity() {
+        let mut asm = MicroAsm::new();
+        asm.set(0, 0);
+        asm.lsend_end(1);
+        let prog = asm.assemble();
+        let mut eng = MicroEngine::new(prog);
+        eng.start(LineAddr(2), 0, 0).unwrap(); // even
+        eng.start(LineAddr(3), 0, 0).unwrap(); // odd
+        let [e, o] = eng.issued_even_odd();
+        assert_eq!(e, 2);
+        assert_eq!(o, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-aligned")]
+    fn misaligned_dispatch_table_rejected() {
+        let mut asm = MicroAsm::new();
+        asm.set(0, 0); // address 0 occupied; label lands at 1
+        asm.label("t");
+        asm.lsend_end(0);
+        asm.receive("t");
+        asm.assemble();
+    }
+}

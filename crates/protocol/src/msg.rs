@@ -1,0 +1,245 @@
+//! Inter-node coherence messages.
+//!
+//! These are the payloads of the Short/Long interconnect packets. The
+//! lane assignment follows paper §2.5.3: requests to a home travel on
+//! the low-priority lane, while write-backs, forwarded requests, and all
+//! replies travel on the high-priority lane — one of the two ingredients
+//! (with buffer sizing) that removes the deadlock-avoidance use of NAKs.
+
+use piranha_types::{Lane, LineAddr, NodeId, ReqType};
+
+/// The access right granted by a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant {
+    /// A shared (read-only) copy.
+    Shared,
+    /// An exclusive (writable) copy.
+    Exclusive,
+}
+
+/// An inter-node protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoMsg {
+    /// A request sent to the line's home node.
+    Req {
+        /// Request type.
+        kind: ReqType,
+        /// The line.
+        line: LineAddr,
+    },
+    /// An exclusive owner returns (possibly clean) data to the home,
+    /// relinquishing ownership. The owner keeps a valid copy until
+    /// [`ProtoMsg::WbAck`] arrives so it can service forwarded requests
+    /// (the write-back race solution).
+    WriteBack {
+        /// The line.
+        line: LineAddr,
+        /// Data version written back.
+        version: u64,
+    },
+    /// Home acknowledges a write-back; the former owner may now drop its
+    /// retained copy.
+    WbAck {
+        /// The line.
+        line: LineAddr,
+    },
+    /// An owner that serviced a forwarded *read* freshens the home's
+    /// memory (the directory already lists both sharers).
+    SharingWb {
+        /// The line.
+        line: LineAddr,
+        /// Data version.
+        version: u64,
+    },
+    /// Home forwards a request to the current exclusive owner, which
+    /// replies directly to the requester (reply forwarding).
+    Fwd {
+        /// Original request type.
+        kind: ReqType,
+        /// The line.
+        line: LineAddr,
+        /// Who to reply to.
+        requester: NodeId,
+        /// The line's home (for the sharing write-back).
+        home: NodeId,
+    },
+    /// A data or acknowledgement reply to the requester.
+    Reply {
+        /// The line.
+        line: LineAddr,
+        /// Granted right.
+        grant: Grant,
+        /// Data version; `None` for a data-less upgrade acknowledgement.
+        version: Option<u64>,
+        /// How many [`ProtoMsg::InvalAck`]s the requester must gather
+        /// before its transaction fully completes (eager exclusive
+        /// replies let it *use* the data immediately).
+        acks_expected: u32,
+        /// Whether the reply came from a remote owner's cache (3-hop)
+        /// rather than home memory — drives remote-dirty stall
+        /// attribution.
+        from_owner: bool,
+    },
+    /// A cruise-missile invalidate: visits each node in `route` in turn;
+    /// the last node acknowledges to `requester`. Injecting a handful of
+    /// these instead of one message per sharer bounds both network
+    /// buffering and home-engine occupancy (paper §2.5.3).
+    Inval {
+        /// The line.
+        line: LineAddr,
+        /// Nodes to visit, in order.
+        route: Vec<NodeId>,
+        /// Index of the node currently being visited.
+        hop: u32,
+        /// Who gathers the acknowledgement.
+        requester: NodeId,
+    },
+    /// The terminal acknowledgement of one CMI route.
+    InvalAck {
+        /// The line.
+        line: LineAddr,
+    },
+}
+
+impl ProtoMsg {
+    /// The virtual lane this message travels on (paper §2.5.3).
+    pub fn lane(&self) -> Lane {
+        match self {
+            ProtoMsg::Req { .. } => Lane::Low,
+            _ => Lane::High,
+        }
+    }
+
+    /// Whether the message carries a 64-byte data section (long packet).
+    pub fn is_long(&self) -> bool {
+        match self {
+            ProtoMsg::WriteBack { .. } | ProtoMsg::SharingWb { .. } => true,
+            ProtoMsg::Reply { version, .. } => version.is_some(),
+            _ => false,
+        }
+    }
+
+    /// The line this message concerns.
+    pub fn line(&self) -> LineAddr {
+        match self {
+            ProtoMsg::Req { line, .. }
+            | ProtoMsg::WriteBack { line, .. }
+            | ProtoMsg::WbAck { line }
+            | ProtoMsg::SharingWb { line, .. }
+            | ProtoMsg::Fwd { line, .. }
+            | ProtoMsg::Reply { line, .. }
+            | ProtoMsg::Inval { line, .. }
+            | ProtoMsg::InvalAck { line } => *line,
+        }
+    }
+}
+
+/// Partition invalidation targets into at most `max_routes` CMI routes,
+/// each visiting a disjoint subset of nodes.
+///
+/// The paper bounds messages injected per request to "a total of 4";
+/// with 16 TSRF entries per engine this caps buffering at 128 message
+/// headers per node *independent of system size*.
+///
+/// # Panics
+///
+/// Panics if `max_routes` is zero.
+pub fn plan_cmi_routes(targets: &[NodeId], max_routes: usize) -> Vec<Vec<NodeId>> {
+    assert!(max_routes > 0, "need at least one route");
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    let routes = targets.len().min(max_routes);
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); routes];
+    for (i, &t) in targets.iter().enumerate() {
+        out[i % routes].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_assignment_follows_paper() {
+        let line = LineAddr(1);
+        assert_eq!(ProtoMsg::Req { kind: ReqType::Read, line }.lane(), Lane::Low);
+        assert_eq!(ProtoMsg::WriteBack { line, version: 0 }.lane(), Lane::High);
+        assert_eq!(
+            ProtoMsg::Fwd { kind: ReqType::Read, line, requester: NodeId(0), home: NodeId(1) }
+                .lane(),
+            Lane::High
+        );
+        assert_eq!(
+            ProtoMsg::Reply { line, grant: Grant::Shared, version: Some(1), acks_expected: 0, from_owner: false }
+                .lane(),
+            Lane::High
+        );
+    }
+
+    #[test]
+    fn packet_length_by_content() {
+        let line = LineAddr(1);
+        assert!(ProtoMsg::WriteBack { line, version: 0 }.is_long());
+        assert!(ProtoMsg::SharingWb { line, version: 0 }.is_long());
+        assert!(!ProtoMsg::WbAck { line }.is_long());
+        assert!(!ProtoMsg::Req { kind: ReqType::Read, line }.is_long());
+        assert!(ProtoMsg::Reply {
+            line,
+            grant: Grant::Exclusive,
+            version: Some(2),
+            acks_expected: 0,
+            from_owner: true
+        }
+        .is_long());
+        assert!(!ProtoMsg::Reply {
+            line,
+            grant: Grant::Exclusive,
+            version: None,
+            acks_expected: 1,
+            from_owner: false
+        }
+        .is_long());
+    }
+
+    #[test]
+    fn line_accessor_covers_all_variants() {
+        let line = LineAddr(77);
+        let msgs = [
+            ProtoMsg::Req { kind: ReqType::Read, line },
+            ProtoMsg::WriteBack { line, version: 1 },
+            ProtoMsg::WbAck { line },
+            ProtoMsg::SharingWb { line, version: 1 },
+            ProtoMsg::Fwd { kind: ReqType::Read, line, requester: NodeId(0), home: NodeId(1) },
+            ProtoMsg::Reply { line, grant: Grant::Shared, version: None, acks_expected: 0, from_owner: false },
+            ProtoMsg::Inval { line, route: vec![], hop: 0, requester: NodeId(0) },
+            ProtoMsg::InvalAck { line },
+        ];
+        for m in msgs {
+            assert_eq!(m.line(), line);
+        }
+    }
+
+    #[test]
+    fn cmi_routes_bound_injections() {
+        let targets: Vec<NodeId> = (0..11u16).map(NodeId).collect();
+        let routes = plan_cmi_routes(&targets, 4);
+        assert_eq!(routes.len(), 4, "at most 4 messages injected");
+        let visited: usize = routes.iter().map(Vec::len).sum();
+        assert_eq!(visited, 11, "every target visited exactly once");
+        // Balanced within one.
+        let (min, max) = (
+            routes.iter().map(Vec::len).min().unwrap(),
+            routes.iter().map(Vec::len).max().unwrap(),
+        );
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn cmi_with_few_targets_uses_fewer_routes() {
+        let routes = plan_cmi_routes(&[NodeId(3), NodeId(9)], 4);
+        assert_eq!(routes.len(), 2);
+        assert!(plan_cmi_routes(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The Transaction State Register File (paper §2.5.1).
+//!
+//! "On a new transaction, the protocol engine allocates an entry from the
+//! transaction state register file (TSRF) that represents the state of
+//! this thread (e.g., addresses, program counter, timer, state
+//! variables...). A thread that is waiting for a response ... has its
+//! TSRF entry set to a waiting state, and the incoming response is later
+//! matched with this entry based on the transaction address. Our design
+//! supports a total of 16 TSRF entries per protocol engine."
+
+use piranha_types::LineAddr;
+
+/// Number of TSRF entries per engine.
+pub const TSRF_ENTRIES: usize = 16;
+
+/// One transaction's register state, generic over the engine-specific
+/// state variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsrfEntry<S> {
+    /// The transaction's line address (the match key for responses).
+    pub line: LineAddr,
+    /// Engine-specific state variables.
+    pub state: S,
+}
+
+/// A fixed-capacity transaction state register file with address
+/// matching.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_protocol::Tsrf;
+/// use piranha_types::LineAddr;
+///
+/// let mut t: Tsrf<&str> = Tsrf::new();
+/// t.alloc(LineAddr(7), "waiting").unwrap();
+/// assert_eq!(t.get(LineAddr(7)), Some(&"waiting"));
+/// assert_eq!(t.free(LineAddr(7)), Some("waiting"));
+/// ```
+#[derive(Debug)]
+pub struct Tsrf<S> {
+    entries: Vec<Option<TsrfEntry<S>>>,
+    high_water: usize,
+}
+
+impl<S> Tsrf<S> {
+    /// An empty register file with [`TSRF_ENTRIES`] slots.
+    pub fn new() -> Self {
+        Tsrf { entries: (0..TSRF_ENTRIES).map(|_| None).collect(), high_water: 0 }
+    }
+
+    /// Allocate an entry for `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(state)` if the file is full (the engine must then
+    /// defer the transaction) or if `line` already has an entry (protocol
+    /// transactions are serialized per line).
+    pub fn alloc(&mut self, line: LineAddr, state: S) -> Result<(), S> {
+        if self.get(line).is_some() {
+            return Err(state);
+        }
+        match self.entries.iter_mut().find(|e| e.is_none()) {
+            Some(slot) => {
+                *slot = Some(TsrfEntry { line, state });
+                self.high_water = self.high_water.max(self.occupied());
+                Ok(())
+            }
+            None => Err(state),
+        }
+    }
+
+    /// Match an incoming response to its transaction.
+    pub fn get(&self, line: LineAddr) -> Option<&S> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.line == line)
+            .map(|e| &e.state)
+    }
+
+    /// Mutable match.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut S> {
+        self.entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+            .map(|e| &mut e.state)
+    }
+
+    /// Release the entry for `line`, returning its state.
+    pub fn free(&mut self, line: LineAddr) -> Option<S> {
+        let slot = self.entries.iter_mut().find(|e| {
+            e.as_ref().is_some_and(|x| x.line == line)
+        })?;
+        slot.take().map(|e| e.state)
+    }
+
+    /// Number of live entries.
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Whether all entries are in use.
+    pub fn is_full(&self) -> bool {
+        self.occupied() == self.entries.len()
+    }
+
+    /// Highest simultaneous occupancy observed (for the paper's claim
+    /// that a few concurrent transactions suffice).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Iterate over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &TsrfEntry<S>> {
+        self.entries.iter().flatten()
+    }
+}
+
+impl<S> Default for Tsrf<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_free_cycle() {
+        let mut t: Tsrf<u32> = Tsrf::new();
+        t.alloc(LineAddr(1), 10).unwrap();
+        t.alloc(LineAddr(2), 20).unwrap();
+        assert_eq!(t.get(LineAddr(1)), Some(&10));
+        *t.get_mut(LineAddr(2)).unwrap() += 1;
+        assert_eq!(t.get(LineAddr(2)), Some(&21));
+        assert_eq!(t.occupied(), 2);
+        assert_eq!(t.free(LineAddr(1)), Some(10));
+        assert_eq!(t.get(LineAddr(1)), None);
+        assert_eq!(t.free(LineAddr(1)), None);
+    }
+
+    #[test]
+    fn capacity_is_sixteen() {
+        let mut t: Tsrf<usize> = Tsrf::new();
+        for i in 0..TSRF_ENTRIES {
+            t.alloc(LineAddr(i as u64), i).unwrap();
+        }
+        assert!(t.is_full());
+        assert_eq!(t.alloc(LineAddr(99), 99), Err(99));
+        t.free(LineAddr(0));
+        t.alloc(LineAddr(99), 99).unwrap();
+        assert_eq!(t.high_water(), TSRF_ENTRIES);
+    }
+
+    #[test]
+    fn duplicate_line_rejected() {
+        let mut t: Tsrf<&str> = Tsrf::new();
+        t.alloc(LineAddr(5), "a").unwrap();
+        assert_eq!(t.alloc(LineAddr(5), "b"), Err("b"));
+    }
+
+    #[test]
+    fn iteration_sees_live_entries() {
+        let mut t: Tsrf<u8> = Tsrf::new();
+        t.alloc(LineAddr(1), 1).unwrap();
+        t.alloc(LineAddr(2), 2).unwrap();
+        t.free(LineAddr(1));
+        let lines: Vec<LineAddr> = t.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![LineAddr(2)]);
+    }
+}

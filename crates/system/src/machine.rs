@@ -1,0 +1,901 @@
+//! The event-driven whole-system simulator.
+
+use std::collections::{HashMap, VecDeque};
+
+use piranha_cache::{BankAction, BankEvent, L1Set, L2Bank, Mesi, Slot};
+use piranha_cpu::{CoreCtx, CoreModel, CoreStatus, InOrderCore, MemReq, OooCore};
+use piranha_ics::{Ics, TransferSize};
+use piranha_kernel::{EventQueue, Server};
+use piranha_mem::{DirEntry, MemBank};
+use piranha_net::{Network, Packet, PacketKind, Topology};
+use piranha_protocol::coherence::{occupancy_cycles, DirStore};
+use piranha_protocol::{EngineAction, HomeEngine, HomeIn, ProtoMsg, RemoteEngine, RemoteIn};
+use piranha_types::{CpuId, Duration, FillSource, Lane, LineAddr, NodeId, SimTime};
+use piranha_workloads::Workload;
+
+use crate::config::{CoreKind, SystemConfig};
+use crate::result::RunResult;
+
+/// Lines per OS page (8 KB pages interleave homes across nodes).
+const PAGE_LINES: u64 = 128;
+
+/// Build the interconnect topology: processing nodes fully connected
+/// (gluelessly possible up to five with four channels each) or meshed,
+/// with each I/O node attached by its two channels to two processing
+/// nodes for redundancy (paper §2.6.1).
+fn build_topology(processing: usize, io: usize) -> Topology {
+    let total = processing + io;
+    if total == 1 {
+        // A single node never routes; a trivial two-node ring keeps the
+        // network object well-formed (and unused).
+        return Topology::ring(2);
+    }
+    if io == 0 {
+        return if total <= 5 {
+            Topology::fully_connected(total)
+        } else {
+            let w = (total as f64).sqrt().ceil() as usize;
+            Topology::mesh(w, total.div_ceil(w).max(2))
+        };
+    }
+    // Custom: processing clique + dual-homed I/O nodes.
+    let mut adj: Vec<Vec<NodeId>> = (0..total).map(|_| Vec::new()).collect();
+    for a in 0..processing {
+        for b in (a + 1)..processing {
+            adj[a].push(NodeId(b as u16));
+            adj[b].push(NodeId(a as u16));
+        }
+    }
+    for i in 0..io {
+        let n = processing + i;
+        let first = i % processing;
+        adj[n].push(NodeId(first as u16));
+        adj[first].push(NodeId(n as u16));
+        if processing > 1 {
+            let second = (i + 1) % processing;
+            adj[n].push(NodeId(second as u16));
+            adj[second].push(NodeId(n as u16));
+        }
+    }
+    Topology::custom(adj)
+}
+
+/// One node (chip) of the machine.
+struct Node {
+    cores: Vec<Box<dyn CoreModel>>,
+    streams: Vec<Box<dyn piranha_cpu::InstrStream>>,
+    l1s: L1Set,
+    banks: Vec<L2Bank>,
+    bank_srv: Vec<Server>,
+    mem: Vec<MemBank>,
+    ics: Ics,
+    home: HomeEngine,
+    remote: RemoteEngine,
+    home_srv: Server,
+    remote_srv: Server,
+    sc: crate::sysctl::SystemController,
+    done: Vec<bool>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node").field("cpus", &self.cores.len()).finish_non_exhaustive()
+    }
+}
+
+/// View of one node's memory banks as the home engine's directory store.
+struct NodeDirs<'a> {
+    banks: &'a mut [MemBank],
+}
+
+impl DirStore for NodeDirs<'_> {
+    fn dir(&self, line: LineAddr) -> DirEntry {
+        self.banks[(line.0 % self.banks.len() as u64) as usize].directory(line)
+    }
+    fn set_dir(&mut self, line: LineAddr, dir: DirEntry) {
+        let n = self.banks.len() as u64;
+        self.banks[(line.0 % n) as usize].set_directory(line, dir);
+    }
+    fn mem_version(&self, line: LineAddr) -> u64 {
+        self.banks[(line.0 % self.banks.len() as u64) as usize].version(line)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Let a CPU execute.
+    CpuStep { node: usize, cpu: usize },
+    /// Deliver a fill completion to a CPU.
+    CpuFill { node: usize, cpu: usize, id: u64, source: FillSource },
+    /// Deliver an event to an L2 bank.
+    Bank { node: usize, bank: usize, ev: BankEvent },
+    /// A memory read's critical word is available.
+    MemRead { node: usize, bank: usize, line: LineAddr },
+    /// A protocol message arrives at a node.
+    NetMsg { node: usize, from: NodeId, msg: ProtoMsg },
+}
+
+enum Item {
+    Bank(BankAction),
+    Eng(EngineAction),
+}
+
+/// The whole simulated system: nodes, interconnect, event queue.
+///
+/// # Examples
+///
+/// ```no_run
+/// use piranha_system::{Machine, SystemConfig};
+/// use piranha_workloads::{OltpConfig, Workload};
+///
+/// let mut m = Machine::new(SystemConfig::piranha_p8(), &Workload::Oltp(OltpConfig::paper_default()));
+/// let result = m.run(100_000, 400_000);
+/// println!("{:.3} instructions/ns", result.throughput_ipns());
+/// ```
+pub struct Machine {
+    cfg: SystemConfig,
+    events: EventQueue<Ev>,
+    nodes: Vec<Node>,
+    net: Network<ProtoMsg>,
+    versions: u64,
+    /// Outstanding CPU requests: (node, slot, line) → request id.
+    outstanding: HashMap<(usize, Slot, LineAddr), u64>,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.cfg.name)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Build a machine running `workload` (one stream per CPU).
+    pub fn new(cfg: SystemConfig, workload: &Workload) -> Self {
+        let total = cfg.workload_cpus();
+        let streams: Vec<Box<dyn piranha_cpu::InstrStream>> = (0..total)
+            .map(|i| workload.stream_for_cpu(i, total, cfg.seed))
+            .collect();
+        Self::with_streams(cfg, streams)
+    }
+
+    /// Build a machine with explicit per-CPU streams (for examples and
+    /// tests driving custom programs, e.g. through `piranha_cpu::IsaStream`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of streams does not match the CPU count.
+    pub fn with_streams(
+        cfg: SystemConfig,
+        mut streams: Vec<Box<dyn piranha_cpu::InstrStream>>,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.workload_cpus(),
+            "one stream per processing CPU (I/O nodes drive themselves)"
+        );
+        let total_nodes = cfg.nodes + cfg.io_nodes;
+        let topo = build_topology(cfg.nodes, cfg.io_nodes);
+        let net = Network::new(topo, cfg.net);
+        let mut nodes = Vec::with_capacity(total_nodes);
+        for n in 0..total_nodes {
+            let is_io = n >= cfg.nodes;
+            let (n_cpus, n_banks) = if is_io { (1, 1) } else { (cfg.cpus_per_node, cfg.l2_banks) };
+            let cores: Vec<Box<dyn CoreModel>> = (0..n_cpus)
+                .map(|_| match cfg.core {
+                    CoreKind::InOrder(c) => Box::new(InOrderCore::new(c)) as Box<dyn CoreModel>,
+                    CoreKind::Ooo(c) => Box::new(OooCore::new(c)) as Box<dyn CoreModel>,
+                })
+                .collect();
+            let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if is_io {
+                // The I/O chip's CPU runs device-driver/DMA traffic,
+                // fully coherent with the rest of the system.
+                vec![Box::new(piranha_workloads::SynthStream::new(
+                    piranha_workloads::SynthConfig::dma(),
+                    n - cfg.nodes,
+                    cfg.io_nodes,
+                    cfg.seed ^ 0x10,
+                ))]
+            } else {
+                streams.drain(..cfg.cpus_per_node).collect()
+            };
+            let mut sc = crate::sysctl::SystemController::new(NodeId(n as u16), n_cpus);
+            let peers: Vec<NodeId> =
+                (0..total_nodes).filter(|&m| m != n).map(|m| NodeId(m as u16)).collect();
+            sc.interconnect_boot(&peers, 1024);
+            nodes.push(Node {
+                cores,
+                streams: node_streams,
+                l1s: L1Set::new(n_cpus, cfg.l1),
+                banks: (0..n_banks)
+                    .map(|b| L2Bank::new(cfg.l2_bank, b as u64, n_banks as u64))
+                    .collect(),
+                bank_srv: (0..n_banks).map(|_| Server::new()).collect(),
+                mem: (0..n_banks).map(|_| MemBank::new(cfg.mem)).collect(),
+                ics: Ics::new(cfg.ics),
+                home: {
+                    let mut h = HomeEngine::new(NodeId(n as u16), total_nodes);
+                    h.set_cmi_routes(cfg.cmi_routes);
+                    h
+                },
+                remote: RemoteEngine::new(NodeId(n as u16)),
+                home_srv: Server::new(),
+                remote_srv: Server::new(),
+                sc,
+                done: vec![false; n_cpus],
+            });
+        }
+        let mut events = EventQueue::new();
+        for (n, node) in nodes.iter().enumerate() {
+            for c in 0..node.cores.len() {
+                events.schedule(SimTime::ZERO, Ev::CpuStep { node: n, cpu: c });
+            }
+        }
+        Machine {
+            cfg,
+            events,
+            nodes,
+            net,
+            versions: 0,
+            outstanding: HashMap::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The home node of a line (8 KB pages interleaved round-robin).
+    fn home_of(&self, line: LineAddr) -> usize {
+        ((line.0 / PAGE_LINES) % self.nodes.len() as u64) as usize
+    }
+
+    fn bank_of(&self, node: usize, line: LineAddr) -> usize {
+        (line.0 % self.nodes[node].banks.len() as u64) as usize
+    }
+
+    fn cycle_to_time(&self, cycle: u64) -> SimTime {
+        SimTime::ZERO + self.cfg.cpu_clock.cycles_dur(cycle)
+    }
+
+    fn time_to_cycle(&self, t: SimTime) -> u64 {
+        self.cfg.cpu_clock.cycles(t.since(SimTime::ZERO))
+    }
+
+    /// Reply latency from bank to CPU by service point.
+    fn reply_latency(&self, source: FillSource) -> Duration {
+        match source {
+            FillSource::L2Fwd => self.cfg.lat.reply + self.cfg.lat.fwd_probe,
+            _ => self.cfg.lat.reply,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Per-CPU statistics snapshots (cloned), node-major order.
+    pub fn cpu_stats(&self) -> Vec<piranha_cpu::CoreStats> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.cores.iter().map(|c| c.stats().clone()))
+            .collect()
+    }
+
+    /// Total instructions retired so far across all CPUs.
+    pub fn total_instrs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.cores.iter())
+            .map(|c| c.stats().instrs)
+            .sum()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// The interconnect (for delivery/deflection statistics).
+    pub fn network(&self) -> &Network<ProtoMsg> {
+        &self.net
+    }
+
+    /// Mean RDRAM open-page hit rate across all memory banks.
+    pub fn mem_page_hit_rate(&self) -> f64 {
+        let mut hits = 0.0;
+        let mut n = 0.0;
+        for node in &self.nodes {
+            for m in &node.mem {
+                let a = m.rdram().accesses() as f64;
+                hits += m.rdram().page_hit_rate() * a;
+                n += a;
+            }
+        }
+        if n == 0.0 {
+            0.0
+        } else {
+            hits / n
+        }
+    }
+
+    /// Protocol-engine statistics: (home msgs, remote msgs, home TSRF
+    /// high-water, remote TSRF high-water) summed/maxed over nodes.
+    pub fn engine_stats(&self) -> (u64, u64, usize, usize) {
+        let mut hm = 0;
+        let mut rm = 0;
+        let mut hw = 0;
+        let mut rw = 0;
+        for n in &self.nodes {
+            hm += n.home.msgs_handled();
+            rm += n.remote.msgs_handled();
+            hw = hw.max(n.home.tsrf_high_water());
+            rw = rw.max(n.remote.tsrf_high_water());
+        }
+        (hm, rm, hw, rw)
+    }
+
+    /// Run until every CPU has retired at least `warmup` instructions'
+    /// share, reset measurement, then run for `measure` more instructions
+    /// per CPU (aggregate); returns the measured-window statistics.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> RunResult {
+        let ncpus = self.cfg.total_cpus() as u64;
+        self.run_until_total(self.total_instrs() + warmup * ncpus);
+        let snap: Vec<piranha_cpu::CoreStats> = self.cpu_stats();
+        let t0 = self.now();
+        self.run_until_total(self.total_instrs() + measure * ncpus);
+        let t1 = self.now();
+        let end = self.cpu_stats();
+        let cpus: Vec<piranha_cpu::CoreStats> =
+            end.iter().zip(&snap).map(|(e, s)| e.diff(s)).collect();
+        RunResult::new(self.cfg.name.clone(), t1.since(t0), self.cfg.cpu_clock, cpus)
+    }
+
+    /// Run until the total retired instruction count reaches `target` (or
+    /// every CPU is done).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains while CPUs are unfinished or the
+    /// event budget is exhausted — both indicate a protocol deadlock bug.
+    pub fn run_until_total(&mut self, target: u64) {
+        let mut check = 0u32;
+        while self.total_instrs() < target {
+            let all_done = self.nodes.iter().all(|n| {
+                n.done
+                    .iter()
+                    .enumerate()
+                    .all(|(c, d)| *d || !n.sc.cpu_enabled(CpuId(c as u8)))
+            });
+            if all_done {
+                return;
+            }
+            for _ in 0..64 {
+                let Some((t, ev)) = self.events.pop() else {
+                    assert!(
+                        self.nodes.iter().all(|n| n
+                            .done
+                            .iter()
+                            .enumerate()
+                            .all(|(c, d)| *d || !n.sc.cpu_enabled(CpuId(c as u8)))),
+                        "event queue drained with unfinished CPUs: deadlock"
+                    );
+                    return;
+                };
+                self.events_processed += 1;
+                assert!(
+                    self.events_processed < 2_000_000_000,
+                    "event budget exhausted: runaway simulation"
+                );
+                self.dispatch(t, ev);
+            }
+            check = check.wrapping_add(1);
+        }
+        let _ = check;
+    }
+
+    fn dispatch(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::CpuStep { node, cpu } => self.cpu_step(t, node, cpu),
+            Ev::CpuFill { node, cpu, id, source } => {
+                let cyc = self.time_to_cycle(t);
+                self.nodes[node].cores[cpu].fill(id, cyc, source);
+                self.events.schedule(t, Ev::CpuStep { node, cpu });
+            }
+            Ev::Bank { node, bank, ev } => {
+                let nd = &mut self.nodes[node];
+                let acts = nd.banks[bank].handle(ev, &mut nd.l1s);
+                self.apply(t, node, acts.into_iter().map(Item::Bank).collect());
+            }
+            Ev::MemRead { node, bank, line } => {
+                // Read the version/directory *now* (at data-return time),
+                // so intervening writes are observed.
+                let nd = &mut self.nodes[node];
+                let version = nd.mem[bank].version(line);
+                let remote = nd.mem[bank].directory(line).summary();
+                let acts = nd.banks[bank]
+                    .handle(BankEvent::MemData { line, version, remote }, &mut nd.l1s);
+                self.apply(t, node, acts.into_iter().map(Item::Bank).collect());
+            }
+            Ev::NetMsg { node, from, msg } => {
+                let line = msg.line();
+                let kind = match &msg {
+                    ProtoMsg::Req { .. } => "req",
+                    ProtoMsg::Reply { .. } => "reply",
+                    ProtoMsg::Fwd { .. } => "fwd",
+                    ProtoMsg::Inval { .. } => "inval",
+                    ProtoMsg::InvalAck { .. } | ProtoMsg::WbAck { .. } => "ack",
+                    _ => "wb",
+                };
+                let occ = self
+                    .cfg
+                    .lat
+                    .pe_instr
+                    .times(occupancy_cycles(kind));
+                let items: Vec<Item> = if self.home_of(line) == node {
+                    let nd = &mut self.nodes[node];
+                    nd.home_srv.acquire(t, occ);
+                    let (banks, home) = (&mut nd.mem, &mut nd.home);
+                    let mut dirs = NodeDirs { banks };
+                    home.handle(HomeIn::Msg { from, msg }, &mut dirs)
+                        .into_iter()
+                        .map(Item::Eng)
+                        .collect()
+                } else {
+                    let nd = &mut self.nodes[node];
+                    nd.remote_srv.acquire(t, occ);
+                    nd.remote
+                        .handle(RemoteIn::Msg { from, msg })
+                        .into_iter()
+                        .map(Item::Eng)
+                        .collect()
+                };
+                self.apply(t, node, items);
+            }
+        }
+    }
+
+    fn cpu_step(&mut self, t: SimTime, node: usize, cpu: usize) {
+        let quantum = self.cfg.cpu_quantum;
+        let mut reqs: Vec<(u64, MemReq)> = Vec::new();
+        let status = {
+            let nd = &mut self.nodes[node];
+            if nd.done[cpu] || !nd.sc.cpu_enabled(CpuId(cpu as u8)) {
+                return;
+            }
+            let (l1i, l1d) = nd.l1s.pair_mut(CpuId(cpu as u8));
+            let mut ctx = CoreCtx { l1i, l1d, versions: &mut self.versions };
+            nd.cores[cpu].advance(nd.streams[cpu].as_mut(), &mut ctx, quantum, &mut reqs)
+        };
+        for (cycle, req) in reqs {
+            let issue = self.cycle_to_time(cycle).max(t);
+            // Request message over the ICS (header) + path latency.
+            let tics = self.nodes[node].ics.transfer(issue, TransferSize::Header, Lane::Low);
+            let arrive = (issue + self.cfg.lat.req).max(tics);
+            let bank = self.bank_of(node, req.line);
+            let exec = self.nodes[node].bank_srv[bank].acquire(arrive, self.cfg.lat.bank);
+            let slot = Slot::new(CpuId(cpu as u8), req.kind);
+            let prev = self.outstanding.insert((node, slot, req.line), req.id);
+            assert!(prev.is_none(), "duplicate outstanding request for {slot} {}", req.line);
+            let home_local = self.home_of(req.line) == node;
+            self.events.schedule(
+                exec.max(t),
+                Ev::Bank {
+                    node,
+                    bank,
+                    ev: BankEvent::Miss {
+                        slot,
+                        req: req.req,
+                        line: req.line,
+                        home_local,
+                        store_version: req.store_version,
+                    },
+                },
+            );
+        }
+        match status {
+            CoreStatus::Runnable => {
+                let next = self.cycle_to_time(self.nodes[node].cores[cpu].now_cycle()).max(t);
+                self.events.schedule(next, Ev::CpuStep { node, cpu });
+            }
+            CoreStatus::Blocked => {}
+            CoreStatus::Done => {
+                self.nodes[node].done[cpu] = true;
+            }
+        }
+    }
+
+    /// Apply a work-list of bank/engine actions at time `t` on `node`.
+    fn apply(&mut self, t: SimTime, origin: usize, items: Vec<Item>) {
+        let mut q: VecDeque<(usize, Item)> =
+            items.into_iter().map(|i| (origin, i)).collect();
+        while let Some((n, item)) = q.pop_front() {
+            match item {
+                Item::Bank(a) => self.apply_bank_action(t, n, a, &mut q),
+                Item::Eng(a) => self.apply_engine_action(t, n, a, &mut q),
+            }
+        }
+    }
+
+    fn apply_bank_action(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        a: BankAction,
+        q: &mut VecDeque<(usize, Item)>,
+    ) {
+        match a {
+            BankAction::Grant { slot, line, state: _, version: _, source, upgraded } => {
+                let id = self
+                    .outstanding
+                    .remove(&(n, slot, line))
+                    .unwrap_or_else(|| panic!("grant without outstanding request: {slot} {line}"));
+                // Data fills occupy an ICS datapath; upgrades are
+                // header-only.
+                let size = if upgraded { TransferSize::Header } else { TransferSize::Line };
+                self.nodes[n].ics.transfer(t, size, Lane::High);
+                let wake = t + self.reply_latency(source);
+                self.events.schedule(
+                    wake,
+                    Ev::CpuFill { node: n, cpu: slot.cpu().index(), id, source },
+                );
+            }
+            BankAction::Inval { .. } | BankAction::Downgrade { .. } => {
+                self.nodes[n].ics.transfer(t, TransferSize::Header, Lane::High);
+            }
+            BankAction::VictimDisplaced { slot, line, state, version } => {
+                // Victim data crosses the ICS to its own bank.
+                let size = if state == Mesi::Modified {
+                    TransferSize::Line
+                } else {
+                    TransferSize::Header
+                };
+                self.nodes[n].ics.transfer(t, size, Lane::Low);
+                let bank = self.bank_of(n, line);
+                let nd = &mut self.nodes[n];
+                let acts =
+                    nd.banks[bank].handle(BankEvent::Victim { slot, line, state, version }, &mut nd.l1s);
+                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
+            }
+            BankAction::ReadMem { line } => {
+                let bank = self.bank_of(n, line);
+                let acc = self.nodes[n].mem[bank].access(t, line);
+                self.events.schedule(
+                    (acc.critical + self.cfg.lat.mc_overhead).max(t),
+                    Ev::MemRead { node: n, bank, line },
+                );
+            }
+            BankAction::WriteMem { line, version } => {
+                let bank = self.bank_of(n, line);
+                self.nodes[n].mem[bank].write(t, line, version);
+            }
+            BankAction::RemoteReq { slot: _, line, req } => {
+                let home = NodeId(self.home_of(line) as u16);
+                let acts = self.nodes[n].remote.handle(RemoteIn::LocalReq { line, req, home });
+                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
+            }
+            BankAction::RemoteWb { line, version } => {
+                let home = NodeId(self.home_of(line) as u16);
+                let acts =
+                    self.nodes[n].remote.handle(RemoteIn::LocalWb { line, version, home });
+                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
+            }
+            BankAction::HomeInvalRemote { line } => {
+                let nd = &mut self.nodes[n];
+                let (banks, home) = (&mut nd.mem, &mut nd.home);
+                let mut dirs = NodeDirs { banks };
+                let acts = home.handle(HomeIn::LocalInvalRemotes { line }, &mut dirs);
+                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
+            }
+            BankAction::HomeRecall { slot: _, line, req } => {
+                let nd = &mut self.nodes[n];
+                let (banks, home) = (&mut nd.mem, &mut nd.home);
+                let mut dirs = NodeDirs { banks };
+                let acts = home.handle(HomeIn::LocalRecall { line, req }, &mut dirs);
+                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
+            }
+            BankAction::ExportReply { line, version, dirty, cached } => {
+                let items: Vec<Item> = if self.home_of(line) == n {
+                    let nd = &mut self.nodes[n];
+                    let (banks, home) = (&mut nd.mem, &mut nd.home);
+                    let mut dirs = NodeDirs { banks };
+                    home.handle(HomeIn::ExportReply { line, version, dirty, cached }, &mut dirs)
+                        .into_iter()
+                        .map(Item::Eng)
+                        .collect()
+                } else {
+                    self.nodes[n]
+                        .remote
+                        .handle(RemoteIn::ExportReply { line, version, dirty, cached })
+                        .into_iter()
+                        .map(Item::Eng)
+                        .collect()
+                };
+                q.extend(items.into_iter().map(|x| (n, x)));
+            }
+        }
+    }
+
+    fn apply_engine_action(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        a: EngineAction,
+        q: &mut VecDeque<(usize, Item)>,
+    ) {
+        match a {
+            EngineAction::Send { to, msg } => {
+                let kind = if msg.is_long() { PacketKind::Long } else { PacketKind::Short };
+                let pkt = Packet::new(NodeId(n as u16), to, msg.lane(), kind, msg);
+                let (arrive, pkt) = self.net.send(t, pkt);
+                self.events.schedule(
+                    arrive.max(t),
+                    Ev::NetMsg { node: to.index(), from: NodeId(n as u16), msg: pkt.payload },
+                );
+            }
+            EngineAction::Export { line, excl } => {
+                let bank = self.bank_of(n, line);
+                let nd = &mut self.nodes[n];
+                let acts = nd.banks[bank].handle(BankEvent::Export { line, excl }, &mut nd.l1s);
+                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
+            }
+            EngineAction::Fill { line, excl, version, source } => {
+                let bank = self.bank_of(n, line);
+                let grant = if excl { Mesi::Exclusive } else { Mesi::Shared };
+                let nd = &mut self.nodes[n];
+                let acts = nd.banks[bank]
+                    .handle(BankEvent::RemoteFill { line, grant, version, source }, &mut nd.l1s);
+                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
+            }
+            EngineAction::Purge { line } => {
+                let bank = self.bank_of(n, line);
+                let nd = &mut self.nodes[n];
+                let acts = nd.banks[bank].handle(BankEvent::InvalAll { line }, &mut nd.l1s);
+                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
+            }
+            EngineAction::MemWrite { line, version } => {
+                let bank = self.bank_of(n, line);
+                self.nodes[n].mem[bank].write(t, line, version);
+            }
+        }
+    }
+
+    /// Snapshot a machine-wide utilization report (the system
+    /// controller's performance-monitoring role, §2).
+    pub fn report(&self) -> crate::report::MachineReport {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mem_accesses: u64 = n.mem.iter().map(|m| m.rdram().accesses()).sum();
+                let hits: f64 = n
+                    .mem
+                    .iter()
+                    .map(|m| m.rdram().page_hit_rate() * m.rdram().accesses() as f64)
+                    .sum();
+                crate::report::NodeReport {
+                    ics_words: n.ics.words_moved(),
+                    ics_utilization: n.ics.utilization(self.events.now()),
+                    bank_lookups: n.bank_srv.iter().map(|s| s.jobs()).sum(),
+                    mem_accesses,
+                    mem_page_hit_rate: if mem_accesses == 0 {
+                        0.0
+                    } else {
+                        hits / mem_accesses as f64
+                    },
+                    home_msgs: n.home.msgs_handled(),
+                    remote_msgs: n.remote.msgs_handled(),
+                    home_instrs: n.home.instr_executed(),
+                    remote_instrs: n.remote.instr_executed(),
+                    tsrf_high_water: (n.home.tsrf_high_water(), n.remote.tsrf_high_water()),
+                    sc_packets: n.sc.packets_handled(),
+                }
+            })
+            .collect();
+        crate::report::MachineReport {
+            now: self.events.now(),
+            nodes,
+            net_delivered: self.net.delivered(),
+            net_deflections: self.net.deflections(),
+            net_mean_hops: self.net.mean_hops(),
+            instrs: self.total_instrs(),
+        }
+    }
+
+    /// Stop a CPU through the node's system controller (paper §2.6: the
+    /// SC can start/stop individual Alpha cores). In-flight transactions
+    /// complete; the core simply stops being scheduled.
+    pub fn stop_cpu(&mut self, node: usize, cpu: usize) {
+        self.nodes[node]
+            .sc
+            .handle(crate::sysctl::CtrlPacket::StopCpu { cpu: CpuId(cpu as u8) });
+    }
+
+    /// Restart a stopped CPU; it resumes its stream where it left off.
+    pub fn start_cpu(&mut self, node: usize, cpu: usize) {
+        self.nodes[node]
+            .sc
+            .handle(crate::sysctl::CtrlPacket::StartCpu { cpu: CpuId(cpu as u8) });
+        let t = self.events.now();
+        self.events.schedule(t, Ev::CpuStep { node, cpu });
+    }
+
+    /// The system controller of `node` (configuration, interrupts,
+    /// performance monitoring).
+    pub fn system_controller(&self, node: usize) -> &crate::sysctl::SystemController {
+        &self.nodes[node].sc
+    }
+
+    /// Verify system-wide coherence invariants; used by integration and
+    /// property tests. Checks that (1) at most one cache in the whole
+    /// system holds a line in a writable state (the single-writer
+    /// invariant); (2) *within* a chip, a writable copy excludes every
+    /// other local copy — exact because the intra-chip switch applies
+    /// coherence atomically; (3) every L1-resident line is tracked by its
+    /// bank's duplicate tags.
+    ///
+    /// A *remote* stale Shared copy may transiently coexist with a new
+    /// owner's Modified copy: the paper's eager exclusive replies grant
+    /// ownership before the cruise-missile invalidations land (§2.5.3),
+    /// so that window is legal and not flagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_coherence(&self) {
+        use std::collections::HashMap as Map;
+        let mut writable: Map<LineAddr, (usize, Slot)> = Map::new();
+        let mut per_node: Map<(usize, LineAddr), (u32, u32)> = Map::new(); // (copies, writable)
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (slot, l1) in node.l1s.iter() {
+                for (line, state, _v) in l1.resident() {
+                    let e = per_node.entry((n, line)).or_insert((0, 0));
+                    e.0 += 1;
+                    if state.writable() {
+                        e.1 += 1;
+                        if let Some((on, os)) = writable.insert(line, (n, slot)) {
+                            panic!(
+                                "two writable copies of {line}: node{on}/{os} and node{n}/{slot}"
+                            );
+                        }
+                    }
+                    let bank = &node.banks[self.bank_of(n, line)];
+                    let d = bank
+                        .dup()
+                        .get(line)
+                        .unwrap_or_else(|| panic!("L1 line {line} missing from dup tags"));
+                    assert!(
+                        d.l1_state(slot).readable(),
+                        "dup tags disagree with L1 for {line} at {slot}"
+                    );
+                }
+            }
+        }
+        for ((n, line), (copies, writables)) in &per_node {
+            if *writables > 0 {
+                assert_eq!(
+                    *copies, 1,
+                    "writable line {line} coexists with other copies on node {n}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piranha_workloads::{SynthConfig, Workload};
+
+    #[test]
+    fn single_cpu_synthetic_smoke() {
+        let mut cfg = SystemConfig::piranha_p1();
+        cfg.cpu_quantum = 500;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
+        let r = m.run(2_000, 20_000);
+        assert!(r.total_instrs() >= 20_000);
+        assert!(r.throughput_ipns() > 0.0);
+        m.check_coherence();
+    }
+
+    #[test]
+    fn eight_cpu_sharing_smoke() {
+        let mut cfg = SystemConfig::piranha_p8();
+        cfg.cpu_quantum = 500;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(2_000, 10_000);
+        assert!(r.total_instrs() >= 80_000);
+        let (hit, fwd, miss) = r.l1_miss_breakdown();
+        assert!(hit + fwd + miss > 0.99);
+        m.check_coherence();
+    }
+
+    #[test]
+    fn ooo_smoke() {
+        let mut cfg = SystemConfig::ooo();
+        cfg.cpu_quantum = 500;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
+        let r = m.run(2_000, 20_000);
+        assert!(r.total_instrs() >= 20_000);
+    }
+
+    #[test]
+    fn two_chip_coherence_smoke() {
+        let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+        cfg.cpu_quantum = 500;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(1_000, 5_000);
+        assert!(r.total_instrs() >= 20_000);
+        let merged = r.merged();
+        assert!(
+            merged.fills[3] + merged.fills[4] > 0,
+            "multi-chip run must see remote fills"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut cfg = SystemConfig::piranha_pn(2);
+            cfg.cpu_quantum = 500;
+            let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+            let r = m.run(1_000, 5_000);
+            (r.total_instrs(), r.window, m.now())
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+    use piranha_workloads::{SynthConfig, Workload};
+    use crate::config::SystemConfig;
+
+    /// An I/O node participates fully in global coherence: its DMA
+    /// traffic reaches memory homed on processing nodes and vice versa.
+    #[test]
+    fn io_node_is_a_coherence_citizen() {
+        let cfg = SystemConfig::piranha_pn(2).with_io_nodes(1);
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        m.run_until_total(120_000);
+        m.check_coherence();
+        // The I/O node's CPU (last in node-major order) made progress.
+        let stats = m.cpu_stats();
+        let io_cpu = stats.last().unwrap();
+        assert!(io_cpu.instrs > 1_000, "I/O CPU ran its driver stream");
+        let remote: u64 = io_cpu.fills[3] + io_cpu.fills[4];
+        assert!(remote > 0, "I/O traffic crossed the interconnect");
+    }
+
+    /// Dual-homed I/O links: the custom topology keeps every node
+    /// reachable and within the channel budget.
+    #[test]
+    fn io_topology_shape() {
+        let t = build_topology(4, 2);
+        assert_eq!(t.nodes(), 6);
+        assert!(t.max_degree() <= 5, "processing degree 3 + up to 2 io links");
+        assert_eq!(t.neighbours(NodeId(4)).len(), 2, "io nodes have two channels");
+    }
+
+    /// The system controller can stop and restart cores mid-run.
+    #[test]
+    fn sc_stops_and_restarts_cores() {
+        let cfg = SystemConfig::piranha_pn(2);
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
+        m.run_until_total(20_000);
+        m.stop_cpu(0, 1);
+        let before = m.cpu_stats()[1].instrs;
+        m.run_until_total(m.total_instrs() + 20_000);
+        let after = m.cpu_stats()[1].instrs;
+        assert!(
+            after - before < 4_000,
+            "stopped CPU must not keep executing: {before} -> {after}"
+        );
+        m.start_cpu(0, 1);
+        m.run_until_total(m.total_instrs() + 20_000);
+        assert!(m.cpu_stats()[1].instrs > after, "restarted CPU resumes");
+        assert!(m.system_controller(0).packets_handled() > 0);
+    }
+}

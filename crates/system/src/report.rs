@@ -1,0 +1,140 @@
+//! Whole-machine utilization reports — the "performance monitoring"
+//! function the paper assigns to the system controller (§2).
+
+use std::fmt;
+
+use piranha_types::SimTime;
+
+/// A utilization snapshot of one node.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// ICS 64-bit words moved.
+    pub ics_words: u64,
+    /// ICS aggregate datapath utilization (0..1).
+    pub ics_utilization: f64,
+    /// L2 bank lookups served, summed over banks.
+    pub bank_lookups: u64,
+    /// RDRAM accesses, summed over channels.
+    pub mem_accesses: u64,
+    /// RDRAM open-page hit rate across channels.
+    pub mem_page_hit_rate: f64,
+    /// Home-engine messages handled.
+    pub home_msgs: u64,
+    /// Remote-engine messages handled.
+    pub remote_msgs: u64,
+    /// Home-engine microinstructions executed (occupancy).
+    pub home_instrs: u64,
+    /// Remote-engine microinstructions executed.
+    pub remote_instrs: u64,
+    /// Peak concurrent TSRF entries (home, remote).
+    pub tsrf_high_water: (usize, usize),
+    /// Control packets the system controller interpreted.
+    pub sc_packets: u64,
+}
+
+/// A machine-wide utilization report.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Simulated time of the snapshot.
+    pub now: SimTime,
+    /// Per-node snapshots.
+    pub nodes: Vec<NodeReport>,
+    /// Interconnect packets delivered.
+    pub net_delivered: u64,
+    /// Hot-potato deflections taken.
+    pub net_deflections: u64,
+    /// Mean hops per delivered packet.
+    pub net_mean_hops: f64,
+    /// Total instructions retired.
+    pub instrs: u64,
+}
+
+impl MachineReport {
+    /// Total protocol messages across all engines.
+    pub fn protocol_msgs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.home_msgs + n.remote_msgs).sum()
+    }
+
+    /// Mean protocol-engine occupancy in microinstructions per handled
+    /// message (the paper's "few instructions at each engine").
+    pub fn mean_engine_occupancy(&self) -> f64 {
+        let instrs: u64 = self.nodes.iter().map(|n| n.home_instrs + n.remote_instrs).sum();
+        let msgs = self.protocol_msgs().max(1);
+        instrs as f64 / msgs as f64
+    }
+}
+
+impl fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "machine report @ {} ({} instructions retired)", self.now, self.instrs)?;
+        writeln!(
+            f,
+            "  interconnect: {} delivered, {} deflections, {:.2} mean hops",
+            self.net_delivered, self.net_deflections, self.net_mean_hops
+        )?;
+        writeln!(
+            f,
+            "  protocol engines: {} messages, {:.1} µinstrs/message",
+            self.protocol_msgs(),
+            self.mean_engine_occupancy()
+        )?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            writeln!(
+                f,
+                "  node {i}: ICS {} words ({:.1}% util) | banks {} lookups | RDRAM {} accesses ({:.0}% page hits) | TSRF hw {}/{} | SC {} pkts",
+                n.ics_words,
+                n.ics_utilization * 100.0,
+                n.bank_lookups,
+                n.mem_accesses,
+                n.mem_page_hit_rate * 100.0,
+                n.tsrf_high_water.0,
+                n.tsrf_high_water.1,
+                n.sc_packets
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MachineReport {
+        MachineReport {
+            now: SimTime::from_ns(1000),
+            nodes: vec![NodeReport {
+                ics_words: 500,
+                ics_utilization: 0.125,
+                bank_lookups: 40,
+                mem_accesses: 10,
+                mem_page_hit_rate: 0.3,
+                home_msgs: 6,
+                remote_msgs: 4,
+                home_instrs: 30,
+                remote_instrs: 20,
+                tsrf_high_water: (2, 3),
+                sc_packets: 11,
+            }],
+            net_delivered: 9,
+            net_deflections: 1,
+            net_mean_hops: 1.4,
+            instrs: 12345,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample();
+        assert_eq!(r.protocol_msgs(), 10);
+        assert!((r.mean_engine_occupancy() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = sample().to_string();
+        for needle in ["12345 instructions", "9 delivered", "ICS 500 words", "TSRF hw 2/3", "SC 11 pkts"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Measured results of a simulation window — the quantities the paper's
+//! figures are built from.
+
+use piranha_cpu::CoreStats;
+use piranha_types::time::Clock;
+use piranha_types::Duration;
+
+/// The Figure-5-style execution-time breakdown for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuBreakdown {
+    /// Fraction of cycles doing useful work (including branch
+    /// penalties, as in the paper's "CPU busy").
+    pub busy: f64,
+    /// Fraction stalled on L2 hits + on-chip forwards ("L2 hit stall").
+    pub l2_hit: f64,
+    /// Fraction stalled past the L2 ("L2 miss stall").
+    pub l2_miss: f64,
+}
+
+/// Statistics of one measured window.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration label.
+    pub name: String,
+    /// Simulated duration of the window.
+    pub window: Duration,
+    /// The CPU clock (to convert cycles ↔ time).
+    pub clock: Clock,
+    /// Per-CPU statistics over the window.
+    pub cpus: Vec<CoreStats>,
+}
+
+impl RunResult {
+    /// Assemble a result.
+    pub fn new(name: String, window: Duration, clock: Clock, cpus: Vec<CoreStats>) -> Self {
+        RunResult { name, window, clock, cpus }
+    }
+
+    /// Total instructions retired in the window.
+    pub fn total_instrs(&self) -> u64 {
+        self.cpus.iter().map(|c| c.instrs).sum()
+    }
+
+    /// Aggregate throughput in instructions per nanosecond — the
+    /// fixed-work execution-time metric: `time = work / throughput`.
+    pub fn throughput_ipns(&self) -> f64 {
+        let ns = self.window.as_ns().max(1);
+        self.total_instrs() as f64 / ns as f64
+    }
+
+    /// Execution time normalized to `base` (matching the paper's
+    /// "normalized execution time" axis: lower is faster).
+    pub fn normalized_time_vs(&self, base: &RunResult) -> f64 {
+        base.throughput_ipns() / self.throughput_ipns()
+    }
+
+    /// Speedup over `base` (higher is faster).
+    pub fn speedup_over(&self, base: &RunResult) -> f64 {
+        self.throughput_ipns() / base.throughput_ipns()
+    }
+
+    /// Merged statistics over all CPUs.
+    pub fn merged(&self) -> CoreStats {
+        let mut m = CoreStats::default();
+        for c in &self.cpus {
+            m.merge(c);
+        }
+        m
+    }
+
+    /// Wall cycles of the window (same for every CPU: one clock domain).
+    pub fn wall_cycles(&self) -> u64 {
+        self.clock.cycles(self.window)
+    }
+
+    /// The Figure-5 breakdown: CPU busy / L2-hit stall / L2-miss stall
+    /// fractions of aggregate time.
+    pub fn breakdown(&self) -> CpuBreakdown {
+        let m = self.merged();
+        let total = (self.wall_cycles() * self.cpus.len() as u64).max(1) as f64;
+        let l2_hit = m.l2_hit_stall() as f64 / total;
+        let l2_miss = m.l2_miss_stall() as f64 / total;
+        CpuBreakdown { busy: (1.0 - l2_hit - l2_miss).max(0.0), l2_hit, l2_miss }
+    }
+
+    /// The Figure-6(b) L1-miss breakdown: fractions of all L1 misses
+    /// served by the L2, by another on-chip L1, and by memory.
+    pub fn l1_miss_breakdown(&self) -> (f64, f64, f64) {
+        let m = self.merged();
+        let total = (m.fills_l2_hit() + m.fills_l2_fwd() + m.fills_l2_miss()).max(1) as f64;
+        (
+            m.fills_l2_hit() as f64 / total,
+            m.fills_l2_fwd() as f64 / total,
+            m.fills_l2_miss() as f64 / total,
+        )
+    }
+
+    /// L1 misses per thousand instructions (both caches).
+    pub fn mpki(&self) -> f64 {
+        let m = self.merged();
+        (m.l1i_misses + m.l1d_misses + m.sb_reqs) as f64 / (m.instrs.max(1) as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piranha_types::FillSource;
+
+    fn mk(name: &str, instrs: u64, window_ns: u64) -> RunResult {
+        let mut s = CoreStats { instrs, ..Default::default() };
+        s.record_fill(FillSource::L2Hit, 100);
+        s.record_fill(FillSource::LocalMem, 300);
+        RunResult::new(
+            name.into(),
+            Duration::from_ns(window_ns),
+            Clock::from_mhz(500),
+            vec![s],
+        )
+    }
+
+    #[test]
+    fn throughput_and_normalization() {
+        let fast = mk("fast", 10_000, 1_000);
+        let slow = mk("slow", 10_000, 2_900);
+        assert!((fast.throughput_ipns() - 10.0).abs() < 1e-9);
+        let norm = slow.normalized_time_vs(&fast);
+        assert!((norm - 2.9).abs() < 0.01, "slow is 2.9x slower: {norm}");
+        assert!((fast.speedup_over(&slow) - 2.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let r = mk("x", 1000, 2_000); // 1000 cycles at 500MHz
+        let b = r.breakdown();
+        assert!((b.busy + b.l2_hit + b.l2_miss - 1.0).abs() < 1e-9);
+        assert!((b.l2_hit - 0.1).abs() < 1e-9);
+        assert!((b.l2_miss - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_breakdown_normalizes() {
+        let r = mk("x", 1000, 1_000);
+        let (hit, fwd, miss) = r.l1_miss_breakdown();
+        assert!((hit + fwd + miss - 1.0).abs() < 1e-9);
+        assert_eq!(fwd, 0.0);
+        assert!((hit - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpki_counts_all_miss_classes() {
+        let mut s = CoreStats { instrs: 10_000, l1i_misses: 5, l1d_misses: 10, sb_reqs: 5, ..Default::default() };
+        s.record_fill(FillSource::L2Hit, 0);
+        let r = RunResult::new("m".into(), Duration::from_ns(1), Clock::from_mhz(500), vec![s]);
+        assert!((r.mpki() - 2.0).abs() < 1e-9);
+    }
+}

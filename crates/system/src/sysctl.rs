@@ -1,0 +1,276 @@
+//! The System Control (SC) module — paper §2 and §2.6.
+//!
+//! "The System Control module takes care of miscellaneous
+//! maintenance-related functions (e.g., system configuration,
+//! initialization, interrupt distribution, exception handling,
+//! performance monitoring)." At boot, the router forwards all
+//! initialization packets to the SC, which "interprets control packets
+//! and can access all control registers on a Piranha node", including
+//! updating the routing table, starting/stopping individual Alpha
+//! cores, and testing the off-chip memory.
+//!
+//! The model keeps a control-register file, the per-CPU enable bits, a
+//! routing-table-loaded flag, and an interrupt distribution counter, and
+//! interprets a small control-packet vocabulary.
+
+use piranha_types::{CpuId, NodeId};
+
+/// A control packet interpreted by the SC (delivered over the
+/// interconnect during initialization, or generated locally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlPacket {
+    /// Write a control register.
+    WriteReg {
+        /// Register index.
+        reg: u8,
+        /// Value.
+        value: u64,
+    },
+    /// Read a control register (the SC replies with its value).
+    ReadReg {
+        /// Register index.
+        reg: u8,
+    },
+    /// Install one routing-table entry: packets for `dest` leave through
+    /// channel `channel`.
+    SetRoute {
+        /// Destination node.
+        dest: NodeId,
+        /// Output channel index (0..4).
+        channel: u8,
+    },
+    /// Mark the routing table complete; transit traffic may now flow.
+    CommitRoutes,
+    /// Start an Alpha core.
+    StartCpu {
+        /// Which core.
+        cpu: CpuId,
+    },
+    /// Stop an Alpha core.
+    StopCpu {
+        /// Which core.
+        cpu: CpuId,
+    },
+    /// Run the off-chip memory test over `lines` lines.
+    TestMemory {
+        /// Number of lines to walk.
+        lines: u64,
+    },
+    /// Deliver an interrupt to a core.
+    Interrupt {
+        /// Target core.
+        cpu: CpuId,
+    },
+}
+
+/// The SC's response to a control packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlReply {
+    /// Acknowledged, no data.
+    Ack,
+    /// A register value.
+    Value(u64),
+    /// Memory test result: number of lines walked without error (the
+    /// model's memory is always healthy; a real SC would compare
+    /// patterns).
+    MemoryOk(u64),
+    /// The packet addressed a CPU the node does not have.
+    BadCpu,
+}
+
+/// Number of architected control registers.
+pub const CTRL_REGS: usize = 64;
+
+/// The per-node system controller.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_system::sysctl::{CtrlPacket, CtrlReply, SystemController};
+/// use piranha_types::{CpuId, NodeId};
+///
+/// let mut sc = SystemController::new(NodeId(0), 8);
+/// assert!(!sc.cpu_enabled(CpuId(3)));
+/// sc.handle(CtrlPacket::StartCpu { cpu: CpuId(3) });
+/// assert!(sc.cpu_enabled(CpuId(3)));
+/// ```
+#[derive(Debug)]
+pub struct SystemController {
+    node: NodeId,
+    regs: [u64; CTRL_REGS],
+    cpu_enabled: Vec<bool>,
+    routes: Vec<Option<u8>>,
+    routes_committed: bool,
+    interrupts: Vec<u64>,
+    packets_handled: u64,
+}
+
+impl SystemController {
+    /// A freshly-reset SC: all cores stopped, routing table empty (the
+    /// traditional Alpha EPROM boot path would instead start core 0
+    /// directly; see [`SystemController::eprom_boot`]).
+    pub fn new(node: NodeId, cpus: usize) -> Self {
+        SystemController {
+            node,
+            regs: [0; CTRL_REGS],
+            cpu_enabled: vec![false; cpus],
+            routes: vec![None; piranha_types::ids::MAX_NODES],
+            routes_committed: false,
+            interrupts: vec![0; cpus],
+            packets_handled: 0,
+        }
+    }
+
+    /// The node this SC controls.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Interpret one control packet.
+    pub fn handle(&mut self, pkt: CtrlPacket) -> CtrlReply {
+        self.packets_handled += 1;
+        match pkt {
+            CtrlPacket::WriteReg { reg, value } => {
+                self.regs[reg as usize % CTRL_REGS] = value;
+                CtrlReply::Ack
+            }
+            CtrlPacket::ReadReg { reg } => CtrlReply::Value(self.regs[reg as usize % CTRL_REGS]),
+            CtrlPacket::SetRoute { dest, channel } => {
+                self.routes[dest.index()] = Some(channel);
+                CtrlReply::Ack
+            }
+            CtrlPacket::CommitRoutes => {
+                self.routes_committed = true;
+                CtrlReply::Ack
+            }
+            CtrlPacket::StartCpu { cpu } => match self.cpu_enabled.get_mut(cpu.index()) {
+                Some(e) => {
+                    *e = true;
+                    CtrlReply::Ack
+                }
+                None => CtrlReply::BadCpu,
+            },
+            CtrlPacket::StopCpu { cpu } => match self.cpu_enabled.get_mut(cpu.index()) {
+                Some(e) => {
+                    *e = false;
+                    CtrlReply::Ack
+                }
+                None => CtrlReply::BadCpu,
+            },
+            CtrlPacket::TestMemory { lines } => CtrlReply::MemoryOk(lines),
+            CtrlPacket::Interrupt { cpu } => match self.interrupts.get_mut(cpu.index()) {
+                Some(n) => {
+                    *n += 1;
+                    CtrlReply::Ack
+                }
+                None => CtrlReply::BadCpu,
+            },
+        }
+    }
+
+    /// Whether `cpu` is currently enabled.
+    pub fn cpu_enabled(&self, cpu: CpuId) -> bool {
+        self.cpu_enabled.get(cpu.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether the routing table has been committed.
+    pub fn routes_ready(&self) -> bool {
+        self.routes_committed
+    }
+
+    /// The committed output channel toward `dest`, if installed.
+    pub fn route(&self, dest: NodeId) -> Option<u8> {
+        self.routes[dest.index()]
+    }
+
+    /// Interrupts delivered to `cpu` so far.
+    pub fn interrupts(&self, cpu: CpuId) -> u64 {
+        self.interrupts.get(cpu.index()).copied().unwrap_or(0)
+    }
+
+    /// Control packets interpreted (performance-monitoring counter).
+    pub fn packets_handled(&self) -> u64 {
+        self.packets_handled
+    }
+
+    /// The in-band initialization sequence of §2.6: install a route per
+    /// reachable node, commit, memory-test, then start every core.
+    ///
+    /// Returns the replies, in order, for inspection.
+    pub fn interconnect_boot(&mut self, reachable: &[NodeId], mem_lines: u64) -> Vec<CtrlReply> {
+        let mut replies = Vec::new();
+        for (i, &dest) in reachable.iter().enumerate() {
+            replies.push(self.handle(CtrlPacket::SetRoute { dest, channel: (i % 4) as u8 }));
+        }
+        replies.push(self.handle(CtrlPacket::CommitRoutes));
+        replies.push(self.handle(CtrlPacket::TestMemory { lines: mem_lines }));
+        for c in 0..self.cpu_enabled.len() {
+            replies.push(self.handle(CtrlPacket::StartCpu { cpu: CpuId(c as u8) }));
+        }
+        replies
+    }
+
+    /// The traditional Alpha boot path ("the primary caches are loaded
+    /// from a small external EPROM over a bit-serial connection"): only
+    /// core 0 starts; it brings up the rest through control registers.
+    pub fn eprom_boot(&mut self) {
+        self.packets_handled += 1;
+        if let Some(e) = self.cpu_enabled.first_mut() {
+            *e = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_read_back() {
+        let mut sc = SystemController::new(NodeId(1), 8);
+        assert_eq!(sc.handle(CtrlPacket::WriteReg { reg: 7, value: 0xabcd }), CtrlReply::Ack);
+        assert_eq!(sc.handle(CtrlPacket::ReadReg { reg: 7 }), CtrlReply::Value(0xabcd));
+        assert_eq!(sc.handle(CtrlPacket::ReadReg { reg: 8 }), CtrlReply::Value(0));
+    }
+
+    #[test]
+    fn cpu_start_stop_lifecycle() {
+        let mut sc = SystemController::new(NodeId(0), 2);
+        assert!(!sc.cpu_enabled(CpuId(1)));
+        sc.handle(CtrlPacket::StartCpu { cpu: CpuId(1) });
+        assert!(sc.cpu_enabled(CpuId(1)));
+        sc.handle(CtrlPacket::StopCpu { cpu: CpuId(1) });
+        assert!(!sc.cpu_enabled(CpuId(1)));
+        assert_eq!(sc.handle(CtrlPacket::StartCpu { cpu: CpuId(5) }), CtrlReply::BadCpu);
+    }
+
+    #[test]
+    fn interconnect_boot_brings_everything_up() {
+        let mut sc = SystemController::new(NodeId(0), 8);
+        let peers: Vec<NodeId> = (1..4).map(NodeId).collect();
+        let replies = sc.interconnect_boot(&peers, 1024);
+        assert!(sc.routes_ready());
+        assert_eq!(sc.route(NodeId(2)), Some(1));
+        assert!((0..8).all(|c| sc.cpu_enabled(CpuId(c))));
+        assert!(replies.contains(&CtrlReply::MemoryOk(1024)));
+        assert_eq!(sc.packets_handled(), peers.len() as u64 + 2 + 8);
+    }
+
+    #[test]
+    fn eprom_boot_starts_only_core_zero() {
+        let mut sc = SystemController::new(NodeId(0), 8);
+        sc.eprom_boot();
+        assert!(sc.cpu_enabled(CpuId(0)));
+        assert!((1..8).all(|c| !sc.cpu_enabled(CpuId(c))));
+    }
+
+    #[test]
+    fn interrupt_distribution_counts() {
+        let mut sc = SystemController::new(NodeId(0), 4);
+        for _ in 0..3 {
+            sc.handle(CtrlPacket::Interrupt { cpu: CpuId(2) });
+        }
+        assert_eq!(sc.interrupts(CpuId(2)), 3);
+        assert_eq!(sc.interrupts(CpuId(0)), 0);
+    }
+}

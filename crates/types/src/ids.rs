@@ -1,0 +1,146 @@
+//! Identifiers for the replicated components of a Piranha system.
+//!
+//! A system is a set of *nodes* (chips) connected point-to-point; each
+//! processing node contains up to eight CPUs, eight L2 banks (each with its
+//! own memory controller), two protocol engines, and a router (paper §2).
+
+/// Identifies a node (one Piranha chip — processing or I/O) in the system.
+///
+/// The paper's design scales gluelessly to 1024 nodes, which is why the
+/// directory formats in `piranha-mem` encode node IDs in 10 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+/// Maximum number of nodes a system may contain (paper §2: "glueless
+/// scaling up to 1024 nodes").
+pub const MAX_NODES: usize = 1024;
+
+impl NodeId {
+    /// Index into per-node arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a CPU *within* its chip (0..=7 on a processing node, always 0
+/// on an I/O node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuId(pub u8);
+
+impl CpuId {
+    /// Index into per-CPU arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A fully-qualified CPU identity: node plus on-chip CPU number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChipCpuId {
+    /// The node the CPU lives on.
+    pub node: NodeId,
+    /// The CPU's index within the node.
+    pub cpu: CpuId,
+}
+
+impl core::fmt::Display for ChipCpuId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}", self.node, self.cpu)
+    }
+}
+
+/// Identifies an L2 bank (and its attached memory controller) within a
+/// chip. Banks are interleaved by the low bits of the line address
+/// (paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u8);
+
+impl BankId {
+    /// Index into per-bank arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for BankId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Distinguishes the two first-level caches attached to each CPU.
+///
+/// Unlike other Alpha implementations, Piranha keeps the instruction cache
+/// hardware-coherent and uses virtually the same design for both (paper
+/// §2.1), so most of the simulator treats them uniformly via this tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheKind {
+    /// The instruction L1 (iL1).
+    Instruction,
+    /// The data L1 (dL1).
+    Data,
+}
+
+impl CacheKind {
+    /// Both kinds, for iteration.
+    pub const BOTH: [CacheKind; 2] = [CacheKind::Instruction, CacheKind::Data];
+
+    /// Index (0 = instruction, 1 = data) for per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CacheKind::Instruction => 0,
+            CacheKind::Data => 1,
+        }
+    }
+}
+
+impl core::fmt::Display for CacheKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CacheKind::Instruction => write!(f, "iL1"),
+            CacheKind::Data => write!(f, "dL1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        let c = ChipCpuId { node: NodeId(3), cpu: CpuId(5) };
+        assert_eq!(c.to_string(), "n3.cpu5");
+        assert_eq!(BankId(7).to_string(), "b7");
+        assert_eq!(CacheKind::Instruction.to_string(), "iL1");
+        assert_eq!(CacheKind::Data.to_string(), "dL1");
+    }
+
+    #[test]
+    fn cache_kind_indexes_are_distinct() {
+        assert_ne!(
+            CacheKind::Instruction.index(),
+            CacheKind::Data.index()
+        );
+        assert_eq!(CacheKind::BOTH.len(), 2);
+    }
+
+    #[test]
+    fn indices_match_raw_values() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(CpuId(7).index(), 7);
+        assert_eq!(BankId(3).index(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! The simulated physical address-space layout shared by the workload
+//! generators.
+//!
+//! A simple bump allocator hands out 8 KB-aligned regions; keeping every
+//! workload's regions in one map makes the generated reference streams
+//! reproducible and lets multi-chip configurations interleave pages
+//! across homes deterministically.
+
+use piranha_types::Addr;
+
+/// One allocated region of simulated physical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte.
+    pub base: Addr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl Region {
+    /// The byte address at `offset` into the region, wrapping at the
+    /// region size (so any index is valid).
+    pub fn at(&self, offset: u64) -> Addr {
+        Addr(self.base.0 + offset % self.size)
+    }
+
+    /// The address of the `i`-th fixed-size record.
+    pub fn record(&self, i: u64, record_bytes: u64) -> Addr {
+        self.at(i * record_bytes)
+    }
+
+    /// Number of whole 64-byte lines in the region.
+    pub fn lines(&self) -> u64 {
+        self.size / piranha_types::LINE_BYTES
+    }
+}
+
+/// A bump allocator over the simulated physical address space.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_workloads::Layout;
+/// let mut l = Layout::new();
+/// let code = l.alloc("code", 64 * 1024);
+/// let heap = l.alloc("heap", 1 << 20);
+/// assert!(heap.base.0 >= code.base.0 + code.size);
+/// ```
+#[derive(Debug, Default)]
+pub struct Layout {
+    next: u64,
+    regions: Vec<(String, Region)>,
+}
+
+/// Alignment of every region (one OS page).
+pub const REGION_ALIGN: u64 = 8192;
+
+impl Layout {
+    /// An empty layout starting at a non-zero base (so that address 0
+    /// stays unused and bugs surface).
+    pub fn new() -> Self {
+        Layout { next: REGION_ALIGN, regions: Vec::new() }
+    }
+
+    /// Allocate a named region of at least `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&mut self, name: &str, size: u64) -> Region {
+        assert!(size > 0, "zero-sized region {name:?}");
+        let size = size.div_ceil(REGION_ALIGN) * REGION_ALIGN;
+        let r = Region { base: Addr(self.next), size };
+        self.next += size;
+        self.regions.push((name.to_string(), r));
+        r
+    }
+
+    /// Total bytes allocated.
+    pub fn allocated(&self) -> u64 {
+        self.next - REGION_ALIGN
+    }
+
+    /// Look up a region by name (for tests/reports).
+    pub fn get(&self, name: &str) -> Option<Region> {
+        self.regions.iter().find(|(n, _)| n == name).map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut l = Layout::new();
+        let a = l.alloc("a", 100);
+        let b = l.alloc("b", 8192);
+        let c = l.alloc("c", 8193);
+        assert_eq!(a.size, 8192, "rounded up");
+        assert_eq!(b.base.0 % REGION_ALIGN, 0);
+        assert_eq!(b.base.0, a.base.0 + a.size);
+        assert_eq!(c.size, 16384);
+        assert_eq!(l.allocated(), 8192 + 8192 + 16384);
+        assert_eq!(l.get("b"), Some(b));
+        assert_eq!(l.get("nope"), None);
+    }
+
+    #[test]
+    fn record_addressing_wraps() {
+        let r = Region { base: Addr(0x10000), size: 8192 };
+        assert_eq!(r.record(0, 128).0, 0x10000);
+        assert_eq!(r.record(2, 128).0, 0x10100);
+        // Index past the end wraps (generators can over-index safely).
+        assert_eq!(r.at(8192).0, 0x10000);
+        assert_eq!(r.lines(), 128);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's 8-CPU Piranha chip, run the OLTP
+//! workload, and print the headline numbers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use piranha::experiments::RunScale;
+use piranha::workloads::{OltpConfig, Workload};
+use piranha::{Machine, SystemConfig};
+
+fn main() {
+    let scale = RunScale::quick();
+
+    // The paper's two single-chip contenders (Table 1).
+    let p8 = SystemConfig::piranha_p8();
+    let ooo = SystemConfig::ooo();
+    println!("Configurations:\n{}", piranha::experiments::table1());
+
+    let workload = Workload::Oltp(OltpConfig::paper_default());
+
+    println!("Running OLTP on P8 (8 x 500 MHz in-order CPUs)...");
+    let mut m = Machine::new(p8, &workload);
+    let rp8 = m.run(scale.warmup, scale.measure);
+    let b = rp8.breakdown();
+    println!(
+        "  throughput {:.2} instrs/ns | busy {:.0}% | L2-hit stall {:.0}% | L2-miss stall {:.0}%",
+        rp8.throughput_ipns(),
+        b.busy * 100.0,
+        b.l2_hit * 100.0,
+        b.l2_miss * 100.0
+    );
+    let (hit, fwd, miss) = rp8.l1_miss_breakdown();
+    println!(
+        "  L1 misses served by: L2 {:.0}% | another L1 {:.0}% | memory {:.0}%",
+        hit * 100.0,
+        fwd * 100.0,
+        miss * 100.0
+    );
+    println!("  RDRAM open-page hit rate: {:.0}%", m.mem_page_hit_rate() * 100.0);
+
+    println!("Running OLTP on OOO (1 GHz 4-issue out-of-order)...");
+    let mut m = Machine::new(ooo, &workload);
+    let rooo = m.run(scale.warmup, scale.measure);
+    println!("  throughput {:.2} instrs/ns", rooo.throughput_ipns());
+
+    println!(
+        "\nP8 outperforms OOO by {:.2}x on OLTP (paper: 2.3-2.9x)",
+        rp8.speedup_over(&rooo)
+    );
+}

@@ -1,0 +1,131 @@
+//! Whole-chip coherence integration tests: the intra-chip protocol of
+//! paper §2.3 exercised end-to-end through the event-driven machine.
+
+use piranha::workloads::{SynthConfig, Workload};
+use piranha::{Machine, SystemConfig};
+
+fn quick(cfg: SystemConfig, w: &Workload, instrs: u64) -> Machine {
+    let mut m = Machine::new(cfg, w);
+    m.run_until_total(instrs);
+    m
+}
+
+/// Heavy sharing on the 8-CPU chip never violates the single-writer /
+/// dup-tag invariants, checked at several quiescent points.
+#[test]
+fn eight_cpu_sharing_invariants_hold_over_time() {
+    let mut cfg = SystemConfig::piranha_p8();
+    cfg.cpu_quantum = 500;
+    let w = Workload::Synth(SynthConfig::heavy());
+    let mut m = Machine::new(cfg, &w);
+    for step in 1..=6u64 {
+        m.run_until_total(step * 40_000);
+        m.check_coherence();
+    }
+}
+
+/// A write-heavy, tiny-shared-region configuration maximizes upgrade and
+/// invalidation traffic; invariants must still hold.
+#[test]
+fn write_storm_on_hot_lines() {
+    let w = Workload::Synth(SynthConfig {
+        load_frac: 0.25,
+        store_frac: 0.35,
+        shared_frac: 0.8,
+        shared_bytes: 4 * 1024, // 64 hot lines fought over by 8 CPUs
+        ..SynthConfig::light()
+    });
+    let mut cfg = SystemConfig::piranha_p8();
+    cfg.cpu_quantum = 300;
+    let m = quick(cfg, &w, 200_000);
+    m.check_coherence();
+    let stats = m.cpu_stats();
+    let fwd: u64 = stats.iter().map(|s| s.fills[1]).sum();
+    assert!(fwd > 0, "hot-line contention must produce L1-to-L1 forwards");
+}
+
+/// Figure-6(b) mechanism: with one CPU there are no forwards; with eight
+/// CPUs on a shared footprint, forwards appear and L2 hits shrink.
+#[test]
+fn forward_fraction_grows_with_cpus() {
+    let w = Workload::Synth(SynthConfig::heavy());
+    let m1 = quick(SystemConfig::piranha_p1(), &w, 60_000);
+    let m8 = quick(SystemConfig::piranha_p8(), &w, 240_000);
+    let f = |m: &Machine| {
+        let s = m.cpu_stats();
+        let fwd: u64 = s.iter().map(|c| c.fills[1]).sum();
+        let all: u64 = s.iter().map(|c| c.fills.iter().sum::<u64>()).sum();
+        fwd as f64 / all.max(1) as f64
+    };
+    assert_eq!(f(&m1), 0.0, "a single CPU cannot forward to itself");
+    assert!(f(&m8) > 0.05, "sharing CPUs forward: {}", f(&m8));
+}
+
+/// The non-inclusive L2 serves as a victim cache: private footprints
+/// larger than L1 but smaller than L1+L2 stay on-chip.
+#[test]
+fn victim_caching_keeps_warm_footprint_on_chip() {
+    // 96KB private per CPU: exceeds the 64KB dL1, fits L1+L2 share.
+    let w = Workload::Synth(SynthConfig {
+        private_bytes: 96 << 10,
+        shared_frac: 0.0,
+        load_frac: 0.3,
+        store_frac: 0.1,
+        ..SynthConfig::light()
+    });
+    let mut m = Machine::new(SystemConfig::piranha_p1(), &w);
+    m.run(150_000, 100_000);
+    let s = &m.cpu_stats()[0];
+    let mem_frac = s.fills_l2_miss() as f64
+        / (s.fills_l2_hit() + s.fills_l2_fwd() + s.fills_l2_miss()).max(1) as f64;
+    assert!(
+        mem_frac < 0.12,
+        "warm 96KB footprint should be served on-chip, memory fraction {mem_frac}"
+    );
+}
+
+/// All CPUs make forward progress under heavy contention (no starvation
+/// from the pending-entry replay discipline).
+#[test]
+fn all_cpus_make_progress() {
+    let m = quick(SystemConfig::piranha_p8(), &Workload::Synth(SynthConfig::heavy()), 160_000);
+    for (i, s) in m.cpu_stats().iter().enumerate() {
+        assert!(s.instrs > 5_000, "cpu {i} starved: {} instrs", s.instrs);
+    }
+}
+
+/// The OOO chip (single CPU, unified L2) runs the same machinery.
+#[test]
+fn ooo_chip_coherence() {
+    let m = quick(SystemConfig::ooo(), &Workload::Synth(SynthConfig::heavy()), 80_000);
+    m.check_coherence();
+}
+
+/// Identical seeds give bit-identical executions; different seeds differ.
+#[test]
+fn determinism_and_seed_sensitivity() {
+    let run = |seed: u64| {
+        let mut cfg = SystemConfig::piranha_pn(4);
+        cfg.seed = seed;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(20_000, 60_000);
+        (r.total_instrs(), r.window, m.now().as_ps())
+    };
+    assert_eq!(run(1), run(1));
+    assert_ne!(run(1), run(2));
+}
+
+/// The `wh64`-heavy OLTP workload exercises exclusive-without-data
+/// grants end to end.
+#[test]
+fn oltp_write_hints_complete() {
+    use piranha::workloads::OltpConfig;
+    let m = quick(
+        SystemConfig::piranha_pn(2),
+        &Workload::Oltp(OltpConfig::paper_default()),
+        80_000,
+    );
+    m.check_coherence();
+    let sb: u64 = m.cpu_stats().iter().map(|s| s.sb_reqs).sum();
+    assert!(sb > 100, "store-buffer transactions flowed: {sb}");
+}
