@@ -44,7 +44,9 @@ node) is structural and unit-tested in piranha-protocol::msg",
     );
     let mut g = c.benchmark_group("cmi");
     g.bench_function("routes4", |b| b.iter(|| std::hint::black_box(run(4))));
-    g.bench_function("point_to_point", |b| b.iter(|| std::hint::black_box(run(1024))));
+    g.bench_function("point_to_point", |b| {
+        b.iter(|| std::hint::black_box(run(1024)))
+    });
     g.finish();
 }
 

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use piranha::cache::{BankEvent, L1Cache, L1Config, L1Set, L2Bank, L2BankConfig, Mesi, Slot};
 use piranha::kernel::{EventQueue, Prng};
 use piranha::net::{encode22, Network, NetworkConfig, Packet, PacketKind, Topology};
-use piranha::types::{CpuId, CacheKind, Lane, LineAddr, NodeId, ReqType, SimTime};
+use piranha::types::{CacheKind, CpuId, Lane, LineAddr, NodeId, ReqType, SimTime};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("components/event_queue_push_pop", |b| {
@@ -84,10 +84,7 @@ fn bench(c: &mut Criterion) {
                 if d == s {
                     d = NodeId((d.0 + 1) % 16);
                 }
-                let (t, _) = net.send(
-                    last,
-                    Packet::new(s, d, Lane::Low, PacketKind::Short, 0),
-                );
+                let (t, _) = net.send(last, Packet::new(s, d, Lane::Low, PacketKind::Short, 0));
                 last = SimTime(last.0 + (t.0 - last.0) / 7);
             }
             std::hint::black_box(net.delivered())

@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
         };
         let r = bench_run(cfg.clone(), &w);
         let b0 = *base.get_or_insert(r.throughput_ipns());
-        println!("fig7 {} chips: speedup {:.2}", chips, r.throughput_ipns() / b0);
+        println!(
+            "fig7 {} chips: speedup {:.2}",
+            chips,
+            r.throughput_ipns() / b0
+        );
         g.bench_function(format!("oltp/chips{chips}"), |b| {
             b.iter(|| std::hint::black_box(bench_run(cfg.clone(), &w).total_instrs()))
         });

@@ -1,0 +1,32 @@
+//! Wall-clock comparison of the two full-evaluation paths: the old
+//! per-figure serial loop (`all_figures_serial`) versus the parallel,
+//! memoizing harness (`all_figures`). The memoized path runs each
+//! unique `(config, workload, scale)` tuple once and fans the unique
+//! runs out over worker threads, so the gap widens with core count.
+use criterion::{criterion_group, criterion_main, Criterion};
+use piranha::experiments::{self, RunScale};
+
+fn bench(c: &mut Criterion) {
+    // Small enough for Criterion iteration, big enough that simulation
+    // dominates the harness bookkeeping.
+    let scale = RunScale {
+        warmup: 10_000,
+        measure: 20_000,
+    };
+    let serial = experiments::all_figures_serial(scale);
+    let parallel = experiments::all_figures(scale);
+    assert_eq!(serial, parallel, "paths must agree before timing them");
+
+    let mut g = c.benchmark_group("all_figures");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(experiments::all_figures_serial(scale)))
+    });
+    g.bench_function("parallel_memoized", |b| {
+        b.iter(|| std::hint::black_box(experiments::all_figures(scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

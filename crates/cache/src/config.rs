@@ -17,12 +17,18 @@ pub struct L1Config {
 impl L1Config {
     /// The paper's baseline L1: 64 KB, 2-way (Table 1).
     pub fn paper_default() -> Self {
-        L1Config { size_bytes: 64 * 1024, ways: 2 }
+        L1Config {
+            size_bytes: 64 * 1024,
+            ways: 2,
+        }
     }
 
     /// The pessimistic L1 from the §4 sensitivity study: 32 KB, 1-way.
     pub fn pessimistic() -> Self {
-        L1Config { size_bytes: 32 * 1024, ways: 1 }
+        L1Config {
+            size_bytes: 32 * 1024,
+            ways: 1,
+        }
     }
 
     /// Number of sets.
@@ -67,12 +73,18 @@ pub struct L2BankConfig {
 impl L2BankConfig {
     /// One of Piranha's eight banks: 128 KB, 8-way.
     pub fn paper_default() -> Self {
-        L2BankConfig { size_bytes: 128 * 1024, ways: 8 }
+        L2BankConfig {
+            size_bytes: 128 * 1024,
+            ways: 8,
+        }
     }
 
     /// The OOO baseline's unified L2 modelled as one bank: 1.5 MB, 6-way.
     pub fn ooo_unified() -> Self {
-        L2BankConfig { size_bytes: 1536 * 1024, ways: 6 }
+        L2BankConfig {
+            size_bytes: 1536 * 1024,
+            ways: 6,
+        }
     }
 
     /// Number of sets.
@@ -132,6 +144,10 @@ mod tests {
     #[should_panic(expected = "does not tile")]
     fn bad_geometry_panics() {
         // 7 lines do not tile into 2-way sets.
-        L1Config { size_bytes: 7 * 64, ways: 2 }.sets();
+        L1Config {
+            size_bytes: 7 * 64,
+            ways: 2,
+        }
+        .sets();
     }
 }

@@ -174,7 +174,11 @@ impl DupEntry {
     /// Panics if the owner is an L1 — L1 versions live in the real L1
     /// arrays; callers must fetch them there. Only valid for L2 owner.
     pub fn l2_owner_version(&self) -> u64 {
-        assert_eq!(self.owner, Owner::L2, "owner is an L1; read its version from the L1");
+        assert_eq!(
+            self.owner,
+            Owner::L2,
+            "owner is an L1; read its version from the L1"
+        );
         self.l2_version
     }
 }
@@ -254,7 +258,9 @@ impl DupTags {
     /// L1). Ownership passes to `new_owner` if given, else to any
     /// remaining L1 sharer. Returns whether the entry still exists.
     pub fn clear_l2(&mut self, line: LineAddr, new_owner: Option<Slot>) -> bool {
-        let Some(e) = self.lines.get_mut(&line) else { return false };
+        let Some(e) = self.lines.get_mut(&line) else {
+            return false;
+        };
         e.in_l2 = false;
         e.l2_dirty = false;
         if e.owner == Owner::L2 {

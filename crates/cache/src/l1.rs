@@ -70,7 +70,11 @@ impl L1Cache {
     /// An empty cache with the given geometry.
     pub fn new(cfg: L1Config) -> Self {
         let sets = cfg.sets();
-        L1Cache { cfg, sets: vec![vec![None; cfg.ways]; sets], tick: 0 }
+        L1Cache {
+            cfg,
+            sets: vec![vec![None; cfg.ways]; sets],
+            tick: 0,
+        }
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
@@ -100,7 +104,8 @@ impl L1Cache {
 
     /// The data version of `line`, if present.
     pub fn version(&self, line: LineAddr) -> Option<u64> {
-        self.find(line).map(|(si, wi)| self.sets[si][wi].unwrap().version)
+        self.find(line)
+            .map(|(si, wi)| self.sets[si][wi].unwrap().version)
     }
 
     /// Attempt a read (load or instruction fetch). Returns whether it hit;
@@ -144,10 +149,18 @@ impl L1Cache {
     /// one outstanding miss per line) or if `state` is Invalid.
     pub fn fill(&mut self, line: LineAddr, state: Mesi, version: u64) -> Option<Victim> {
         assert!(state.readable(), "cannot fill a line as Invalid");
-        assert!(self.find(line).is_none(), "fill of already-present line {line}");
+        assert!(
+            self.find(line).is_none(),
+            "fill of already-present line {line}"
+        );
         let si = self.set_index(line);
         self.tick += 1;
-        let entry = Entry { tag: line.0, state, version, stamp: self.tick };
+        let entry = Entry {
+            tag: line.0,
+            state,
+            version,
+            stamp: self.tick,
+        };
         // Prefer an invalid way.
         if let Some(wi) = self.sets[si].iter().position(Option::is_none) {
             self.sets[si][wi] = Some(entry);
@@ -160,7 +173,11 @@ impl L1Cache {
             .min_by_key(|(_, e)| e.unwrap().stamp)
             .expect("set has ways");
         let old = self.sets[si][wi].replace(entry).unwrap();
-        Some(Victim { line: LineAddr(old.tag), state: old.state, version: old.version })
+        Some(Victim {
+            line: LineAddr(old.tag),
+            state: old.state,
+            version: old.version,
+        })
     }
 
     /// Grant an upgrade: S → M for a pending store, stamping `version`.
@@ -240,7 +257,9 @@ use crate::dup::Slot;
 impl L1Set {
     /// Create `cpus * 2` caches with the given geometry.
     pub fn new(cpus: usize, cfg: L1Config) -> Self {
-        L1Set { caches: (0..cpus * 2).map(|_| L1Cache::new(cfg)).collect() }
+        L1Set {
+            caches: (0..cpus * 2).map(|_| L1Cache::new(cfg)).collect(),
+        }
     }
 
     /// The cache at `slot`.
@@ -273,7 +292,10 @@ impl L1Set {
 
     /// Iterate over `(slot, cache)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Slot, &L1Cache)> {
-        self.caches.iter().enumerate().map(|(i, c)| (Slot(i as u8), c))
+        self.caches
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (Slot(i as u8), c))
     }
 
     /// Simultaneous mutable access to one CPU's iL1 and dL1 (used by the
@@ -282,10 +304,7 @@ impl L1Set {
     /// # Panics
     ///
     /// Panics if `cpu` exceeds the number of CPUs.
-    pub fn pair_mut(
-        &mut self,
-        cpu: piranha_types::CpuId,
-    ) -> (&mut L1Cache, &mut L1Cache) {
+    pub fn pair_mut(&mut self, cpu: piranha_types::CpuId) -> (&mut L1Cache, &mut L1Cache) {
         let i = cpu.index() * 2;
         let (a, b) = self.caches.split_at_mut(i + 1);
         (&mut a[i], &mut b[0])
@@ -298,7 +317,10 @@ mod tests {
 
     fn tiny() -> L1Cache {
         // 2 sets x 2 ways for eviction-focused tests.
-        L1Cache::new(L1Config { size_bytes: 4 * 64, ways: 2 })
+        L1Cache::new(L1Config {
+            size_bytes: 4 * 64,
+            ways: 2,
+        })
     }
 
     // Lines that map to set 0 of the tiny cache.
@@ -338,7 +360,10 @@ mod tests {
         l1.fill(set0(0), Mesi::Shared, 0);
         l1.fill(set0(1), Mesi::Shared, 0);
         l1.invalidate(set0(0));
-        assert!(l1.fill(set0(2), Mesi::Shared, 0).is_none(), "no eviction needed");
+        assert!(
+            l1.fill(set0(2), Mesi::Shared, 0).is_none(),
+            "no eviction needed"
+        );
         assert!(l1.access_read(set0(1)));
     }
 
@@ -349,7 +374,11 @@ mod tests {
         assert_eq!(l1.store(line, 5), StoreOutcome::Miss);
         l1.fill(line, Mesi::Shared, 1);
         assert_eq!(l1.store(line, 5), StoreOutcome::NeedUpgrade);
-        assert_eq!(l1.state(line), Mesi::Shared, "failed store must not change state");
+        assert_eq!(
+            l1.state(line),
+            Mesi::Shared,
+            "failed store must not change state"
+        );
         l1.upgrade(line, 5);
         assert_eq!(l1.state(line), Mesi::Modified);
         assert_eq!(l1.version(line), Some(5));
@@ -389,7 +418,14 @@ mod tests {
         l1.access_read(set0(1));
         // set0(0) is LRU despite being dirty.
         let v = l1.fill(set0(2), Mesi::Shared, 0).unwrap();
-        assert_eq!(v, Victim { line: set0(0), state: Mesi::Modified, version: 42 });
+        assert_eq!(
+            v,
+            Victim {
+                line: set0(0),
+                state: Mesi::Modified,
+                version: 42
+            }
+        );
     }
 
     #[test]
@@ -417,7 +453,10 @@ mod tests {
         got.sort();
         assert_eq!(
             got,
-            vec![(LineAddr(0), Mesi::Shared, 1), (LineAddr(1), Mesi::Modified, 2)]
+            vec![
+                (LineAddr(0), Mesi::Shared, 1),
+                (LineAddr(1), Mesi::Modified, 2)
+            ]
         );
         assert_eq!(l1.len(), 2);
         assert!(!l1.is_empty());

@@ -244,8 +244,15 @@ pub enum MissWaiter {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PendKind {
-    LocalMiss { slot: Slot, req: ReqType, home_local: bool, store_version: Option<u64> },
-    Export { excl: bool },
+    LocalMiss {
+        slot: Slot,
+        req: ReqType,
+        home_local: bool,
+        store_version: Option<u64>,
+    },
+    Export {
+        excl: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -265,7 +272,10 @@ struct L2Array {
 
 impl L2Array {
     fn new(cfg: L2BankConfig) -> Self {
-        L2Array { sets: vec![vec![None; cfg.ways]; cfg.sets()], tick: 0 }
+        L2Array {
+            sets: vec![vec![None; cfg.ways]; cfg.sets()],
+            tick: 0,
+        }
     }
 
     fn set_index(&self, line: LineAddr) -> usize {
@@ -274,7 +284,9 @@ impl L2Array {
 
     fn contains(&self, line: LineAddr) -> bool {
         let si = self.set_index(line);
-        self.sets[si].iter().any(|e| e.is_some_and(|(t, _)| t == line.0))
+        self.sets[si]
+            .iter()
+            .any(|e| e.is_some_and(|(t, _)| t == line.0))
     }
 
     /// Allocate `line`, returning the evicted line if the set was full.
@@ -294,7 +306,10 @@ impl L2Array {
             .filter(|(_, e)| !avoid(LineAddr(e.unwrap().0)))
             .min_by_key(|(_, e)| e.unwrap().1)
             .or_else(|| {
-                self.sets[si].iter().enumerate().min_by_key(|(_, e)| e.unwrap().1)
+                self.sets[si]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.unwrap().1)
             });
         let (wi, _) = pick.expect("set has ways");
         let old = self.sets[si][wi].replace((line.0, self.tick)).unwrap();
@@ -303,7 +318,10 @@ impl L2Array {
 
     fn remove(&mut self, line: LineAddr) {
         let si = self.set_index(line);
-        if let Some(w) = self.sets[si].iter_mut().find(|e| e.is_some_and(|(t, _)| t == line.0)) {
+        if let Some(w) = self.sets[si]
+            .iter_mut()
+            .find(|e| e.is_some_and(|(t, _)| t == line.0))
+        {
             *w = None;
         }
     }
@@ -351,7 +369,10 @@ impl L2Bank {
     ///
     /// Panics if `bank_id >= bank_count` or `bank_count == 0`.
     pub fn new(cfg: L2BankConfig, bank_id: u64, bank_count: u64) -> Self {
-        assert!(bank_count > 0 && bank_id < bank_count, "invalid bank interleave");
+        assert!(
+            bank_count > 0 && bank_id < bank_count,
+            "invalid bank interleave"
+        );
         L2Bank {
             dup: DupTags::new(),
             array: L2Array::new(cfg),
@@ -392,26 +413,57 @@ impl L2Bank {
     pub fn handle(&mut self, ev: BankEvent, l1s: &mut L1Set) -> Vec<BankAction> {
         let mut out = Vec::new();
         match ev {
-            BankEvent::Miss { slot, req, line, home_local, store_version } => {
+            BankEvent::Miss {
+                slot,
+                req,
+                line,
+                home_local,
+                store_version,
+            } => {
                 assert!(self.owns(line), "miss for line {line} routed to wrong bank");
                 if let Some(p) = self.pending.get_mut(&line) {
-                    p.waiters.push_back(MissWaiter::Miss { slot, req, home_local, store_version });
+                    p.waiters.push_back(MissWaiter::Miss {
+                        slot,
+                        req,
+                        home_local,
+                        store_version,
+                    });
                 } else {
                     self.start_miss(slot, req, line, home_local, store_version, l1s, &mut out);
                 }
             }
-            BankEvent::Victim { slot, line, state, version } => {
-                assert!(self.owns(line), "victim for line {line} routed to wrong bank");
+            BankEvent::Victim {
+                slot,
+                line,
+                state,
+                version,
+            } => {
+                assert!(
+                    self.owns(line),
+                    "victim for line {line} routed to wrong bank"
+                );
                 self.victim(slot, line, state, version, &mut out);
             }
-            BankEvent::MemData { line, version, remote } => {
+            BankEvent::MemData {
+                line,
+                version,
+                remote,
+            } => {
                 self.mem_data(line, version, remote, l1s, &mut out);
             }
-            BankEvent::RemoteFill { line, grant, version, source } => {
+            BankEvent::RemoteFill {
+                line,
+                grant,
+                version,
+                source,
+            } => {
                 self.remote_fill(line, grant, version, source, l1s, &mut out);
             }
             BankEvent::Export { line, excl } => {
-                assert!(self.owns(line), "export for line {line} routed to wrong bank");
+                assert!(
+                    self.owns(line),
+                    "export for line {line} routed to wrong bank"
+                );
                 if let Some(p) = self.pending.get_mut(&line) {
                     p.waiters.push_back(MissWaiter::Export { excl });
                 } else {
@@ -445,16 +497,29 @@ impl L2Bank {
             return;
         }
         // No on-chip copy at all.
-        let eff_req = if req == ReqType::Upgrade { ReqType::ReadEx } else { req };
+        let eff_req = if req == ReqType::Upgrade {
+            ReqType::ReadEx
+        } else {
+            req
+        };
         if home_local {
             out.push(BankAction::ReadMem { line });
         } else {
-            out.push(BankAction::RemoteReq { slot, line, req: eff_req });
+            out.push(BankAction::RemoteReq {
+                slot,
+                line,
+                req: eff_req,
+            });
         }
         self.pending.insert(
             line,
             Pending {
-                kind: PendKind::LocalMiss { slot, req: eff_req, home_local, store_version },
+                kind: PendKind::LocalMiss {
+                    slot,
+                    req: eff_req,
+                    home_local,
+                    store_version,
+                },
                 waiters: VecDeque::new(),
             },
         );
@@ -559,11 +624,20 @@ impl L2Bank {
             ExtState::HeldShared => {
                 // We only hold shared rights: upgrade through home. Local
                 // copies stay readable while we wait.
-                out.push(BankAction::RemoteReq { slot, line, req: ReqType::Upgrade });
+                out.push(BankAction::RemoteReq {
+                    slot,
+                    line,
+                    req: ReqType::Upgrade,
+                });
                 self.pending.insert(
                     line,
                     Pending {
-                        kind: PendKind::LocalMiss { slot, req, home_local, store_version },
+                        kind: PendKind::LocalMiss {
+                            slot,
+                            req,
+                            home_local,
+                            store_version,
+                        },
                         waiters: VecDeque::new(),
                     },
                 );
@@ -712,7 +786,10 @@ impl L2Bank {
     /// Evict a line from the L2 array (capacity): dirty data is written
     /// home; clean data is dropped silently.
     fn evict_l2_line(&mut self, line: LineAddr, out: &mut Vec<BankAction>) {
-        let e = self.dup.get(line).expect("L2-resident line has a dup entry");
+        let e = self
+            .dup
+            .get(line)
+            .expect("L2-resident line has a dup entry");
         assert!(e.in_l2, "array and dup tags disagree");
         let (dirty, version, ext) = (e.l2_dirty, e.l2_version, e.ext);
         self.array.remove(line);
@@ -747,9 +824,17 @@ impl L2Bank {
         l1s: &mut L1Set,
         out: &mut Vec<BankAction>,
     ) {
-        let p = self.pending.get(&line).expect("MemData without pending transaction");
+        let p = self
+            .pending
+            .get(&line)
+            .expect("MemData without pending transaction");
         match p.kind {
-            PendKind::LocalMiss { slot, req, home_local, store_version } => {
+            PendKind::LocalMiss {
+                slot,
+                req,
+                home_local,
+                store_version,
+            } => {
                 debug_assert!(home_local, "memory reads only happen for local homes");
                 match (req, remote) {
                     (_, RemoteSummary::Exclusive) => {
@@ -758,7 +843,15 @@ impl L2Bank {
                         out.push(BankAction::HomeRecall { slot, line, req });
                     }
                     (ReqType::Read, RemoteSummary::None) => {
-                        self.fill_from_mem(slot, line, Mesi::Exclusive, version, ExtState::HomeOnly, l1s, out);
+                        self.fill_from_mem(
+                            slot,
+                            line,
+                            Mesi::Exclusive,
+                            version,
+                            ExtState::HomeOnly,
+                            l1s,
+                            out,
+                        );
                         self.complete(line, l1s, out);
                     }
                     (ReqType::Read, RemoteSummary::Shared) => {
@@ -775,7 +868,15 @@ impl L2Bank {
                     }
                     (_, RemoteSummary::None) => {
                         let sv = store_version.expect("store request carries a version");
-                        self.fill_from_mem(slot, line, Mesi::Modified, sv, ExtState::HomeOnly, l1s, out);
+                        self.fill_from_mem(
+                            slot,
+                            line,
+                            Mesi::Modified,
+                            sv,
+                            ExtState::HomeOnly,
+                            l1s,
+                            out,
+                        );
                         self.complete(line, l1s, out);
                     }
                     (_, RemoteSummary::Shared) => {
@@ -784,13 +885,26 @@ impl L2Bank {
                         // valid, sharers are clean).
                         let sv = store_version.expect("store request carries a version");
                         out.push(BankAction::HomeInvalRemote { line });
-                        self.fill_from_mem(slot, line, Mesi::Modified, sv, ExtState::HomeOnly, l1s, out);
+                        self.fill_from_mem(
+                            slot,
+                            line,
+                            Mesi::Modified,
+                            sv,
+                            ExtState::HomeOnly,
+                            l1s,
+                            out,
+                        );
                         self.complete(line, l1s, out);
                     }
                 }
             }
             PendKind::Export { excl: _ } => {
-                out.push(BankAction::ExportReply { line, version, dirty: false, cached: false });
+                out.push(BankAction::ExportReply {
+                    line,
+                    version,
+                    dirty: false,
+                    cached: false,
+                });
                 self.complete(line, l1s, out);
             }
         }
@@ -831,8 +945,17 @@ impl L2Bank {
         l1s: &mut L1Set,
         out: &mut Vec<BankAction>,
     ) {
-        let p = self.pending.get(&line).expect("RemoteFill without pending transaction");
-        let PendKind::LocalMiss { slot, req: _, home_local, store_version } = p.kind else {
+        let p = self
+            .pending
+            .get(&line)
+            .expect("RemoteFill without pending transaction");
+        let PendKind::LocalMiss {
+            slot,
+            req: _,
+            home_local,
+            store_version,
+        } = p.kind
+        else {
             panic!("RemoteFill for an export transaction");
         };
         let ext = if grant.writable() {
@@ -846,8 +969,11 @@ impl L2Bank {
         } else {
             ExtState::HeldShared
         };
-        let requester_holds =
-            self.dup.get(line).map(|e| e.l1_state(slot).readable()).unwrap_or(false);
+        let requester_holds = self
+            .dup
+            .get(line)
+            .map(|e| e.l1_state(slot).readable())
+            .unwrap_or(false);
         if requester_holds {
             // Upgrade completion: promote in place; invalidate any other
             // local holders (exclusivity is now node-wide ours).
@@ -884,9 +1010,9 @@ impl L2Bank {
             // copy while a data-less upgrade acknowledgement was in
             // flight; the data is then still on-chip with the owner
             // (silent drops are non-owner drops), so serve it from there.
-            let version = version.or_else(|| self.node_version(line, l1s)).expect(
-                "protocol must supply data when the node lost its copy (no-NAK guarantee)",
-            );
+            let version = version
+                .or_else(|| self.node_version(line, l1s))
+                .expect("protocol must supply data when the node lost its copy (no-NAK guarantee)");
             // On-chip copies (if any) must be gone for an exclusive grant.
             if grant.writable() {
                 self.purge_on_chip(line, l1s, out);
@@ -900,7 +1026,14 @@ impl L2Bank {
             let en = self.dup.get_mut(line).unwrap();
             en.owner = Owner::L1(slot);
             en.ext = ext;
-            out.push(BankAction::Grant { slot, line, state, version: v, source, upgraded: false });
+            out.push(BankAction::Grant {
+                slot,
+                line,
+                state,
+                version: v,
+                source,
+                upgraded: false,
+            });
         }
         self.complete(line, l1s, out);
     }
@@ -942,14 +1075,20 @@ impl L2Bank {
             out.push(BankAction::ReadMem { line });
             self.pending.insert(
                 line,
-                Pending { kind: PendKind::Export { excl }, waiters: VecDeque::new() },
+                Pending {
+                    kind: PendKind::Export { excl },
+                    waiters: VecDeque::new(),
+                },
             );
             return;
         };
         let (version, dirty) = match e.owner {
             Owner::L2 => (e.l2_version, e.l2_dirty || e.node_dirty),
             Owner::L1(o) => {
-                let v = l1s.get(o).version(line).expect("dup tags said owner holds it");
+                let v = l1s
+                    .get(o)
+                    .version(line)
+                    .expect("dup tags said owner holds it");
                 let st = l1s.get(o).state(line);
                 (v, st.dirty() || e.node_dirty)
             }
@@ -974,7 +1113,12 @@ impl L2Bank {
                 ExtState::HeldShared
             };
         }
-        out.push(BankAction::ExportReply { line, version, dirty, cached: true });
+        out.push(BankAction::ExportReply {
+            line,
+            version,
+            dirty,
+            cached: true,
+        });
     }
 
     fn inval_all(&mut self, line: LineAddr, l1s: &mut L1Set, out: &mut Vec<BankAction>) {
@@ -984,11 +1128,18 @@ impl L2Bank {
     /// Complete the pending transaction on `line` and replay queued
     /// waiters in arrival order.
     fn complete(&mut self, line: LineAddr, l1s: &mut L1Set, out: &mut Vec<BankAction>) {
-        let Some(p) = self.pending.remove(&line) else { return };
+        let Some(p) = self.pending.remove(&line) else {
+            return;
+        };
         let mut waiters = p.waiters;
         while let Some(w) = waiters.pop_front() {
             match w {
-                MissWaiter::Miss { slot, req, home_local, store_version } => {
+                MissWaiter::Miss {
+                    slot,
+                    req,
+                    home_local,
+                    store_version,
+                } => {
                     self.start_miss(slot, req, line, home_local, store_version, l1s, out);
                 }
                 MissWaiter::Export { excl } => {
@@ -1056,7 +1207,11 @@ mod tests {
     }
 
     fn mem_data(line: u64, version: u64, remote: RemoteSummary) -> BankEvent {
-        BankEvent::MemData { line: LineAddr(line), version, remote }
+        BankEvent::MemData {
+            line: LineAddr(line),
+            version,
+            remote,
+        }
     }
 
     /// Cold read fills from memory, no L2 allocation, clean-exclusive.
@@ -1064,14 +1219,27 @@ mod tests {
     fn cold_read_fills_exclusive_bypassing_l2() {
         let (mut bank, mut l1s) = setup();
         let a = bank.handle(read(d(0), 100, HOME), &mut l1s);
-        assert_eq!(a, vec![BankAction::ReadMem { line: LineAddr(100) }]);
+        assert_eq!(
+            a,
+            vec![BankAction::ReadMem {
+                line: LineAddr(100)
+            }]
+        );
         assert!(bank.is_pending(LineAddr(100)));
         let a = bank.handle(mem_data(100, 5, RemoteSummary::None), &mut l1s);
         assert!(matches!(
             a[0],
-            BankAction::Grant { state: Mesi::Exclusive, version: 5, source: FillSource::LocalMem, .. }
+            BankAction::Grant {
+                state: Mesi::Exclusive,
+                version: 5,
+                source: FillSource::LocalMem,
+                ..
+            }
         ));
-        assert!(!bank.in_array(LineAddr(100)), "non-inclusive: no L2 allocation on fill");
+        assert!(
+            !bank.in_array(LineAddr(100)),
+            "non-inclusive: no L2 allocation on fill"
+        );
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Exclusive);
         assert!(!bank.is_pending(LineAddr(100)));
     }
@@ -1084,7 +1252,10 @@ mod tests {
         bank.handle(read(d(0), 100, HOME), &mut l1s);
         bank.handle(mem_data(100, 5, RemoteSummary::None), &mut l1s);
         let a = bank.handle(read(d(1), 100, HOME), &mut l1s);
-        assert!(a.contains(&BankAction::Downgrade { slot: d(0), line: LineAddr(100) }));
+        assert!(a.contains(&BankAction::Downgrade {
+            slot: d(0),
+            line: LineAddr(100)
+        }));
         assert!(matches!(
             a.last().unwrap(),
             BankAction::Grant { slot, state: Mesi::Shared, source: FillSource::L2Fwd, .. }
@@ -1093,7 +1264,11 @@ mod tests {
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Shared);
         assert_eq!(l1s.get(d(1)).state(LineAddr(100)), Mesi::Shared);
         let e = bank.dup().get(LineAddr(100)).unwrap();
-        assert_eq!(e.owner, Owner::L1(d(1)), "ownership moves to the last requester");
+        assert_eq!(
+            e.owner,
+            Owner::L1(d(1)),
+            "ownership moves to the last requester"
+        );
     }
 
     /// Store to a shared line upgrades in place and invalidates the other
@@ -1105,10 +1280,18 @@ mod tests {
         bank.handle(mem_data(100, 5, RemoteSummary::None), &mut l1s);
         bank.handle(read(d(1), 100, HOME), &mut l1s);
         let a = bank.handle(upgrade(d(1), 100, HOME, 9), &mut l1s);
-        assert!(a.contains(&BankAction::Inval { slot: d(0), line: LineAddr(100) }));
+        assert!(a.contains(&BankAction::Inval {
+            slot: d(0),
+            line: LineAddr(100)
+        }));
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::Grant { state: Mesi::Modified, version: 9, upgraded: true, .. }
+            BankAction::Grant {
+                state: Mesi::Modified,
+                version: 9,
+                upgraded: true,
+                ..
+            }
         ));
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Invalid);
         assert_eq!(l1s.get(d(1)).state(LineAddr(100)), Mesi::Modified);
@@ -1122,15 +1305,32 @@ mod tests {
         bank.handle(readex(d(0), 100, HOME, 7), &mut l1s);
         // pending memory read even for ReadEx
         let a = bank.handle(mem_data(100, 0, RemoteSummary::None), &mut l1s);
-        assert!(matches!(a[0], BankAction::Grant { state: Mesi::Modified, version: 7, .. }),
-            "store version stamped on fill: {a:?}");
+        assert!(
+            matches!(
+                a[0],
+                BankAction::Grant {
+                    state: Mesi::Modified,
+                    version: 7,
+                    ..
+                }
+            ),
+            "store version stamped on fill: {a:?}"
+        );
         // d(0) now holds M with version 7. Another CPU stores.
         let a = bank.handle(readex(d(1), 100, HOME, 8), &mut l1s);
-        assert!(a.contains(&BankAction::Inval { slot: d(0), line: LineAddr(100) }));
+        assert!(a.contains(&BankAction::Inval {
+            slot: d(0),
+            line: LineAddr(100)
+        }));
         let g = a
             .iter()
             .find_map(|x| match x {
-                BankAction::Grant { state, version, source, .. } => Some((*state, *version, *source)),
+                BankAction::Grant {
+                    state,
+                    version,
+                    source,
+                    ..
+                } => Some((*state, *version, *source)),
                 _ => None,
             })
             .unwrap();
@@ -1147,10 +1347,18 @@ mod tests {
         bank.handle(mem_data(100, 5, RemoteSummary::None), &mut l1s);
         // Owner evicts (clean E): still written to L2.
         let a = bank.handle(
-            BankEvent::Victim { slot: d(0), line: LineAddr(100), state: Mesi::Exclusive, version: 5 },
+            BankEvent::Victim {
+                slot: d(0),
+                line: LineAddr(100),
+                state: Mesi::Exclusive,
+                version: 5,
+            },
             &mut l1s,
         );
-        assert!(a.is_empty(), "clean write-back into L2 has no external action: {a:?}");
+        assert!(
+            a.is_empty(),
+            "clean write-back into L2 has no external action: {a:?}"
+        );
         assert!(bank.in_array(LineAddr(100)));
         let e = bank.dup().get(LineAddr(100)).unwrap();
         assert_eq!(e.owner, Owner::L2);
@@ -1159,9 +1367,17 @@ mod tests {
         let a = bank.handle(read(d(1), 100, HOME), &mut l1s);
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::Grant { state: Mesi::Exclusive, source: FillSource::L2Hit, version: 5, .. }
+            BankAction::Grant {
+                state: Mesi::Exclusive,
+                source: FillSource::L2Hit,
+                version: 5,
+                ..
+            }
         ));
-        assert!(!bank.in_array(LineAddr(100)), "L2 copy moves to the L1 (no duplicates)");
+        assert!(
+            !bank.in_array(LineAddr(100)),
+            "L2 copy moves to the L1 (no duplicates)"
+        );
     }
 
     /// Non-owner evictions are tag-only drops.
@@ -1171,16 +1387,26 @@ mod tests {
         bank.handle(read(d(0), 100, HOME), &mut l1s);
         bank.handle(mem_data(100, 5, RemoteSummary::None), &mut l1s);
         bank.handle(read(d(1), 100, HOME), &mut l1s); // d(1) now owner
-        // d(0) evicts its Shared copy: not the owner → silent.
+                                                      // d(0) evicts its Shared copy: not the owner → silent.
         let a = bank.handle(
-            BankEvent::Victim { slot: d(0), line: LineAddr(100), state: Mesi::Shared, version: 5 },
+            BankEvent::Victim {
+                slot: d(0),
+                line: LineAddr(100),
+                state: Mesi::Shared,
+                version: 5,
+            },
             &mut l1s,
         );
         assert!(a.is_empty());
         assert!(!bank.in_array(LineAddr(100)));
         // Owner d(1) evicts: write-back to L2.
         bank.handle(
-            BankEvent::Victim { slot: d(1), line: LineAddr(100), state: Mesi::Shared, version: 5 },
+            BankEvent::Victim {
+                slot: d(1),
+                line: LineAddr(100),
+                state: Mesi::Shared,
+                version: 5,
+            },
             &mut l1s,
         );
         assert!(bank.in_array(LineAddr(100)));
@@ -1198,7 +1424,12 @@ mod tests {
         assert!(bank.dup().get(LineAddr(100)).unwrap().node_dirty);
         // Owner d1 evicts its *Shared* copy: must still write back.
         bank.handle(
-            BankEvent::Victim { slot: d(1), line: LineAddr(100), state: Mesi::Shared, version: 7 },
+            BankEvent::Victim {
+                slot: d(1),
+                line: LineAddr(100),
+                state: Mesi::Shared,
+                version: 7,
+            },
             &mut l1s,
         );
         let e = bank.dup().get(LineAddr(100)).unwrap();
@@ -1208,7 +1439,13 @@ mod tests {
         // Directly exercise the eviction helper instead.
         let mut out = Vec::new();
         bank.evict_l2_line(LineAddr(100), &mut out);
-        assert_eq!(out, vec![BankAction::WriteMem { line: LineAddr(100), version: 7 }]);
+        assert_eq!(
+            out,
+            vec![BankAction::WriteMem {
+                line: LineAddr(100),
+                version: 7
+            }]
+        );
     }
 
     /// Concurrent misses to one line queue behind the pending entry and
@@ -1242,7 +1479,11 @@ mod tests {
         let a = bank.handle(read(d(0), 100, REMOTE), &mut l1s);
         assert_eq!(
             a,
-            vec![BankAction::RemoteReq { slot: d(0), line: LineAddr(100), req: ReqType::Read }]
+            vec![BankAction::RemoteReq {
+                slot: d(0),
+                line: LineAddr(100),
+                req: ReqType::Read
+            }]
         );
         let a = bank.handle(
             BankEvent::RemoteFill {
@@ -1253,13 +1494,26 @@ mod tests {
             },
             &mut l1s,
         );
-        assert!(matches!(a[0], BankAction::Grant { source: FillSource::RemoteMem, .. }));
-        assert_eq!(bank.dup().get(LineAddr(100)).unwrap().ext, ExtState::HeldShared);
+        assert!(matches!(
+            a[0],
+            BankAction::Grant {
+                source: FillSource::RemoteMem,
+                ..
+            }
+        ));
+        assert_eq!(
+            bank.dup().get(LineAddr(100)).unwrap().ext,
+            ExtState::HeldShared
+        );
         // A store on the held-shared copy must upgrade through home.
         let a = bank.handle(upgrade(d(0), 100, REMOTE, 9), &mut l1s);
         assert_eq!(
             a,
-            vec![BankAction::RemoteReq { slot: d(0), line: LineAddr(100), req: ReqType::Upgrade }]
+            vec![BankAction::RemoteReq {
+                slot: d(0),
+                line: LineAddr(100),
+                req: ReqType::Upgrade
+            }]
         );
         // Ack-only reply completes the upgrade in place.
         let a = bank.handle(
@@ -1273,9 +1527,17 @@ mod tests {
         );
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::Grant { state: Mesi::Modified, version: 9, upgraded: true, .. }
+            BankAction::Grant {
+                state: Mesi::Modified,
+                version: 9,
+                upgraded: true,
+                ..
+            }
         ));
-        assert_eq!(bank.dup().get(LineAddr(100)).unwrap().ext, ExtState::HeldExclusive);
+        assert_eq!(
+            bank.dup().get(LineAddr(100)).unwrap().ext,
+            ExtState::HeldExclusive
+        );
     }
 
     /// The upgrade race: an inter-node invalidation lands while our
@@ -1295,8 +1557,16 @@ mod tests {
         );
         bank.handle(upgrade(d(0), 100, REMOTE, 9), &mut l1s);
         // Invalidation wins the race at home and reaches us first.
-        let a = bank.handle(BankEvent::InvalAll { line: LineAddr(100) }, &mut l1s);
-        assert!(a.contains(&BankAction::Inval { slot: d(0), line: LineAddr(100) }));
+        let a = bank.handle(
+            BankEvent::InvalAll {
+                line: LineAddr(100),
+            },
+            &mut l1s,
+        );
+        assert!(a.contains(&BankAction::Inval {
+            slot: d(0),
+            line: LineAddr(100)
+        }));
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Invalid);
         assert!(bank.is_pending(LineAddr(100)), "upgrade still outstanding");
         // Home saw we were no longer a sharer and sent a full data reply.
@@ -1311,7 +1581,12 @@ mod tests {
         );
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::Grant { state: Mesi::Modified, version: 9, upgraded: false, .. }
+            BankAction::Grant {
+                state: Mesi::Modified,
+                version: 9,
+                upgraded: false,
+                ..
+            }
         ));
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Modified);
     }
@@ -1324,7 +1599,11 @@ mod tests {
         let a = bank.handle(mem_data(100, 0, RemoteSummary::Exclusive), &mut l1s);
         assert_eq!(
             a,
-            vec![BankAction::HomeRecall { slot: d(0), line: LineAddr(100), req: ReqType::Read }]
+            vec![BankAction::HomeRecall {
+                slot: d(0),
+                line: LineAddr(100),
+                req: ReqType::Read
+            }]
         );
         assert!(bank.is_pending(LineAddr(100)));
         let a = bank.handle(
@@ -1338,7 +1617,11 @@ mod tests {
         );
         assert!(matches!(
             a[0],
-            BankAction::Grant { source: FillSource::RemoteDirty, version: 20, .. }
+            BankAction::Grant {
+                source: FillSource::RemoteDirty,
+                version: 20,
+                ..
+            }
         ));
         assert_eq!(
             bank.dup().get(LineAddr(100)).unwrap().ext,
@@ -1354,12 +1637,21 @@ mod tests {
         let (mut bank, mut l1s) = setup();
         bank.handle(readex(d(0), 100, HOME, 7), &mut l1s);
         let a = bank.handle(mem_data(100, 4, RemoteSummary::Shared), &mut l1s);
-        assert!(a.contains(&BankAction::HomeInvalRemote { line: LineAddr(100) }));
+        assert!(a.contains(&BankAction::HomeInvalRemote {
+            line: LineAddr(100)
+        }));
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::Grant { state: Mesi::Modified, version: 7, .. }
+            BankAction::Grant {
+                state: Mesi::Modified,
+                version: 7,
+                ..
+            }
         ));
-        assert_eq!(bank.dup().get(LineAddr(100)).unwrap().ext, ExtState::HomeOnly);
+        assert_eq!(
+            bank.dup().get(LineAddr(100)).unwrap().ext,
+            ExtState::HomeOnly
+        );
     }
 
     /// Exclusive export destroys every on-chip copy and reports dirtiness.
@@ -1369,12 +1661,28 @@ mod tests {
         bank.handle(readex(d(0), 100, HOME, 7), &mut l1s);
         bank.handle(mem_data(100, 0, RemoteSummary::None), &mut l1s);
         bank.handle(read(d(1), 100, HOME), &mut l1s); // two sharers, node dirty
-        let a = bank.handle(BankEvent::Export { line: LineAddr(100), excl: true }, &mut l1s);
-        assert!(a.contains(&BankAction::Inval { slot: d(0), line: LineAddr(100) }));
-        assert!(a.contains(&BankAction::Inval { slot: d(1), line: LineAddr(100) }));
+        let a = bank.handle(
+            BankEvent::Export {
+                line: LineAddr(100),
+                excl: true,
+            },
+            &mut l1s,
+        );
+        assert!(a.contains(&BankAction::Inval {
+            slot: d(0),
+            line: LineAddr(100)
+        }));
+        assert!(a.contains(&BankAction::Inval {
+            slot: d(1),
+            line: LineAddr(100)
+        }));
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::ExportReply { version: 7, dirty: true, .. }
+            BankAction::ExportReply {
+                version: 7,
+                dirty: true,
+                ..
+            }
         ));
         assert!(bank.dup().get(LineAddr(100)).is_none());
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Invalid);
@@ -1388,26 +1696,58 @@ mod tests {
         let (mut bank, mut l1s) = setup();
         bank.handle(readex(d(0), 100, HOME, 7), &mut l1s);
         bank.handle(mem_data(100, 0, RemoteSummary::None), &mut l1s);
-        let a = bank.handle(BankEvent::Export { line: LineAddr(100), excl: false }, &mut l1s);
-        assert!(a.contains(&BankAction::Downgrade { slot: d(0), line: LineAddr(100) }));
+        let a = bank.handle(
+            BankEvent::Export {
+                line: LineAddr(100),
+                excl: false,
+            },
+            &mut l1s,
+        );
+        assert!(a.contains(&BankAction::Downgrade {
+            slot: d(0),
+            line: LineAddr(100)
+        }));
         assert!(matches!(
             a.last().unwrap(),
-            BankAction::ExportReply { version: 7, dirty: true, .. }
+            BankAction::ExportReply {
+                version: 7,
+                dirty: true,
+                ..
+            }
         ));
         assert_eq!(l1s.get(d(0)).state(LineAddr(100)), Mesi::Shared);
-        assert_eq!(bank.dup().get(LineAddr(100)).unwrap().ext, ExtState::HomeRemoteShared);
+        assert_eq!(
+            bank.dup().get(LineAddr(100)).unwrap().ext,
+            ExtState::HomeRemoteShared
+        );
     }
 
     /// Export with nothing on-chip reads memory.
     #[test]
     fn export_from_memory() {
         let (mut bank, mut l1s) = setup();
-        let a = bank.handle(BankEvent::Export { line: LineAddr(100), excl: false }, &mut l1s);
-        assert_eq!(a, vec![BankAction::ReadMem { line: LineAddr(100) }]);
+        let a = bank.handle(
+            BankEvent::Export {
+                line: LineAddr(100),
+                excl: false,
+            },
+            &mut l1s,
+        );
+        assert_eq!(
+            a,
+            vec![BankAction::ReadMem {
+                line: LineAddr(100)
+            }]
+        );
         let a = bank.handle(mem_data(100, 6, RemoteSummary::None), &mut l1s);
         assert_eq!(
             a,
-            vec![BankAction::ExportReply { line: LineAddr(100), version: 6, dirty: false, cached: false }]
+            vec![BankAction::ExportReply {
+                line: LineAddr(100),
+                version: 6,
+                dirty: false,
+                cached: false
+            }]
         );
     }
 
@@ -1427,12 +1767,23 @@ mod tests {
             &mut l1s,
         );
         bank.handle(
-            BankEvent::Victim { slot: d(0), line: LineAddr(100), state: Mesi::Modified, version: 7 },
+            BankEvent::Victim {
+                slot: d(0),
+                line: LineAddr(100),
+                state: Mesi::Modified,
+                version: 7,
+            },
             &mut l1s,
         );
         let mut out = Vec::new();
         bank.evict_l2_line(LineAddr(100), &mut out);
-        assert_eq!(out, vec![BankAction::RemoteWb { line: LineAddr(100), version: 7 }]);
+        assert_eq!(
+            out,
+            vec![BankAction::RemoteWb {
+                line: LineAddr(100),
+                version: 7
+            }]
+        );
         assert!(bank.dup().get(LineAddr(100)).is_none());
     }
 

@@ -26,7 +26,12 @@ pub struct TlbConfig {
 impl TlbConfig {
     /// The paper's TLB: 256 entries, 4-way, 8 KB pages.
     pub fn paper_default() -> Self {
-        TlbConfig { entries: 256, ways: 4, page_bytes: 8192, miss_penalty: 20 }
+        TlbConfig {
+            entries: 256,
+            ways: 4,
+            page_bytes: 8192,
+            miss_penalty: 20,
+        }
     }
 }
 
@@ -64,9 +69,18 @@ impl Tlb {
     ///
     /// Panics if the geometry does not tile into sets.
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways), "TLB geometry must tile");
+        assert!(
+            cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways),
+            "TLB geometry must tile"
+        );
         let sets = cfg.entries / cfg.ways;
-        Tlb { cfg, sets: vec![Vec::new(); sets], tick: 0, hits: 0, misses: 0 }
+        Tlb {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Look up (and on miss, fill) the mapping for `addr`; returns
@@ -164,13 +178,22 @@ mod tests {
                 t.access(Addr(p * 8192));
             }
         }
-        assert!(t.hit_rate() < 0.1, "cyclic over-reach thrashes: {}", t.hit_rate());
+        assert!(
+            t.hit_rate() < 0.1,
+            "cyclic over-reach thrashes: {}",
+            t.hit_rate()
+        );
     }
 
     #[test]
     fn lru_within_set() {
         // 2 entries, 2 ways: one set.
-        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, page_bytes: 8192, miss_penalty: 20 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            page_bytes: 8192,
+            miss_penalty: 20,
+        });
         t.access(Addr(0));
         t.access(Addr(8192));
         t.access(Addr(0)); // refresh page 0
@@ -182,6 +205,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "tile")]
     fn bad_geometry_panics() {
-        Tlb::new(TlbConfig { entries: 10, ways: 4, page_bytes: 8192, miss_penalty: 1 });
+        Tlb::new(TlbConfig {
+            entries: 10,
+            ways: 4,
+            page_bytes: 8192,
+            miss_penalty: 1,
+        });
     }
 }

@@ -7,9 +7,15 @@ fn main() {
         _ => RunScale::quick(),
     };
     let t0 = std::time::Instant::now();
-    println!("{}", experiments::render_bars("Fig5 OLTP", &experiments::fig5(&experiments::oltp(), scale)));
+    println!(
+        "{}",
+        experiments::render_bars("Fig5 OLTP", &experiments::fig5(&experiments::oltp(), scale))
+    );
     println!("[{:.1}s]", t0.elapsed().as_secs_f32());
-    println!("{}", experiments::render_bars("Fig5 DSS", &experiments::fig5(&experiments::dss(), scale)));
+    println!(
+        "{}",
+        experiments::render_bars("Fig5 DSS", &experiments::fig5(&experiments::dss(), scale))
+    );
     println!("[{:.1}s]", t0.elapsed().as_secs_f32());
     println!("Fig6a speedups: {:?}", experiments::fig6a(scale));
     println!("Fig6b breakdown: {:?}", experiments::fig6b(scale));

@@ -7,16 +7,24 @@ fn main() {
     let scale = scale_from_args();
     println!(
         "{}",
-        experiments::render_bars("Figure 5 — OLTP (normalized execution time, OOO = 100)",
-            &experiments::fig5(&experiments::oltp(), scale))
+        experiments::render_bars(
+            "Figure 5 — OLTP (normalized execution time, OOO = 100)",
+            &experiments::fig5(&experiments::oltp(), scale)
+        )
     );
     println!(
         "{}",
-        experiments::render_bars("Figure 5 — DSS (normalized execution time, OOO = 100)",
-            &experiments::fig5(&experiments::dss(), scale))
+        experiments::render_bars(
+            "Figure 5 — DSS (normalized execution time, OOO = 100)",
+            &experiments::fig5(&experiments::dss(), scale)
+        )
     );
 }
 
 fn scale_from_args() -> RunScale {
-    if std::env::args().any(|a| a == "--quick") { RunScale::quick() } else { RunScale::full() }
+    if std::env::args().any(|a| a == "--quick") {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    }
 }

@@ -13,7 +13,10 @@ fn main() {
         println!("  {name:<4} {s:>6.2}x");
     }
     println!("\nFigure 6(b) — L1 miss breakdown (fractions)");
-    println!("  {:<4} {:>8} {:>8} {:>8}", "Cfg", "L2 Hit", "L2 Fwd", "L2 Miss");
+    println!(
+        "  {:<4} {:>8} {:>8} {:>8}",
+        "Cfg", "L2 Hit", "L2 Fwd", "L2 Miss"
+    );
     for (name, h, f, m) in experiments::fig6b(scale) {
         println!("  {name:<4} {h:>8.2} {f:>8.2} {m:>8.2}");
     }

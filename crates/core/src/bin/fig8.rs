@@ -10,12 +10,16 @@ fn main() {
     };
     println!(
         "{}",
-        experiments::render_bars("Figure 8 — OLTP (OOO = 100)",
-            &experiments::fig8(&experiments::oltp(), scale))
+        experiments::render_bars(
+            "Figure 8 — OLTP (OOO = 100)",
+            &experiments::fig8(&experiments::oltp(), scale)
+        )
     );
     println!(
         "{}",
-        experiments::render_bars("Figure 8 — DSS (OOO = 100)",
-            &experiments::fig8(&experiments::dss(), scale))
+        experiments::render_bars(
+            "Figure 8 — DSS (OOO = 100)",
+            &experiments::fig8(&experiments::dss(), scale)
+        )
     );
 }

@@ -9,5 +9,8 @@ fn main() {
         RunScale::full()
     };
     let r = experiments::mem_pages(scale);
-    println!("RDRAM open-page hit rate on OLTP (1µs hold): {:.0}%", r * 100.0);
+    println!(
+        "RDRAM open-page hit rate on OLTP (1µs hold): {:.0}%",
+        r * 100.0
+    );
 }

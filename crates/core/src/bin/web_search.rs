@@ -17,7 +17,11 @@ fn main() {
     println!("{:<10} {:>10} {:>10}", "Config", "Web", "DSS");
     let ooo_web = Machine::new(SystemConfig::ooo(), &web).run(scale.warmup, scale.measure);
     let ooo_dss = Machine::new(SystemConfig::ooo(), &dss).run(scale.warmup, scale.measure);
-    for cfg in [SystemConfig::piranha_p1(), SystemConfig::ooo(), SystemConfig::piranha_p8()] {
+    for cfg in [
+        SystemConfig::piranha_p1(),
+        SystemConfig::ooo(),
+        SystemConfig::piranha_p8(),
+    ] {
         let name = cfg.name.clone();
         let w = Machine::new(cfg.clone(), &web).run(scale.warmup, scale.measure);
         let d = Machine::new(cfg, &dss).run(scale.warmup, scale.measure);

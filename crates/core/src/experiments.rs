@@ -7,31 +7,23 @@
 //! from-scratch simulator with synthetic workloads), but the *shape* —
 //! who wins, rough factors, crossovers — is the reproduction target; see
 //! `EXPERIMENTS.md` for the side-by-side record.
+//!
+//! ## The harness
+//!
+//! All figures are produced through the parallel, memoizing
+//! [`Harness`](piranha_harness::Harness): each figure declares the
+//! `(SystemConfig, Workload, RunScale)` tuples it needs as a
+//! [`RunPlan`], unique runs execute across scoped worker threads, and
+//! shared baselines (OOO, P1, P8 appear in four or more figures each)
+//! are simulated exactly once. [`all_figures`] regenerates the entire
+//! evaluation through one shared cache; because every simulation is
+//! deterministic, its output is bit-identical to the serial
+//! [`all_figures_serial`] path.
 
-use piranha_system::{Machine, RunResult, SystemConfig};
+use piranha_system::{RunResult, SystemConfig};
 use piranha_workloads::{DssConfig, OltpConfig, Workload};
 
-/// How long to run each configuration. Figures in the paper used 500
-/// OLTP transactions; we size in instructions per CPU.
-#[derive(Debug, Clone, Copy)]
-pub struct RunScale {
-    /// Warm-up instructions per CPU (caches, open pages, BTB).
-    pub warmup: u64,
-    /// Measured instructions per CPU.
-    pub measure: u64,
-}
-
-impl RunScale {
-    /// Full-size runs for the shipped figures.
-    pub fn full() -> Self {
-        RunScale { warmup: 600_000, measure: 1_000_000 }
-    }
-
-    /// Small runs for CI / Criterion iterations.
-    pub fn quick() -> Self {
-        RunScale { warmup: 200_000, measure: 300_000 }
-    }
-}
+pub use piranha_harness::{cache_key, default_threads, Harness, RunPlan, RunRequest, RunScale};
 
 /// The two paper workloads.
 pub fn oltp() -> Workload {
@@ -43,15 +35,19 @@ pub fn dss() -> Workload {
     Workload::Dss(DssConfig::paper_default())
 }
 
-/// Run one configuration against one workload.
+/// The TPC-C-like OLTP variant used by the §4 sensitivity analysis.
+fn tpcc() -> Workload {
+    Workload::Oltp(OltpConfig::tpcc_like())
+}
+
+/// Run one configuration against one workload (serially, no cache).
 pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
-    let mut m = Machine::new(cfg, w);
-    m.run(scale.warmup, scale.measure)
+    piranha_harness::run_config(cfg, w, scale)
 }
 
 /// One bar of Figure 5/8: a configuration's normalized execution time
 /// and its breakdown.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bar {
     /// Configuration name.
     pub name: String,
@@ -81,8 +77,11 @@ impl Bar {
 
 /// **Table 1**: the configuration parameters of P8, OOO/INO, and P8F.
 pub fn table1() -> String {
-    let configs =
-        [SystemConfig::piranha_p8(), SystemConfig::ooo(), SystemConfig::piranha_p8f()];
+    let configs = [
+        SystemConfig::piranha_p8(),
+        SystemConfig::ooo(),
+        SystemConfig::piranha_p8f(),
+    ];
     let mut out = format!(
         "{:<28} {:>14} {:>14} {:>14}\n",
         "Parameter", "Piranha (P8)", "OOO/INO", "P8F (custom)"
@@ -97,106 +96,389 @@ pub fn table1() -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Per-figure plans: the simulations each figure needs. `all_figures`
+// merges these into one deduplicated batch.
+// ---------------------------------------------------------------------
+
+fn fig5_plan(w: &Workload, scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    for cfg in [
+        SystemConfig::piranha_p1(),
+        SystemConfig::ooo(),
+        SystemConfig::ino(),
+        SystemConfig::piranha_p8(),
+    ] {
+        p.add(cfg, w.clone(), scale);
+    }
+    p
+}
+
+fn fig6_plan(scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    for n in [1usize, 2, 4, 8] {
+        p.add(SystemConfig::piranha_pn(n), oltp(), scale);
+    }
+    p.add(SystemConfig::ooo(), oltp(), scale);
+    p
+}
+
+fn fig7_plan(scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    p.add(SystemConfig::piranha_pn(4), oltp(), scale);
+    p.add(SystemConfig::ooo(), oltp(), scale);
+    for chips in [2usize, 4] {
+        p.add(
+            SystemConfig::piranha_pn(4).scaled_to_chips(chips),
+            oltp(),
+            scale,
+        );
+        p.add(SystemConfig::ooo().scaled_to_chips(chips), oltp(), scale);
+    }
+    p
+}
+
+fn fig8_plan(w: &Workload, scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    for cfg in [
+        SystemConfig::ooo(),
+        SystemConfig::piranha_p8(),
+        SystemConfig::piranha_p8f(),
+    ] {
+        p.add(cfg, w.clone(), scale);
+    }
+    p
+}
+
+fn sensitivity_plan(scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    p.add(SystemConfig::ooo(), oltp(), scale);
+    p.add(SystemConfig::piranha_p8(), oltp(), scale);
+    p.add(SystemConfig::piranha_p8_pessimistic(), oltp(), scale);
+    p.add(SystemConfig::ooo(), tpcc(), scale);
+    p.add(SystemConfig::piranha_p8(), tpcc(), scale);
+    p
+}
+
+fn mem_pages_plan(scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    p.add(SystemConfig::piranha_p8(), oltp(), scale);
+    p
+}
+
+// ---------------------------------------------------------------------
+// Figure assemblers: pull memoized results out of a harness. The
+// public `figN(...)` wrappers execute the figure's own plan first, so
+// standalone calls parallelize across the figure's configurations.
+// ---------------------------------------------------------------------
+
 /// **Figure 5**: single-chip normalized execution time (OOO = 100) with
 /// CPU-busy / L2-hit / L2-miss breakdown, for P1, OOO, INO, P8, on the
-/// given workload.
+/// given workload, assembled from `h`'s cache.
+pub fn fig5_with(h: &mut Harness, w: &Workload, scale: RunScale) -> Vec<Bar> {
+    let base = h.get(&SystemConfig::ooo(), w, scale);
+    vec![
+        Bar::from(&h.get(&SystemConfig::piranha_p1(), w, scale), &base),
+        Bar::from(&base, &base),
+        Bar::from(&h.get(&SystemConfig::ino(), w, scale), &base),
+        Bar::from(&h.get(&SystemConfig::piranha_p8(), w, scale), &base),
+    ]
+}
+
+/// **Figure 5** with a private parallel harness.
 pub fn fig5(w: &Workload, scale: RunScale) -> Vec<Bar> {
-    let base = run_config(SystemConfig::ooo(), w, scale);
-    let mut bars = vec![Bar::from(&run_config(SystemConfig::piranha_p1(), w, scale), &base)];
-    bars.push(Bar::from(&base, &base));
-    bars.push(Bar::from(&run_config(SystemConfig::ino(), w, scale), &base));
-    bars.push(Bar::from(&run_config(SystemConfig::piranha_p8(), w, scale), &base));
-    bars
+    let mut h = Harness::new();
+    h.execute(&fig5_plan(w, scale));
+    fig5_with(&mut h, w, scale)
 }
 
 /// **Figure 6(a)**: OLTP speedup of an n-CPU Piranha chip over P1, for
-/// n in {1, 2, 4, 8}, plus the OOO point for reference. Returns
-/// `(name, speedup_vs_p1)` pairs.
-pub fn fig6a(scale: RunScale) -> Vec<(String, f64)> {
+/// n in {1, 2, 4, 8}, plus the OOO point for reference, assembled from
+/// `h`'s cache. Returns `(name, speedup_vs_p1)` pairs.
+pub fn fig6a_with(h: &mut Harness, scale: RunScale) -> Vec<(String, f64)> {
     let w = oltp();
-    let p1 = run_config(SystemConfig::piranha_p1(), &w, scale);
+    let p1 = h.get(&SystemConfig::piranha_p1(), &w, scale);
     let mut out = vec![("P1".to_string(), 1.0)];
     for n in [2usize, 4, 8] {
-        let r = run_config(SystemConfig::piranha_pn(n), &w, scale);
+        let r = h.get(&SystemConfig::piranha_pn(n), &w, scale);
         out.push((format!("P{n}"), r.speedup_over(&p1)));
     }
-    let ooo = run_config(SystemConfig::ooo(), &w, scale);
+    let ooo = h.get(&SystemConfig::ooo(), &w, scale);
     out.push(("OOO".to_string(), ooo.speedup_over(&p1)));
     out
 }
 
+/// **Figure 6(a)** with a private parallel harness.
+pub fn fig6a(scale: RunScale) -> Vec<(String, f64)> {
+    let mut h = Harness::new();
+    h.execute(&fig6_plan(scale));
+    fig6a_with(&mut h, scale)
+}
+
 /// **Figure 6(b)**: breakdown of L1 misses (L2 hit / L2 fwd / L2 miss)
-/// for P1, P2, P4, P8 on OLTP. Returns `(name, hit, fwd, miss)` rows,
-/// fractions summing to 1.
-pub fn fig6b(scale: RunScale) -> Vec<(String, f64, f64, f64)> {
+/// for P1, P2, P4, P8 on OLTP, assembled from `h`'s cache. Returns
+/// `(name, hit, fwd, miss)` rows, fractions summing to 1.
+pub fn fig6b_with(h: &mut Harness, scale: RunScale) -> Vec<(String, f64, f64, f64)> {
     let w = oltp();
     [1usize, 2, 4, 8]
         .iter()
         .map(|&n| {
-            let r = run_config(SystemConfig::piranha_pn(n), &w, scale);
-            let (h, f, m) = r.l1_miss_breakdown();
-            (format!("P{n}"), h, f, m)
+            let r = h.get(&SystemConfig::piranha_pn(n), &w, scale);
+            let (hit, f, m) = r.l1_miss_breakdown();
+            (format!("P{n}"), hit, f, m)
         })
         .collect()
 }
 
+/// **Figure 6(b)** with a private parallel harness.
+pub fn fig6b(scale: RunScale) -> Vec<(String, f64, f64, f64)> {
+    let mut h = Harness::new();
+    h.execute(&fig6_plan(scale));
+    fig6b_with(&mut h, scale)
+}
+
 /// **Figure 7**: OLTP speedup of multi-chip systems (1, 2, 4 chips),
 /// Piranha with 4 CPUs/chip versus OOO chips, each normalized to its own
-/// single-chip result. Returns `(chips, piranha_speedup, ooo_speedup)`.
-pub fn fig7(scale: RunScale) -> Vec<(usize, f64, f64)> {
+/// single-chip result, assembled from `h`'s cache. Returns
+/// `(chips, piranha_speedup, ooo_speedup)`.
+pub fn fig7_with(h: &mut Harness, scale: RunScale) -> Vec<(usize, f64, f64)> {
     let w = oltp();
-    let p_base = run_config(SystemConfig::piranha_pn(4), &w, scale);
-    let o_base = run_config(SystemConfig::ooo(), &w, scale);
+    let p_base = h.get(&SystemConfig::piranha_pn(4), &w, scale);
+    let o_base = h.get(&SystemConfig::ooo(), &w, scale);
     let mut out = vec![(1, 1.0, 1.0)];
     for chips in [2usize, 4] {
-        let p = run_config(SystemConfig::piranha_pn(4).scaled_to_chips(chips), &w, scale);
-        let o = run_config(SystemConfig::ooo().scaled_to_chips(chips), &w, scale);
+        let p = h.get(
+            &SystemConfig::piranha_pn(4).scaled_to_chips(chips),
+            &w,
+            scale,
+        );
+        let o = h.get(&SystemConfig::ooo().scaled_to_chips(chips), &w, scale);
         out.push((chips, p.speedup_over(&p_base), o.speedup_over(&o_base)));
     }
     out
 }
 
+/// **Figure 7** with a private parallel harness.
+pub fn fig7(scale: RunScale) -> Vec<(usize, f64, f64)> {
+    let mut h = Harness::new();
+    h.execute(&fig7_plan(scale));
+    fig7_with(&mut h, scale)
+}
+
 /// **Figure 8**: the full-custom chip (P8F) against OOO and P8, on the
-/// given workload (OOO = 100).
-pub fn fig8(w: &Workload, scale: RunScale) -> Vec<Bar> {
-    let base = run_config(SystemConfig::ooo(), w, scale);
+/// given workload (OOO = 100), assembled from `h`'s cache.
+pub fn fig8_with(h: &mut Harness, w: &Workload, scale: RunScale) -> Vec<Bar> {
+    let base = h.get(&SystemConfig::ooo(), w, scale);
     vec![
         Bar::from(&base, &base),
-        Bar::from(&run_config(SystemConfig::piranha_p8(), w, scale), &base),
-        Bar::from(&run_config(SystemConfig::piranha_p8f(), w, scale), &base),
+        Bar::from(&h.get(&SystemConfig::piranha_p8(), w, scale), &base),
+        Bar::from(&h.get(&SystemConfig::piranha_p8f(), w, scale), &base),
     ]
 }
 
+/// **Figure 8** with a private parallel harness.
+pub fn fig8(w: &Workload, scale: RunScale) -> Vec<Bar> {
+    let mut h = Harness::new();
+    h.execute(&fig8_plan(w, scale));
+    fig8_with(&mut h, w, scale)
+}
+
 /// **§4 sensitivity**: the pessimistic P8 (400 MHz, 32 KB 1-way L1s,
-/// 22/32 ns L2) and the TPC-C-like workload. Returns
-/// `(label, speedup_over_ooo)` rows.
-pub fn sensitivity(scale: RunScale) -> Vec<(String, f64)> {
+/// 22/32 ns L2) and the TPC-C-like workload, assembled from `h`'s
+/// cache. Returns `(label, speedup_over_ooo)` rows.
+pub fn sensitivity_with(h: &mut Harness, scale: RunScale) -> Vec<(String, f64)> {
     let w = oltp();
-    let ooo = run_config(SystemConfig::ooo(), &w, scale);
-    let p8 = run_config(SystemConfig::piranha_p8(), &w, scale);
-    let pess = run_config(SystemConfig::piranha_p8_pessimistic(), &w, scale);
-    let tpcc = Workload::Oltp(OltpConfig::tpcc_like());
-    let ooo_c = run_config(SystemConfig::ooo(), &tpcc, scale);
-    let p8_c = run_config(SystemConfig::piranha_p8(), &tpcc, scale);
+    let ooo = h.get(&SystemConfig::ooo(), &w, scale);
+    let p8 = h.get(&SystemConfig::piranha_p8(), &w, scale);
+    let pess = h.get(&SystemConfig::piranha_p8_pessimistic(), &w, scale);
+    let tpcc_w = tpcc();
+    let ooo_c = h.get(&SystemConfig::ooo(), &tpcc_w, scale);
+    let p8_c = h.get(&SystemConfig::piranha_p8(), &tpcc_w, scale);
     vec![
         ("P8 vs OOO (TPC-B)".into(), p8.speedup_over(&ooo)),
-        ("P8-pessimistic vs OOO (TPC-B)".into(), pess.speedup_over(&ooo)),
+        (
+            "P8-pessimistic vs OOO (TPC-B)".into(),
+            pess.speedup_over(&ooo),
+        ),
         ("P8-pessimistic vs P8".into(), pess.speedup_over(&p8)),
         ("P8 vs OOO (TPC-C-like)".into(), p8_c.speedup_over(&ooo_c)),
     ]
 }
 
+/// **§4 sensitivity** with a private parallel harness.
+pub fn sensitivity(scale: RunScale) -> Vec<(String, f64)> {
+    let mut h = Harness::new();
+    h.execute(&sensitivity_plan(scale));
+    sensitivity_with(&mut h, scale)
+}
+
 /// **§2.4 claim**: RDRAM open-page hit rate on OLTP (the paper reports
-/// >50% with ~1 µs page-open time).
+/// >50% with ~1 µs page-open time), assembled from `h`'s cache.
+pub fn mem_pages_with(h: &mut Harness, scale: RunScale) -> f64 {
+    h.get(&SystemConfig::piranha_p8(), &oltp(), scale)
+        .mem_page_hit_rate
+}
+
+/// **§2.4 claim** with a private harness.
 pub fn mem_pages(scale: RunScale) -> f64 {
-    let mut m = Machine::new(SystemConfig::piranha_p8(), &oltp());
-    m.run(scale.warmup, scale.measure);
-    m.mem_page_hit_rate()
+    let mut h = Harness::new();
+    h.execute(&mem_pages_plan(scale));
+    mem_pages_with(&mut h, scale)
+}
+
+// ---------------------------------------------------------------------
+// The whole evaluation in one batch.
+// ---------------------------------------------------------------------
+
+/// Every figure of the paper's §4 evaluation, regenerated together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figures {
+    /// Figure 5 on OLTP.
+    pub fig5_oltp: Vec<Bar>,
+    /// Figure 5 on DSS.
+    pub fig5_dss: Vec<Bar>,
+    /// Figure 6(a): chip-level speedup over P1.
+    pub fig6a: Vec<(String, f64)>,
+    /// Figure 6(b): L1-miss breakdown.
+    pub fig6b: Vec<(String, f64, f64, f64)>,
+    /// Figure 7: multi-chip scaling.
+    pub fig7: Vec<(usize, f64, f64)>,
+    /// Figure 8 on OLTP.
+    pub fig8_oltp: Vec<Bar>,
+    /// Figure 8 on DSS.
+    pub fig8_dss: Vec<Bar>,
+    /// §4 sensitivity rows.
+    pub sensitivity: Vec<(String, f64)>,
+    /// §2.4 RDRAM open-page hit rate.
+    pub mem_page_hit_rate: f64,
+}
+
+/// The union plan of every figure at one scale.
+pub fn all_figures_plan(scale: RunScale) -> RunPlan {
+    let mut plan = RunPlan::new();
+    plan.merge(fig5_plan(&oltp(), scale));
+    plan.merge(fig5_plan(&dss(), scale));
+    plan.merge(fig6_plan(scale));
+    plan.merge(fig7_plan(scale));
+    plan.merge(fig8_plan(&oltp(), scale));
+    plan.merge(fig8_plan(&dss(), scale));
+    plan.merge(sensitivity_plan(scale));
+    plan.merge(mem_pages_plan(scale));
+    plan
+}
+
+/// Assemble every figure from `h`'s cache (executing the union plan
+/// first so the assembly itself is all cache hits).
+pub fn all_figures_with(h: &mut Harness, scale: RunScale) -> Figures {
+    h.execute(&all_figures_plan(scale));
+    Figures {
+        fig5_oltp: fig5_with(h, &oltp(), scale),
+        fig5_dss: fig5_with(h, &dss(), scale),
+        fig6a: fig6a_with(h, scale),
+        fig6b: fig6b_with(h, scale),
+        fig7: fig7_with(h, scale),
+        fig8_oltp: fig8_with(h, &oltp(), scale),
+        fig8_dss: fig8_with(h, &dss(), scale),
+        sensitivity: sensitivity_with(h, scale),
+        mem_page_hit_rate: mem_pages_with(h, scale),
+    }
+}
+
+/// Regenerate the entire §4 evaluation through one parallel, memoizing
+/// harness: every shared baseline (OOO, P1, P8, …) is simulated exactly
+/// once per workload, and the unique runs fan out across worker threads
+/// (`PIRANHA_THREADS` overrides the count). Bit-identical to
+/// [`all_figures_serial`].
+pub fn all_figures(scale: RunScale) -> Figures {
+    let mut h = Harness::new();
+    all_figures_with(&mut h, scale)
+}
+
+/// The pre-harness behavior, kept as the performance and correctness
+/// baseline: each figure runs serially with its own private cache, so
+/// cross-figure baselines are re-simulated from scratch (35 runs at
+/// paper shape versus the ~19 unique ones `all_figures` executes).
+pub fn all_figures_serial(scale: RunScale) -> Figures {
+    let serial_fig = |plan: RunPlan| {
+        let mut h = Harness::serial();
+        h.execute(&plan);
+        h
+    };
+    let fig5_oltp = fig5_with(&mut serial_fig(fig5_plan(&oltp(), scale)), &oltp(), scale);
+    let fig5_dss = fig5_with(&mut serial_fig(fig5_plan(&dss(), scale)), &dss(), scale);
+    let fig6a = fig6a_with(&mut serial_fig(fig6_plan(scale)), scale);
+    let fig6b = fig6b_with(&mut serial_fig(fig6_plan(scale)), scale);
+    let fig7 = fig7_with(&mut serial_fig(fig7_plan(scale)), scale);
+    let fig8_oltp = fig8_with(&mut serial_fig(fig8_plan(&oltp(), scale)), &oltp(), scale);
+    let fig8_dss = fig8_with(&mut serial_fig(fig8_plan(&dss(), scale)), &dss(), scale);
+    let sensitivity = sensitivity_with(&mut serial_fig(sensitivity_plan(scale)), scale);
+    let mem_page_hit_rate = mem_pages_with(&mut serial_fig(mem_pages_plan(scale)), scale);
+    Figures {
+        fig5_oltp,
+        fig5_dss,
+        fig6a,
+        fig6b,
+        fig7,
+        fig8_oltp,
+        fig8_dss,
+        sensitivity,
+        mem_page_hit_rate,
+    }
+}
+
+impl Figures {
+    /// Render every figure as one text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&render_bars(
+            "Figure 5 — OLTP (normalized execution time, OOO = 100)",
+            &self.fig5_oltp,
+        ));
+        out.push('\n');
+        out.push_str(&render_bars(
+            "Figure 5 — DSS (normalized execution time, OOO = 100)",
+            &self.fig5_dss,
+        ));
+        out.push_str("\nFigure 6(a) — OLTP speedup over P1\n");
+        for (name, s) in &self.fig6a {
+            out.push_str(&format!("{name:<10} {s:>8.2}x\n"));
+        }
+        out.push_str("\nFigure 6(b) — L1 miss breakdown (hit/fwd/miss)\n");
+        for (name, h, f, m) in &self.fig6b {
+            out.push_str(&format!("{name:<10} {h:>6.2} {f:>6.2} {m:>6.2}\n"));
+        }
+        out.push_str("\nFigure 7 — multi-chip speedup (Piranha P4 vs OOO)\n");
+        for (chips, p, o) in &self.fig7 {
+            out.push_str(&format!("{chips} chip(s)  P4 {p:>6.2}x  OOO {o:>6.2}x\n"));
+        }
+        out.push('\n');
+        out.push_str(&render_bars(
+            "Figure 8 — OLTP (P8F, OOO = 100)",
+            &self.fig8_oltp,
+        ));
+        out.push('\n');
+        out.push_str(&render_bars(
+            "Figure 8 — DSS (P8F, OOO = 100)",
+            &self.fig8_dss,
+        ));
+        out.push_str("\nSensitivity (§4)\n");
+        for (label, s) in &self.sensitivity {
+            out.push_str(&format!("{label:<32} {s:>6.2}x\n"));
+        }
+        out.push_str(&format!(
+            "\nRDRAM open-page hit rate on OLTP: {:.0}%\n",
+            self.mem_page_hit_rate * 100.0
+        ));
+        out
+    }
 }
 
 /// Render a set of Figure-5-style bars as a text table.
 pub fn render_bars(title: &str, bars: &[Bar]) -> String {
-    let mut out = format!("{title}\n{:<10} {:>10} {:>10} {:>10} {:>10}\n", "Config", "NormTime", "Busy", "L2HitStall", "L2MissStall");
+    let mut out = format!(
+        "{title}\n{:<10} {:>10} {:>10} {:>10} {:>10}\n",
+        "Config", "NormTime", "Busy", "L2HitStall", "L2MissStall"
+    );
     for b in bars {
         out.push_str(&format!(
             "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
@@ -227,24 +509,50 @@ mod tests {
             "OOO".into(),
             Duration::from_ns(1000),
             Clock::from_mhz(1000),
-            vec![piranha_cpu::CoreStats { instrs: 1000, ..Default::default() }],
+            vec![piranha_cpu::CoreStats {
+                instrs: 1000,
+                ..Default::default()
+            }],
         );
         let twice = RunResult::new(
             "X".into(),
             Duration::from_ns(2000),
             Clock::from_mhz(500),
-            vec![piranha_cpu::CoreStats { instrs: 1000, ..Default::default() }],
+            vec![piranha_cpu::CoreStats {
+                instrs: 1000,
+                ..Default::default()
+            }],
         );
         let b = Bar::from(&twice, &base);
         assert!((b.norm_time - 200.0).abs() < 1e-9);
-        assert!((b.busy - 200.0).abs() < 1e-6, "no stalls recorded: all busy");
+        assert!(
+            (b.busy - 200.0).abs() < 1e-6,
+            "no stalls recorded: all busy"
+        );
     }
 
     #[test]
     fn render_is_readable() {
-        let bars = vec![Bar { name: "P8".into(), norm_time: 34.0, busy: 20.0, l2_hit: 9.0, l2_miss: 5.0 }];
+        let bars = vec![Bar {
+            name: "P8".into(),
+            norm_time: 34.0,
+            busy: 20.0,
+            l2_hit: 9.0,
+            l2_miss: 5.0,
+        }];
         let s = render_bars("Figure 5 (OLTP)", &bars);
         assert!(s.contains("P8"));
         assert!(s.contains("34.0"));
+    }
+
+    #[test]
+    fn union_plan_dedups_shared_baselines() {
+        let plan = all_figures_plan(RunScale::quick());
+        // 35 figure slots collapse to the unique configurations: the
+        // OOO/P1/P8 baselines appear in several figures but only once
+        // in the plan.
+        assert!(plan.len() < 25, "plan must deduplicate: got {}", plan.len());
+        let keys: std::collections::HashSet<_> = plan.requests().iter().map(|r| r.key()).collect();
+        assert_eq!(keys.len(), plan.len(), "all keys unique");
     }
 }

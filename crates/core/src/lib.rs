@@ -81,5 +81,10 @@ pub mod protocol {
 pub mod workloads {
     pub use piranha_workloads::*;
 }
+/// Parallel, memoizing experiment harness (re-export of
+/// `piranha-harness`).
+pub mod harness {
+    pub use piranha_harness::*;
+}
 
 pub mod experiments;

@@ -40,7 +40,11 @@ impl Btb {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "BTB needs at least one entry");
         let n = entries.next_power_of_two();
-        Btb { counters: vec![1; n], hits: 0, lookups: 0 }
+        Btb {
+            counters: vec![1; n],
+            hits: 0,
+            lookups: 0,
+        }
     }
 
     fn index(&self, pc: Addr) -> usize {
@@ -87,8 +91,13 @@ mod tests {
     fn trains_on_biased_branch() {
         let mut btb = Btb::new(16);
         let pc = Addr(0x100);
-        let misses: u64 = (0..100).map(|_| u64::from(btb.predict_and_update(pc, true))).sum();
-        assert!(misses <= 2, "biased branch should train quickly, missed {misses}");
+        let misses: u64 = (0..100)
+            .map(|_| u64::from(btb.predict_and_update(pc, true)))
+            .sum();
+        assert!(
+            misses <= 2,
+            "biased branch should train quickly, missed {misses}"
+        );
         assert!(btb.accuracy() > 0.95);
     }
 
@@ -96,9 +105,13 @@ mod tests {
     fn alternating_branch_mispredicts_often() {
         let mut btb = Btb::new(16);
         let pc = Addr(0x100);
-        let misses: u64 =
-            (0..100).map(|i| u64::from(btb.predict_and_update(pc, i % 2 == 0))).sum();
-        assert!(misses >= 40, "alternating pattern defeats 2-bit counters: {misses}");
+        let misses: u64 = (0..100)
+            .map(|i| u64::from(btb.predict_and_update(pc, i % 2 == 0)))
+            .sum();
+        assert!(
+            misses >= 40,
+            "alternating pattern defeats 2-bit counters: {misses}"
+        );
     }
 
     #[test]
@@ -107,8 +120,14 @@ mod tests {
         btb.predict_and_update(Addr(0x0), true);
         btb.predict_and_update(Addr(0x0), true);
         // A different, non-aliasing PC starts cold (weakly not-taken).
-        assert!(btb.predict_and_update(Addr(0x4), true), "cold entry mispredicts taken");
-        assert!(!btb.predict_and_update(Addr(0x0), true), "trained entry unaffected");
+        assert!(
+            btb.predict_and_update(Addr(0x4), true),
+            "cold entry mispredicts taken"
+        );
+        assert!(
+            !btb.predict_and_update(Addr(0x0), true),
+            "trained entry unaffected"
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 
 use std::collections::VecDeque;
 
-use piranha_types::{CacheKind, FillSource, LineAddr, ReqType};
 #[cfg(test)]
 use piranha_types::Addr;
+use piranha_types::{CacheKind, FillSource, LineAddr, ReqType};
 
 use piranha_cache::{Tlb, TlbConfig};
 
@@ -70,9 +70,14 @@ struct SbEntry {
 enum Blocked {
     No,
     /// Waiting for a blocking ifetch/load fill.
-    Mem { id: u64, since: u64 },
+    Mem {
+        id: u64,
+        since: u64,
+    },
     /// Waiting for store-buffer space.
-    SbFull { since: u64 },
+    SbFull {
+        since: u64,
+    },
 }
 
 /// The single-issue in-order core timing model.
@@ -212,7 +217,10 @@ impl CoreModel for InOrderCore {
                             store_version: None,
                         },
                     ));
-                    self.blocked = Blocked::Mem { id, since: self.cycle };
+                    self.blocked = Blocked::Mem {
+                        id,
+                        since: self.cycle,
+                    };
                     self.pending_op = Some(op);
                     return CoreStatus::Blocked;
                 }
@@ -227,8 +235,8 @@ impl CoreModel for InOrderCore {
                 }
                 OpKind::Branch { taken, mispredict } => {
                     self.cycle += 1;
-                    let mp = mispredict
-                        .unwrap_or_else(|| self.btb.predict_and_update(op.pc, taken));
+                    let mp =
+                        mispredict.unwrap_or_else(|| self.btb.predict_and_update(op.pc, taken));
                     if mp {
                         self.cycle += self.cfg.mispredict_penalty;
                         self.stats.branch_penalty_cycles += self.cfg.mispredict_penalty;
@@ -258,7 +266,10 @@ impl CoreModel for InOrderCore {
                                 store_version: None,
                             },
                         ));
-                        self.blocked = Blocked::Mem { id, since: self.cycle };
+                        self.blocked = Blocked::Mem {
+                            id,
+                            since: self.cycle,
+                        };
                         self.pending_op = Some(op);
                         return CoreStatus::Blocked;
                     }
@@ -302,7 +313,12 @@ impl CoreModel for InOrderCore {
                         }
                         *ctx.versions += 1;
                         let v = *ctx.versions;
-                        self.sb.push_back(SbEntry { line, req, version: v, issued: None });
+                        self.sb.push_back(SbEntry {
+                            line,
+                            req,
+                            version: v,
+                            issued: None,
+                        });
                         self.cycle += 1;
                         self.pump_store_buffer(reqs);
                     }
@@ -368,17 +384,31 @@ mod tests {
     /// Paper config with a free TLB so cycle counts stay exact.
     fn test_cfg() -> InOrderConfig {
         InOrderConfig {
-            tlb: TlbConfig { miss_penalty: 0, ..TlbConfig::paper_default() },
+            tlb: TlbConfig {
+                miss_penalty: 0,
+                ..TlbConfig::paper_default()
+            },
             ..InOrderConfig::paper_default()
         }
     }
 
     fn ctx<'a>(l1i: &'a mut L1Cache, l1d: &'a mut L1Cache, v: &'a mut u64) -> CoreCtx<'a> {
-        CoreCtx { l1i, l1d, versions: v }
+        CoreCtx {
+            l1i,
+            l1d,
+            versions: v,
+        }
     }
 
     fn alu(pc: u64) -> StreamOp {
-        StreamOp { pc: Addr(pc), kind: OpKind::Alu { mul: false, dep1: 0, dep2: 0 } }
+        StreamOp {
+            pc: Addr(pc),
+            kind: OpKind::Alu {
+                mul: false,
+                dep1: 0,
+                dep2: 0,
+            },
+        }
     }
 
     fn ops_stream(ops: Vec<StreamOp>) -> impl InstrStream {
@@ -396,7 +426,12 @@ mod tests {
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         let mut s = ops_stream((0..10).map(|i| alu(i * 4)).collect());
         let mut reqs = Vec::new();
-        let st = core.advance(&mut s, &mut ctx(&mut l1i, &mut l1d, &mut v), 1000, &mut reqs);
+        let st = core.advance(
+            &mut s,
+            &mut ctx(&mut l1i, &mut l1d, &mut v),
+            1000,
+            &mut reqs,
+        );
         assert_eq!(st, CoreStatus::Done);
         assert_eq!(core.now_cycle(), 10);
         assert_eq!(core.stats().instrs, 10);
@@ -433,7 +468,10 @@ mod tests {
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         let mut s = ops_stream(vec![StreamOp {
             pc: Addr(0),
-            kind: OpKind::Load { addr: Addr(0x1000), dep_addr: 0 },
+            kind: OpKind::Load {
+                addr: Addr(0x1000),
+                dep_addr: 0,
+            },
         }]);
         let mut reqs = Vec::new();
         assert_eq!(
@@ -459,7 +497,10 @@ mod tests {
         let mut v = 10;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         l1d.fill(Addr(0x40).line(), Mesi::Exclusive, 3);
-        let mut s = ops_stream(vec![StreamOp { pc: Addr(0), kind: OpKind::Store { addr: Addr(0x40) } }]);
+        let mut s = ops_stream(vec![StreamOp {
+            pc: Addr(0),
+            kind: OpKind::Store { addr: Addr(0x40) },
+        }]);
         let mut reqs = Vec::new();
         assert_eq!(
             core.advance(&mut s, &mut ctx(&mut l1i, &mut l1d, &mut v), 10, &mut reqs),
@@ -479,7 +520,10 @@ mod tests {
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         let ops = vec![
-            StreamOp { pc: Addr(0), kind: OpKind::Store { addr: Addr(0x80) } },
+            StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Store { addr: Addr(0x80) },
+            },
             alu(0),
             alu(0),
         ];
@@ -508,7 +552,10 @@ mod tests {
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         l1d.fill(Addr(0x40).line(), Mesi::Shared, 0);
-        let mut s = ops_stream(vec![StreamOp { pc: Addr(0), kind: OpKind::Store { addr: Addr(0x40) } }]);
+        let mut s = ops_stream(vec![StreamOp {
+            pc: Addr(0),
+            kind: OpKind::Store { addr: Addr(0x40) },
+        }]);
         let mut reqs = Vec::new();
         core.advance(&mut s, &mut ctx(&mut l1i, &mut l1d, &mut v), 10, &mut reqs);
         assert_eq!(reqs[0].1.req, ReqType::Upgrade);
@@ -521,8 +568,10 @@ mod tests {
         let mut l1d = L1Cache::new(L1Config::paper_default());
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
-        let mut s =
-            ops_stream(vec![StreamOp { pc: Addr(0), kind: OpKind::WriteHint { addr: Addr(0x80) } }]);
+        let mut s = ops_stream(vec![StreamOp {
+            pc: Addr(0),
+            kind: OpKind::WriteHint { addr: Addr(0x80) },
+        }]);
         let mut reqs = Vec::new();
         core.advance(&mut s, &mut ctx(&mut l1i, &mut l1d, &mut v), 10, &mut reqs);
         assert_eq!(reqs[0].1.req, ReqType::ReadExNoData);
@@ -530,14 +579,22 @@ mod tests {
 
     #[test]
     fn full_store_buffer_stalls() {
-        let cfg = InOrderConfig { store_buffer: 2, ..test_cfg() };
+        let cfg = InOrderConfig {
+            store_buffer: 2,
+            ..test_cfg()
+        };
         let mut core = InOrderCore::new(cfg);
         let mut l1i = L1Cache::new(L1Config::paper_default());
         let mut l1d = L1Cache::new(L1Config::paper_default());
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         let ops: Vec<StreamOp> = (0..3)
-            .map(|i| StreamOp { pc: Addr(0), kind: OpKind::Store { addr: Addr(0x1000 + i * 64) } })
+            .map(|i| StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Store {
+                    addr: Addr(0x1000 + i * 64),
+                },
+            })
             .collect();
         let mut s = ops_stream(ops);
         let mut reqs = Vec::new();
@@ -560,8 +617,20 @@ mod tests {
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         let ops = vec![
-            StreamOp { pc: Addr(0), kind: OpKind::Branch { taken: true, mispredict: Some(true) } },
-            StreamOp { pc: Addr(4), kind: OpKind::Branch { taken: true, mispredict: Some(false) } },
+            StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Branch {
+                    taken: true,
+                    mispredict: Some(true),
+                },
+            },
+            StreamOp {
+                pc: Addr(4),
+                kind: OpKind::Branch {
+                    taken: true,
+                    mispredict: Some(false),
+                },
+            },
         ];
         let mut s = ops_stream(ops);
         let mut reqs = Vec::new();
@@ -578,14 +647,27 @@ mod tests {
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         let ops = vec![
-            StreamOp { pc: Addr(0), kind: OpKind::Store { addr: Addr(0x2000) } },
-            StreamOp { pc: Addr(4), kind: OpKind::Load { addr: Addr(0x2008), dep_addr: 0 } },
+            StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Store { addr: Addr(0x2000) },
+            },
+            StreamOp {
+                pc: Addr(4),
+                kind: OpKind::Load {
+                    addr: Addr(0x2008),
+                    dep_addr: 0,
+                },
+            },
         ];
         let mut s = ops_stream(ops);
         let mut reqs = Vec::new();
         let st = core.advance(&mut s, &mut ctx(&mut l1i, &mut l1d, &mut v), 10, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked, "draining store buffer");
-        assert_eq!(core.stats().instrs, 2, "load forwarded from the store buffer");
+        assert_eq!(
+            core.stats().instrs,
+            2,
+            "load forwarded from the store buffer"
+        );
         assert_eq!(core.stats().l1d_misses, 1, "only the store missed");
     }
 
@@ -596,7 +678,10 @@ mod tests {
         let mut l1d = L1Cache::new(L1Config::paper_default());
         let mut v = 0;
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
-        let mut s = ops_stream(vec![StreamOp { pc: Addr(0), kind: OpKind::Idle { cycles: 100 } }]);
+        let mut s = ops_stream(vec![StreamOp {
+            pc: Addr(0),
+            kind: OpKind::Idle { cycles: 100 },
+        }]);
         let mut reqs = Vec::new();
         core.advance(&mut s, &mut ctx(&mut l1i, &mut l1d, &mut v), 10, &mut reqs);
         assert_eq!(core.now_cycle(), 100);

@@ -75,7 +75,9 @@ pub struct CoreCtx<'a> {
 
 impl std::fmt::Debug for CoreCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CoreCtx").field("versions", self.versions).finish_non_exhaustive()
+        f.debug_struct("CoreCtx")
+            .field("versions", self.versions)
+            .finish_non_exhaustive()
     }
 }
 

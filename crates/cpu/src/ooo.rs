@@ -90,9 +90,13 @@ enum Stalled {
     /// Window full with a pending miss at the head.
     WindowHead,
     /// Fetch blocked on an iL1 miss.
-    IFetch { id: u64 },
+    IFetch {
+        id: u64,
+    },
     /// The next op's address depends on an in-flight miss.
-    AddrDep { id: u64 },
+    AddrDep {
+        id: u64,
+    },
     /// No MSHR (or store-buffer slot) free for the next memory op.
     NoMshr,
 }
@@ -300,12 +304,17 @@ impl CoreModel for OooCore {
                     return CoreStatus::Blocked;
                 }
             }
-            let fetch_ready_q = self.fetch_q.max(self.retire_q.saturating_sub(
-                (self.cfg.window as u64) * 4 / self.cfg.width,
-            ));
+            let fetch_ready_q = self.fetch_q.max(
+                self.retire_q
+                    .saturating_sub((self.cfg.window as u64) * 4 / self.cfg.width),
+            );
             self.fetch_q = fetch_ready_q + 4 / self.cfg.width;
 
-            let mut slot = WindowSlot { done_q: None, pending: None, source_hint: None };
+            let mut slot = WindowSlot {
+                done_q: None,
+                pending: None,
+                source_hint: None,
+            };
             match op.kind {
                 OpKind::Alu { mul, dep1, dep2 } => {
                     let d1 = self.producer(dep1).map_or(0, |p| p.done_q);
@@ -313,17 +322,23 @@ impl CoreModel for OooCore {
                     let issue = fetch_ready_q.max(d1).max(d2);
                     let lat_q = if mul { 8 } else { 4 };
                     slot.done_q = Some(issue + lat_q);
-                    self.push_hist(Produced { done_q: issue + lat_q, pending: None });
+                    self.push_hist(Produced {
+                        done_q: issue + lat_q,
+                        pending: None,
+                    });
                 }
                 OpKind::Idle { cycles } => {
                     let done = fetch_ready_q + cycles as u64 * 4;
                     slot.done_q = Some(done);
                     self.fetch_q = self.fetch_q.max(done);
-                    self.push_hist(Produced { done_q: done, pending: None });
+                    self.push_hist(Produced {
+                        done_q: done,
+                        pending: None,
+                    });
                 }
                 OpKind::Branch { taken, mispredict } => {
-                    let mp = mispredict
-                        .unwrap_or_else(|| self.btb.predict_and_update(op.pc, taken));
+                    let mp =
+                        mispredict.unwrap_or_else(|| self.btb.predict_and_update(op.pc, taken));
                     let done = fetch_ready_q + 4;
                     slot.done_q = Some(done);
                     if mp {
@@ -331,7 +346,10 @@ impl CoreModel for OooCore {
                         self.fetch_q = self.fetch_q.max(done + pen);
                         self.stats.branch_penalty_cycles += self.cfg.mispredict_penalty;
                     }
-                    self.push_hist(Produced { done_q: done, pending: None });
+                    self.push_hist(Produced {
+                        done_q: done,
+                        pending: None,
+                    });
                 }
                 OpKind::Load { addr, dep_addr } => {
                     // Address dependencies on in-flight misses serialize.
@@ -345,8 +363,10 @@ impl CoreModel for OooCore {
                             return CoreStatus::Blocked;
                         }
                     }
-                    let mut addr_ready =
-                        self.producer(dep_addr).map_or(0, |p| p.done_q).max(fetch_ready_q);
+                    let mut addr_ready = self
+                        .producer(dep_addr)
+                        .map_or(0, |p| p.done_q)
+                        .max(fetch_ready_q);
                     if !self.dtlb.access(addr) {
                         addr_ready += self.dtlb.miss_penalty() * 4;
                         self.stats.tlb_misses += 1;
@@ -358,7 +378,10 @@ impl CoreModel for OooCore {
                         self.stats.l1_hits += 1;
                         let done = addr_ready + self.cfg.l1_load_latency * 4;
                         slot.done_q = Some(done);
-                        self.push_hist(Produced { done_q: done, pending: None });
+                        self.push_hist(Produced {
+                            done_q: done,
+                            pending: None,
+                        });
                     } else if let Some(&id) = self.miss_lines.get(&line) {
                         // Secondary miss: coalesce onto the outstanding
                         // MSHR; the fill completes both.
@@ -402,7 +425,10 @@ impl CoreModel for OooCore {
                     let line = addr.line();
                     let done = fetch_ready_q + 4;
                     slot.done_q = Some(done);
-                    self.push_hist(Produced { done_q: done, pending: None });
+                    self.push_hist(Produced {
+                        done_q: done,
+                        pending: None,
+                    });
                     let full_line = matches!(op.kind, OpKind::WriteHint { .. });
                     let writable = ctx.l1d.state(line).writable();
                     if writable {
@@ -546,7 +572,10 @@ mod tests {
     /// Paper config with a free TLB so cycle counts stay exact.
     fn test_cfg() -> OooConfig {
         OooConfig {
-            tlb: TlbConfig { miss_penalty: 0, ..TlbConfig::paper_default() },
+            tlb: TlbConfig {
+                miss_penalty: 0,
+                ..TlbConfig::paper_default()
+            },
             ..OooConfig::paper_default()
         }
     }
@@ -559,15 +588,32 @@ mod tests {
 
     fn alu_chain(n: usize, dep: u32) -> Vec<StreamOp> {
         (0..n)
-            .map(|_| StreamOp { pc: Addr(0), kind: OpKind::Alu { mul: false, dep1: dep, dep2: 0 } })
+            .map(|_| StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Alu {
+                    mul: false,
+                    dep1: dep,
+                    dep2: 0,
+                },
+            })
             .collect()
     }
 
-    fn run_all(core: &mut OooCore, ops: Vec<StreamOp>, l1i: &mut L1Cache, l1d: &mut L1Cache, v: &mut u64) -> Vec<(u64, MemReq)> {
+    fn run_all(
+        core: &mut OooCore,
+        ops: Vec<StreamOp>,
+        l1i: &mut L1Cache,
+        l1d: &mut L1Cache,
+        v: &mut u64,
+    ) -> Vec<(u64, MemReq)> {
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i, l1d, versions: v };
+        let mut ctx = CoreCtx {
+            l1i,
+            l1d,
+            versions: v,
+        };
         core.advance(&mut s, &mut ctx, 1_000_000, &mut reqs);
         reqs
     }
@@ -591,7 +637,10 @@ mod tests {
         let mut core = OooCore::new(test_cfg());
         run_all(&mut core, alu_chain(400, 1), &mut l1i, &mut l1d, &mut v);
         let cycles = core.now_cycle();
-        assert!(cycles >= 395, "dependency chain is one per cycle, got {cycles}");
+        assert!(
+            cycles >= 395,
+            "dependency chain is one per cycle, got {cycles}"
+        );
     }
 
     #[test]
@@ -601,13 +650,20 @@ mod tests {
         let ops: Vec<StreamOp> = (0..4)
             .map(|i| StreamOp {
                 pc: Addr(0),
-                kind: OpKind::Load { addr: Addr(0x1000 + i * 64), dep_addr: 0 },
+                kind: OpKind::Load {
+                    addr: Addr(0x1000 + i * 64),
+                    dep_addr: 0,
+                },
             })
             .collect();
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
         let st = core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked);
         assert_eq!(reqs.len(), 4, "all four misses issued back-to-back (MLP)");
@@ -619,10 +675,20 @@ mod tests {
         for (_, r) in &reqs {
             core.fill(r.id, 80, FillSource::LocalMem);
         }
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
-        assert_eq!(core.advance(&mut s, &mut ctx, 100, &mut reqs), CoreStatus::Done);
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
+        assert_eq!(
+            core.advance(&mut s, &mut ctx, 100, &mut reqs),
+            CoreStatus::Done
+        );
         let stall = core.stats().total_stall();
-        assert!(stall <= 90, "overlapped misses cost ≈ one latency, got {stall}");
+        assert!(
+            stall <= 90,
+            "overlapped misses cost ≈ one latency, got {stall}"
+        );
     }
 
     #[test]
@@ -631,24 +697,51 @@ mod tests {
         let mut core = OooCore::new(test_cfg());
         // load A; load B whose address depends on A (pointer chase).
         let ops = vec![
-            StreamOp { pc: Addr(0), kind: OpKind::Load { addr: Addr(0x1000), dep_addr: 0 } },
-            StreamOp { pc: Addr(0), kind: OpKind::Load { addr: Addr(0x2000), dep_addr: 1 } },
+            StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Load {
+                    addr: Addr(0x1000),
+                    dep_addr: 0,
+                },
+            },
+            StreamOp {
+                pc: Addr(0),
+                kind: OpKind::Load {
+                    addr: Addr(0x2000),
+                    dep_addr: 1,
+                },
+            },
         ];
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
         core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(reqs.len(), 1, "second load must wait for the first's data");
         l1d.fill(Addr(0x1000).line(), Mesi::Exclusive, 0);
         core.fill(reqs[0].1.id, 80, FillSource::LocalMem);
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
         core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(reqs.len(), 2, "second load issues after the first fills");
         l1d.fill(Addr(0x2000).line(), Mesi::Exclusive, 0);
         core.fill(reqs[1].1.id, 160, FillSource::LocalMem);
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
-        assert_eq!(core.advance(&mut s, &mut ctx, 100, &mut reqs), CoreStatus::Done);
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
+        assert_eq!(
+            core.advance(&mut s, &mut ctx, 100, &mut reqs),
+            CoreStatus::Done
+        );
         assert!(core.stats().total_stall() >= 150, "both latencies visible");
     }
 
@@ -656,12 +749,19 @@ mod tests {
     fn stores_do_not_block_the_window() {
         let (mut l1i, mut l1d, mut v) = env();
         let mut core = OooCore::new(test_cfg());
-        let mut ops = vec![StreamOp { pc: Addr(0), kind: OpKind::Store { addr: Addr(0x3000) } }];
+        let mut ops = vec![StreamOp {
+            pc: Addr(0),
+            kind: OpKind::Store { addr: Addr(0x3000) },
+        }];
         ops.extend(alu_chain(20, 0));
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
         let st = core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked, "store transaction outstanding");
         assert_eq!(core.stats().instrs, 21, "ALUs retired past the store miss");
@@ -672,18 +772,28 @@ mod tests {
     #[test]
     fn mshr_limit_bounds_outstanding_loads() {
         let (mut l1i, mut l1d, mut v) = env();
-        let cfg = OooConfig { mshrs: 2, ..test_cfg() };
+        let cfg = OooConfig {
+            mshrs: 2,
+            ..test_cfg()
+        };
         let mut core = OooCore::new(cfg);
         let ops: Vec<StreamOp> = (0..3)
             .map(|i| StreamOp {
                 pc: Addr(0),
-                kind: OpKind::Load { addr: Addr(0x1000 + i * 64), dep_addr: 0 },
+                kind: OpKind::Load {
+                    addr: Addr(0x1000 + i * 64),
+                    dep_addr: 0,
+                },
             })
             .collect();
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
         core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(reqs.len(), 2, "third load waits for an MSHR");
     }
@@ -698,15 +808,26 @@ mod tests {
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
         let st = core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked);
         assert_eq!(reqs[0].1.kind, CacheKind::Instruction);
         l1i.fill(Addr(0).line(), Mesi::Shared, 0);
         core.fill(reqs[0].1.id, 16, FillSource::L2Hit);
         assert_eq!(core.stats().l2_hit_stall(), 16);
-        let mut ctx = CoreCtx { l1i: &mut l1i, l1d: &mut l1d, versions: &mut v };
-        assert_eq!(core.advance(&mut s, &mut ctx, 100, &mut reqs), CoreStatus::Done);
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i,
+            l1d: &mut l1d,
+            versions: &mut v,
+        };
+        assert_eq!(
+            core.advance(&mut s, &mut ctx, 100, &mut reqs),
+            CoreStatus::Done
+        );
     }
 
     #[test]
@@ -726,7 +847,11 @@ mod tests {
         let mut it = ops.into_iter();
         let mut s = move || it.next();
         let mut reqs = Vec::new();
-        let mut ctx = CoreCtx { l1i: &mut l1i2, l1d: &mut l1d2, versions: &mut v2 };
+        let mut ctx = CoreCtx {
+            l1i: &mut l1i2,
+            l1d: &mut l1d2,
+            versions: &mut v2,
+        };
         ino.advance(&mut s, &mut ctx, 1_000_000, &mut reqs);
         let ino_cycles = ino.now_cycle();
         assert!(

@@ -85,7 +85,10 @@ impl CoreStats {
     /// The difference `self - earlier` (for measurement windows after a
     /// warm-up phase).
     pub fn diff(&self, earlier: &CoreStats) -> CoreStats {
-        let mut d = CoreStats { instrs: self.instrs - earlier.instrs, ..Default::default() };
+        let mut d = CoreStats {
+            instrs: self.instrs - earlier.instrs,
+            ..Default::default()
+        };
         for i in 0..STALL_KINDS {
             d.stall_cycles[i] = self.stall_cycles[i] - earlier.stall_cycles[i];
             d.fills[i] = self.fills[i] - earlier.fills[i];
@@ -140,9 +143,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates_everything() {
-        let mut a = CoreStats { instrs: 10, ..Default::default() };
+        let mut a = CoreStats {
+            instrs: 10,
+            ..Default::default()
+        };
         a.record_fill(FillSource::L2Hit, 5);
-        let mut b = CoreStats { instrs: 20, branch_penalty_cycles: 7, ..Default::default() };
+        let mut b = CoreStats {
+            instrs: 20,
+            branch_penalty_cycles: 7,
+            ..Default::default()
+        };
         b.record_fill(FillSource::L2Hit, 3);
         a.merge(&b);
         assert_eq!(a.instrs, 30);

@@ -102,7 +102,12 @@ pub struct IsaStream {
 impl IsaStream {
     /// Wrap a machine positioned at its entry point.
     pub fn new(machine: Machine) -> Self {
-        IsaStream { machine, last_writer: [0; piranha_isa::NUM_REGS], index: 0, trapped: None }
+        IsaStream {
+            machine,
+            last_writer: [0; piranha_isa::NUM_REGS],
+            index: 0,
+            trapped: None,
+        }
     }
 
     /// The wrapped machine (for inspecting registers/memory afterwards).
@@ -173,12 +178,16 @@ impl InstrStream for IsaStream {
                 dep1: deps.first().copied().unwrap_or(0),
                 dep2: deps.get(1).copied().unwrap_or(0),
             },
-            ExecKind::Load(a) => {
-                OpKind::Load { addr: a, dep_addr: deps.first().copied().unwrap_or(0) }
-            }
+            ExecKind::Load(a) => OpKind::Load {
+                addr: a,
+                dep_addr: deps.first().copied().unwrap_or(0),
+            },
             ExecKind::Store(a) => OpKind::Store { addr: a },
             ExecKind::WriteHint(a) => OpKind::WriteHint { addr: a },
-            ExecKind::Branch { taken } => OpKind::Branch { taken, mispredict: None },
+            ExecKind::Branch { taken } => OpKind::Branch {
+                taken,
+                mispredict: None,
+            },
             ExecKind::Halt => return None,
         };
         Some(StreamOp { pc: exec.pc, kind })
@@ -209,23 +218,35 @@ mod tests {
         // r2 depends on r1 written one instruction earlier; r3 on r1 at
         // distance two and r2 at distance one.
         let ops = stream_of("li r1, 5\naddi r2, r1, 1\nadd r3, r1, r2\nhalt");
-        let OpKind::Alu { dep1, .. } = ops[1].kind else { panic!() };
+        let OpKind::Alu { dep1, .. } = ops[1].kind else {
+            panic!()
+        };
         assert_eq!(dep1, 1);
-        let OpKind::Alu { dep1, dep2, .. } = ops[2].kind else { panic!() };
+        let OpKind::Alu { dep1, dep2, .. } = ops[2].kind else {
+            panic!()
+        };
         assert_eq!((dep1, dep2), (2, 1));
     }
 
     #[test]
     fn load_address_dependency() {
         let ops = stream_of("li r1, 0x40\nldq r2, 0(r1)\nhalt");
-        let OpKind::Load { dep_addr, .. } = ops[1].kind else { panic!() };
+        let OpKind::Load { dep_addr, .. } = ops[1].kind else {
+            panic!()
+        };
         assert_eq!(dep_addr, 1);
     }
 
     #[test]
     fn branches_and_pcs() {
         let ops = stream_of("li r1, 1\nbeq r1, out\nout: halt");
-        assert!(matches!(ops[1].kind, OpKind::Branch { taken: false, mispredict: None }));
+        assert!(matches!(
+            ops[1].kind,
+            OpKind::Branch {
+                taken: false,
+                mispredict: None
+            }
+        ));
         assert_eq!(ops[0].pc.0, 0);
         assert_eq!(ops[1].pc.0, 4);
     }
@@ -233,7 +254,9 @@ mod tests {
     #[test]
     fn zero_register_never_creates_dependencies() {
         let ops = stream_of("li r31, 3\naddi r1, r31, 1\nhalt");
-        let OpKind::Alu { dep1, .. } = ops[1].kind else { panic!() };
+        let OpKind::Alu { dep1, .. } = ops[1].kind else {
+            panic!()
+        };
         assert_eq!(dep1, 0);
     }
 
@@ -244,7 +267,11 @@ mod tests {
             n += 1;
             (n <= 2).then_some(StreamOp {
                 pc: Addr(0),
-                kind: OpKind::Alu { mul: false, dep1: 0, dep2: 0 },
+                kind: OpKind::Alu {
+                    mul: false,
+                    dep1: 0,
+                    dep2: 0,
+                },
             })
         };
         assert!(s.next_op().is_some());

@@ -1,0 +1,257 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, vendored so the workspace builds offline.
+//!
+//! It implements the subset of the criterion 0.x API this workspace's
+//! benches use — [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`], [`black_box`] — with real
+//! wall-clock measurement (warm-up, calibrated iteration counts, mean /
+//! min / max over samples) but none of criterion's statistics machinery,
+//! plotting, or baseline storage.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every
+//! benchmark exactly once, so bench targets double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: holds measurement settings and prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, &id.into(), f);
+        self
+    }
+
+    /// Open a named group of benchmarks (`group/bench` ids).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+
+    /// No-op, for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(self.c, &full, f);
+        self
+    }
+
+    /// Close the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_iters<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    if c.test_mode {
+        time_iters(&mut f, 1);
+        println!("Testing {id} ... ok");
+        return;
+    }
+    // Warm up and estimate the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut warm_spent = Duration::ZERO;
+    while warm_spent < c.warm_up_time || warm_iters == 0 {
+        warm_spent += time_iters(&mut f, 1);
+        warm_iters += 1;
+        if warm_start.elapsed() > c.warm_up_time.mul_f64(4.0) {
+            break;
+        }
+    }
+    let per_iter = warm_spent
+        .checked_div(warm_iters as u32)
+        .unwrap_or(Duration::ZERO);
+    // Pick iterations per sample so the whole run fits measurement_time.
+    let budget_per_sample = c.measurement_time.checked_div(c.sample_size as u32);
+    let iters_per_sample = match (budget_per_sample, per_iter.as_nanos()) {
+        (Some(budget), ns) if ns > 0 => (budget.as_nanos() / ns).clamp(1, u64::MAX as u128) as u64,
+        _ => 1,
+    };
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let d = time_iters(&mut f, iters_per_sample);
+        samples.push(d.as_secs_f64() / iters_per_sample as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples x {iters_per_sample} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "test mode runs each bench once");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Parallel, memoizing experiment harness.
+//!
+//! The paper's evaluation (§4) needs ~20 independent `Machine`
+//! simulations, and several figures share baselines (OOO, P1, P8 appear
+//! in four figures each). Simulations of *different* configurations are
+//! embarrassingly parallel — each `Machine` is a self-contained
+//! deterministic event simulation — so this crate:
+//!
+//! 1. collects the `(SystemConfig, Workload, RunScale)` tuples a figure
+//!    (or all figures) needs into a [`RunPlan`],
+//! 2. deduplicates them by a stable cache key,
+//! 3. executes the unique runs across `std::thread::scope` workers
+//!    (bounded by `available_parallelism`, overridable with the
+//!    `PIRANHA_THREADS` environment variable), and
+//! 4. hands the memoized [`RunResult`]s back through [`Harness::get`].
+//!
+//! Because each simulation is deterministic and runs on its own thread
+//! with its own `Machine`, the parallel path is *bit-identical* to the
+//! serial path — the only thing that changes is wall-clock time.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use piranha_harness::{Harness, RunPlan, RunScale};
+//! use piranha_system::SystemConfig;
+//! use piranha_workloads::{OltpConfig, Workload};
+//!
+//! let w = Workload::Oltp(OltpConfig::paper_default());
+//! let scale = RunScale::quick();
+//! let mut plan = RunPlan::new();
+//! for cfg in [SystemConfig::ooo(), SystemConfig::piranha_p8()] {
+//!     plan.add(cfg, w.clone(), scale);
+//! }
+//! let mut h = Harness::new();
+//! h.execute(&plan);
+//! let ooo = h.get(&SystemConfig::ooo(), &w, scale); // memoized
+//! println!("OOO: {:.2} instrs/ns", ooo.throughput_ipns());
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use piranha_system::{Machine, RunResult, SystemConfig};
+use piranha_workloads::Workload;
+
+/// How long to run each configuration. Figures in the paper used 500
+/// OLTP transactions; we size in instructions per CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunScale {
+    /// Warm-up instructions per CPU (caches, open pages, BTB).
+    pub warmup: u64,
+    /// Measured instructions per CPU.
+    pub measure: u64,
+}
+
+impl RunScale {
+    /// Full-size runs for the shipped figures.
+    pub fn full() -> Self {
+        RunScale {
+            warmup: 600_000,
+            measure: 1_000_000,
+        }
+    }
+
+    /// Small runs for CI / Criterion iterations.
+    pub fn quick() -> Self {
+        RunScale {
+            warmup: 200_000,
+            measure: 300_000,
+        }
+    }
+
+    /// Tiny runs for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        RunScale {
+            warmup: 2_000,
+            measure: 10_000,
+        }
+    }
+}
+
+/// Run one configuration against one workload, serially, on the calling
+/// thread. This is the primitive everything else schedules.
+pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
+    let mut m = Machine::new(cfg, w);
+    m.run(scale.warmup, scale.measure)
+}
+
+/// One simulation a figure needs.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// The machine configuration to simulate.
+    pub cfg: SystemConfig,
+    /// The workload to drive it with.
+    pub workload: Workload,
+    /// Instruction budget.
+    pub scale: RunScale,
+}
+
+impl RunRequest {
+    /// Assemble a request.
+    pub fn new(cfg: SystemConfig, workload: Workload, scale: RunScale) -> Self {
+        RunRequest {
+            cfg,
+            workload,
+            scale,
+        }
+    }
+
+    /// The stable cache key identifying this simulation.
+    pub fn key(&self) -> String {
+        cache_key(&self.cfg, &self.workload, self.scale)
+    }
+}
+
+/// The stable cache key of a `(config, workload, scale)` tuple.
+///
+/// Built from the `Debug` renderings, which cover every field of the
+/// derived config structs — two tuples collide exactly when they would
+/// produce identical simulations (configurations are pure data and the
+/// simulator is deterministic).
+pub fn cache_key(cfg: &SystemConfig, w: &Workload, scale: RunScale) -> String {
+    format!("{cfg:?}|{w:?}|{scale:?}")
+}
+
+/// A deduplicated batch of simulations to run.
+#[derive(Debug, Default, Clone)]
+pub struct RunPlan {
+    reqs: Vec<RunRequest>,
+    keys: HashSet<String>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one simulation; duplicates (by cache key) are dropped.
+    /// Returns whether the request was new.
+    pub fn add(&mut self, cfg: SystemConfig, workload: Workload, scale: RunScale) -> bool {
+        self.push(RunRequest::new(cfg, workload, scale))
+    }
+
+    /// Add a pre-built request; duplicates (by cache key) are dropped.
+    pub fn push(&mut self, req: RunRequest) -> bool {
+        if self.keys.insert(req.key()) {
+            self.reqs.push(req);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fold another plan's requests into this one.
+    pub fn merge(&mut self, other: RunPlan) {
+        for r in other.reqs {
+            self.push(r);
+        }
+    }
+
+    /// Number of unique simulations planned.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// The unique requests, in insertion order.
+    pub fn requests(&self) -> &[RunRequest] {
+        &self.reqs
+    }
+}
+
+/// The worker-thread count the harness uses by default: the
+/// `PIRANHA_THREADS` environment variable if set (and ≥ 1), else
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PIRANHA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A memoizing executor for simulation runs.
+///
+/// Results are cached by [`cache_key`]; [`Harness::execute`] runs every
+/// uncached request of a [`RunPlan`] across scoped worker threads, and
+/// [`Harness::get`] returns cached results (simulating inline, serially,
+/// on a miss so figures never see a gap).
+#[derive(Debug)]
+pub struct Harness {
+    cache: HashMap<String, Arc<RunResult>>,
+    threads: usize,
+    executed: usize,
+    hits: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// A harness using [`default_threads`] workers.
+    pub fn new() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// A harness with an explicit worker count (`1` = serial).
+    pub fn with_threads(threads: usize) -> Self {
+        Harness {
+            cache: HashMap::new(),
+            threads: threads.max(1),
+            executed: 0,
+            hits: 0,
+        }
+    }
+
+    /// A strictly serial harness (still memoizing).
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The worker-thread bound.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many simulations have actually been executed.
+    pub fn unique_runs(&self) -> usize {
+        self.executed
+    }
+
+    /// How many [`Harness::get`] calls were answered from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Execute every request of `plan` that is not already cached,
+    /// fanning the unique runs out over up to `threads` scoped workers.
+    ///
+    /// Workers pull tasks from a shared index in plan order, so with one
+    /// worker this degrades to exactly the serial loop. Each task builds
+    /// its own `Machine`, making results independent of scheduling.
+    pub fn execute(&mut self, plan: &RunPlan) {
+        let todo: Vec<&RunRequest> = plan
+            .requests()
+            .iter()
+            .filter(|r| !self.cache.contains_key(&r.key()))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let workers = self.threads.min(todo.len());
+        if workers <= 1 {
+            for req in todo {
+                let r = Arc::new(run_config(req.cfg.clone(), &req.workload, req.scale));
+                self.cache.insert(req.key(), r);
+                self.executed += 1;
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<RunResult>>> =
+            todo.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = todo.get(i) else { break };
+                    let r = run_config(req.cfg.clone(), &req.workload, req.scale);
+                    *results[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        for (req, cell) in todo.iter().zip(results) {
+            let r = cell
+                .into_inner()
+                .unwrap()
+                .expect("worker completed every claimed task");
+            self.cache.insert(req.key(), Arc::new(r));
+            self.executed += 1;
+        }
+    }
+
+    /// The memoized result for one tuple; simulates inline (serially) if
+    /// it is not cached yet.
+    pub fn get(&mut self, cfg: &SystemConfig, w: &Workload, scale: RunScale) -> Arc<RunResult> {
+        let key = cache_key(cfg, w, scale);
+        if let Some(r) = self.cache.get(&key) {
+            self.hits += 1;
+            return Arc::clone(r);
+        }
+        let r = Arc::new(run_config(cfg.clone(), w, scale));
+        self.cache.insert(key, Arc::clone(&r));
+        self.executed += 1;
+        r
+    }
+
+    /// Whether a tuple is already cached.
+    pub fn contains(&self, cfg: &SystemConfig, w: &Workload, scale: RunScale) -> bool {
+        self.cache.contains_key(&cache_key(cfg, w, scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piranha_workloads::SynthConfig;
+
+    fn synth() -> Workload {
+        Workload::Synth(SynthConfig::light())
+    }
+
+    fn tiny_cfg(name: &str, cpus: usize) -> SystemConfig {
+        let mut c = SystemConfig::piranha_pn(cpus.max(1));
+        c.name = name.into();
+        c.cpu_quantum = 500;
+        c
+    }
+
+    #[test]
+    fn plan_deduplicates_by_key() {
+        let mut plan = RunPlan::new();
+        assert!(plan.add(tiny_cfg("A", 1), synth(), RunScale::tiny()));
+        assert!(
+            !plan.add(tiny_cfg("A", 1), synth(), RunScale::tiny()),
+            "exact dup dropped"
+        );
+        assert!(
+            plan.add(tiny_cfg("A", 2), synth(), RunScale::tiny()),
+            "config change kept"
+        );
+        assert!(
+            plan.add(tiny_cfg("A", 1), synth(), RunScale::quick()),
+            "scale change kept"
+        );
+        assert_eq!(plan.len(), 3);
+        let mut other = RunPlan::new();
+        other.add(tiny_cfg("A", 2), synth(), RunScale::tiny());
+        other.add(tiny_cfg("B", 1), synth(), RunScale::tiny());
+        plan.merge(other);
+        assert_eq!(plan.len(), 4, "merge dedups against existing keys");
+    }
+
+    #[test]
+    fn execute_memoizes_and_get_hits() {
+        let mut plan = RunPlan::new();
+        plan.add(tiny_cfg("A", 1), synth(), RunScale::tiny());
+        plan.add(tiny_cfg("B", 1), synth(), RunScale::tiny());
+        let mut h = Harness::serial();
+        h.execute(&plan);
+        assert_eq!(h.unique_runs(), 2);
+        h.execute(&plan);
+        assert_eq!(h.unique_runs(), 2, "re-executing a cached plan is free");
+        let _ = h.get(&tiny_cfg("A", 1), &synth(), RunScale::tiny());
+        assert_eq!(h.cache_hits(), 1);
+        assert_eq!(h.unique_runs(), 2, "get() was served from cache");
+    }
+
+    #[test]
+    fn parallel_results_are_bit_identical_to_serial() {
+        let mut plan = RunPlan::new();
+        for (name, cpus) in [("A", 1), ("B", 2), ("C", 1), ("D", 2), ("E", 1)] {
+            plan.add(tiny_cfg(name, cpus), synth(), RunScale::tiny());
+        }
+        let mut serial = Harness::serial();
+        serial.execute(&plan);
+        let mut parallel = Harness::with_threads(4);
+        parallel.execute(&plan);
+        for req in plan.requests() {
+            let a = serial.get(&req.cfg, &req.workload, req.scale);
+            let b = parallel.get(&req.cfg, &req.workload, req.scale);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.total_instrs(), b.total_instrs());
+            assert_eq!(a.cpus.len(), b.cpus.len());
+            for (x, y) in a.cpus.iter().zip(&b.cpus) {
+                assert_eq!(
+                    format!("{x:?}"),
+                    format!("{y:?}"),
+                    "per-CPU stats identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_runs_inline_on_miss() {
+        let mut h = Harness::new();
+        let r = h.get(&tiny_cfg("A", 1), &synth(), RunScale::tiny());
+        assert!(r.total_instrs() >= 10_000);
+        assert_eq!(h.unique_runs(), 1);
+        assert_eq!(h.cache_hits(), 0);
+    }
+
+    #[test]
+    fn thread_env_override_parses() {
+        // Only checks the parser contract; the env var itself is global
+        // state we do not mutate in tests.
+        assert!(default_threads() >= 1);
+    }
+}

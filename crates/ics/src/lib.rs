@@ -35,12 +35,19 @@ pub struct IcsConfig {
 impl IcsConfig {
     /// The prototype's switch: 500 MHz, 8 datapaths, 2-cycle grant.
     pub fn paper_default() -> Self {
-        IcsConfig { clock: Clock::from_mhz(500), datapaths: 8, grant_cycles: 2 }
+        IcsConfig {
+            clock: Clock::from_mhz(500),
+            datapaths: 8,
+            grant_cycles: 2,
+        }
     }
 
     /// A switch clocked differently (e.g. the 1.25 GHz full-custom chip).
     pub fn with_clock(clock: Clock) -> Self {
-        IcsConfig { clock, ..Self::paper_default() }
+        IcsConfig {
+            clock,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -168,9 +175,15 @@ mod tests {
     fn eight_transfers_proceed_in_parallel() {
         let mut ics = Ics::new(IcsConfig::paper_default());
         let times: Vec<u64> = (0..8)
-            .map(|_| ics.transfer(SimTime::ZERO, TransferSize::Line, Lane::Low).as_ns())
+            .map(|_| {
+                ics.transfer(SimTime::ZERO, TransferSize::Line, Lane::Low)
+                    .as_ns()
+            })
             .collect();
-        assert!(times.iter().all(|&t| t == 22), "all eight datapaths usable: {times:?}");
+        assert!(
+            times.iter().all(|&t| t == 22),
+            "all eight datapaths usable: {times:?}"
+        );
         // The ninth queues behind one of them.
         let t9 = ics.transfer(SimTime::ZERO, TransferSize::Line, Lane::Low);
         assert_eq!(t9.as_ns(), 40);

@@ -81,7 +81,10 @@ pub fn assemble_at(source: &str, text_base: u64) -> Result<Program, AsmError> {
             if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
                 return Err(err(lineno, format!("invalid label {label:?}")));
             }
-            if labels.insert(label.to_string(), stmts.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), stmts.len() as u32)
+                .is_some()
+            {
                 return Err(err(lineno, format!("duplicate label {label:?}")));
             }
             text = text[colon + 1..].trim();
@@ -96,11 +99,18 @@ pub fn assemble_at(source: &str, text_base: u64) -> Result<Program, AsmError> {
     for (lineno, text) in &stmts {
         instrs.push(encode(*lineno, text, &labels)?);
     }
-    Ok(Program { instrs, labels, text_base })
+    Ok(Program {
+        instrs,
+        labels,
+        text_base,
+    })
 }
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(line: usize, tok: &str) -> Result<Reg, AsmError> {
@@ -125,7 +135,8 @@ fn parse_imm(line: usize, tok: &str) -> Result<i32, AsmError> {
     let v: i64 = if let Some(hex) = body.strip_prefix("0x") {
         i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate {tok:?}")))?
     } else {
-        body.parse().map_err(|_| err(line, format!("bad immediate {tok:?}")))?
+        body.parse()
+            .map_err(|_| err(line, format!("bad immediate {tok:?}")))?
     };
     let v = if neg { -v } else { v };
     i32::try_from(v).map_err(|_| err(line, format!("immediate out of range: {tok}")))
@@ -141,7 +152,11 @@ fn parse_mem(line: usize, tok: &str) -> Result<(i32, Reg), AsmError> {
         .strip_suffix(')')
         .ok_or_else(|| err(line, format!("missing ')' in {tok:?}")))?;
     let disp_str = tok[..open].trim();
-    let disp = if disp_str.is_empty() { 0 } else { parse_imm(line, disp_str)? };
+    let disp = if disp_str.is_empty() {
+        0
+    } else {
+        parse_imm(line, disp_str)?
+    };
     let rb = parse_reg(line, &close[open + 1..])?;
     Ok((disp, rb))
 }
@@ -204,7 +219,10 @@ fn encode(line: usize, text: &str, labels: &BTreeMap<String, u32>) -> Result<Ins
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+            Err(err(
+                line,
+                format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+            ))
         }
     };
 
@@ -213,9 +231,19 @@ fn encode(line: usize, text: &str, labels: &BTreeMap<String, u32>) -> Result<Ins
         let ra = parse_reg(line, ops[0])?;
         let rb = parse_reg(line, ops[1])?;
         return if imm_form {
-            Ok(Instr::AluImm { op, ra, rb, imm: parse_imm(line, ops[2])? })
+            Ok(Instr::AluImm {
+                op,
+                ra,
+                rb,
+                imm: parse_imm(line, ops[2])?,
+            })
         } else {
-            Ok(Instr::Alu { op, ra, rb, rc: parse_reg(line, ops[2])? })
+            Ok(Instr::Alu {
+                op,
+                ra,
+                rb,
+                rc: parse_reg(line, ops[2])?,
+            })
         };
     }
     if let Some(cond) = branch_cond(&mnemonic) {
@@ -247,13 +275,20 @@ fn encode(line: usize, text: &str, labels: &BTreeMap<String, u32>) -> Result<Ins
         }
         "br" => {
             want(1)?;
-            Ok(Instr::Jmp { target: parse_label(line, ops[0], labels)? })
+            Ok(Instr::Jmp {
+                target: parse_label(line, ops[0], labels)?,
+            })
         }
         "li" => {
             want(2)?;
             let ra = parse_reg(line, ops[0])?;
             let imm = parse_imm(line, ops[1])?;
-            Ok(Instr::AluImm { op: AluOp::Add, ra, rb: crate::ZERO_REG, imm })
+            Ok(Instr::AluImm {
+                op: AluOp::Add,
+                ra,
+                rb: crate::ZERO_REG,
+                imm,
+            })
         }
         "halt" => {
             want(0)?;
@@ -290,12 +325,49 @@ mod tests {
         assert_eq!(p.instrs.len(), 11);
         assert_eq!(p.label("start"), Some(0));
         assert_eq!(p.label("done"), Some(10));
-        assert_eq!(p.instrs[0], Instr::AluImm { op: AluOp::Add, ra: 1, rb: 31, imm: 0x40 });
-        assert_eq!(p.instrs[2], Instr::AluImm { op: AluOp::Sub, ra: 3, rb: 2, imm: -4 });
-        assert_eq!(p.instrs[5], Instr::Ldq { ra: 6, rb: 1, disp: 8 });
-        assert_eq!(p.instrs[6], Instr::Stq { ra: 6, rb: 1, disp: -8 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                ra: 1,
+                rb: 31,
+                imm: 0x40
+            }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::AluImm {
+                op: AluOp::Sub,
+                ra: 3,
+                rb: 2,
+                imm: -4
+            }
+        );
+        assert_eq!(
+            p.instrs[5],
+            Instr::Ldq {
+                ra: 6,
+                rb: 1,
+                disp: 8
+            }
+        );
+        assert_eq!(
+            p.instrs[6],
+            Instr::Stq {
+                ra: 6,
+                rb: 1,
+                disp: -8
+            }
+        );
         assert_eq!(p.instrs[7], Instr::Wh64 { rb: 6 });
-        assert_eq!(p.instrs[8], Instr::Br { cond: Cond::Eq, ra: 5, target: 10 });
+        assert_eq!(
+            p.instrs[8],
+            Instr::Br {
+                cond: Cond::Eq,
+                ra: 5,
+                target: 10
+            }
+        );
         assert_eq!(p.instrs[9], Instr::Jmp { target: 0 });
         assert_eq!(p.instrs[10], Instr::Halt);
     }
@@ -321,12 +393,30 @@ mod tests {
 
     #[test]
     fn error_reporting() {
-        assert!(assemble("frob r1, r2").unwrap_err().message.contains("unknown mnemonic"));
-        assert!(assemble("add r1, r2").unwrap_err().message.contains("expects 3"));
-        assert!(assemble("add r1, r2, r99").unwrap_err().message.contains("out of range"));
-        assert!(assemble("br nowhere").unwrap_err().message.contains("undefined label"));
-        assert!(assemble("x: halt\nx: halt").unwrap_err().message.contains("duplicate"));
-        assert!(assemble("ldq r1, r2").unwrap_err().message.contains("disp(reg)"));
+        assert!(assemble("frob r1, r2")
+            .unwrap_err()
+            .message
+            .contains("unknown mnemonic"));
+        assert!(assemble("add r1, r2")
+            .unwrap_err()
+            .message
+            .contains("expects 3"));
+        assert!(assemble("add r1, r2, r99")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(assemble("br nowhere")
+            .unwrap_err()
+            .message
+            .contains("undefined label"));
+        assert!(assemble("x: halt\nx: halt")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(assemble("ldq r1, r2")
+            .unwrap_err()
+            .message
+            .contains("disp(reg)"));
         let e = assemble("halt\nadd r1, r2").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().starts_with("line 2:"));

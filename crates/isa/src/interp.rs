@@ -102,7 +102,9 @@ impl SparseMem {
     fn write_u8(&mut self, addr: Addr, value: u8) {
         let page = addr.0 >> PAGE_SHIFT;
         let off = (addr.0 as usize) & (PAGE_BYTES - 1);
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]))[off] = value;
     }
 }
 

@@ -287,20 +287,38 @@ mod tests {
 
     #[test]
     fn dest_and_sources() {
-        let i = Instr::Alu { op: AluOp::Add, ra: 1, rb: 2, rc: 3 };
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            ra: 1,
+            rb: 2,
+            rc: 3,
+        };
         assert_eq!(i.dest(), Some(1));
         assert_eq!(i.sources(), vec![2, 3]);
         // Writes to r31 are discarded, so it is not a real destination.
-        let z = Instr::AluImm { op: AluOp::Add, ra: ZERO_REG, rb: 0, imm: 1 };
+        let z = Instr::AluImm {
+            op: AluOp::Add,
+            ra: ZERO_REG,
+            rb: 0,
+            imm: 1,
+        };
         assert_eq!(z.dest(), None);
-        let s = Instr::Stq { ra: 4, rb: 5, disp: 0 };
+        let s = Instr::Stq {
+            ra: 4,
+            rb: 5,
+            disp: 0,
+        };
         assert_eq!(s.dest(), None);
         assert_eq!(s.sources(), vec![4, 5]);
     }
 
     #[test]
     fn program_pc_mapping() {
-        let p = Program { instrs: vec![Instr::Halt], labels: Default::default(), text_base: 0x1000 };
+        let p = Program {
+            instrs: vec![Instr::Halt],
+            labels: Default::default(),
+            text_base: 0x1000,
+        };
         assert_eq!(p.pc_of(0), 0x1000);
         assert_eq!(p.pc_of(3), 0x100c);
     }

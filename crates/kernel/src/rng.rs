@@ -59,10 +59,7 @@ impl Prng {
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -119,7 +116,10 @@ impl Prng {
     ///
     /// Panics if `p` is not in `(0, 1]`.
     pub fn geometric(&mut self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 1.0, "geometric probability out of range: {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric probability out of range: {p}"
+        );
         if p >= 1.0 {
             return 0;
         }
@@ -180,7 +180,10 @@ mod tests {
             assert!(v < 10);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values of below(10) should appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of below(10) should appear"
+        );
     }
 
     #[test]
@@ -220,10 +223,12 @@ mod tests {
         let mut r = Prng::seed_from_u64(9);
         let p = 0.25;
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.geometric(p) as f64).sum::<f64>() / n as f64;
         let expect = (1.0 - p) / p; // 3.0
-        assert!((mean - expect).abs() < 0.1, "mean {mean} vs expected {expect}");
+        assert!(
+            (mean - expect).abs() < 0.1,
+            "mean {mean} vs expected {expect}"
+        );
     }
 
     #[test]

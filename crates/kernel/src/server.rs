@@ -93,7 +93,11 @@ impl MultiServer {
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "a MultiServer needs at least one server");
-        MultiServer { busy_until: vec![SimTime::ZERO; k], busy_time: Duration::ZERO, jobs: 0 }
+        MultiServer {
+            busy_until: vec![SimTime::ZERO; k],
+            busy_time: Duration::ZERO,
+            jobs: 0,
+        }
     }
 
     /// Submit a job arriving at `now`; it is served by the earliest-free
@@ -148,7 +152,11 @@ impl Pipe {
     pub fn from_gb_per_s(gb_per_s: u64) -> Self {
         assert!(gb_per_s > 0, "pipe bandwidth must be positive");
         // 1 GB/s = 1 byte per ns = 1000 ps per byte.
-        Pipe { server: Server::new(), ps_per_byte_num: 1000, ps_per_byte_den: gb_per_s }
+        Pipe {
+            server: Server::new(),
+            ps_per_byte_num: 1000,
+            ps_per_byte_den: gb_per_s,
+        }
     }
 
     /// Time to transfer `bytes` at full bandwidth (no queueing).

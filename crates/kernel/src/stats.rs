@@ -99,13 +99,22 @@ pub struct Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: vec![0; 40], count: 0, sum_ns: 0, max_ns: 0 }
+        Histogram {
+            buckets: vec![0; 40],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
     }
 
     /// Record one latency sample.
     pub fn record(&mut self, d: Duration) {
         let ns = d.as_ns();
-        let b = if ns == 0 { 0 } else { (64 - ns.leading_zeros()) as usize };
+        let b = if ns == 0 {
+            0
+        } else {
+            (64 - ns.leading_zeros()) as usize
+        };
         let b = b.min(self.buckets.len() - 1);
         self.buckets[b] += 1;
         self.count += 1;

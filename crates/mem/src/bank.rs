@@ -50,7 +50,11 @@ pub struct MemBank {
 impl MemBank {
     /// A new bank with all lines at version 0 and uncached directories.
     pub fn new(cfg: MemBankConfig) -> Self {
-        MemBank { rdram: Rdram::new(cfg.rdram), versions: HashMap::new(), directory: HashMap::new() }
+        MemBank {
+            rdram: Rdram::new(cfg.rdram),
+            versions: HashMap::new(),
+            directory: HashMap::new(),
+        }
     }
 
     /// Charge one line access for timing only (the caller reads the
@@ -156,7 +160,12 @@ mod tests {
     #[test]
     fn combined_write_sets_both() {
         let mut b = MemBank::new(MemBankConfig::default());
-        b.write_with_directory(SimTime::ZERO, LineAddr(9), 11, DirEntry::Exclusive(NodeId(2)));
+        b.write_with_directory(
+            SimTime::ZERO,
+            LineAddr(9),
+            11,
+            DirEntry::Exclusive(NodeId(2)),
+        );
         assert_eq!(b.version(LineAddr(9)), 11);
         assert_eq!(b.directory(LineAddr(9)), DirEntry::Exclusive(NodeId(2)));
     }

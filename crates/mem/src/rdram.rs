@@ -144,7 +144,11 @@ impl Rdram {
         }
         self.open_pages.insert(page, now);
 
-        let access_lat = if hit { self.cfg.row_hit } else { self.cfg.row_miss };
+        let access_lat = if hit {
+            self.cfg.row_hit
+        } else {
+            self.cfg.row_miss
+        };
         // The device is occupied for the access; back-to-back requests to
         // the channel queue.
         let start = self.bank_busy.acquire(now, access_lat);
@@ -154,7 +158,11 @@ impl Rdram {
             .channel
             .acquire(critical, piranha_types::LINE_BYTES)
             .max(critical + self.cfg.rest_of_line);
-        MemAccess { critical, full, page_hit: hit }
+        MemAccess {
+            critical,
+            full,
+            page_hit: hit,
+        }
     }
 
     /// Fraction of accesses that hit an open page.

@@ -118,7 +118,11 @@ pub fn encode22(payload: u32) -> Result<u32, CodecError> {
     let base = unrank((payload & 0x3_ffff) as u64);
     debug_assert_eq!(base.count_ones(), WEIGHT);
     debug_assert_eq!(base >> (WIRES - 1), 0, "MSB must be 0 before inversion");
-    Ok(if invert { !base & ((1 << WIRES) - 1) } else { base })
+    Ok(if invert {
+        !base & ((1 << WIRES) - 1)
+    } else {
+        base
+    })
 }
 
 /// Decode a 22-bit codeword back to its 19-bit payload.
@@ -132,7 +136,11 @@ pub fn decode22(word: u32) -> Result<u32, CodecError> {
         return Err(CodecError::InvalidCodeword(word));
     }
     let inverted = word >> (WIRES - 1) != 0;
-    let base = if inverted { !word & ((1 << WIRES) - 1) } else { word };
+    let base = if inverted {
+        !word & ((1 << WIRES) - 1)
+    } else {
+        word
+    };
     let index = rank(base);
     if index >= 1 << 18 {
         return Err(CodecError::InvalidCodeword(word));
@@ -157,7 +165,11 @@ mod tests {
     fn every_codeword_is_balanced() {
         for p in (0..1u32 << 19).step_by(997) {
             let w = encode22(p).unwrap();
-            assert_eq!(w.count_ones(), WEIGHT, "payload {p:#x} -> unbalanced {w:#x}");
+            assert_eq!(
+                w.count_ones(),
+                WEIGHT,
+                "payload {p:#x} -> unbalanced {w:#x}"
+            );
         }
     }
 
@@ -190,7 +202,10 @@ mod tests {
     fn invalid_inputs_rejected() {
         assert_eq!(encode22(1 << 19), Err(CodecError::PayloadTooWide(1 << 19)));
         assert_eq!(decode22(0), Err(CodecError::InvalidCodeword(0)));
-        assert_eq!(decode22((1 << 22) - 1), Err(CodecError::InvalidCodeword((1 << 22) - 1)));
+        assert_eq!(
+            decode22((1 << 22) - 1),
+            Err(CodecError::InvalidCodeword((1 << 22) - 1))
+        );
         // Balanced but out of code space: the lexicographically-largest
         // MSB=0 weight-11 words beyond index 2^18 are invalid.
         let top = unrank(choose(21, 11) - 1);
@@ -207,7 +222,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CodecError::PayloadTooWide(0x80000).to_string().contains("wider"));
-        assert!(CodecError::InvalidCodeword(3).to_string().contains("invalid"));
+        assert!(CodecError::PayloadTooWide(0x80000)
+            .to_string()
+            .contains("wider"));
+        assert!(CodecError::InvalidCodeword(3)
+            .to_string()
+            .contains("invalid"));
     }
 }

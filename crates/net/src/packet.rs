@@ -67,7 +67,15 @@ impl<P> Packet<P> {
             Lane::Low => 1,
             Lane::High => 2,
         };
-        Packet { src, dst, lane, priority, kind, age: 0, payload }
+        Packet {
+            src,
+            dst,
+            lane,
+            priority,
+            kind,
+            age: 0,
+            payload,
+        }
     }
 
     /// Record a hop, aging the packet; sufficiently old packets rise to

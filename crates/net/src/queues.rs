@@ -35,7 +35,10 @@ pub struct OutQueue<T> {
 impl<T> OutQueue<T> {
     /// A queue holding at most `capacity` packets per priority level.
     pub fn new(capacity: usize) -> Self {
-        OutQueue { fifos: Default::default(), capacity }
+        OutQueue {
+            fifos: Default::default(),
+            capacity,
+        }
     }
 
     /// Enqueue at `priority`; returns the packet back if that level is
@@ -83,7 +86,10 @@ impl<T> InQueue<T> {
     /// A queue holding at most `capacity` packets per priority level
     /// (the IQ is sized larger than the OQ in the real design).
     pub fn new(capacity: usize) -> Self {
-        InQueue { fifos: Default::default(), capacity }
+        InQueue {
+            fifos: Default::default(),
+            capacity,
+        }
     }
 
     /// Enqueue at `priority`.

@@ -82,9 +82,17 @@ impl Topology {
     ///
     /// Panics if `n < 2` or `n > MAX_CHANNELS + 1`.
     pub fn fully_connected(n: usize) -> Self {
-        assert!((2..=MAX_CHANNELS + 1).contains(&n), "full mesh limited by 4 channels/node");
+        assert!(
+            (2..=MAX_CHANNELS + 1).contains(&n),
+            "full mesh limited by 4 channels/node"
+        );
         let adj = (0..n)
-            .map(|i| (0..n).filter(|&j| j != i).map(|j| NodeId(j as u16)).collect())
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| NodeId(j as u16))
+                    .collect()
+            })
             .collect();
         Topology { adj }
     }
@@ -252,7 +260,11 @@ impl<P> Network<P> {
         let links = topo
             .adj
             .iter()
-            .map(|nbrs| nbrs.iter().map(|_| Pipe::from_gb_per_s(cfg.link_gb_s)).collect())
+            .map(|nbrs| {
+                nbrs.iter()
+                    .map(|_| Pipe::from_gb_per_s(cfg.link_gb_s))
+                    .collect()
+            })
             .collect();
         Network {
             topo,
@@ -293,8 +305,7 @@ impl<P> Network<P> {
             if pref_free > t + self.cfg.deflect_patience && pkt.age < self.cfg.max_deflect_age {
                 // Hot potato: take the least-loaded other link if one is
                 // meaningfully freer.
-                if let Some((k, _)) = self
-                    .links[at.index()]
+                if let Some((k, _)) = self.links[at.index()]
                     .iter()
                     .enumerate()
                     .filter(|(k, _)| *k != pref_k)
@@ -419,7 +430,8 @@ mod tests {
 
     #[test]
     fn contention_deflects_but_delivers() {
-        let mut net: Network<u32> = Network::new(Topology::mesh(3, 3), NetworkConfig::paper_default());
+        let mut net: Network<u32> =
+            Network::new(Topology::mesh(3, 3), NetworkConfig::paper_default());
         // Saturate node 0's preferred link toward node 2 with many
         // packets injected at the same instant.
         let mut deliveries = 0;
@@ -430,12 +442,16 @@ mod tests {
             deliveries += 1;
         }
         assert_eq!(net.delivered(), deliveries);
-        assert!(net.deflections() > 0, "saturation must trigger hot-potato routing");
+        assert!(
+            net.deflections() > 0,
+            "saturation must trigger hot-potato routing"
+        );
     }
 
     #[test]
     fn every_pair_reachable_on_mesh() {
-        let mut net: Network<u32> = Network::new(Topology::mesh(4, 2), NetworkConfig::paper_default());
+        let mut net: Network<u32> =
+            Network::new(Topology::mesh(4, 2), NetworkConfig::paper_default());
         for s in 0..8u16 {
             for d in 0..8u16 {
                 if s == d {

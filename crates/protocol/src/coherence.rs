@@ -310,7 +310,12 @@ impl HomeEngine {
                 for route in routes {
                     out.push(EngineAction::Send {
                         to: route[0],
-                        msg: ProtoMsg::Inval { line, route, hop: 0, requester: self.node },
+                        msg: ProtoMsg::Inval {
+                            line,
+                            route,
+                            hop: 0,
+                            requester: self.node,
+                        },
                     });
                 }
                 dir.set_dir(line, DirEntry::Uncached);
@@ -319,7 +324,12 @@ impl HomeEngine {
                 // Dispatched exactly like a request from ourselves.
                 self.dispatch(self.node, req, line, dir, &mut out);
             }
-            HomeIn::ExportReply { line, version, dirty, cached } => {
+            HomeIn::ExportReply {
+                line,
+                version,
+                dirty,
+                cached,
+            } => {
                 self.instr_executed.add(occupancy_cycles("export"));
                 let Some(HomeTxn::AwaitExport { from, kind }) = self.active.get(line).cloned()
                 else {
@@ -358,9 +368,7 @@ impl HomeEngine {
                 let mut acks_expected = 0;
                 if excl {
                     let targets: Vec<NodeId> = match dir.dir(line) {
-                        DirEntry::Shared(s) => {
-                            s.iter().filter(|&n| n != from).collect()
-                        }
+                        DirEntry::Shared(s) => s.iter().filter(|&n| n != from).collect(),
                         _ => Vec::new(),
                     };
                     let routes = plan_cmi_routes(&targets, self.max_cmi_routes);
@@ -368,7 +376,12 @@ impl HomeEngine {
                     for route in routes {
                         out.push(EngineAction::Send {
                             to: route[0],
-                            msg: ProtoMsg::Inval { line, route, hop: 0, requester: from },
+                            msg: ProtoMsg::Inval {
+                                line,
+                                route,
+                                hop: 0,
+                                requester: from,
+                            },
                         });
                     }
                     if from != self.node {
@@ -377,7 +390,15 @@ impl HomeEngine {
                         dir.set_dir(line, DirEntry::Uncached);
                     }
                 }
-                self.respond(from, line, grant, Some(version), acks_expected, false, &mut out);
+                self.respond(
+                    from,
+                    line,
+                    grant,
+                    Some(version),
+                    acks_expected,
+                    false,
+                    &mut out,
+                );
                 self.drain(line, dir, &mut out);
             }
         }
@@ -402,12 +423,22 @@ impl HomeEngine {
                 line,
                 excl: grant == Grant::Exclusive,
                 version,
-                source: if from_owner { FillSource::RemoteDirty } else { FillSource::LocalMem },
+                source: if from_owner {
+                    FillSource::RemoteDirty
+                } else {
+                    FillSource::LocalMem
+                },
             });
         } else {
             out.push(EngineAction::Send {
                 to: from,
-                msg: ProtoMsg::Reply { line, grant, version, acks_expected, from_owner },
+                msg: ProtoMsg::Reply {
+                    line,
+                    grant,
+                    version,
+                    acks_expected,
+                    from_owner,
+                },
             });
         }
     }
@@ -427,7 +458,10 @@ impl HomeEngine {
             ProtoMsg::WriteBack { line, version } => {
                 self.instr_executed.add(occupancy_cycles("wb"));
                 let is_owner = dir.dir(line) == DirEntry::Exclusive(from);
-                out.push(EngineAction::Send { to: from, msg: ProtoMsg::WbAck { line } });
+                out.push(EngineAction::Send {
+                    to: from,
+                    msg: ProtoMsg::WbAck { line },
+                });
                 if is_owner {
                     out.push(EngineAction::MemWrite { line, version });
                     if !matches!(self.active.get(line), Some(HomeTxn::AwaitSharingWb { .. })) {
@@ -510,7 +544,10 @@ impl HomeEngine {
         out: &mut Vec<EngineAction>,
     ) {
         if self.active.get(line).is_some() {
-            self.waiters.entry(line).or_default().push_back(QueuedReq { from, kind });
+            self.waiters
+                .entry(line)
+                .or_default()
+                .push_back(QueuedReq { from, kind });
             return;
         }
         if from == self.node && !matches!(dir.dir(line), DirEntry::Exclusive(_)) {
@@ -533,7 +570,12 @@ impl HomeEngine {
                 for route in routes {
                     out.push(EngineAction::Send {
                         to: route[0],
-                        msg: ProtoMsg::Inval { line, route, hop: 0, requester: self.node },
+                        msg: ProtoMsg::Inval {
+                            line,
+                            route,
+                            hop: 0,
+                            requester: self.node,
+                        },
                     });
                 }
                 dir.set_dir(line, DirEntry::Uncached);
@@ -558,8 +600,7 @@ impl HomeEngine {
                             // Ack-only path: invalidate the other sharers,
                             // grant in place. Local copies at home must
                             // also be purged.
-                            let targets: Vec<NodeId> =
-                                s.iter().filter(|&n| n != from).collect();
+                            let targets: Vec<NodeId> = s.iter().filter(|&n| n != from).collect();
                             let routes = plan_cmi_routes(&targets, self.max_cmi_routes);
                             let acks = routes.len() as u32;
                             for route in routes {
@@ -586,8 +627,10 @@ impl HomeEngine {
                     .is_err()
                 {
                     // TSRF full: defer the whole request.
-                    self.overflow
-                        .push_back(HomeIn::Msg { from, msg: ProtoMsg::Req { kind, line } });
+                    self.overflow.push_back(HomeIn::Msg {
+                        from,
+                        msg: ProtoMsg::Req { kind, line },
+                    });
                     return;
                 }
                 out.push(EngineAction::Export { line, excl });
@@ -598,10 +641,17 @@ impl HomeEngine {
                     self.defer(from, kind, line);
                     return;
                 }
-                self.waiters.entry(line).or_default().push_back(QueuedReq { from, kind });
+                self.waiters
+                    .entry(line)
+                    .or_default()
+                    .push_back(QueuedReq { from, kind });
             }
             DirEntry::Exclusive(owner) => {
-                let eff_kind = if kind == ReqType::Upgrade { ReqType::ReadEx } else { kind };
+                let eff_kind = if kind == ReqType::Upgrade {
+                    ReqType::ReadEx
+                } else {
+                    kind
+                };
                 // Allocate transaction state *before* forwarding: a full
                 // TSRF defers the whole request (it retries when an entry
                 // frees — deferral, not a NAK: no message is rejected).
@@ -609,17 +659,30 @@ impl HomeEngine {
                     // Local recall: the reply returns here.
                     if self
                         .active
-                        .alloc(line, HomeTxn::AwaitRecall { kind: eff_kind, owner })
+                        .alloc(
+                            line,
+                            HomeTxn::AwaitRecall {
+                                kind: eff_kind,
+                                owner,
+                            },
+                        )
                         .is_err()
                     {
-                        self.overflow.push_back(HomeIn::LocalRecall { line, req: kind });
+                        self.overflow
+                            .push_back(HomeIn::LocalRecall { line, req: kind });
                         return;
                     }
                 } else if eff_kind == ReqType::Read {
                     // Block until the sharing write-back freshens memory.
                     if self
                         .active
-                        .alloc(line, HomeTxn::AwaitSharingWb { owner, reader: from })
+                        .alloc(
+                            line,
+                            HomeTxn::AwaitSharingWb {
+                                owner,
+                                reader: from,
+                            },
+                        )
                         .is_err()
                     {
                         self.defer(from, kind, line);
@@ -646,7 +709,10 @@ impl HomeEngine {
 
     /// Defer a request because the TSRF is full.
     fn defer(&mut self, from: NodeId, kind: ReqType, line: LineAddr) {
-        self.overflow.push_back(HomeIn::Msg { from, msg: ProtoMsg::Req { kind, line } });
+        self.overflow.push_back(HomeIn::Msg {
+            from,
+            msg: ProtoMsg::Req { kind, line },
+        });
     }
 
     /// Replay queued requests after a transaction completes.
@@ -660,7 +726,9 @@ impl HomeEngine {
             }
         }
         while self.active.get(line).is_none() {
-            let Some(w) = self.waiters.get_mut(&line).and_then(|q| q.pop_front()) else { break };
+            let Some(w) = self.waiters.get_mut(&line).and_then(|q| q.pop_front()) else {
+                break;
+            };
             self.dispatch(w.from, w.kind, line, dir, out);
         }
         if self.waiters.get(&line).is_some_and(|q| q.is_empty()) {
@@ -748,9 +816,16 @@ impl RemoteEngine {
                     self.overflow.push_back((line, req, home));
                     return out;
                 }
-                out.push(EngineAction::Send { to: home, msg: ProtoMsg::Req { kind: req, line } });
+                out.push(EngineAction::Send {
+                    to: home,
+                    msg: ProtoMsg::Req { kind: req, line },
+                });
             }
-            RemoteIn::LocalWb { line, version, home } => {
+            RemoteIn::LocalWb {
+                line,
+                version,
+                home,
+            } => {
                 self.instr_executed.add(occupancy_cycles("wb"));
                 self.wbs.insert(line, version);
                 out.push(EngineAction::Send {
@@ -759,7 +834,12 @@ impl RemoteEngine {
                 });
             }
             RemoteIn::Msg { from, msg } => self.handle_msg(from, msg, &mut out),
-            RemoteIn::ExportReply { line, version, dirty, cached: _ } => {
+            RemoteIn::ExportReply {
+                line,
+                version,
+                dirty,
+                cached: _,
+            } => {
                 self.instr_executed.add(occupancy_cycles("export"));
                 let (kind, requester, home) = self
                     .fwd_pending
@@ -783,7 +863,11 @@ impl RemoteEngine {
         _dirty: bool,
         out: &mut Vec<EngineAction>,
     ) {
-        let grant = if kind.is_exclusive() { Grant::Exclusive } else { Grant::Shared };
+        let grant = if kind.is_exclusive() {
+            Grant::Exclusive
+        } else {
+            Grant::Shared
+        };
         out.push(EngineAction::Send {
             to: requester,
             msg: ProtoMsg::Reply {
@@ -797,16 +881,28 @@ impl RemoteEngine {
         // For reads, freshen the home's memory — unless the requester
         // *is* the home, in which case the reply itself does it.
         if !kind.is_exclusive() && requester != home {
-            out.push(EngineAction::Send { to: home, msg: ProtoMsg::SharingWb { line, version } });
+            out.push(EngineAction::Send {
+                to: home,
+                msg: ProtoMsg::SharingWb { line, version },
+            });
         }
     }
 
     fn handle_msg(&mut self, from: NodeId, msg: ProtoMsg, out: &mut Vec<EngineAction>) {
         let _ = from;
         match msg {
-            ProtoMsg::Reply { line, grant, version, acks_expected, from_owner } => {
+            ProtoMsg::Reply {
+                line,
+                grant,
+                version,
+                acks_expected,
+                from_owner,
+            } => {
                 self.instr_executed.add(occupancy_cycles("reply"));
-                let txn = self.txns.get_mut(line).expect("reply without outstanding request");
+                let txn = self
+                    .txns
+                    .get_mut(line)
+                    .expect("reply without outstanding request");
                 txn.filled = true;
                 txn.acks_expected = acks_expected;
                 let stashed = txn.stashed_fwd.take();
@@ -814,17 +910,29 @@ impl RemoteEngine {
                     line,
                     excl: grant == Grant::Exclusive,
                     version,
-                    source: if from_owner { FillSource::RemoteDirty } else { FillSource::RemoteMem },
+                    source: if from_owner {
+                        FillSource::RemoteDirty
+                    } else {
+                        FillSource::RemoteMem
+                    },
                 });
                 // Early-forward race: service the parked request now that
                 // the data has arrived (the fill above is applied first).
                 if let Some((k, requester, home)) = stashed {
-                    out.push(EngineAction::Export { line, excl: k.is_exclusive() });
+                    out.push(EngineAction::Export {
+                        line,
+                        excl: k.is_exclusive(),
+                    });
                     self.fwd_pending.insert(line, (k, requester, home));
                 }
                 self.maybe_complete(line, out);
             }
-            ProtoMsg::Fwd { kind, line, requester, home } => {
+            ProtoMsg::Fwd {
+                kind,
+                line,
+                requester,
+                home,
+            } => {
                 self.instr_executed.add(occupancy_cycles("fwd"));
                 if let Some(&version) = self.wbs.get(&line) {
                     // Write-back race: serve from the retained copy.
@@ -845,17 +953,30 @@ impl RemoteEngine {
                     }
                 }
                 // Normal case: we own the line on-chip; export it.
-                out.push(EngineAction::Export { line, excl: kind.is_exclusive() });
+                out.push(EngineAction::Export {
+                    line,
+                    excl: kind.is_exclusive(),
+                });
                 self.fwd_pending.insert(line, (kind, requester, home));
             }
-            ProtoMsg::Inval { line, route, hop, requester } => {
+            ProtoMsg::Inval {
+                line,
+                route,
+                hop,
+                requester,
+            } => {
                 self.instr_executed.add(occupancy_cycles("inval"));
                 out.push(EngineAction::Purge { line });
                 let next = hop + 1;
                 if (next as usize) < route.len() {
                     out.push(EngineAction::Send {
                         to: route[next as usize],
-                        msg: ProtoMsg::Inval { line, route, hop: next, requester },
+                        msg: ProtoMsg::Inval {
+                            line,
+                            route,
+                            hop: next,
+                            requester,
+                        },
                     });
                 } else {
                     out.push(EngineAction::Send {
@@ -866,7 +987,10 @@ impl RemoteEngine {
             }
             ProtoMsg::InvalAck { line } => {
                 self.instr_executed.add(occupancy_cycles("ack"));
-                let txn = self.txns.get_mut(line).expect("ack without outstanding request");
+                let txn = self
+                    .txns
+                    .get_mut(line)
+                    .expect("ack without outstanding request");
                 txn.acks_got += 1;
                 self.maybe_complete(line, out);
             }
@@ -889,7 +1013,11 @@ impl RemoteEngine {
         if done {
             self.txns.free(line);
             if let Some((l, r, h)) = self.overflow.pop_front() {
-                let acts = self.handle(RemoteIn::LocalReq { line: l, req: r, home: h });
+                let acts = self.handle(RemoteIn::LocalReq {
+                    line: l,
+                    req: r,
+                    home: h,
+                });
                 out.extend(acts);
             }
         }
@@ -935,12 +1063,29 @@ mod tests {
         let mut home = HomeEngine::new(HOME, 4);
         let mut dir = dir_map();
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::Req { kind: ReqType::Read, line: L } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: L,
+                },
+            },
             &mut dir,
         );
-        assert_eq!(acts, vec![EngineAction::Export { line: L, excl: false }]);
+        assert_eq!(
+            acts,
+            vec![EngineAction::Export {
+                line: L,
+                excl: false
+            }]
+        );
         let acts = home.handle(
-            HomeIn::ExportReply { line: L, version: 5, dirty: false, cached: false },
+            HomeIn::ExportReply {
+                line: L,
+                version: 5,
+                dirty: false,
+                cached: false,
+            },
             &mut dir,
         );
         let sends = send_of(&acts);
@@ -965,20 +1110,40 @@ mod tests {
         let mut home = HomeEngine::new(HOME, 4);
         let mut dir = dir_map();
         home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::Req { kind: ReqType::Read, line: L } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: L,
+                },
+            },
             &mut dir,
         );
         let acts = home.handle(
-            HomeIn::ExportReply { line: L, version: 5, dirty: true, cached: true },
+            HomeIn::ExportReply {
+                line: L,
+                version: 5,
+                dirty: true,
+                cached: true,
+            },
             &mut dir,
         );
-        assert!(acts.contains(&EngineAction::MemWrite { line: L, version: 5 }));
+        assert!(acts.contains(&EngineAction::MemWrite {
+            line: L,
+            version: 5
+        }));
         let sends = send_of(&acts);
         assert!(matches!(
             &sends[0].1,
-            ProtoMsg::Reply { grant: Grant::Shared, version: Some(5), .. }
+            ProtoMsg::Reply {
+                grant: Grant::Shared,
+                version: Some(5),
+                ..
+            }
         ));
-        let DirEntry::Shared(s) = dir.dir(L) else { panic!("dir should be Shared") };
+        let DirEntry::Shared(s) = dir.dir(L) else {
+            panic!("dir should be Shared")
+        };
         assert!(s.contains(R1));
     }
 
@@ -988,7 +1153,13 @@ mod tests {
         let mut dir = dir_map();
         dir.set_dir(L, DirEntry::Exclusive(R1));
         let acts = home.handle(
-            HomeIn::Msg { from: R2, msg: ProtoMsg::Req { kind: ReqType::ReadEx, line: L } },
+            HomeIn::Msg {
+                from: R2,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::ReadEx,
+                    line: L,
+                },
+            },
             &mut dir,
         );
         let sends = send_of(&acts);
@@ -996,12 +1167,21 @@ mod tests {
             sends,
             vec![(
                 R1,
-                ProtoMsg::Fwd { kind: ReqType::ReadEx, line: L, requester: R2, home: HOME }
+                ProtoMsg::Fwd {
+                    kind: ReqType::ReadEx,
+                    line: L,
+                    requester: R2,
+                    home: HOME
+                }
             )]
         );
         // Directory final immediately; no pending entry blocks the line.
         assert_eq!(dir.dir(L), DirEntry::Exclusive(R2));
-        assert_eq!(home.tsrf_high_water(), 0, "no confirmation wait for 3-hop writes");
+        assert_eq!(
+            home.tsrf_high_water(),
+            0,
+            "no confirmation wait for 3-hop writes"
+        );
     }
 
     #[test]
@@ -1010,29 +1190,60 @@ mod tests {
         let mut dir = dir_map();
         dir.set_dir(L, DirEntry::Exclusive(R1));
         let acts = home.handle(
-            HomeIn::Msg { from: R2, msg: ProtoMsg::Req { kind: ReqType::Read, line: L } },
+            HomeIn::Msg {
+                from: R2,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: L,
+                },
+            },
             &mut dir,
         );
         assert!(matches!(
             send_of(&acts)[0].1,
-            ProtoMsg::Fwd { kind: ReqType::Read, .. }
+            ProtoMsg::Fwd {
+                kind: ReqType::Read,
+                ..
+            }
         ));
         // A third node's read queues at home meanwhile.
-        let acts =
-            home.handle(HomeIn::Msg { from: NodeId(3), msg: ProtoMsg::Req { kind: ReqType::Read, line: L } }, &mut dir);
+        let acts = home.handle(
+            HomeIn::Msg {
+                from: NodeId(3),
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: L,
+                },
+            },
+            &mut dir,
+        );
         assert!(acts.is_empty(), "conflicting request must queue: {acts:?}");
         // Sharing write-back arrives: memory freshened, both sharers
         // recorded, queued request replayed.
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::SharingWb { line: L, version: 9 } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::SharingWb {
+                    line: L,
+                    version: 9,
+                },
+            },
             &mut dir,
         );
-        assert!(acts.contains(&EngineAction::MemWrite { line: L, version: 9 }));
+        assert!(acts.contains(&EngineAction::MemWrite {
+            line: L,
+            version: 9
+        }));
         assert!(
-            acts.contains(&EngineAction::Export { line: L, excl: false }),
+            acts.contains(&EngineAction::Export {
+                line: L,
+                excl: false
+            }),
             "queued read replays: {acts:?}"
         );
-        let DirEntry::Shared(s) = dir.dir(L) else { panic!() };
+        let DirEntry::Shared(s) = dir.dir(L) else {
+            panic!()
+        };
         assert!(s.contains(R1) && s.contains(R2));
     }
 
@@ -1040,10 +1251,18 @@ mod tests {
     fn upgrade_with_sharers_is_ack_only_with_cmi() {
         let mut home = HomeEngine::new(HOME, 8);
         let mut dir = dir_map();
-        let sharers: NodeSet = [R1, R2, NodeId(3), NodeId(4), NodeId(5)].into_iter().collect();
+        let sharers: NodeSet = [R1, R2, NodeId(3), NodeId(4), NodeId(5)]
+            .into_iter()
+            .collect();
         dir.set_dir(L, DirEntry::Shared(sharers));
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::Req { kind: ReqType::Upgrade, line: L } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Upgrade,
+                    line: L,
+                },
+            },
             &mut dir,
         );
         let sends = send_of(&acts);
@@ -1056,15 +1275,25 @@ mod tests {
         let reply = sends
             .iter()
             .find_map(|(to, m)| match m {
-                ProtoMsg::Reply { version, acks_expected, grant, .. } => {
-                    Some((*to, *version, *acks_expected, *grant))
-                }
+                ProtoMsg::Reply {
+                    version,
+                    acks_expected,
+                    grant,
+                    ..
+                } => Some((*to, *version, *acks_expected, *grant)),
                 _ => None,
             })
             .unwrap();
-        assert_eq!(reply, (R1, None, 4, Grant::Exclusive), "data-less eager reply");
+        assert_eq!(
+            reply,
+            (R1, None, 4, Grant::Exclusive),
+            "data-less eager reply"
+        );
         assert_eq!(dir.dir(L), DirEntry::Exclusive(R1));
-        assert!(acts.contains(&EngineAction::Purge { line: L }), "home copies purged");
+        assert!(
+            acts.contains(&EngineAction::Purge { line: L }),
+            "home copies purged"
+        );
     }
 
     #[test]
@@ -1075,13 +1304,22 @@ mod tests {
         // R1 when its upgrade arrives.
         dir.set_dir(L, DirEntry::Exclusive(R2));
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::Req { kind: ReqType::Upgrade, line: L } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Upgrade,
+                    line: L,
+                },
+            },
             &mut dir,
         );
         // Treated as ReadEx: forwarded to the owner with data semantics.
         assert!(matches!(
             send_of(&acts)[0].1,
-            ProtoMsg::Fwd { kind: ReqType::ReadEx, .. }
+            ProtoMsg::Fwd {
+                kind: ReqType::ReadEx,
+                ..
+            }
         ));
         assert_eq!(dir.dir(L), DirEntry::Exclusive(R1));
     }
@@ -1093,18 +1331,36 @@ mod tests {
         dir.set_dir(L, DirEntry::Exclusive(R1));
         // R1 wrote the line back (message in flight) and re-requests.
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::Req { kind: ReqType::Read, line: L } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: L,
+                },
+            },
             &mut dir,
         );
         assert!(acts.is_empty(), "blocked awaiting the in-flight write-back");
         // The write-back lands: ack + memory write + the request replays.
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::WriteBack { line: L, version: 7 } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::WriteBack {
+                    line: L,
+                    version: 7,
+                },
+            },
             &mut dir,
         );
-        assert!(acts.contains(&EngineAction::MemWrite { line: L, version: 7 }));
+        assert!(acts.contains(&EngineAction::MemWrite {
+            line: L,
+            version: 7
+        }));
         assert!(send_of(&acts).contains(&(R1, ProtoMsg::WbAck { line: L })));
-        assert!(acts.contains(&EngineAction::Export { line: L, excl: false }));
+        assert!(acts.contains(&EngineAction::Export {
+            line: L,
+            excl: false
+        }));
     }
 
     #[test]
@@ -1113,12 +1369,20 @@ mod tests {
         let mut dir = dir_map();
         dir.set_dir(L, DirEntry::Exclusive(R2)); // already re-assigned
         let acts = home.handle(
-            HomeIn::Msg { from: R1, msg: ProtoMsg::WriteBack { line: L, version: 3 } },
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::WriteBack {
+                    line: L,
+                    version: 3,
+                },
+            },
             &mut dir,
         );
         assert!(send_of(&acts).contains(&(R1, ProtoMsg::WbAck { line: L })));
         assert!(
-            !acts.iter().any(|a| matches!(a, EngineAction::MemWrite { .. })),
+            !acts
+                .iter()
+                .any(|a| matches!(a, EngineAction::MemWrite { .. })),
             "stale data discarded"
         );
         assert_eq!(dir.dir(L), DirEntry::Exclusive(R2));
@@ -1129,10 +1393,24 @@ mod tests {
         let mut home = HomeEngine::new(HOME, 4);
         let mut dir = dir_map();
         dir.set_dir(L, DirEntry::Exclusive(R1));
-        let acts = home.handle(HomeIn::LocalRecall { line: L, req: ReqType::Read }, &mut dir);
+        let acts = home.handle(
+            HomeIn::LocalRecall {
+                line: L,
+                req: ReqType::Read,
+            },
+            &mut dir,
+        );
         assert_eq!(
             send_of(&acts),
-            vec![(R1, ProtoMsg::Fwd { kind: ReqType::Read, line: L, requester: HOME, home: HOME })]
+            vec![(
+                R1,
+                ProtoMsg::Fwd {
+                    kind: ReqType::Read,
+                    line: L,
+                    requester: HOME,
+                    home: HOME
+                }
+            )]
         );
         let acts = home.handle(
             HomeIn::Msg {
@@ -1147,15 +1425,23 @@ mod tests {
             },
             &mut dir,
         );
-        assert!(acts.contains(&EngineAction::MemWrite { line: L, version: 11 }));
+        assert!(acts.contains(&EngineAction::MemWrite {
+            line: L,
+            version: 11
+        }));
         assert!(acts.contains(&EngineAction::Fill {
             line: L,
             excl: false,
             version: Some(11),
             source: FillSource::RemoteDirty,
         }));
-        let DirEntry::Shared(s) = dir.dir(L) else { panic!() };
-        assert!(s.contains(R1) && !s.contains(HOME), "home never appears in its own directory");
+        let DirEntry::Shared(s) = dir.dir(L) else {
+            panic!()
+        };
+        assert!(
+            s.contains(R1) && !s.contains(HOME),
+            "home never appears in its own directory"
+        );
     }
 
     #[test]
@@ -1168,8 +1454,20 @@ mod tests {
         assert_eq!(invals.len(), 2);
         assert_eq!(dir.dir(L), DirEntry::Uncached);
         // Acks return quietly.
-        home.handle(HomeIn::Msg { from: R1, msg: ProtoMsg::InvalAck { line: L } }, &mut dir);
-        home.handle(HomeIn::Msg { from: R2, msg: ProtoMsg::InvalAck { line: L } }, &mut dir);
+        home.handle(
+            HomeIn::Msg {
+                from: R1,
+                msg: ProtoMsg::InvalAck { line: L },
+            },
+            &mut dir,
+        );
+        home.handle(
+            HomeIn::Msg {
+                from: R2,
+                msg: ProtoMsg::InvalAck { line: L },
+            },
+            &mut dir,
+        );
         assert!(home.self_acks.is_empty());
     }
 
@@ -1178,10 +1476,20 @@ mod tests {
     #[test]
     fn local_request_sends_to_home_and_fill_completes() {
         let mut eng = RemoteEngine::new(R1);
-        let acts = eng.handle(RemoteIn::LocalReq { line: L, req: ReqType::Read, home: HOME });
+        let acts = eng.handle(RemoteIn::LocalReq {
+            line: L,
+            req: ReqType::Read,
+            home: HOME,
+        });
         assert_eq!(
             send_of(&acts),
-            vec![(HOME, ProtoMsg::Req { kind: ReqType::Read, line: L })]
+            vec![(
+                HOME,
+                ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: L
+                }
+            )]
         );
         let acts = eng.handle(RemoteIn::Msg {
             from: HOME,
@@ -1208,7 +1516,11 @@ mod tests {
     #[test]
     fn eager_exclusive_holds_tsrf_until_acks() {
         let mut eng = RemoteEngine::new(R1);
-        eng.handle(RemoteIn::LocalReq { line: L, req: ReqType::ReadEx, home: HOME });
+        eng.handle(RemoteIn::LocalReq {
+            line: L,
+            req: ReqType::ReadEx,
+            home: HOME,
+        });
         let acts = eng.handle(RemoteIn::Msg {
             from: HOME,
             msg: ProtoMsg::Reply {
@@ -1219,11 +1531,20 @@ mod tests {
                 from_owner: false,
             },
         });
-        assert!(matches!(acts[0], EngineAction::Fill { excl: true, .. }), "data usable eagerly");
+        assert!(
+            matches!(acts[0], EngineAction::Fill { excl: true, .. }),
+            "data usable eagerly"
+        );
         assert_eq!(eng.txns.occupied(), 1, "awaiting invalidation acks");
-        eng.handle(RemoteIn::Msg { from: R2, msg: ProtoMsg::InvalAck { line: L } });
+        eng.handle(RemoteIn::Msg {
+            from: R2,
+            msg: ProtoMsg::InvalAck { line: L },
+        });
         assert_eq!(eng.txns.occupied(), 1);
-        eng.handle(RemoteIn::Msg { from: NodeId(3), msg: ProtoMsg::InvalAck { line: L } });
+        eng.handle(RemoteIn::Msg {
+            from: NodeId(3),
+            msg: ProtoMsg::InvalAck { line: L },
+        });
         assert_eq!(eng.txns.occupied(), 0);
     }
 
@@ -1232,11 +1553,26 @@ mod tests {
         let mut eng = RemoteEngine::new(R1);
         let acts = eng.handle(RemoteIn::Msg {
             from: HOME,
-            msg: ProtoMsg::Fwd { kind: ReqType::Read, line: L, requester: R2, home: HOME },
+            msg: ProtoMsg::Fwd {
+                kind: ReqType::Read,
+                line: L,
+                requester: R2,
+                home: HOME,
+            },
         });
-        assert_eq!(acts, vec![EngineAction::Export { line: L, excl: false }]);
-        let acts =
-            eng.handle(RemoteIn::ExportReply { line: L, version: 9, dirty: true, cached: true });
+        assert_eq!(
+            acts,
+            vec![EngineAction::Export {
+                line: L,
+                excl: false
+            }]
+        );
+        let acts = eng.handle(RemoteIn::ExportReply {
+            line: L,
+            version: 9,
+            dirty: true,
+            cached: true,
+        });
         let sends = send_of(&acts);
         assert!(sends.contains(&(
             R2,
@@ -1248,7 +1584,13 @@ mod tests {
                 from_owner: true,
             }
         )));
-        assert!(sends.contains(&(HOME, ProtoMsg::SharingWb { line: L, version: 9 })));
+        assert!(sends.contains(&(
+            HOME,
+            ProtoMsg::SharingWb {
+                line: L,
+                version: 9
+            }
+        )));
     }
 
     #[test]
@@ -1256,24 +1598,46 @@ mod tests {
         let mut eng = RemoteEngine::new(R1);
         eng.handle(RemoteIn::Msg {
             from: HOME,
-            msg: ProtoMsg::Fwd { kind: ReqType::Read, line: L, requester: HOME, home: HOME },
+            msg: ProtoMsg::Fwd {
+                kind: ReqType::Read,
+                line: L,
+                requester: HOME,
+                home: HOME,
+            },
         });
-        let acts =
-            eng.handle(RemoteIn::ExportReply { line: L, version: 9, dirty: true, cached: true });
+        let acts = eng.handle(RemoteIn::ExportReply {
+            line: L,
+            version: 9,
+            dirty: true,
+            cached: true,
+        });
         let sends = send_of(&acts);
-        assert_eq!(sends.len(), 1, "single reply, no separate SharingWb: {sends:?}");
+        assert_eq!(
+            sends.len(),
+            1,
+            "single reply, no separate SharingWb: {sends:?}"
+        );
         assert_eq!(sends[0].0, HOME);
     }
 
     #[test]
     fn early_forward_parks_in_tsrf_until_data_arrives() {
         let mut eng = RemoteEngine::new(R1);
-        eng.handle(RemoteIn::LocalReq { line: L, req: ReqType::ReadEx, home: HOME });
+        eng.handle(RemoteIn::LocalReq {
+            line: L,
+            req: ReqType::ReadEx,
+            home: HOME,
+        });
         // Home granted us exclusivity and immediately forwarded R2's
         // request; the forward overtakes our data reply.
         let acts = eng.handle(RemoteIn::Msg {
             from: HOME,
-            msg: ProtoMsg::Fwd { kind: ReqType::ReadEx, line: L, requester: R2, home: HOME },
+            msg: ProtoMsg::Fwd {
+                kind: ReqType::ReadEx,
+                line: L,
+                requester: R2,
+                home: HOME,
+            },
         });
         assert!(acts.is_empty(), "forward parked: {acts:?}");
         // Our data arrives: fill locally, then service the parked
@@ -1289,31 +1653,56 @@ mod tests {
             },
         });
         assert!(matches!(acts[0], EngineAction::Fill { .. }));
-        assert!(matches!(acts[1], EngineAction::Export { line: _, excl: true }));
+        assert!(matches!(
+            acts[1],
+            EngineAction::Export {
+                line: _,
+                excl: true
+            }
+        ));
     }
 
     #[test]
     fn writeback_race_served_from_retained_copy() {
         let mut eng = RemoteEngine::new(R1);
-        eng.handle(RemoteIn::LocalWb { line: L, version: 12, home: HOME });
+        eng.handle(RemoteIn::LocalWb {
+            line: L,
+            version: 12,
+            home: HOME,
+        });
         assert!(eng.wb_in_flight(L));
         // A forward crosses our write-back: serve it from the retained
         // version without touching the (already evicted) caches.
         let acts = eng.handle(RemoteIn::Msg {
             from: HOME,
-            msg: ProtoMsg::Fwd { kind: ReqType::ReadEx, line: L, requester: R2, home: HOME },
+            msg: ProtoMsg::Fwd {
+                kind: ReqType::ReadEx,
+                line: L,
+                requester: R2,
+                home: HOME,
+            },
         });
         let sends = send_of(&acts);
         assert_eq!(sends.len(), 1);
         assert!(matches!(
             &sends[0].1,
-            ProtoMsg::Reply { version: Some(12), from_owner: true, grant: Grant::Exclusive, .. }
+            ProtoMsg::Reply {
+                version: Some(12),
+                from_owner: true,
+                grant: Grant::Exclusive,
+                ..
+            }
         ));
         assert!(
-            !acts.iter().any(|a| matches!(a, EngineAction::Export { .. })),
+            !acts
+                .iter()
+                .any(|a| matches!(a, EngineAction::Export { .. })),
             "no local export needed"
         );
-        eng.handle(RemoteIn::Msg { from: HOME, msg: ProtoMsg::WbAck { line: L } });
+        eng.handle(RemoteIn::Msg {
+            from: HOME,
+            msg: ProtoMsg::WbAck { line: L },
+        });
         assert!(!eng.wb_in_flight(L));
     }
 
@@ -1323,30 +1712,59 @@ mod tests {
         let route = vec![R1, R2, NodeId(3)];
         let acts = eng.handle(RemoteIn::Msg {
             from: HOME,
-            msg: ProtoMsg::Inval { line: L, route: route.clone(), hop: 0, requester: NodeId(7) },
+            msg: ProtoMsg::Inval {
+                line: L,
+                route: route.clone(),
+                hop: 0,
+                requester: NodeId(7),
+            },
         });
         assert!(acts.contains(&EngineAction::Purge { line: L }));
         assert_eq!(
             send_of(&acts),
-            vec![(R2, ProtoMsg::Inval { line: L, route: route.clone(), hop: 1, requester: NodeId(7) })]
+            vec![(
+                R2,
+                ProtoMsg::Inval {
+                    line: L,
+                    route: route.clone(),
+                    hop: 1,
+                    requester: NodeId(7)
+                }
+            )]
         );
         // The last node in the route acks the requester.
         let mut last = RemoteEngine::new(NodeId(3));
         let acts = last.handle(RemoteIn::Msg {
             from: R2,
-            msg: ProtoMsg::Inval { line: L, route, hop: 2, requester: NodeId(7) },
+            msg: ProtoMsg::Inval {
+                line: L,
+                route,
+                hop: 2,
+                requester: NodeId(7),
+            },
         });
-        assert_eq!(send_of(&acts), vec![(NodeId(7), ProtoMsg::InvalAck { line: L })]);
+        assert_eq!(
+            send_of(&acts),
+            vec![(NodeId(7), ProtoMsg::InvalAck { line: L })]
+        );
     }
 
     #[test]
     fn tsrf_overflow_defers_and_retries() {
         let mut eng = RemoteEngine::new(R1);
         for i in 0..16u64 {
-            eng.handle(RemoteIn::LocalReq { line: LineAddr(i), req: ReqType::Read, home: HOME });
+            eng.handle(RemoteIn::LocalReq {
+                line: LineAddr(i),
+                req: ReqType::Read,
+                home: HOME,
+            });
         }
         // 17th defers.
-        let acts = eng.handle(RemoteIn::LocalReq { line: LineAddr(99), req: ReqType::Read, home: HOME });
+        let acts = eng.handle(RemoteIn::LocalReq {
+            line: LineAddr(99),
+            req: ReqType::Read,
+            home: HOME,
+        });
         assert!(acts.is_empty());
         // Completing one transaction releases the deferred request.
         let acts = eng.handle(RemoteIn::Msg {
@@ -1360,7 +1778,13 @@ mod tests {
             },
         });
         assert!(
-            send_of(&acts).contains(&(HOME, ProtoMsg::Req { kind: ReqType::Read, line: LineAddr(99) })),
+            send_of(&acts).contains(&(
+                HOME,
+                ProtoMsg::Req {
+                    kind: ReqType::Read,
+                    line: LineAddr(99)
+                }
+            )),
             "deferred request sent after completion: {acts:?}"
         );
     }

@@ -76,7 +76,9 @@ impl MicroInstr {
             MicroOp::Set => 5,
             MicroOp::Move => 6,
         };
-        op | ((self.a as u32 & 0xf) << 3) | ((self.b as u32 & 0xf) << 7) | ((self.next as u32 & 0x3ff) << 11)
+        op | ((self.a as u32 & 0xf) << 3)
+            | ((self.b as u32 & 0xf) << 7)
+            | ((self.next as u32 & 0x3ff) << 11)
     }
 
     /// Unpack from the 21-bit encoding.
@@ -166,8 +168,16 @@ impl MicroEngine {
     ///
     /// Panics if the program exceeds the microstore.
     pub fn new(program: Vec<MicroInstr>) -> Self {
-        assert!(program.len() <= STORE_SIZE, "program exceeds 1024-instruction microstore");
-        MicroEngine { store: program, threads: Tsrf::new(), executed: 0, issued_even_odd: [0; 2] }
+        assert!(
+            program.len() <= STORE_SIZE,
+            "program exceeds 1024-instruction microstore"
+        );
+        MicroEngine {
+            store: program,
+            threads: Tsrf::new(),
+            executed: 0,
+            issued_even_odd: [0; 2],
+        }
     }
 
     /// Start a new transaction thread for `line` at `entry`, with
@@ -187,7 +197,14 @@ impl MicroEngine {
         let mut vars = [0u16; NUM_VARS];
         vars[0] = v0;
         self.threads
-            .alloc(line, Thread { pc: entry, vars, waiting_local: None })
+            .alloc(
+                line,
+                Thread {
+                    pc: entry,
+                    vars,
+                    waiting_local: None,
+                },
+            )
             .map_err(|_| TsrfFull)?;
         Ok(self.run(line))
     }
@@ -202,7 +219,10 @@ impl MicroEngine {
     /// state — the protocol guarantees responses only arrive for waiting
     /// transactions.
     pub fn deliver(&mut self, line: LineAddr, msg_type: u8, local: bool) -> Vec<MicroEffect> {
-        let t = self.threads.get_mut(line).expect("no TSRF thread waiting on this line");
+        let t = self
+            .threads
+            .get_mut(line)
+            .expect("no TSRF thread waiting on this line");
         let Some(wait_local) = t.waiting_local else {
             panic!("thread for {line} is not waiting");
         };
@@ -320,7 +340,12 @@ impl MicroAsm {
         while !self.here().is_multiple_of(16) {
             let here = self.here();
             // A SET that loops to itself: unreachable padding.
-            self.push(MicroInstr { op: MicroOp::Set, a: 0, b: 0, next: here });
+            self.push(MicroInstr {
+                op: MicroOp::Set,
+                a: 0,
+                b: 0,
+                next: here,
+            });
         }
         self
     }
@@ -328,58 +353,103 @@ impl MicroAsm {
     /// Emit SEND of `msg_type` to the node in `dest_var`, falling through.
     pub fn send(&mut self, msg_type: u8, dest_var: u8) -> &mut Self {
         let next = self.here() + 1;
-        self.push(MicroInstr { op: MicroOp::Send, a: msg_type, b: dest_var, next })
+        self.push(MicroInstr {
+            op: MicroOp::Send,
+            a: msg_type,
+            b: dest_var,
+            next,
+        })
     }
 
     /// Emit LSEND of `msg_type`, falling through.
     pub fn lsend(&mut self, msg_type: u8) -> &mut Self {
         let next = self.here() + 1;
-        self.push(MicroInstr { op: MicroOp::LSend, a: msg_type, b: 0, next })
+        self.push(MicroInstr {
+            op: MicroOp::LSend,
+            a: msg_type,
+            b: 0,
+            next,
+        })
     }
 
     /// Emit a terminating LSEND (its `next` points at itself).
     pub fn lsend_end(&mut self, msg_type: u8) -> &mut Self {
         let here = self.here();
-        self.push(MicroInstr { op: MicroOp::LSend, a: msg_type, b: 0, next: here })
+        self.push(MicroInstr {
+            op: MicroOp::LSend,
+            a: msg_type,
+            b: 0,
+            next: here,
+        })
     }
 
     /// Emit a terminating SEND.
     pub fn send_end(&mut self, msg_type: u8, dest_var: u8) -> &mut Self {
         let here = self.here();
-        self.push(MicroInstr { op: MicroOp::Send, a: msg_type, b: dest_var, next: here })
+        self.push(MicroInstr {
+            op: MicroOp::Send,
+            a: msg_type,
+            b: dest_var,
+            next: here,
+        })
     }
 
     /// Emit RECEIVE dispatching through the 16-aligned table at `table`.
     pub fn receive(&mut self, table: &str) -> &mut Self {
         let at = self.instrs.len();
         self.fixups.push((at, table.to_string()));
-        self.push(MicroInstr { op: MicroOp::Receive, a: 0, b: 0, next: 0 })
+        self.push(MicroInstr {
+            op: MicroOp::Receive,
+            a: 0,
+            b: 0,
+            next: 0,
+        })
     }
 
     /// Emit LRECEIVE dispatching through the table at `table`.
     pub fn lreceive(&mut self, table: &str) -> &mut Self {
         let at = self.instrs.len();
         self.fixups.push((at, table.to_string()));
-        self.push(MicroInstr { op: MicroOp::LReceive, a: 0, b: 0, next: 0 })
+        self.push(MicroInstr {
+            op: MicroOp::LReceive,
+            a: 0,
+            b: 0,
+            next: 0,
+        })
     }
 
     /// Emit TEST on `var` dispatching through the table at `table`.
     pub fn test(&mut self, var: u8, table: &str) -> &mut Self {
         let at = self.instrs.len();
         self.fixups.push((at, table.to_string()));
-        self.push(MicroInstr { op: MicroOp::Test, a: var, b: 0, next: 0 })
+        self.push(MicroInstr {
+            op: MicroOp::Test,
+            a: var,
+            b: 0,
+            next: 0,
+        })
     }
 
     /// Emit SET `var = imm`, falling through.
     pub fn set(&mut self, var: u8, imm: u8) -> &mut Self {
         let next = self.here() + 1;
-        self.push(MicroInstr { op: MicroOp::Set, a: var, b: imm, next })
+        self.push(MicroInstr {
+            op: MicroOp::Set,
+            a: var,
+            b: imm,
+            next,
+        })
     }
 
     /// Emit MOVE `dst = src`, falling through.
     pub fn mov(&mut self, dst: u8, src: u8) -> &mut Self {
         let next = self.here() + 1;
-        self.push(MicroInstr { op: MicroOp::Move, a: dst, b: src, next })
+        self.push(MicroInstr {
+            op: MicroOp::Move,
+            a: dst,
+            b: src,
+            next,
+        })
     }
 
     /// Emit an unconditional jump (encoded as a MOVE r0←r0 with an
@@ -387,7 +457,12 @@ impl MicroAsm {
     pub fn jump(&mut self, target: &str) -> &mut Self {
         let at = self.instrs.len();
         self.fixups.push((at, target.to_string()));
-        self.push(MicroInstr { op: MicroOp::Move, a: 0, b: 0, next: 0 })
+        self.push(MicroInstr {
+            op: MicroOp::Move,
+            a: 0,
+            b: 0,
+            next: 0,
+        })
     }
 
     /// Resolve labels and produce the program.
@@ -402,7 +477,10 @@ impl MicroAsm {
                 .get(&name)
                 .unwrap_or_else(|| panic!("undefined microcode label {name:?}"));
             let instr = self.instrs[at].as_mut().unwrap();
-            if matches!(instr.op, MicroOp::Receive | MicroOp::LReceive | MicroOp::Test) {
+            if matches!(
+                instr.op,
+                MicroOp::Receive | MicroOp::LReceive | MicroOp::Test
+            ) {
                 assert_eq!(target % 16, 0, "dispatch table {name:?} must be 16-aligned");
             }
             instr.next = target;
@@ -426,7 +504,12 @@ mod tests {
             MicroOp::Set,
             MicroOp::Move,
         ] {
-            let i = MicroInstr { op, a: 0xa, b: 0x5, next: 0x3ff };
+            let i = MicroInstr {
+                op,
+                a: 0xa,
+                b: 0x5,
+                next: 0x3ff,
+            };
             assert_eq!(MicroInstr::decode(i.encode()), i);
             assert!(i.encode() < 1 << 21, "fits in 21 bits");
         }
@@ -456,7 +539,12 @@ mod tests {
                 asm.test(1, "state_table");
             } else {
                 let here = asm.here();
-                asm.push(MicroInstr { op: MicroOp::Set, a: 0, b: 0, next: here });
+                asm.push(MicroInstr {
+                    op: MicroOp::Set,
+                    a: 0,
+                    b: 0,
+                    next: here,
+                });
             }
         }
         asm.align16();
@@ -465,20 +553,34 @@ mod tests {
         asm.lsend_end(MSG_FILL);
         for _ in 1..16 {
             let here = asm.here();
-            asm.push(MicroInstr { op: MicroOp::Set, a: 0, b: 0, next: here });
+            asm.push(MicroInstr {
+                op: MicroOp::Set,
+                a: 0,
+                b: 0,
+                next: here,
+            });
         }
         let engine_prog = asm.assemble();
         let mut eng = MicroEngine::new(engine_prog);
 
         let line = LineAddr(42);
         let fx = eng.start(line, 0, /* home = */ 7).unwrap();
-        assert_eq!(fx, vec![MicroEffect::Send { msg_type: MSG_READ, dest: 7 }]);
+        assert_eq!(
+            fx,
+            vec![MicroEffect::Send {
+                msg_type: MSG_READ,
+                dest: 7
+            }]
+        );
         assert_eq!(eng.occupancy(), 1, "thread parked in TSRF awaiting reply");
 
         let fx = eng.deliver(line, MSG_DATA, false);
         assert_eq!(
             fx,
-            vec![MicroEffect::LocalSend { msg_type: MSG_FILL }, MicroEffect::Done]
+            vec![
+                MicroEffect::LocalSend { msg_type: MSG_FILL },
+                MicroEffect::Done
+            ]
         );
         assert_eq!(eng.occupancy(), 0, "TSRF entry freed");
         assert_eq!(eng.executed(), 4, "SEND + RECEIVE + TEST + LSEND");
@@ -501,7 +603,10 @@ mod tests {
         }
         let mut eng = MicroEngine::new(asm.assemble());
         let fx = eng.start(LineAddr(0), 0, 0).unwrap();
-        assert_eq!(fx, vec![MicroEffect::LocalSend { msg_type: 9 }, MicroEffect::Done]);
+        assert_eq!(
+            fx,
+            vec![MicroEffect::LocalSend { msg_type: 9 }, MicroEffect::Done]
+        );
     }
 
     #[test]
@@ -512,7 +617,16 @@ mod tests {
         asm.send_end(1, 2); // send to node in var2 (=5)
         let mut eng = MicroEngine::new(asm.assemble());
         let fx = eng.start(LineAddr(0), 0, 0).unwrap();
-        assert_eq!(fx, vec![MicroEffect::Send { msg_type: 1, dest: 5 }, MicroEffect::Done]);
+        assert_eq!(
+            fx,
+            vec![
+                MicroEffect::Send {
+                    msg_type: 1,
+                    dest: 5
+                },
+                MicroEffect::Done
+            ]
+        );
     }
 
     #[test]

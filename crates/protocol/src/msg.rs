@@ -164,16 +164,34 @@ mod tests {
     #[test]
     fn lane_assignment_follows_paper() {
         let line = LineAddr(1);
-        assert_eq!(ProtoMsg::Req { kind: ReqType::Read, line }.lane(), Lane::Low);
+        assert_eq!(
+            ProtoMsg::Req {
+                kind: ReqType::Read,
+                line
+            }
+            .lane(),
+            Lane::Low
+        );
         assert_eq!(ProtoMsg::WriteBack { line, version: 0 }.lane(), Lane::High);
         assert_eq!(
-            ProtoMsg::Fwd { kind: ReqType::Read, line, requester: NodeId(0), home: NodeId(1) }
-                .lane(),
+            ProtoMsg::Fwd {
+                kind: ReqType::Read,
+                line,
+                requester: NodeId(0),
+                home: NodeId(1)
+            }
+            .lane(),
             Lane::High
         );
         assert_eq!(
-            ProtoMsg::Reply { line, grant: Grant::Shared, version: Some(1), acks_expected: 0, from_owner: false }
-                .lane(),
+            ProtoMsg::Reply {
+                line,
+                grant: Grant::Shared,
+                version: Some(1),
+                acks_expected: 0,
+                from_owner: false
+            }
+            .lane(),
             Lane::High
         );
     }
@@ -184,7 +202,11 @@ mod tests {
         assert!(ProtoMsg::WriteBack { line, version: 0 }.is_long());
         assert!(ProtoMsg::SharingWb { line, version: 0 }.is_long());
         assert!(!ProtoMsg::WbAck { line }.is_long());
-        assert!(!ProtoMsg::Req { kind: ReqType::Read, line }.is_long());
+        assert!(!ProtoMsg::Req {
+            kind: ReqType::Read,
+            line
+        }
+        .is_long());
         assert!(ProtoMsg::Reply {
             line,
             grant: Grant::Exclusive,
@@ -207,13 +229,32 @@ mod tests {
     fn line_accessor_covers_all_variants() {
         let line = LineAddr(77);
         let msgs = [
-            ProtoMsg::Req { kind: ReqType::Read, line },
+            ProtoMsg::Req {
+                kind: ReqType::Read,
+                line,
+            },
             ProtoMsg::WriteBack { line, version: 1 },
             ProtoMsg::WbAck { line },
             ProtoMsg::SharingWb { line, version: 1 },
-            ProtoMsg::Fwd { kind: ReqType::Read, line, requester: NodeId(0), home: NodeId(1) },
-            ProtoMsg::Reply { line, grant: Grant::Shared, version: None, acks_expected: 0, from_owner: false },
-            ProtoMsg::Inval { line, route: vec![], hop: 0, requester: NodeId(0) },
+            ProtoMsg::Fwd {
+                kind: ReqType::Read,
+                line,
+                requester: NodeId(0),
+                home: NodeId(1),
+            },
+            ProtoMsg::Reply {
+                line,
+                grant: Grant::Shared,
+                version: None,
+                acks_expected: 0,
+                from_owner: false,
+            },
+            ProtoMsg::Inval {
+                line,
+                route: vec![],
+                hop: 0,
+                requester: NodeId(0),
+            },
             ProtoMsg::InvalAck { line },
         ];
         for m in msgs {

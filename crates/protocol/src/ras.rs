@@ -150,7 +150,7 @@ impl RasPolicy {
     /// A persistent-memory barrier: returns the lines of `range` that
     /// are dirty relative to the journal given the current cached
     /// versions — the engine must force exactly these home (write-back
-    /// + journal) before the barrier completes, which is how
+    /// plus journal) before the barrier completes, which is how
     /// transaction commits avoid the disk/NVDRAM round-trip the paper
     /// describes.
     pub fn persist_barrier(
@@ -194,7 +194,10 @@ mod tests {
     use super::*;
 
     fn range(a: u64, b: u64) -> LineRange {
-        LineRange { start: LineAddr(a), end: LineAddr(b) }
+        LineRange {
+            start: LineAddr(a),
+            end: LineAddr(b),
+        }
     }
 
     #[test]
@@ -202,8 +205,14 @@ mod tests {
         let mut ras = RasPolicy::new(NodeId(0));
         let cap = ras.register_persistent(range(10, 20));
         let other = ras.register_persistent(range(30, 40));
-        assert_eq!(ras.check_write(LineAddr(15), Some(cap)), WriteVerdict::AllowPersistent);
-        assert_eq!(ras.check_write(LineAddr(15), Some(other)), WriteVerdict::Deny);
+        assert_eq!(
+            ras.check_write(LineAddr(15), Some(cap)),
+            WriteVerdict::AllowPersistent
+        );
+        assert_eq!(
+            ras.check_write(LineAddr(15), Some(other)),
+            WriteVerdict::Deny
+        );
         assert_eq!(ras.check_write(LineAddr(15), None), WriteVerdict::Deny);
         assert_eq!(ras.check_write(LineAddr(5), None), WriteVerdict::Allow);
         assert_eq!(ras.faults(), 2);
@@ -237,7 +246,9 @@ mod tests {
         ras.on_home_write(LineAddr(1), 6);
         ras.on_home_write(LineAddr(2), 3);
         let cached = vec![(LineAddr(1), 6u64), (LineAddr(2), 3)];
-        assert!(ras.persist_barrier(range(0, 100), cached.into_iter()).is_empty());
+        assert!(ras
+            .persist_barrier(range(0, 100), cached.into_iter())
+            .is_empty());
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub struct Tsrf<S> {
 impl<S> Tsrf<S> {
     /// An empty register file with [`TSRF_ENTRIES`] slots.
     pub fn new() -> Self {
-        Tsrf { entries: (0..TSRF_ENTRIES).map(|_| None).collect(), high_water: 0 }
+        Tsrf {
+            entries: (0..TSRF_ENTRIES).map(|_| None).collect(),
+            high_water: 0,
+        }
     }
 
     /// Allocate an entry for `line`.
@@ -90,9 +93,10 @@ impl<S> Tsrf<S> {
 
     /// Release the entry for `line`, returning its state.
     pub fn free(&mut self, line: LineAddr) -> Option<S> {
-        let slot = self.entries.iter_mut().find(|e| {
-            e.as_ref().is_some_and(|x| x.line == line)
-        })?;
+        let slot = self
+            .entries
+            .iter_mut()
+            .find(|e| e.as_ref().is_some_and(|x| x.line == line))?;
         slot.take().map(|e| e.state)
     }
 

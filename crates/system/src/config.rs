@@ -143,7 +143,9 @@ impl SystemConfig {
             l2_banks: 8,
             l2_bank: L2BankConfig::paper_default(),
             ics: IcsConfig::paper_default(),
-            mem: MemBankConfig { rdram: piranha_mem::RdramConfig::with_banks(8) },
+            mem: MemBankConfig {
+                rdram: piranha_mem::RdramConfig::with_banks(8),
+            },
             net: NetworkConfig::paper_default(),
             lat: PathLatencies::piranha_asic(),
             cpu_quantum: 2000,
@@ -155,7 +157,11 @@ impl SystemConfig {
 
     /// A hypothetical single-CPU Piranha chip (the paper's P1).
     pub fn piranha_p1() -> Self {
-        SystemConfig { name: "P1".into(), cpus_per_node: 1, ..Self::piranha_p8() }
+        SystemConfig {
+            name: "P1".into(),
+            cpus_per_node: 1,
+            ..Self::piranha_p8()
+        }
     }
 
     /// A Piranha chip with `n` CPUs (P2/P4 in Figures 6 and 7).
@@ -165,7 +171,11 @@ impl SystemConfig {
     /// Panics if `n` is 0 or exceeds 8.
     pub fn piranha_pn(n: usize) -> Self {
         assert!((1..=8).contains(&n), "Piranha chips have 1..=8 CPUs");
-        SystemConfig { name: format!("P{n}"), cpus_per_node: n, ..Self::piranha_p8() }
+        SystemConfig {
+            name: format!("P{n}"),
+            cpus_per_node: n,
+            ..Self::piranha_p8()
+        }
     }
 
     /// The full-custom Piranha (P8F): 1.25 GHz, faster L2 (Table 1).
@@ -190,9 +200,14 @@ impl SystemConfig {
             cpu_clock: Clock::from_mhz(1000),
             l1: L1Config::paper_default(),
             l2_banks: 2,
-            l2_bank: L2BankConfig { size_bytes: 768 * 1024, ways: 6 },
+            l2_bank: L2BankConfig {
+                size_bytes: 768 * 1024,
+                ways: 6,
+            },
             ics: IcsConfig::with_clock(Clock::from_mhz(1000)),
-            mem: MemBankConfig { rdram: piranha_mem::RdramConfig::with_banks(2) },
+            mem: MemBankConfig {
+                rdram: piranha_mem::RdramConfig::with_banks(2),
+            },
             net: NetworkConfig::paper_default(),
             lat: PathLatencies::ooo_chip(),
             cpu_quantum: 2000,
@@ -269,9 +284,15 @@ impl SystemConfig {
             ("L1 Cache Associativity", format!("{}-way", self.l1.ways)),
             (
                 "L2 Cache Size",
-                format!("{} MB", self.l2_banks as f64 * self.l2_bank.size_bytes as f64 / (1 << 20) as f64),
+                format!(
+                    "{} MB",
+                    self.l2_banks as f64 * self.l2_bank.size_bytes as f64 / (1 << 20) as f64
+                ),
             ),
-            ("L2 Cache Associativity", format!("{}-way", self.l2_bank.ways)),
+            (
+                "L2 Cache Associativity",
+                format!("{}-way", self.l2_bank.ways),
+            ),
             (
                 "L2 Hit / L2 Fwd Latency",
                 format!(
@@ -296,7 +317,11 @@ mod tests {
         let p8 = SystemConfig::piranha_p8();
         assert_eq!(p8.cpu_clock.mhz(), 500);
         assert_eq!(p8.total_cpus(), 8);
-        assert_eq!(p8.l2_banks as u64 * p8.l2_bank.size_bytes, 1 << 20, "1MB L2");
+        assert_eq!(
+            p8.l2_banks as u64 * p8.l2_bank.size_bytes,
+            1 << 20,
+            "1MB L2"
+        );
         assert_eq!(p8.l2_bank.ways, 8);
         let hit = (p8.lat.req + p8.lat.bank + p8.lat.reply).as_ns();
         let fwd = hit + p8.lat.fwd_probe.as_ns();
@@ -305,7 +330,11 @@ mod tests {
         let ooo = SystemConfig::ooo();
         assert_eq!(ooo.cpu_clock.mhz(), 1000);
         assert!(matches!(ooo.core, CoreKind::Ooo(c) if c.width == 4 && c.window == 64));
-        assert_eq!(ooo.l2_banks as u64 * ooo.l2_bank.size_bytes, 1536 << 10, "1.5MB L2");
+        assert_eq!(
+            ooo.l2_banks as u64 * ooo.l2_bank.size_bytes,
+            1536 << 10,
+            "1.5MB L2"
+        );
         assert_eq!((ooo.lat.req + ooo.lat.bank + ooo.lat.reply).as_ns(), 12);
 
         let p8f = SystemConfig::piranha_p8f();

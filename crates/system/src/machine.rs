@@ -79,7 +79,9 @@ struct Node {
 
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node").field("cpus", &self.cores.len()).finish_non_exhaustive()
+        f.debug_struct("Node")
+            .field("cpus", &self.cores.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -106,13 +108,30 @@ enum Ev {
     /// Let a CPU execute.
     CpuStep { node: usize, cpu: usize },
     /// Deliver a fill completion to a CPU.
-    CpuFill { node: usize, cpu: usize, id: u64, source: FillSource },
+    CpuFill {
+        node: usize,
+        cpu: usize,
+        id: u64,
+        source: FillSource,
+    },
     /// Deliver an event to an L2 bank.
-    Bank { node: usize, bank: usize, ev: BankEvent },
+    Bank {
+        node: usize,
+        bank: usize,
+        ev: BankEvent,
+    },
     /// A memory read's critical word is available.
-    MemRead { node: usize, bank: usize, line: LineAddr },
+    MemRead {
+        node: usize,
+        bank: usize,
+        line: LineAddr,
+    },
     /// A protocol message arrives at a node.
-    NetMsg { node: usize, from: NodeId, msg: ProtoMsg },
+    NetMsg {
+        node: usize,
+        from: NodeId,
+        msg: ProtoMsg,
+    },
 }
 
 enum Item {
@@ -141,6 +160,16 @@ pub struct Machine {
     /// Outstanding CPU requests: (node, slot, line) → request id.
     outstanding: HashMap<(usize, Slot, LineAddr), u64>,
     events_processed: u64,
+    /// Running total of retired instructions, maintained incrementally so
+    /// the run loop does not rescan every core.
+    instrs_retired: u64,
+    /// CPUs that are enabled and not yet done; `run_until_total` stops
+    /// when this hits zero instead of scanning nodes × cores.
+    unfinished: usize,
+    /// Reusable buffer for `cpu_step`'s memory requests.
+    req_buf: Vec<(u64, MemReq)>,
+    /// Reusable work queue for `apply`.
+    work: VecDeque<(usize, Item)>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -183,7 +212,11 @@ impl Machine {
         let mut nodes = Vec::with_capacity(total_nodes);
         for n in 0..total_nodes {
             let is_io = n >= cfg.nodes;
-            let (n_cpus, n_banks) = if is_io { (1, 1) } else { (cfg.cpus_per_node, cfg.l2_banks) };
+            let (n_cpus, n_banks) = if is_io {
+                (1, 1)
+            } else {
+                (cfg.cpus_per_node, cfg.l2_banks)
+            };
             let cores: Vec<Box<dyn CoreModel>> = (0..n_cpus)
                 .map(|_| match cfg.core {
                     CoreKind::InOrder(c) => Box::new(InOrderCore::new(c)) as Box<dyn CoreModel>,
@@ -203,8 +236,10 @@ impl Machine {
                 streams.drain(..cfg.cpus_per_node).collect()
             };
             let mut sc = crate::sysctl::SystemController::new(NodeId(n as u16), n_cpus);
-            let peers: Vec<NodeId> =
-                (0..total_nodes).filter(|&m| m != n).map(|m| NodeId(m as u16)).collect();
+            let peers: Vec<NodeId> = (0..total_nodes)
+                .filter(|&m| m != n)
+                .map(|m| NodeId(m as u16))
+                .collect();
             sc.interconnect_boot(&peers, 1024);
             nodes.push(Node {
                 cores,
@@ -234,6 +269,7 @@ impl Machine {
                 events.schedule(SimTime::ZERO, Ev::CpuStep { node: n, cpu: c });
             }
         }
+        let unfinished = nodes.iter().map(|n| n.cores.len()).sum();
         Machine {
             cfg,
             events,
@@ -242,6 +278,10 @@ impl Machine {
             versions: 0,
             outstanding: HashMap::new(),
             events_processed: 0,
+            instrs_retired: 0,
+            unfinished,
+            req_buf: Vec::new(),
+            work: VecDeque::new(),
         }
     }
 
@@ -349,36 +389,38 @@ impl Machine {
         let end = self.cpu_stats();
         let cpus: Vec<piranha_cpu::CoreStats> =
             end.iter().zip(&snap).map(|(e, s)| e.diff(s)).collect();
-        RunResult::new(self.cfg.name.clone(), t1.since(t0), self.cfg.cpu_clock, cpus)
+        let mut r = RunResult::new(
+            self.cfg.name.clone(),
+            t1.since(t0),
+            self.cfg.cpu_clock,
+            cpus,
+        );
+        r.mem_page_hit_rate = self.mem_page_hit_rate();
+        r
     }
 
     /// Run until the total retired instruction count reaches `target` (or
     /// every CPU is done).
+    ///
+    /// The hot loop is pure event dispatch: both the instruction total
+    /// and the all-CPUs-done condition are tracked incrementally
+    /// (`instrs_retired`, `unfinished`) rather than rescanned from the
+    /// per-core statistics every iteration.
     ///
     /// # Panics
     ///
     /// Panics if the event queue drains while CPUs are unfinished or the
     /// event budget is exhausted — both indicate a protocol deadlock bug.
     pub fn run_until_total(&mut self, target: u64) {
-        let mut check = 0u32;
-        while self.total_instrs() < target {
-            let all_done = self.nodes.iter().all(|n| {
-                n.done
-                    .iter()
-                    .enumerate()
-                    .all(|(c, d)| *d || !n.sc.cpu_enabled(CpuId(c as u8)))
-            });
-            if all_done {
+        debug_assert_eq!(self.instrs_retired, self.total_instrs());
+        while self.instrs_retired < target {
+            if self.unfinished == 0 {
                 return;
             }
             for _ in 0..64 {
                 let Some((t, ev)) = self.events.pop() else {
                     assert!(
-                        self.nodes.iter().all(|n| n
-                            .done
-                            .iter()
-                            .enumerate()
-                            .all(|(c, d)| *d || !n.sc.cpu_enabled(CpuId(c as u8)))),
+                        self.unfinished == 0,
                         "event queue drained with unfinished CPUs: deadlock"
                     );
                     return;
@@ -390,17 +432,24 @@ impl Machine {
                 );
                 self.dispatch(t, ev);
             }
-            check = check.wrapping_add(1);
         }
-        let _ = check;
     }
 
     fn dispatch(&mut self, t: SimTime, ev: Ev) {
         match ev {
             Ev::CpuStep { node, cpu } => self.cpu_step(t, node, cpu),
-            Ev::CpuFill { node, cpu, id, source } => {
+            Ev::CpuFill {
+                node,
+                cpu,
+                id,
+                source,
+            } => {
                 let cyc = self.time_to_cycle(t);
-                self.nodes[node].cores[cpu].fill(id, cyc, source);
+                let core = &mut self.nodes[node].cores[cpu];
+                let before = core.stats().instrs;
+                core.fill(id, cyc, source);
+                let after = core.stats().instrs;
+                self.instrs_retired += after - before;
                 self.events.schedule(t, Ev::CpuStep { node, cpu });
             }
             Ev::Bank { node, bank, ev } => {
@@ -414,8 +463,14 @@ impl Machine {
                 let nd = &mut self.nodes[node];
                 let version = nd.mem[bank].version(line);
                 let remote = nd.mem[bank].directory(line).summary();
-                let acts = nd.banks[bank]
-                    .handle(BankEvent::MemData { line, version, remote }, &mut nd.l1s);
+                let acts = nd.banks[bank].handle(
+                    BankEvent::MemData {
+                        line,
+                        version,
+                        remote,
+                    },
+                    &mut nd.l1s,
+                );
                 self.apply(t, node, acts.into_iter().map(Item::Bank).collect());
             }
             Ev::NetMsg { node, from, msg } => {
@@ -428,11 +483,7 @@ impl Machine {
                     ProtoMsg::InvalAck { .. } | ProtoMsg::WbAck { .. } => "ack",
                     _ => "wb",
                 };
-                let occ = self
-                    .cfg
-                    .lat
-                    .pe_instr
-                    .times(occupancy_cycles(kind));
+                let occ = self.cfg.lat.pe_instr.times(occupancy_cycles(kind));
                 let items: Vec<Item> = if self.home_of(line) == node {
                     let nd = &mut self.nodes[node];
                     nd.home_srv.acquire(t, occ);
@@ -458,26 +509,42 @@ impl Machine {
 
     fn cpu_step(&mut self, t: SimTime, node: usize, cpu: usize) {
         let quantum = self.cfg.cpu_quantum;
-        let mut reqs: Vec<(u64, MemReq)> = Vec::new();
+        let mut reqs = std::mem::take(&mut self.req_buf);
+        debug_assert!(reqs.is_empty());
         let status = {
             let nd = &mut self.nodes[node];
             if nd.done[cpu] || !nd.sc.cpu_enabled(CpuId(cpu as u8)) {
+                self.req_buf = reqs;
                 return;
             }
             let (l1i, l1d) = nd.l1s.pair_mut(CpuId(cpu as u8));
-            let mut ctx = CoreCtx { l1i, l1d, versions: &mut self.versions };
-            nd.cores[cpu].advance(nd.streams[cpu].as_mut(), &mut ctx, quantum, &mut reqs)
+            let mut ctx = CoreCtx {
+                l1i,
+                l1d,
+                versions: &mut self.versions,
+            };
+            let before = nd.cores[cpu].stats().instrs;
+            let status =
+                nd.cores[cpu].advance(nd.streams[cpu].as_mut(), &mut ctx, quantum, &mut reqs);
+            self.instrs_retired += nd.cores[cpu].stats().instrs - before;
+            status
         };
-        for (cycle, req) in reqs {
+        for (cycle, req) in reqs.drain(..) {
             let issue = self.cycle_to_time(cycle).max(t);
             // Request message over the ICS (header) + path latency.
-            let tics = self.nodes[node].ics.transfer(issue, TransferSize::Header, Lane::Low);
+            let tics = self.nodes[node]
+                .ics
+                .transfer(issue, TransferSize::Header, Lane::Low);
             let arrive = (issue + self.cfg.lat.req).max(tics);
             let bank = self.bank_of(node, req.line);
             let exec = self.nodes[node].bank_srv[bank].acquire(arrive, self.cfg.lat.bank);
             let slot = Slot::new(CpuId(cpu as u8), req.kind);
             let prev = self.outstanding.insert((node, slot, req.line), req.id);
-            assert!(prev.is_none(), "duplicate outstanding request for {slot} {}", req.line);
+            assert!(
+                prev.is_none(),
+                "duplicate outstanding request for {slot} {}",
+                req.line
+            );
             let home_local = self.home_of(req.line) == node;
             self.events.schedule(
                 exec.max(t),
@@ -494,28 +561,35 @@ impl Machine {
                 },
             );
         }
+        self.req_buf = reqs;
         match status {
             CoreStatus::Runnable => {
-                let next = self.cycle_to_time(self.nodes[node].cores[cpu].now_cycle()).max(t);
+                let next = self
+                    .cycle_to_time(self.nodes[node].cores[cpu].now_cycle())
+                    .max(t);
                 self.events.schedule(next, Ev::CpuStep { node, cpu });
             }
             CoreStatus::Blocked => {}
             CoreStatus::Done => {
                 self.nodes[node].done[cpu] = true;
+                self.unfinished -= 1;
             }
         }
     }
 
     /// Apply a work-list of bank/engine actions at time `t` on `node`.
+    /// The work queue's allocation is reused across dispatches.
     fn apply(&mut self, t: SimTime, origin: usize, items: Vec<Item>) {
-        let mut q: VecDeque<(usize, Item)> =
-            items.into_iter().map(|i| (origin, i)).collect();
+        let mut q = std::mem::take(&mut self.work);
+        debug_assert!(q.is_empty());
+        q.extend(items.into_iter().map(|i| (origin, i)));
         while let Some((n, item)) = q.pop_front() {
             match item {
                 Item::Bank(a) => self.apply_bank_action(t, n, a, &mut q),
                 Item::Eng(a) => self.apply_engine_action(t, n, a, &mut q),
             }
         }
+        self.work = q;
     }
 
     fn apply_bank_action(
@@ -526,25 +600,48 @@ impl Machine {
         q: &mut VecDeque<(usize, Item)>,
     ) {
         match a {
-            BankAction::Grant { slot, line, state: _, version: _, source, upgraded } => {
+            BankAction::Grant {
+                slot,
+                line,
+                state: _,
+                version: _,
+                source,
+                upgraded,
+            } => {
                 let id = self
                     .outstanding
                     .remove(&(n, slot, line))
                     .unwrap_or_else(|| panic!("grant without outstanding request: {slot} {line}"));
                 // Data fills occupy an ICS datapath; upgrades are
                 // header-only.
-                let size = if upgraded { TransferSize::Header } else { TransferSize::Line };
+                let size = if upgraded {
+                    TransferSize::Header
+                } else {
+                    TransferSize::Line
+                };
                 self.nodes[n].ics.transfer(t, size, Lane::High);
                 let wake = t + self.reply_latency(source);
                 self.events.schedule(
                     wake,
-                    Ev::CpuFill { node: n, cpu: slot.cpu().index(), id, source },
+                    Ev::CpuFill {
+                        node: n,
+                        cpu: slot.cpu().index(),
+                        id,
+                        source,
+                    },
                 );
             }
             BankAction::Inval { .. } | BankAction::Downgrade { .. } => {
-                self.nodes[n].ics.transfer(t, TransferSize::Header, Lane::High);
+                self.nodes[n]
+                    .ics
+                    .transfer(t, TransferSize::Header, Lane::High);
             }
-            BankAction::VictimDisplaced { slot, line, state, version } => {
+            BankAction::VictimDisplaced {
+                slot,
+                line,
+                state,
+                version,
+            } => {
                 // Victim data crosses the ICS to its own bank.
                 let size = if state == Mesi::Modified {
                     TransferSize::Line
@@ -554,8 +651,15 @@ impl Machine {
                 self.nodes[n].ics.transfer(t, size, Lane::Low);
                 let bank = self.bank_of(n, line);
                 let nd = &mut self.nodes[n];
-                let acts =
-                    nd.banks[bank].handle(BankEvent::Victim { slot, line, state, version }, &mut nd.l1s);
+                let acts = nd.banks[bank].handle(
+                    BankEvent::Victim {
+                        slot,
+                        line,
+                        state,
+                        version,
+                    },
+                    &mut nd.l1s,
+                );
                 q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
             }
             BankAction::ReadMem { line } => {
@@ -563,7 +667,11 @@ impl Machine {
                 let acc = self.nodes[n].mem[bank].access(t, line);
                 self.events.schedule(
                     (acc.critical + self.cfg.lat.mc_overhead).max(t),
-                    Ev::MemRead { node: n, bank, line },
+                    Ev::MemRead {
+                        node: n,
+                        bank,
+                        line,
+                    },
                 );
             }
             BankAction::WriteMem { line, version } => {
@@ -572,13 +680,18 @@ impl Machine {
             }
             BankAction::RemoteReq { slot: _, line, req } => {
                 let home = NodeId(self.home_of(line) as u16);
-                let acts = self.nodes[n].remote.handle(RemoteIn::LocalReq { line, req, home });
+                let acts = self.nodes[n]
+                    .remote
+                    .handle(RemoteIn::LocalReq { line, req, home });
                 q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
             }
             BankAction::RemoteWb { line, version } => {
                 let home = NodeId(self.home_of(line) as u16);
-                let acts =
-                    self.nodes[n].remote.handle(RemoteIn::LocalWb { line, version, home });
+                let acts = self.nodes[n].remote.handle(RemoteIn::LocalWb {
+                    line,
+                    version,
+                    home,
+                });
                 q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
             }
             BankAction::HomeInvalRemote { line } => {
@@ -595,19 +708,37 @@ impl Machine {
                 let acts = home.handle(HomeIn::LocalRecall { line, req }, &mut dirs);
                 q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
             }
-            BankAction::ExportReply { line, version, dirty, cached } => {
+            BankAction::ExportReply {
+                line,
+                version,
+                dirty,
+                cached,
+            } => {
                 let items: Vec<Item> = if self.home_of(line) == n {
                     let nd = &mut self.nodes[n];
                     let (banks, home) = (&mut nd.mem, &mut nd.home);
                     let mut dirs = NodeDirs { banks };
-                    home.handle(HomeIn::ExportReply { line, version, dirty, cached }, &mut dirs)
-                        .into_iter()
-                        .map(Item::Eng)
-                        .collect()
+                    home.handle(
+                        HomeIn::ExportReply {
+                            line,
+                            version,
+                            dirty,
+                            cached,
+                        },
+                        &mut dirs,
+                    )
+                    .into_iter()
+                    .map(Item::Eng)
+                    .collect()
                 } else {
                     self.nodes[n]
                         .remote
-                        .handle(RemoteIn::ExportReply { line, version, dirty, cached })
+                        .handle(RemoteIn::ExportReply {
+                            line,
+                            version,
+                            dirty,
+                            cached,
+                        })
                         .into_iter()
                         .map(Item::Eng)
                         .collect()
@@ -626,12 +757,20 @@ impl Machine {
     ) {
         match a {
             EngineAction::Send { to, msg } => {
-                let kind = if msg.is_long() { PacketKind::Long } else { PacketKind::Short };
+                let kind = if msg.is_long() {
+                    PacketKind::Long
+                } else {
+                    PacketKind::Short
+                };
                 let pkt = Packet::new(NodeId(n as u16), to, msg.lane(), kind, msg);
                 let (arrive, pkt) = self.net.send(t, pkt);
                 self.events.schedule(
                     arrive.max(t),
-                    Ev::NetMsg { node: to.index(), from: NodeId(n as u16), msg: pkt.payload },
+                    Ev::NetMsg {
+                        node: to.index(),
+                        from: NodeId(n as u16),
+                        msg: pkt.payload,
+                    },
                 );
             }
             EngineAction::Export { line, excl } => {
@@ -640,12 +779,24 @@ impl Machine {
                 let acts = nd.banks[bank].handle(BankEvent::Export { line, excl }, &mut nd.l1s);
                 q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
             }
-            EngineAction::Fill { line, excl, version, source } => {
+            EngineAction::Fill {
+                line,
+                excl,
+                version,
+                source,
+            } => {
                 let bank = self.bank_of(n, line);
                 let grant = if excl { Mesi::Exclusive } else { Mesi::Shared };
                 let nd = &mut self.nodes[n];
-                let acts = nd.banks[bank]
-                    .handle(BankEvent::RemoteFill { line, grant, version, source }, &mut nd.l1s);
+                let acts = nd.banks[bank].handle(
+                    BankEvent::RemoteFill {
+                        line,
+                        grant,
+                        version,
+                        source,
+                    },
+                    &mut nd.l1s,
+                );
                 q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
             }
             EngineAction::Purge { line } => {
@@ -707,16 +858,26 @@ impl Machine {
     /// SC can start/stop individual Alpha cores). In-flight transactions
     /// complete; the core simply stops being scheduled.
     pub fn stop_cpu(&mut self, node: usize, cpu: usize) {
-        self.nodes[node]
-            .sc
-            .handle(crate::sysctl::CtrlPacket::StopCpu { cpu: CpuId(cpu as u8) });
+        let nd = &mut self.nodes[node];
+        let was_running = nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.done[cpu];
+        nd.sc.handle(crate::sysctl::CtrlPacket::StopCpu {
+            cpu: CpuId(cpu as u8),
+        });
+        if was_running && !nd.sc.cpu_enabled(CpuId(cpu as u8)) {
+            self.unfinished -= 1;
+        }
     }
 
     /// Restart a stopped CPU; it resumes its stream where it left off.
     pub fn start_cpu(&mut self, node: usize, cpu: usize) {
-        self.nodes[node]
-            .sc
-            .handle(crate::sysctl::CtrlPacket::StartCpu { cpu: CpuId(cpu as u8) });
+        let nd = &mut self.nodes[node];
+        let was_stopped = !nd.sc.cpu_enabled(CpuId(cpu as u8));
+        nd.sc.handle(crate::sysctl::CtrlPacket::StartCpu {
+            cpu: CpuId(cpu as u8),
+        });
+        if was_stopped && nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.done[cpu] {
+            self.unfinished += 1;
+        }
         let t = self.events.now();
         self.events.schedule(t, Ev::CpuStep { node, cpu });
     }
@@ -850,8 +1011,8 @@ mod tests {
 #[cfg(test)]
 mod io_tests {
     use super::*;
-    use piranha_workloads::{SynthConfig, Workload};
     use crate::config::SystemConfig;
+    use piranha_workloads::{SynthConfig, Workload};
 
     /// An I/O node participates fully in global coherence: its DMA
     /// traffic reaches memory homed on processing nodes and vice versa.
@@ -875,8 +1036,15 @@ mod io_tests {
     fn io_topology_shape() {
         let t = build_topology(4, 2);
         assert_eq!(t.nodes(), 6);
-        assert!(t.max_degree() <= 5, "processing degree 3 + up to 2 io links");
-        assert_eq!(t.neighbours(NodeId(4)).len(), 2, "io nodes have two channels");
+        assert!(
+            t.max_degree() <= 5,
+            "processing degree 3 + up to 2 io links"
+        );
+        assert_eq!(
+            t.neighbours(NodeId(4)).len(),
+            2,
+            "io nodes have two channels"
+        );
     }
 
     /// The system controller can stop and restart cores mid-run.

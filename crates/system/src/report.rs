@@ -58,7 +58,11 @@ impl MachineReport {
     /// Mean protocol-engine occupancy in microinstructions per handled
     /// message (the paper's "few instructions at each engine").
     pub fn mean_engine_occupancy(&self) -> f64 {
-        let instrs: u64 = self.nodes.iter().map(|n| n.home_instrs + n.remote_instrs).sum();
+        let instrs: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.home_instrs + n.remote_instrs)
+            .sum();
         let msgs = self.protocol_msgs().max(1);
         instrs as f64 / msgs as f64
     }
@@ -66,7 +70,11 @@ impl MachineReport {
 
 impl fmt::Display for MachineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "machine report @ {} ({} instructions retired)", self.now, self.instrs)?;
+        writeln!(
+            f,
+            "machine report @ {} ({} instructions retired)",
+            self.now, self.instrs
+        )?;
         writeln!(
             f,
             "  interconnect: {} delivered, {} deflections, {:.2} mean hops",
@@ -133,7 +141,13 @@ mod tests {
     #[test]
     fn display_is_complete() {
         let text = sample().to_string();
-        for needle in ["12345 instructions", "9 delivered", "ICS 500 words", "TSRF hw 2/3", "SC 11 pkts"] {
+        for needle in [
+            "12345 instructions",
+            "9 delivered",
+            "ICS 500 words",
+            "TSRF hw 2/3",
+            "SC 11 pkts",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

@@ -28,12 +28,21 @@ pub struct RunResult {
     pub clock: Clock,
     /// Per-CPU statistics over the window.
     pub cpus: Vec<CoreStats>,
+    /// Mean RDRAM open-page hit rate over the whole run (§2.4); zero
+    /// until a `Machine` populates it at the end of `Machine::run`.
+    pub mem_page_hit_rate: f64,
 }
 
 impl RunResult {
-    /// Assemble a result.
+    /// Assemble a result (with no memory-page statistics).
     pub fn new(name: String, window: Duration, clock: Clock, cpus: Vec<CoreStats>) -> Self {
-        RunResult { name, window, clock, cpus }
+        RunResult {
+            name,
+            window,
+            clock,
+            cpus,
+            mem_page_hit_rate: 0.0,
+        }
     }
 
     /// Total instructions retired in the window.
@@ -80,7 +89,11 @@ impl RunResult {
         let total = (self.wall_cycles() * self.cpus.len() as u64).max(1) as f64;
         let l2_hit = m.l2_hit_stall() as f64 / total;
         let l2_miss = m.l2_miss_stall() as f64 / total;
-        CpuBreakdown { busy: (1.0 - l2_hit - l2_miss).max(0.0), l2_hit, l2_miss }
+        CpuBreakdown {
+            busy: (1.0 - l2_hit - l2_miss).max(0.0),
+            l2_hit,
+            l2_miss,
+        }
     }
 
     /// The Figure-6(b) L1-miss breakdown: fractions of all L1 misses
@@ -108,7 +121,10 @@ mod tests {
     use piranha_types::FillSource;
 
     fn mk(name: &str, instrs: u64, window_ns: u64) -> RunResult {
-        let mut s = CoreStats { instrs, ..Default::default() };
+        let mut s = CoreStats {
+            instrs,
+            ..Default::default()
+        };
         s.record_fill(FillSource::L2Hit, 100);
         s.record_fill(FillSource::LocalMem, 300);
         RunResult::new(
@@ -149,9 +165,20 @@ mod tests {
 
     #[test]
     fn mpki_counts_all_miss_classes() {
-        let mut s = CoreStats { instrs: 10_000, l1i_misses: 5, l1d_misses: 10, sb_reqs: 5, ..Default::default() };
+        let mut s = CoreStats {
+            instrs: 10_000,
+            l1i_misses: 5,
+            l1d_misses: 10,
+            sb_reqs: 5,
+            ..Default::default()
+        };
         s.record_fill(FillSource::L2Hit, 0);
-        let r = RunResult::new("m".into(), Duration::from_ns(1), Clock::from_mhz(500), vec![s]);
+        let r = RunResult::new(
+            "m".into(),
+            Duration::from_ns(1),
+            Clock::from_mhz(500),
+            vec![s],
+        );
         assert!((r.mpki() - 2.0).abs() < 1e-9);
     }
 }

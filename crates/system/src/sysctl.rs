@@ -200,12 +200,17 @@ impl SystemController {
     pub fn interconnect_boot(&mut self, reachable: &[NodeId], mem_lines: u64) -> Vec<CtrlReply> {
         let mut replies = Vec::new();
         for (i, &dest) in reachable.iter().enumerate() {
-            replies.push(self.handle(CtrlPacket::SetRoute { dest, channel: (i % 4) as u8 }));
+            replies.push(self.handle(CtrlPacket::SetRoute {
+                dest,
+                channel: (i % 4) as u8,
+            }));
         }
         replies.push(self.handle(CtrlPacket::CommitRoutes));
         replies.push(self.handle(CtrlPacket::TestMemory { lines: mem_lines }));
         for c in 0..self.cpu_enabled.len() {
-            replies.push(self.handle(CtrlPacket::StartCpu { cpu: CpuId(c as u8) }));
+            replies.push(self.handle(CtrlPacket::StartCpu {
+                cpu: CpuId(c as u8),
+            }));
         }
         replies
     }
@@ -228,9 +233,21 @@ mod tests {
     #[test]
     fn registers_read_back() {
         let mut sc = SystemController::new(NodeId(1), 8);
-        assert_eq!(sc.handle(CtrlPacket::WriteReg { reg: 7, value: 0xabcd }), CtrlReply::Ack);
-        assert_eq!(sc.handle(CtrlPacket::ReadReg { reg: 7 }), CtrlReply::Value(0xabcd));
-        assert_eq!(sc.handle(CtrlPacket::ReadReg { reg: 8 }), CtrlReply::Value(0));
+        assert_eq!(
+            sc.handle(CtrlPacket::WriteReg {
+                reg: 7,
+                value: 0xabcd
+            }),
+            CtrlReply::Ack
+        );
+        assert_eq!(
+            sc.handle(CtrlPacket::ReadReg { reg: 7 }),
+            CtrlReply::Value(0xabcd)
+        );
+        assert_eq!(
+            sc.handle(CtrlPacket::ReadReg { reg: 8 }),
+            CtrlReply::Value(0)
+        );
     }
 
     #[test]
@@ -241,7 +258,10 @@ mod tests {
         assert!(sc.cpu_enabled(CpuId(1)));
         sc.handle(CtrlPacket::StopCpu { cpu: CpuId(1) });
         assert!(!sc.cpu_enabled(CpuId(1)));
-        assert_eq!(sc.handle(CtrlPacket::StartCpu { cpu: CpuId(5) }), CtrlReply::BadCpu);
+        assert_eq!(
+            sc.handle(CtrlPacket::StartCpu { cpu: CpuId(5) }),
+            CtrlReply::BadCpu
+        );
     }
 
     #[test]

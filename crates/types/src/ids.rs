@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn ids_display() {
-        let c = ChipCpuId { node: NodeId(3), cpu: CpuId(5) };
+        let c = ChipCpuId {
+            node: NodeId(3),
+            cpu: CpuId(5),
+        };
         assert_eq!(c.to_string(), "n3.cpu5");
         assert_eq!(BankId(7).to_string(), "b7");
         assert_eq!(CacheKind::Instruction.to_string(), "iL1");
@@ -130,10 +133,7 @@ mod tests {
 
     #[test]
     fn cache_kind_indexes_are_distinct() {
-        assert_ne!(
-            CacheKind::Instruction.index(),
-            CacheKind::Data.index()
-        );
+        assert_ne!(CacheKind::Instruction.index(), CacheKind::Data.index());
         assert_eq!(CacheKind::BOTH.len(), 2);
     }
 

@@ -147,7 +147,9 @@ impl Clock {
             0,
             "clock frequency {mhz} MHz has a non-integral period in ps"
         );
-        Clock { period_ps: 1_000_000 / mhz }
+        Clock {
+            period_ps: 1_000_000 / mhz,
+        }
     }
 
     /// The clock period.
@@ -188,7 +190,10 @@ mod tests {
         assert_eq!(t.since(SimTime::from_ns(3)), Duration::from_ns(12));
         // `since` saturates rather than underflowing.
         assert_eq!(SimTime::ZERO.since(t), Duration::ZERO);
-        assert_eq!(Duration::from_ns(3) + Duration::from_ns(4), Duration::from_ns(7));
+        assert_eq!(
+            Duration::from_ns(3) + Duration::from_ns(4),
+            Duration::from_ns(7)
+        );
         assert_eq!(Duration::from_ns(2).times(5), Duration::from_ns(10));
     }
 

@@ -133,7 +133,10 @@ impl DssStream {
                 let mp = self.rng.chance(self.cfg.mispredict_rate);
                 self.queue.push_back(StreamOp {
                     pc,
-                    kind: OpKind::Branch { taken: true, mispredict: Some(mp) },
+                    kind: OpKind::Branch {
+                        taken: true,
+                        mispredict: Some(mp),
+                    },
                 });
                 continue;
             }
@@ -149,7 +152,10 @@ impl DssStream {
             };
             // Aggregation multiplies (price * discount).
             let mul = self.rng.chance(0.1);
-            self.queue.push_back(StreamOp { pc, kind: OpKind::Alu { mul, dep1, dep2: 0 } });
+            self.queue.push_back(StreamOp {
+                pc,
+                kind: OpKind::Alu { mul, dep1, dep2: 0 },
+            });
         }
     }
 
@@ -165,13 +171,21 @@ impl DssStream {
         // Sequential load: the address comes from an induction variable,
         // not from memory — no pointer chasing, full MLP.
         let pc = self.next_pc();
-        self.queue.push_back(StreamOp { pc, kind: OpKind::Load { addr, dep_addr: 0 } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::Load { addr, dep_addr: 0 },
+        });
         self.chain_gap += 1;
         // A second load covers the rest of the tuple fields (same line:
         // spatial locality makes it an L1 hit).
         let pc = self.next_pc();
-        self.queue
-            .push_back(StreamOp { pc, kind: OpKind::Load { addr: Addr(addr.0 + 32), dep_addr: 0 } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::Load {
+                addr: Addr(addr.0 + 32),
+                dep_addr: 0,
+            },
+        });
         self.chain_gap += 1;
         let full = self.rng.chance(self.cfg.selectivity);
         let work = if full {
@@ -200,7 +214,9 @@ mod tests {
     use super::*;
 
     fn take(n: usize, s: &mut DssStream) -> Vec<StreamOp> {
-        (0..n).map(|_| s.next_op().expect("infinite stream")).collect()
+        (0..n)
+            .map(|_| s.next_op().expect("infinite stream"))
+            .collect()
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Layout {
     /// An empty layout starting at a non-zero base (so that address 0
     /// stays unused and bugs surface).
     pub fn new() -> Self {
-        Layout { next: REGION_ALIGN, regions: Vec::new() }
+        Layout {
+            next: REGION_ALIGN,
+            regions: Vec::new(),
+        }
     }
 
     /// Allocate a named region of at least `size` bytes.
@@ -70,7 +73,10 @@ impl Layout {
     pub fn alloc(&mut self, name: &str, size: u64) -> Region {
         assert!(size > 0, "zero-sized region {name:?}");
         let size = size.div_ceil(REGION_ALIGN) * REGION_ALIGN;
-        let r = Region { base: Addr(self.next), size };
+        let r = Region {
+            base: Addr(self.next),
+            size,
+        };
         self.next += size;
         self.regions.push((name.to_string(), r));
         r
@@ -83,7 +89,10 @@ impl Layout {
 
     /// Look up a region by name (for tests/reports).
     pub fn get(&self, name: &str) -> Option<Region> {
-        self.regions.iter().find(|(n, _)| n == name).map(|(_, r)| *r)
+        self.regions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
     }
 }
 
@@ -108,7 +117,10 @@ mod tests {
 
     #[test]
     fn record_addressing_wraps() {
-        let r = Region { base: Addr(0x10000), size: 8192 };
+        let r = Region {
+            base: Addr(0x10000),
+            size: 8192,
+        };
         assert_eq!(r.record(0, 128).0, 0x10000);
         assert_eq!(r.record(2, 128).0, 0x10100);
         // Index past the end wraps (generators can over-index safely).

@@ -71,11 +71,15 @@ impl Workload {
             Workload::Oltp(cfg) => {
                 Box::new(OltpStream::new(cfg.clone(), cpu_index, total_cpus, seed))
             }
-            Workload::Dss(cfg) => Box::new(DssStream::new(cfg.clone(), cpu_index, total_cpus, seed)),
+            Workload::Dss(cfg) => {
+                Box::new(DssStream::new(cfg.clone(), cpu_index, total_cpus, seed))
+            }
             Workload::Synth(cfg) => {
                 Box::new(SynthStream::new(cfg.clone(), cpu_index, total_cpus, seed))
             }
-            Workload::Web(cfg) => Box::new(WebStream::new(cfg.clone(), cpu_index, total_cpus, seed)),
+            Workload::Web(cfg) => {
+                Box::new(WebStream::new(cfg.clone(), cpu_index, total_cpus, seed))
+            }
         }
     }
 

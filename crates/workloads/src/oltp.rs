@@ -241,7 +241,10 @@ impl OltpStream {
                 let mp = self.rng.chance(self.cfg.mispredict_rate);
                 self.queue.push_back(StreamOp {
                     pc,
-                    kind: OpKind::Branch { taken: self.rng.chance(0.6), mispredict: Some(mp) },
+                    kind: OpKind::Branch {
+                        taken: self.rng.chance(0.6),
+                        mispredict: Some(mp),
+                    },
                 });
                 continue;
             }
@@ -255,7 +258,11 @@ impl OltpStream {
             };
             self.queue.push_back(StreamOp {
                 pc,
-                kind: OpKind::Alu { mul: false, dep1, dep2: 0 },
+                kind: OpKind::Alu {
+                    mul: false,
+                    dep1,
+                    dep2: 0,
+                },
             });
         }
     }
@@ -263,19 +270,28 @@ impl OltpStream {
     fn push_load(&mut self, addr: Addr, dep_addr: u32) {
         let pc = self.next_pc();
         self.chain_gap += 1;
-        self.queue.push_back(StreamOp { pc, kind: OpKind::Load { addr, dep_addr } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::Load { addr, dep_addr },
+        });
     }
 
     fn push_store(&mut self, addr: Addr) {
         let pc = self.next_pc();
         self.chain_gap += 1;
-        self.queue.push_back(StreamOp { pc, kind: OpKind::Store { addr } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::Store { addr },
+        });
     }
 
     fn push_write_hint(&mut self, addr: Addr) {
         let pc = self.next_pc();
         self.chain_gap += 1;
-        self.queue.push_back(StreamOp { pc, kind: OpKind::WriteHint { addr } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::WriteHint { addr },
+        });
     }
 
     fn sga_addr(&mut self) -> Addr {
@@ -388,7 +404,10 @@ impl OltpStream {
         let rec = p.history_next;
         p.history_next += 1;
         let gid = p.global_id;
-        let addr = self.regions.history.at(gid * (64 << 10) + (rec * 64) % (64 << 10));
+        let addr = self
+            .regions
+            .history
+            .at(gid * (64 << 10) + (rec * 64) % (64 << 10));
         // Whole-line insert: the wh64 write hint avoids fetching the
         // line (paper §2.5.3 footnote).
         self.push_write_hint(addr);
@@ -475,7 +494,9 @@ mod tests {
     use super::*;
 
     fn take(n: usize, s: &mut OltpStream) -> Vec<StreamOp> {
-        (0..n).map(|_| s.next_op().expect("infinite stream")).collect()
+        (0..n)
+            .map(|_| s.next_op().expect("infinite stream"))
+            .collect()
     }
 
     #[test]
@@ -509,12 +530,18 @@ mod tests {
     fn instruction_mix_is_commercial() {
         let mut s = OltpStream::new(OltpConfig::paper_default(), 0, 1, 7);
         let ops = take(50_000, &mut s);
-        let loads = ops.iter().filter(|o| matches!(o.kind, OpKind::Load { .. })).count();
+        let loads = ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Load { .. }))
+            .count();
         let stores = ops
             .iter()
             .filter(|o| matches!(o.kind, OpKind::Store { .. } | OpKind::WriteHint { .. }))
             .count();
-        let branches = ops.iter().filter(|o| matches!(o.kind, OpKind::Branch { .. })).count();
+        let branches = ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Branch { .. }))
+            .count();
         let lf = loads as f64 / ops.len() as f64;
         let sf = stores as f64 / ops.len() as f64;
         let bf = branches as f64 / ops.len() as f64;
@@ -542,7 +569,10 @@ mod tests {
     fn processes_rotate_at_commit() {
         let mut s = OltpStream::new(OltpConfig::paper_default(), 0, 1, 7);
         take(10_000, &mut s);
-        assert!(s.txns_generated() >= 8, "several transactions in 10k instrs");
+        assert!(
+            s.txns_generated() >= 8,
+            "several transactions in 10k instrs"
+        );
     }
 
     #[test]
@@ -561,6 +591,8 @@ mod tests {
     fn write_hints_present() {
         let mut s = OltpStream::new(OltpConfig::paper_default(), 0, 1, 7);
         let ops = take(20_000, &mut s);
-        assert!(ops.iter().any(|o| matches!(o.kind, OpKind::WriteHint { .. })));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::WriteHint { .. })));
     }
 }

@@ -125,9 +125,14 @@ impl InstrStream for SynthStream {
         self.pc_off = (self.pc_off + 4) % self.cfg.code_bytes;
         let u = self.rng.unit_f64();
         let kind = if u < self.cfg.load_frac {
-            OpKind::Load { addr: self.data_addr(), dep_addr: 0 }
+            OpKind::Load {
+                addr: self.data_addr(),
+                dep_addr: 0,
+            }
         } else if u < self.cfg.load_frac + self.cfg.store_frac {
-            OpKind::Store { addr: self.data_addr() }
+            OpKind::Store {
+                addr: self.data_addr(),
+            }
         } else if u < self.cfg.load_frac + self.cfg.store_frac + self.cfg.branch_frac {
             OpKind::Branch {
                 taken: self.rng.chance(0.5),
@@ -135,7 +140,11 @@ impl InstrStream for SynthStream {
             }
         } else {
             let dep1 = u64::from(self.rng.chance(self.cfg.serial_dep_rate)) as u32;
-            OpKind::Alu { mul: false, dep1, dep2: 0 }
+            OpKind::Alu {
+                mul: false,
+                dep1,
+                dep2: 0,
+            }
         };
         Some(StreamOp { pc, kind })
     }
@@ -150,14 +159,20 @@ mod tests {
         let mut s = SynthStream::new(SynthConfig::light(), 0, 2, 9);
         let n = 100_000;
         let ops: Vec<StreamOp> = (0..n).map(|_| s.next_op().unwrap()).collect();
-        let loads = ops.iter().filter(|o| matches!(o.kind, OpKind::Load { .. })).count();
+        let loads = ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Load { .. }))
+            .count();
         let frac = loads as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.01, "load fraction {frac}");
     }
 
     #[test]
     fn private_regions_disjoint_across_cpus() {
-        let cfg = SynthConfig { shared_frac: 0.0, ..SynthConfig::light() };
+        let cfg = SynthConfig {
+            shared_frac: 0.0,
+            ..SynthConfig::light()
+        };
         let mut a = SynthStream::new(cfg.clone(), 0, 2, 9);
         let mut b = SynthStream::new(cfg, 1, 2, 9);
         let addrs = |s: &mut SynthStream| -> Vec<u64> {
@@ -176,7 +191,10 @@ mod tests {
 
     #[test]
     fn shared_region_is_shared() {
-        let cfg = SynthConfig { shared_frac: 1.0, ..SynthConfig::light() };
+        let cfg = SynthConfig {
+            shared_frac: 1.0,
+            ..SynthConfig::light()
+        };
         let mut a = SynthStream::new(cfg.clone(), 0, 2, 9);
         let mut b = SynthStream::new(cfg, 1, 2, 9);
         let one = |s: &mut SynthStream| loop {

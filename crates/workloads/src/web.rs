@@ -123,7 +123,10 @@ impl WebStream {
                 let mp = self.rng.chance(0.01);
                 self.queue.push_back(StreamOp {
                     pc,
-                    kind: OpKind::Branch { taken: true, mispredict: Some(mp) },
+                    kind: OpKind::Branch {
+                        taken: true,
+                        mispredict: Some(mp),
+                    },
                 });
                 continue;
             }
@@ -135,14 +138,24 @@ impl WebStream {
                 self.chain_gap += 1;
                 0
             };
-            self.queue.push_back(StreamOp { pc, kind: OpKind::Alu { mul: false, dep1, dep2: 0 } });
+            self.queue.push_back(StreamOp {
+                pc,
+                kind: OpKind::Alu {
+                    mul: false,
+                    dep1,
+                    dep2: 0,
+                },
+            });
         }
     }
 
     fn push_load(&mut self, addr: Addr, dep_addr: u32) {
         let pc = self.next_pc();
         self.chain_gap += 1;
-        self.queue.push_back(StreamOp { pc, kind: OpKind::Load { addr, dep_addr } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::Load { addr, dep_addr },
+        });
     }
 
     fn generate_query(&mut self) {
@@ -155,7 +168,9 @@ impl WebStream {
         // (full memory-level parallelism on a wide core).
         for _ in 0..self.cfg.lists_per_query {
             let total_lines = self.cfg.index_bytes / 64;
-            let start = self.rng.below(total_lines.saturating_sub(self.cfg.lines_per_list));
+            let start = self
+                .rng
+                .below(total_lines.saturating_sub(self.cfg.lines_per_list));
             for i in 0..self.cfg.lines_per_list {
                 let addr = Addr(self.index_base.0 + (start + i) * 64);
                 self.push_load(addr, 0);
@@ -166,7 +181,10 @@ impl WebStream {
         self.push_alu(60);
         let stat = Addr(self.meta_base.0 + self.rng.below(64) * 64);
         let pc = self.next_pc();
-        self.queue.push_back(StreamOp { pc, kind: OpKind::Store { addr: stat } });
+        self.queue.push_back(StreamOp {
+            pc,
+            kind: OpKind::Store { addr: stat },
+        });
         self.queries_served += 1;
         self.thread = (self.thread + 1) % self.cfg.threads_per_cpu.max(1);
     }
@@ -186,7 +204,9 @@ mod tests {
     use super::*;
 
     fn take(n: usize, s: &mut WebStream) -> Vec<StreamOp> {
-        (0..n).map(|_| s.next_op().expect("infinite stream")).collect()
+        (0..n)
+            .map(|_| s.next_op().expect("infinite stream"))
+            .collect()
     }
 
     #[test]
@@ -207,11 +227,17 @@ mod tests {
             .count() as f64
             / ops.len() as f64;
         assert!(mem < 0.05, "compute-bound like DSS: {mem}");
-        let stores = ops.iter().filter(|o| matches!(o.kind, OpKind::Store { .. })).count();
+        let stores = ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Store { .. }))
+            .count();
         assert!(stores > 0, "statistics updates create a sharing component");
         let code_lines: std::collections::HashSet<_> = ops.iter().map(|o| o.pc.line()).collect();
         let code_bytes = code_lines.len() as u64 * 64;
-        assert!(code_bytes <= 48 << 10, "small-ish code footprint: {code_bytes}");
+        assert!(
+            code_bytes <= 48 << 10,
+            "small-ish code footprint: {code_bytes}"
+        );
     }
 
     #[test]
@@ -227,7 +253,10 @@ mod tests {
             .collect();
         let sequential_pairs =
             loads.windows(2).filter(|w| w[1] == w[0] + 1).count() as f64 / loads.len() as f64;
-        assert!(sequential_pairs > 0.7, "streaming index walks: {sequential_pairs}");
+        assert!(
+            sequential_pairs > 0.7,
+            "streaming index walks: {sequential_pairs}"
+        );
     }
 
     #[test]

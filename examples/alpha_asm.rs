@@ -33,7 +33,8 @@ fn main() {
     // Functional run: seed memory, execute, inspect the sum.
     let mut func = IsaMachine::new(prog.clone());
     for i in 0..64u64 {
-        func.mem_mut().write_u64(piranha::types::Addr(0x10000 + i * 8), i + 1);
+        func.mem_mut()
+            .write_u64(piranha::types::Addr(0x10000 + i * 8), i + 1);
     }
     func.run(10_000).expect("halts");
     let sum = func.mem().read_u64(piranha::types::Addr(0x20000));
@@ -42,7 +43,9 @@ fn main() {
     // Timing run: the same program drives a single-CPU Piranha chip.
     let mut timed = IsaMachine::new(prog);
     for i in 0..64u64 {
-        timed.mem_mut().write_u64(piranha::types::Addr(0x10000 + i * 8), i + 1);
+        timed
+            .mem_mut()
+            .write_u64(piranha::types::Addr(0x10000 + i * 8), i + 1);
     }
     let stream = IsaStream::new(timed);
     let mut machine = Machine::with_streams(SystemConfig::piranha_p1(), vec![Box::new(stream)]);

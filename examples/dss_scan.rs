@@ -11,7 +11,12 @@ fn main() {
     let scale = RunScale::quick();
     let w = Workload::Dss(DssConfig::paper_default());
     let mut results = Vec::new();
-    for cfg in [SystemConfig::piranha_p1(), SystemConfig::ino(), SystemConfig::ooo(), SystemConfig::piranha_p8()] {
+    for cfg in [
+        SystemConfig::piranha_p1(),
+        SystemConfig::ino(),
+        SystemConfig::ooo(),
+        SystemConfig::piranha_p8(),
+    ] {
         let name = cfg.name.clone();
         let mut m = Machine::new(cfg, &w);
         let r = m.run(scale.warmup, scale.measure);

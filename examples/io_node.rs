@@ -12,7 +12,9 @@ fn main() {
     // Two 4-CPU processing chips plus one I/O chip whose CPU runs the
     // device-driver/DMA stream (the paper's motivation for putting a
     // core on the I/O chip: drivers run next to the devices).
-    let cfg = SystemConfig::piranha_pn(4).scaled_to_chips(2).with_io_nodes(1);
+    let cfg = SystemConfig::piranha_pn(4)
+        .scaled_to_chips(2)
+        .with_io_nodes(1);
     let mut m = Machine::new(cfg, &Workload::Oltp(OltpConfig::paper_default()));
     m.run_until_total(400_000);
     m.check_coherence();

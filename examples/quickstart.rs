@@ -35,7 +35,10 @@ fn main() {
         fwd * 100.0,
         miss * 100.0
     );
-    println!("  RDRAM open-page hit rate: {:.0}%", m.mem_page_hit_rate() * 100.0);
+    println!(
+        "  RDRAM open-page hit rate: {:.0}%",
+        m.mem_page_hit_rate() * 100.0
+    );
 
     println!("Running OLTP on OOO (1 GHz 4-issue out-of-order)...");
     let mut m = Machine::new(ooo, &workload);

@@ -41,7 +41,10 @@ fn write_storm_on_hot_lines() {
     m.check_coherence();
     let stats = m.cpu_stats();
     let fwd: u64 = stats.iter().map(|s| s.fills[1]).sum();
-    assert!(fwd > 0, "hot-line contention must produce L1-to-L1 forwards");
+    assert!(
+        fwd > 0,
+        "hot-line contention must produce L1-to-L1 forwards"
+    );
 }
 
 /// Figure-6(b) mechanism: with one CPU there are no forwards; with eight
@@ -88,7 +91,11 @@ fn victim_caching_keeps_warm_footprint_on_chip() {
 /// from the pending-entry replay discipline).
 #[test]
 fn all_cpus_make_progress() {
-    let m = quick(SystemConfig::piranha_p8(), &Workload::Synth(SynthConfig::heavy()), 160_000);
+    let m = quick(
+        SystemConfig::piranha_p8(),
+        &Workload::Synth(SynthConfig::heavy()),
+        160_000,
+    );
     for (i, s) in m.cpu_stats().iter().enumerate() {
         assert!(s.instrs > 5_000, "cpu {i} starved: {} instrs", s.instrs);
     }
@@ -97,7 +104,11 @@ fn all_cpus_make_progress() {
 /// The OOO chip (single CPU, unified L2) runs the same machinery.
 #[test]
 fn ooo_chip_coherence() {
-    let m = quick(SystemConfig::ooo(), &Workload::Synth(SynthConfig::heavy()), 80_000);
+    let m = quick(
+        SystemConfig::ooo(),
+        &Workload::Synth(SynthConfig::heavy()),
+        80_000,
+    );
     m.check_coherence();
 }
 

@@ -4,13 +4,23 @@
 use piranha::experiments::{self, RunScale};
 
 fn tiny() -> RunScale {
-    RunScale { warmup: 40_000, measure: 80_000 }
+    RunScale {
+        warmup: 40_000,
+        measure: 80_000,
+    }
 }
 
 #[test]
 fn table1_lists_all_three_designs() {
     let t = experiments::table1();
-    for needle in ["500 MHz", "1000 MHz", "1250 MHz", "8-way", "6-way", "16 ns / 24 ns"] {
+    for needle in [
+        "500 MHz",
+        "1000 MHz",
+        "1250 MHz",
+        "8-way",
+        "6-way",
+        "16 ns / 24 ns",
+    ] {
         assert!(t.contains(needle), "Table 1 missing {needle:?}:\n{t}");
     }
 }
@@ -25,7 +35,10 @@ fn fig5_oltp_ordering_holds() {
     assert!(t("P1") > t("INO"), "P1 slower than INO");
     // Every bar decomposes into non-negative parts that sum to its time.
     for b in &bars {
-        assert!((b.busy + b.l2_hit + b.l2_miss - b.norm_time).abs() < 1.0, "{b:?}");
+        assert!(
+            (b.busy + b.l2_hit + b.l2_miss - b.norm_time).abs() < 1.0,
+            "{b:?}"
+        );
         assert!(b.busy >= 0.0 && b.l2_hit >= 0.0 && b.l2_miss >= 0.0);
     }
 }
@@ -35,7 +48,11 @@ fn fig5_dss_ordering_holds() {
     let bars = experiments::fig5(&experiments::dss(), tiny());
     let t = |name: &str| bars.iter().find(|b| b.name == name).unwrap().norm_time;
     assert!(t("P8") < 80.0, "P8 beats OOO on DSS: {}", t("P8"));
-    assert!(t("P1") > 250.0, "single Piranha core is much slower: {}", t("P1"));
+    assert!(
+        t("P1") > 250.0,
+        "single Piranha core is much slower: {}",
+        t("P1")
+    );
     // DSS is compute-bound: the busy component dominates P1's bar.
     let p1 = bars.iter().find(|b| b.name == "P1").unwrap();
     assert!(p1.busy / p1.norm_time > 0.75, "DSS is CPU-bound: {p1:?}");
@@ -43,7 +60,10 @@ fn fig5_dss_ordering_holds() {
     // paper; check the weaker directional claim.
     let oltp = experiments::fig5(&experiments::oltp(), tiny());
     let p8_oltp = oltp.iter().find(|b| b.name == "P8").unwrap().norm_time;
-    assert!(p8_oltp < t("P8") + 25.0, "P8 margin on OLTP at least comparable");
+    assert!(
+        p8_oltp < t("P8") + 25.0,
+        "P8 margin on OLTP at least comparable"
+    );
 }
 
 #[test]
@@ -77,7 +97,12 @@ fn fig6_speedup_and_breakdown_trends() {
 fn fig8_full_custom_extends_the_lead() {
     let bars = experiments::fig8(&experiments::dss(), tiny());
     let t = |name: &str| bars.iter().find(|b| b.name == name).unwrap().norm_time;
-    assert!(t("P8F") < t("P8"), "full custom beats ASIC: {} vs {}", t("P8F"), t("P8"));
+    assert!(
+        t("P8F") < t("P8"),
+        "full custom beats ASIC: {} vs {}",
+        t("P8F"),
+        t("P8")
+    );
     assert!(t("P8") < t("OOO"));
 }
 
@@ -98,7 +123,13 @@ fn web_search_behaves_like_dss() {
     let r_p8 = p8.run(30_000, 60_000);
     // §6: "similar to DSS" — compute-bound, and P8 still wins on
     // throughput.
-    assert!(r_ooo.breakdown().busy > 0.5, "web search is compute-bound on OOO");
-    assert!(r_p8.speedup_over(&r_ooo) > 1.3, "CMP throughput advantage carries over");
+    assert!(
+        r_ooo.breakdown().busy > 0.5,
+        "web search is compute-bound on OOO"
+    );
+    assert!(
+        r_p8.speedup_over(&r_ooo) > 1.3,
+        "CMP throughput advantage carries over"
+    );
     p8.check_coherence();
 }

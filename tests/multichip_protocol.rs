@@ -49,7 +49,10 @@ fn four_chip_scaling_respects_tsrf_bounds() {
     m.check_coherence();
     let (home_msgs, remote_msgs, home_hw, remote_hw) = m.engine_stats();
     assert!(home_msgs > 1_000, "home engines did real work: {home_msgs}");
-    assert!(remote_msgs > 1_000, "remote engines did real work: {remote_msgs}");
+    assert!(
+        remote_msgs > 1_000,
+        "remote engines did real work: {remote_msgs}"
+    );
     assert!(home_hw <= 16 && remote_hw <= 16, "TSRF bound respected");
     assert!(m.network().delivered() > 1_000);
 }
@@ -72,7 +75,10 @@ fn migratory_ownership_bounces_between_chips() {
     m.run_until_total(150_000);
     m.check_coherence();
     let dirty_3hop: u64 = m.cpu_stats().iter().map(|c| c.fills[4]).sum();
-    assert!(dirty_3hop > 50, "migratory data moves by 3-hop forwards: {dirty_3hop}");
+    assert!(
+        dirty_3hop > 50,
+        "migratory data moves by 3-hop forwards: {dirty_3hop}"
+    );
 }
 
 /// The CMI route budget bounds invalidation fan-out without losing
