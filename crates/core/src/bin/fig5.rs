@@ -1,7 +1,11 @@
 //! Regenerates Figure 5: single-chip performance of Piranha (P1, P8)
 //! versus the out-of-order (OOO) and in-order (INO) baselines on OLTP
 //! and DSS, with execution-time breakdowns (OOO = 100).
+//!
+//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
+//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, ProbeCli};
 
 fn main() {
     let scale = scale_from_args();
@@ -19,6 +23,7 @@ fn main() {
             &experiments::fig5(&experiments::dss(), scale)
         )
     );
+    run_probe_exports(scale);
 }
 
 fn scale_from_args() -> RunScale {
@@ -26,5 +31,19 @@ fn scale_from_args() -> RunScale {
         RunScale::quick()
     } else {
         RunScale::full()
+    }
+}
+
+fn run_probe_exports(scale: RunScale) {
+    let cli = ProbeCli::from_env_args();
+    if !cli.active() {
+        return;
+    }
+    match observe::export_probed_run(&cli, &experiments::oltp(), scale) {
+        Ok(summary) => print!("{summary}"),
+        Err(e) => {
+            eprintln!("probe export failed: {e}");
+            std::process::exit(1);
+        }
     }
 }

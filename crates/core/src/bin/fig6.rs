@@ -1,6 +1,10 @@
 //! Regenerates Figure 6: (a) Piranha's OLTP speedup with 1..8 on-chip
 //! CPUs, and (b) the L1-miss breakdown (L2 hit / L2 fwd / L2 miss).
+//!
+//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
+//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, ProbeCli};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") {
@@ -19,5 +23,15 @@ fn main() {
     );
     for (name, h, f, m) in experiments::fig6b(scale) {
         println!("  {name:<4} {h:>8.2} {f:>8.2} {m:>8.2}");
+    }
+    let cli = ProbeCli::from_env_args();
+    if cli.active() {
+        match observe::export_probed_run(&cli, &experiments::oltp(), scale) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("probe export failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

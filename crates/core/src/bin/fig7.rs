@@ -1,6 +1,10 @@
 //! Regenerates Figure 7: OLTP speedup of multi-chip (NUMA) systems —
 //! 4-CPU Piranha chips versus OOO chips, 1 to 4 chips.
+//!
+//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
+//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, ProbeCli};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") {
@@ -12,5 +16,15 @@ fn main() {
     println!("  {:<6} {:>10} {:>10}", "Chips", "Piranha", "OOO");
     for (chips, p, o) in experiments::fig7(scale) {
         println!("  {chips:<6} {p:>10.2} {o:>10.2}");
+    }
+    let cli = ProbeCli::from_env_args();
+    if cli.active() {
+        match observe::export_probed_run(&cli, &experiments::oltp(), scale) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("probe export failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,6 +1,10 @@
 //! Regenerates Figure 8: the performance potential of a full-custom
 //! Piranha (P8F) on OLTP and DSS (OOO = 100).
+//!
+//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
+//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, ProbeCli};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") {
@@ -22,4 +26,14 @@ fn main() {
             &experiments::fig8(&experiments::dss(), scale)
         )
     );
+    let cli = ProbeCli::from_env_args();
+    if cli.active() {
+        match observe::export_probed_run(&cli, &experiments::dss(), scale) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("probe export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -36,10 +36,14 @@
 //! | §2.6 System interconnect | [`net`] |
 //! | §3.1 Workloads (OLTP, DSS) | [`workloads`] |
 //! | §4 Evaluation | [`experiments`] |
+//! | Observability (tracing & metrics) | [`probe`], [`observe`] |
 
 #![warn(missing_docs)]
 
-pub use piranha_system::{CoreKind, CpuBreakdown, Machine, PathLatencies, RunResult, SystemConfig};
+pub use piranha_system::{
+    CoreKind, CpuBreakdown, Machine, PathLatencies, Probe, ProbeConfig, RunResult, SystemConfig,
+    TraceLevel,
+};
 
 /// Shared architectural types (re-export of `piranha-types`).
 pub mod types {
@@ -86,5 +90,10 @@ pub mod workloads {
 pub mod harness {
     pub use piranha_harness::*;
 }
+/// Tracing & metrics subsystem (re-export of `piranha-probe`).
+pub mod probe {
+    pub use piranha_probe::*;
+}
 
 pub mod experiments;
+pub mod observe;

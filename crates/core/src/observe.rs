@@ -1,0 +1,150 @@
+//! Observability plumbing for the figure binaries: `--trace=<path>` /
+//! `--metrics=<path>` flag parsing and the probed exemplar run whose
+//! trace and metrics they export.
+//!
+//! Every `fig*` binary accepts:
+//!
+//! - `--trace=<path>` — write a Chrome `trace_event` JSON file (open it
+//!   in <https://ui.perfetto.dev> or `chrome://tracing`) of one probed
+//!   exemplar simulation;
+//! - `--metrics=<path>` — write the flat metric snapshot of that run,
+//!   as CSV (default) or JSON if the path ends in `.json`.
+//!
+//! The exemplar is a **two-chip** P4 system so the trace carries spans
+//! from every subsystem — cpu, cache, mem, *protocol*, and *net* — the
+//! latter two only light up when coherence crosses the interconnect.
+//! The probed run is an extra simulation; figure results themselves are
+//! never produced with a probe attached (and would be bit-identical if
+//! they were — see `tests/probe_determinism.rs`).
+
+use std::path::{Path, PathBuf};
+
+use piranha_harness::{run_config_probed, RunScale};
+use piranha_probe::{chrome, ProbeConfig, TraceLevel};
+use piranha_system::SystemConfig;
+use piranha_workloads::Workload;
+
+/// The observability flags of a figure binary.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeCli {
+    /// Destination for the Chrome-trace JSON, if requested.
+    pub trace: Option<PathBuf>,
+    /// Destination for the flat metrics dump, if requested.
+    pub metrics: Option<PathBuf>,
+}
+
+impl ProbeCli {
+    /// Parse `--trace=`/`--metrics=` out of the process arguments.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse the flags from an explicit argument list; unrelated
+    /// arguments (`--quick`, …) are ignored.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = ProbeCli::default();
+        for a in args {
+            if let Some(p) = a.strip_prefix("--trace=") {
+                cli.trace = Some(PathBuf::from(p));
+            } else if let Some(p) = a.strip_prefix("--metrics=") {
+                cli.metrics = Some(PathBuf::from(p));
+            }
+        }
+        cli
+    }
+
+    /// Whether any export was requested.
+    pub fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+}
+
+/// The configuration the probed exemplar run simulates: a two-chip
+/// machine of 4-CPU Piranha chips, so protocol-engine and interconnect
+/// activity shows up in the trace alongside cpu/cache/mem spans.
+pub fn exemplar_config() -> SystemConfig {
+    SystemConfig::piranha_pn(4).scaled_to_chips(2)
+}
+
+/// Run the probed exemplar and write whatever `cli` asked for. Returns
+/// a human-readable summary (export destinations, span counts, and the
+/// per-core stall-attribution table) for the binary to print.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the export files.
+pub fn export_probed_run(cli: &ProbeCli, w: &Workload, scale: RunScale) -> std::io::Result<String> {
+    let level = if cli.trace.is_some() {
+        TraceLevel::Spans
+    } else {
+        TraceLevel::Off
+    };
+    let cfg = exemplar_config();
+    let name = cfg.name.clone();
+    let (r, probe) = run_config_probed(cfg, w, scale, ProbeConfig::with_level(level));
+
+    let mut out = format!("Probed exemplar run: {name}\n");
+    if let Some(path) = &cli.trace {
+        let snap = probe.trace_snapshot().expect("probe is attached");
+        std::fs::write(path, chrome::chrome_trace_json(&snap))?;
+        out.push_str(&format!(
+            "  trace: {} spans across {:?} -> {}\n",
+            snap.len(),
+            snap.categories(),
+            path.display()
+        ));
+    }
+    if let Some(path) = &cli.metrics {
+        let body = if is_json(path) {
+            r.metrics.to_json()
+        } else {
+            r.metrics.to_csv()
+        };
+        std::fs::write(path, body)?;
+        out.push_str(&format!(
+            "  metrics: {} entries -> {}\n",
+            r.metrics.len(),
+            path.display()
+        ));
+    }
+    out.push_str("\nPer-core stall attribution (fractions of wall cycles)\n");
+    out.push_str(&r.stall_table().render());
+    Ok(out)
+}
+
+fn is_json(path: &Path) -> bool {
+    path.extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_ignores_the_rest() {
+        let cli = ProbeCli::parse(args(&["--quick", "--trace=t.json", "--metrics=m.csv"]));
+        assert_eq!(cli.trace.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(cli.metrics.as_deref(), Some(Path::new("m.csv")));
+        assert!(cli.active());
+        assert!(!ProbeCli::parse(args(&["--quick"])).active());
+    }
+
+    #[test]
+    fn metrics_format_follows_extension() {
+        assert!(is_json(Path::new("out.json")));
+        assert!(is_json(Path::new("out.JSON")));
+        assert!(!is_json(Path::new("out.csv")));
+        assert!(!is_json(Path::new("out")));
+    }
+
+    #[test]
+    fn exemplar_is_multichip() {
+        let cfg = exemplar_config();
+        assert!(cfg.nodes >= 2, "protocol/net spans need >1 chip");
+    }
+}

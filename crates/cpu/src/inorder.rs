@@ -198,7 +198,6 @@ impl CoreModel for InOrderCore {
             if self.last_ifetch_line != Some(iline) {
                 if !self.itlb.access(op.pc) {
                     self.cycle += self.itlb.miss_penalty();
-                    self.stats.tlb_misses += 1;
                     self.stats.tlb_miss_cycles += self.itlb.miss_penalty();
                 }
                 if ctx.l1i.access_read(iline) {
@@ -246,7 +245,6 @@ impl CoreModel for InOrderCore {
                     let line = addr.line();
                     if !self.dtlb.access(addr) {
                         self.cycle += self.dtlb.miss_penalty();
-                        self.stats.tlb_misses += 1;
                         self.stats.tlb_miss_cycles += self.dtlb.miss_penalty();
                     }
                     if self.sb_holds(line) || ctx.l1d.access_read(line) {
@@ -278,7 +276,6 @@ impl CoreModel for InOrderCore {
                     let line = addr.line();
                     if !self.dtlb.access(addr) {
                         self.cycle += self.dtlb.miss_penalty();
-                        self.stats.tlb_misses += 1;
                         self.stats.tlb_miss_cycles += self.dtlb.miss_penalty();
                     }
                     let full_line = matches!(op.kind, OpKind::WriteHint { .. });
@@ -369,6 +366,10 @@ impl CoreModel for InOrderCore {
 
     fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    fn tlb_misses(&self) -> u64 {
+        self.itlb.misses() + self.dtlb.misses()
     }
 
     fn has_outstanding(&self) -> bool {

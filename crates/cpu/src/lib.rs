@@ -104,6 +104,10 @@ pub trait CoreModel {
     /// Accumulated statistics.
     fn stats(&self) -> &CoreStats;
 
+    /// Total TLB misses (instruction + data), read from the TLBs
+    /// themselves — the authoritative count.
+    fn tlb_misses(&self) -> u64;
+
     /// Whether the core has outstanding memory requests.
     fn has_outstanding(&self) -> bool;
 }

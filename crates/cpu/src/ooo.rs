@@ -279,7 +279,6 @@ impl CoreModel for OooCore {
             if self.last_ifetch_line != Some(iline) {
                 if !self.itlb.access(op.pc) {
                     self.fetch_q += self.itlb.miss_penalty() * 4;
-                    self.stats.tlb_misses += 1;
                     self.stats.tlb_miss_cycles += self.itlb.miss_penalty();
                 }
                 if ctx.l1i.access_read(iline) {
@@ -369,7 +368,6 @@ impl CoreModel for OooCore {
                         .max(fetch_ready_q);
                     if !self.dtlb.access(addr) {
                         addr_ready += self.dtlb.miss_penalty() * 4;
-                        self.stats.tlb_misses += 1;
                         self.stats.tlb_miss_cycles += self.dtlb.miss_penalty();
                     }
                     let line = addr.line();
@@ -556,6 +554,10 @@ impl CoreModel for OooCore {
 
     fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    fn tlb_misses(&self) -> u64 {
+        self.itlb.misses() + self.dtlb.misses()
     }
 
     fn has_outstanding(&self) -> bool {

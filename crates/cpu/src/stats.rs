@@ -34,10 +34,10 @@ pub struct CoreStats {
     pub sb_reqs: u64,
     /// L1 load/ifetch hits.
     pub l1_hits: u64,
-    /// TLB misses (instruction + data).
-    pub tlb_misses: u64,
     /// Cycles spent in TLB miss handling (counted as CPU busy, like the
-    /// Alpha's PALcode fills).
+    /// Alpha's PALcode fills). TLB miss *counts* live in the TLBs
+    /// themselves (`piranha_cache::Tlb::misses`, surfaced through
+    /// `CoreModel::tlb_misses`) — one source of truth.
     pub tlb_miss_cycles: u64,
     /// Fill counts by service point (the Figure 6(b) breakdown).
     pub fills: [u64; STALL_KINDS],
@@ -99,7 +99,6 @@ impl CoreStats {
         d.l1d_misses = self.l1d_misses - earlier.l1d_misses;
         d.sb_reqs = self.sb_reqs - earlier.sb_reqs;
         d.l1_hits = self.l1_hits - earlier.l1_hits;
-        d.tlb_misses = self.tlb_misses - earlier.tlb_misses;
         d.tlb_miss_cycles = self.tlb_miss_cycles - earlier.tlb_miss_cycles;
         d
     }
@@ -117,7 +116,6 @@ impl CoreStats {
         self.l1d_misses += other.l1d_misses;
         self.sb_reqs += other.sb_reqs;
         self.l1_hits += other.l1_hits;
-        self.tlb_misses += other.tlb_misses;
         self.tlb_miss_cycles += other.tlb_miss_cycles;
     }
 }

@@ -41,7 +41,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use piranha_system::{Machine, RunResult, SystemConfig};
+use piranha_system::{Machine, Probe, ProbeConfig, RunResult, SystemConfig};
 use piranha_workloads::Workload;
 
 /// How long to run each configuration. Figures in the paper used 500
@@ -85,6 +85,26 @@ impl RunScale {
 pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
     let mut m = Machine::new(cfg, w);
     m.run(scale.warmup, scale.measure)
+}
+
+/// Like [`run_config`], but with an observability probe attached per
+/// `probe_cfg`. Returns the result *and* the probe, whose trace buffer
+/// and metric registry the caller can export (Chrome JSON, CSV).
+///
+/// The probe never feeds back into the simulation, so the `RunResult`
+/// fingerprint is bit-identical to an unprobed [`run_config`] of the
+/// same tuple — the determinism guard test asserts this.
+pub fn run_config_probed(
+    cfg: SystemConfig,
+    w: &Workload,
+    scale: RunScale,
+    probe_cfg: ProbeConfig,
+) -> (RunResult, Probe) {
+    let mut m = Machine::new(cfg, w);
+    let probe = Probe::new(probe_cfg);
+    m.set_probe(probe.clone());
+    let r = m.run(scale.warmup, scale.measure);
+    (r, probe)
 }
 
 /// One simulation a figure needs.

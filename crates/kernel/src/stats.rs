@@ -118,7 +118,7 @@ impl Histogram {
         let b = b.min(self.buckets.len() - 1);
         self.buckets[b] += 1;
         self.count += 1;
-        self.sum_ns += ns;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
         self.max_ns = self.max_ns.max(ns);
     }
 
@@ -147,20 +147,39 @@ impl Histogram {
     }
 
     /// An approximate percentile (0..=100) in nanoseconds, resolved to
-    /// bucket upper bounds.
+    /// bucket upper bounds and clamped to the observed maximum so a
+    /// single-bucket histogram never reports a quantile above its
+    /// largest sample. Returns 0 for an empty histogram.
     pub fn percentile_ns(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (p / 100.0 * self.count as f64).ceil() as u64;
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b;
-            if seen >= target.max(1) {
-                return if i == 0 { 1 } else { 1u64 << i };
+            if seen >= target {
+                let upper = if i == 0 { 1 } else { 1u64 << i };
+                return upper.min(self.max_ns);
             }
         }
         self.max_ns
+    }
+
+    /// Median sample (bucket-resolved), nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 95th-percentile sample (bucket-resolved), nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(95.0)
+    }
+
+    /// 99th-percentile sample (bucket-resolved), nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
     }
 }
 
@@ -221,6 +240,80 @@ mod tests {
         let mut h = Histogram::new();
         h.record(Duration::ZERO);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.percentile_ns(100.0), 1);
+        // The first bucket's nominal upper bound is 1 ns, but the
+        // quantile clamps to the observed maximum (0 ns).
+        assert_eq!(h.percentile_ns(100.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile_ns(50.0), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p95_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_clamp_to_max() {
+        let mut h = Histogram::new();
+        // All samples land in the 64..128 ns bucket; every quantile must
+        // report a value a sample could actually have taken.
+        for _ in 0..10 {
+            h.record(Duration::from_ns(100));
+        }
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_ns(p), 100, "p{p} of a single bucket");
+        }
+        assert_eq!(h.p50_ns(), h.p99_ns());
+    }
+
+    #[test]
+    fn named_quantiles_match_percentile_and_are_monotone() {
+        let mut h = Histogram::new();
+        for ns in 1..=1000u64 {
+            h.record(Duration::from_ns(ns));
+        }
+        assert_eq!(h.p50_ns(), h.percentile_ns(50.0));
+        assert_eq!(h.p95_ns(), h.percentile_ns(95.0));
+        assert_eq!(h.p99_ns(), h.percentile_ns(99.0));
+        assert!(h.p50_ns() <= h.p95_ns());
+        assert!(h.p95_ns() <= h.p99_ns());
+        assert!(h.p99_ns() <= h.max_ns());
+    }
+
+    #[test]
+    fn out_of_range_percentiles_clamp() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_ns(5));
+        assert_eq!(h.percentile_ns(-10.0), h.percentile_ns(0.0));
+        assert_eq!(h.percentile_ns(250.0), h.percentile_ns(100.0));
+    }
+
+    #[test]
+    fn bucket_overflow_lands_in_last_bucket() {
+        let mut h = Histogram::new();
+        // Far beyond the last bucket's nominal range; must neither panic
+        // nor report a quantile above the recorded sample.
+        let big = 1u64 << 50; // ns; still fits the ps representation
+        h.record(Duration::from_ns(big));
+        h.record(Duration::from_ns(big));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), big);
+        assert_eq!(h.percentile_ns(99.0), (1u64 << 39).min(big));
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        let big = 1u64 << 50;
+        // 2^64 / 2^50 = 16384 records overflow a wrapping sum.
+        for _ in 0..20_000 {
+            h.record(Duration::from_ns(big));
+        }
+        assert_eq!(h.sum_ns(), u64::MAX);
+        assert_eq!(h.count(), 20_000);
     }
 }

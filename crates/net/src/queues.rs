@@ -30,6 +30,8 @@ use crate::packet::PRIORITIES;
 pub struct OutQueue<T> {
     fifos: [VecDeque<T>; PRIORITIES],
     capacity: usize,
+    enqueued: u64,
+    dequeued: u64,
 }
 
 impl<T> OutQueue<T> {
@@ -38,6 +40,8 @@ impl<T> OutQueue<T> {
         OutQueue {
             fifos: Default::default(),
             capacity,
+            enqueued: 0,
+            dequeued: 0,
         }
     }
 
@@ -53,12 +57,17 @@ impl<T> OutQueue<T> {
             return Err(item);
         }
         f.push_back(item);
+        self.enqueued += 1;
         Ok(())
     }
 
     /// Dequeue the oldest packet of the highest non-empty priority.
     pub fn pop(&mut self) -> Option<T> {
-        self.fifos.iter_mut().rev().find_map(VecDeque::pop_front)
+        let got = self.fifos.iter_mut().rev().find_map(VecDeque::pop_front);
+        if got.is_some() {
+            self.dequeued += 1;
+        }
+        got
     }
 
     /// Total queued packets.
@@ -70,6 +79,22 @@ impl<T> OutQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Packets accepted over the queue's lifetime.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Packets delivered over the queue's lifetime.
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Current occupancy derived from the lifetime counters; always
+    /// equal to [`len`](Self::len) (the conservation invariant).
+    pub fn occupancy(&self) -> u64 {
+        self.enqueued - self.dequeued
+    }
 }
 
 /// The input queue: four priorities plus the bypass rule — if the head
@@ -80,6 +105,8 @@ impl<T> OutQueue<T> {
 pub struct InQueue<T> {
     fifos: [VecDeque<T>; PRIORITIES],
     capacity: usize,
+    enqueued: u64,
+    dequeued: u64,
 }
 
 impl<T> InQueue<T> {
@@ -89,6 +116,8 @@ impl<T> InQueue<T> {
         InQueue {
             fifos: Default::default(),
             capacity,
+            enqueued: 0,
+            dequeued: 0,
         }
     }
 
@@ -103,6 +132,7 @@ impl<T> InQueue<T> {
             return Err(item);
         }
         f.push_back(item);
+        self.enqueued += 1;
         Ok(())
     }
 
@@ -113,7 +143,9 @@ impl<T> InQueue<T> {
         for f in self.fifos.iter_mut().rev() {
             if let Some(head) = f.front() {
                 if can_proceed(head) {
-                    return f.pop_front();
+                    let got = f.pop_front();
+                    self.dequeued += 1;
+                    return got;
                 }
                 // Blocked: fall through to lower priorities (bypass).
             }
@@ -129,6 +161,22 @@ impl<T> InQueue<T> {
     /// Whether nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Packets accepted over the queue's lifetime.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Packets delivered over the queue's lifetime.
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Current occupancy derived from the lifetime counters; always
+    /// equal to [`len`](Self::len) (the conservation invariant).
+    pub fn occupancy(&self) -> u64 {
+        self.enqueued - self.dequeued
     }
 }
 
@@ -185,5 +233,70 @@ mod tests {
         // Priority 7 wraps into level 3 rather than panicking.
         q.push(7, 'x').unwrap();
         assert_eq!(q.pop_ready(|_| true), Some('x'));
+    }
+
+    /// A tiny deterministic PRNG (splitmix64) for the randomized
+    /// conservation checks.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn out_queue_occupancy_is_conserved_under_random_traffic() {
+        for seed in 0..4u64 {
+            let mut rng = Rng(seed);
+            let mut q = OutQueue::new(3);
+            let mut accepted = 0u64;
+            let mut rejected = 0u64;
+            for i in 0..10_000u64 {
+                if rng.next() % 100 < 55 {
+                    let prio = (rng.next() % 4) as u8;
+                    match q.push(prio, i) {
+                        Ok(()) => accepted += 1,
+                        Err(_) => rejected += 1,
+                    }
+                } else {
+                    q.pop();
+                }
+                // enqueues − dequeues = occupancy, at every step.
+                assert_eq!(q.occupancy(), q.len() as u64, "seed {seed} step {i}");
+                assert_eq!(q.enqueued() - q.dequeued(), q.occupancy());
+            }
+            assert_eq!(q.enqueued(), accepted, "rejected pushes don't count");
+            assert!(rejected > 0, "back-pressure exercised (capacity 3)");
+            while q.pop().is_some() {}
+            assert_eq!(q.occupancy(), 0, "drained queue conserves to zero");
+            assert_eq!(q.enqueued(), q.dequeued());
+        }
+    }
+
+    #[test]
+    fn in_queue_occupancy_is_conserved_under_random_traffic() {
+        for seed in 0..4u64 {
+            let mut rng = Rng(seed);
+            let mut q = InQueue::new(3);
+            for i in 0..10_000u64 {
+                if rng.next() % 100 < 55 {
+                    let prio = (rng.next() % 4) as u8;
+                    let _ = q.push(prio, i);
+                } else {
+                    // Randomly-blocked destinations exercise the bypass
+                    // path; a blocked head must not count as dequeued.
+                    let coin = rng.next();
+                    q.pop_ready(|item| !(item ^ coin).is_multiple_of(3));
+                }
+                assert_eq!(q.occupancy(), q.len() as u64, "seed {seed} step {i}");
+            }
+            while q.pop_ready(|_| true).is_some() {}
+            assert_eq!(q.occupancy(), 0, "drained queue conserves to zero");
+            assert_eq!(q.enqueued(), q.dequeued());
+        }
     }
 }

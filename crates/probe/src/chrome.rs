@@ -1,0 +1,171 @@
+//! Chrome `trace_event` export.
+//!
+//! Serializes a [`TraceSnapshot`](crate::TraceSnapshot) into the JSON
+//! object format consumed by Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`: complete events (`"ph": "X"`) for spans, instant
+//! events (`"ph": "i"`) for zero-duration records, plus `thread_name`
+//! metadata for named tracks. Timestamps convert from the simulator's
+//! picoseconds to the format's microseconds with fractional precision,
+//! so nanosecond-scale spans stay distinguishable.
+
+use crate::trace::TraceSnapshot;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ps_to_us(ps: u64) -> String {
+    // 1 µs = 1e6 ps. Emit with full sub-µs precision and no float
+    // rounding: integer part + 6-digit fraction.
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Render `snap` as a Chrome-trace JSON document.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_probe::{chrome, TraceBuffer, TraceEvent, TraceLevel};
+/// let buf = TraceBuffer::new(TraceLevel::Spans, 16);
+/// buf.name_track(1, "node0.cpu0");
+/// buf.record(TraceEvent {
+///     ts_ps: 2_000_000, dur_ps: 500_000,
+///     cat: "cpu", name: "step", track: 1, arg: 42,
+/// });
+/// let json = chrome::chrome_trace_json(&buf.snapshot());
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"ts\":2.000000"));
+/// ```
+pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(64 + snap.events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, row: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&row);
+    };
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"piranha-sim\"}}"
+            .to_string(),
+    );
+    for (id, label) in &snap.tracks {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{id},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                escape(label)
+            ),
+        );
+    }
+    for e in &snap.events {
+        let row = if e.dur_ps == 0 {
+            format!(
+                "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"t\",\"cat\":\"{}\",\"name\":\"{}\",\"args\":{{\"v\":{}}}}}",
+                e.track,
+                ps_to_us(e.ts_ps),
+                e.cat,
+                e.name,
+                e.arg
+            )
+        } else {
+            format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":\"{}\",\"name\":\"{}\",\"args\":{{\"v\":{}}}}}",
+                e.track,
+                ps_to_us(e.ts_ps),
+                ps_to_us(e.dur_ps),
+                e.cat,
+                e.name,
+                e.arg
+            )
+        };
+        push(&mut out, row);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceBuffer, TraceEvent, TraceLevel};
+
+    fn sample() -> TraceSnapshot {
+        let buf = TraceBuffer::new(TraceLevel::Verbose, 16);
+        buf.name_track(0, "node0.cpu0");
+        buf.name_track(1, "node0.\"quoted\"");
+        buf.record(TraceEvent {
+            ts_ps: 1_500_000,
+            dur_ps: 250_000,
+            cat: "cache",
+            name: "bank.lookup",
+            track: 0,
+            arg: 7,
+        });
+        buf.record(TraceEvent {
+            ts_ps: 2_000_000,
+            dur_ps: 0,
+            cat: "protocol",
+            name: "msg",
+            track: 1,
+            arg: 9,
+        });
+        buf.snapshot()
+    }
+
+    #[test]
+    fn spans_and_instants_render() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.contains("\"ph\":\"X\""), "span present");
+        assert!(json.contains("\"ph\":\"i\""), "instant present");
+        assert!(json.contains("\"ts\":1.500000"));
+        assert!(json.contains("\"dur\":0.250000"));
+        assert!(json.contains("bank.lookup"));
+    }
+
+    #[test]
+    fn track_names_become_thread_metadata() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("node0.cpu0"));
+        assert!(json.contains("\\\"quoted\\\""), "labels are escaped");
+    }
+
+    #[test]
+    fn output_is_structurally_balanced() {
+        let json = chrome_trace_json(&sample());
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn empty_snapshot_still_valid() {
+        let json = chrome_trace_json(&TraceSnapshot::default());
+        assert!(json.contains("traceEvents"));
+        assert!(json.contains("process_name"));
+    }
+}

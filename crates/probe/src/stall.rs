@@ -1,0 +1,175 @@
+//! Per-core stall attribution — the Figure 5 execution-time breakdown
+//! as a first-class artifact.
+//!
+//! A [`StallTable`] splits each core's wall cycles over a fixed category
+//! list (by convention the first category is `busy`, the rest are stall
+//! reasons by service point). Fractions always sum to 1 per row: the
+//! denominator is `max(wall cycles, attributed cycles)`, so a row can
+//! never report more than 100% of its time.
+
+/// One core's cycle attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallRow {
+    /// Row label (e.g. `cpu3` or `all`).
+    pub label: String,
+    /// Cycles attributed to each category, same order as the table's
+    /// category list.
+    pub cycles: Vec<u64>,
+    /// Wall cycles of the window for this row.
+    pub total: u64,
+}
+
+impl StallRow {
+    /// The per-category fractions; they sum to exactly 1 (±float error)
+    /// whenever any cycles were attributed.
+    pub fn fractions(&self) -> Vec<f64> {
+        let attributed: u64 = self.cycles.iter().sum();
+        let denom = self.total.max(attributed).max(1) as f64;
+        let mut f: Vec<f64> = self.cycles.iter().map(|&c| c as f64 / denom).collect();
+        // Attribute any unaccounted remainder to the first (busy)
+        // category so the row is a complete partition of the window.
+        let sum: f64 = f.iter().sum();
+        if let Some(first) = f.first_mut() {
+            *first += (1.0 - sum).max(0.0);
+        }
+        f
+    }
+}
+
+/// A per-core cycle-attribution table.
+///
+/// # Examples
+///
+/// ```
+/// use piranha_probe::StallTable;
+/// let mut t = StallTable::new(&["busy", "l2_hit", "l2_miss"]);
+/// t.push_row("cpu0", vec![700, 200, 100], 1000);
+/// let f = t.rows[0].fractions();
+/// assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// assert!((f[1] - 0.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallTable {
+    /// Category names; index-aligned with every row's `cycles`.
+    pub categories: Vec<String>,
+    /// Per-core rows (often plus an aggregate row).
+    pub rows: Vec<StallRow>,
+}
+
+impl StallTable {
+    /// An empty table over `categories` (first one should be `busy`).
+    pub fn new(categories: &[&str]) -> Self {
+        StallTable {
+            categories: categories.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` does not match the category count.
+    pub fn push_row(&mut self, label: impl Into<String>, cycles: Vec<u64>, total: u64) {
+        assert_eq!(
+            cycles.len(),
+            self.categories.len(),
+            "one cycle count per category"
+        );
+        self.rows.push(StallRow {
+            label: label.into(),
+            cycles,
+            total,
+        });
+    }
+
+    /// Whether every row's fractions sum to 1 within `tol`.
+    pub fn sums_to_one(&self, tol: f64) -> bool {
+        self.rows
+            .iter()
+            .all(|r| (r.fractions().iter().sum::<f64>() - 1.0).abs() <= tol)
+    }
+
+    /// Render as an aligned text table of percentages.
+    pub fn render(&self) -> String {
+        let mut out = String::from("stall attribution (fraction of wall cycles)\n");
+        out.push_str(&format!("{:<10}", "core"));
+        for c in &self.categories {
+            out.push_str(&format!(" {c:>12}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<10}", row.label));
+            for f in row.fractions() {
+                out.push_str(&format!(" {:>11.1}%", f * 100.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (`core,<categories...>` header, fraction rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("core");
+        for c in &self.categories {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.label);
+            for f in row.fractions() {
+                out.push_str(&format!(",{f}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_partition_the_window() {
+        let mut t = StallTable::new(&["busy", "a", "b"]);
+        t.push_row("cpu0", vec![500, 300, 200], 1000);
+        t.push_row("cpu1", vec![0, 0, 0], 1000); // fully idle window
+        t.push_row("cpu2", vec![100, 600, 600], 1000); // over-attributed
+        assert!(t.sums_to_one(1e-9));
+        let f2 = t.rows[2].fractions();
+        assert!(
+            (f2.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "over-attribution renormalizes"
+        );
+    }
+
+    #[test]
+    fn idle_row_attributes_everything_to_busy() {
+        let mut t = StallTable::new(&["busy", "stall"]);
+        t.push_row("cpu0", vec![0, 0], 100);
+        let f = t.rows[0].fractions();
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn render_and_csv_contain_rows() {
+        let mut t = StallTable::new(&["busy", "l2_hit"]);
+        t.push_row("cpu0", vec![80, 20], 100);
+        let txt = t.render();
+        assert!(txt.contains("cpu0"));
+        assert!(txt.contains("80.0%"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("core,busy,l2_hit\n"));
+        assert!(csv.contains("cpu0,0.8,0.2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "per category")]
+    fn mismatched_row_panics() {
+        let mut t = StallTable::new(&["busy"]);
+        t.push_row("x", vec![1, 2], 3);
+    }
+}

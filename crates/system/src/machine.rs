@@ -8,6 +8,7 @@ use piranha_ics::{Ics, TransferSize};
 use piranha_kernel::{EventQueue, Server};
 use piranha_mem::{DirEntry, MemBank};
 use piranha_net::{Network, Packet, PacketKind, Topology};
+use piranha_probe::{Probe, TraceLevel};
 use piranha_protocol::coherence::{occupancy_cycles, DirStore};
 use piranha_protocol::{EngineAction, HomeEngine, HomeIn, ProtoMsg, RemoteEngine, RemoteIn};
 use piranha_types::{CpuId, Duration, FillSource, Lane, LineAddr, NodeId, SimTime};
@@ -18,6 +19,17 @@ use crate::result::RunResult;
 
 /// Lines per OS page (8 KB pages interleave homes across nodes).
 const PAGE_LINES: u64 = 128;
+
+/// Chrome-trace track layout: each node owns a stride of 64 track ids —
+/// CPUs at `base + cpu`, L2 banks at `base + TRACK_BANK + bank`, memory
+/// channels at `base + TRACK_MEM + bank`, then the two protocol engines
+/// and the router port.
+const TRACK_STRIDE: u32 = 64;
+const TRACK_BANK: u32 = 16;
+const TRACK_MEM: u32 = 24;
+const TRACK_HOME: u32 = 32;
+const TRACK_REMOTE: u32 = 33;
+const TRACK_NET: u32 = 34;
 
 /// Build the interconnect topology: processing nodes fully connected
 /// (gluelessly possible up to five with four channels each) or meshed,
@@ -159,7 +171,10 @@ pub struct Machine {
     versions: u64,
     /// Outstanding CPU requests: (node, slot, line) → request id.
     outstanding: HashMap<(usize, Slot, LineAddr), u64>,
-    events_processed: u64,
+    /// Observability handle; `Probe::disabled()` (the default) makes
+    /// every recording call a no-op. The simulation never reads it, so
+    /// attaching a probe cannot change simulated results.
+    probe: Probe,
     /// Running total of retired instructions, maintained incrementally so
     /// the run loop does not rescan every core.
     instrs_retired: u64,
@@ -277,7 +292,7 @@ impl Machine {
             net,
             versions: 0,
             outstanding: HashMap::new(),
-            events_processed: 0,
+            probe: Probe::disabled(),
             instrs_retired: 0,
             unfinished,
             req_buf: Vec::new(),
@@ -313,6 +328,103 @@ impl Machine {
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    fn track_base(node: usize) -> u32 {
+        node as u32 * TRACK_STRIDE
+    }
+
+    /// Attach an observability probe; names this machine's tracks for
+    /// the Chrome-trace exporter. Pass [`Probe::disabled`] to detach.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+        if !self.probe.is_enabled() {
+            return;
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            let base = Self::track_base(n);
+            for c in 0..node.cores.len() {
+                self.probe
+                    .name_track(base + c as u32, format!("node{n}.cpu{c}"));
+            }
+            for b in 0..node.banks.len() {
+                self.probe
+                    .name_track(base + TRACK_BANK + b as u32, format!("node{n}.l2bank{b}"));
+                self.probe
+                    .name_track(base + TRACK_MEM + b as u32, format!("node{n}.mem{b}"));
+            }
+            self.probe
+                .name_track(base + TRACK_HOME, format!("node{n}.home-engine"));
+            self.probe
+                .name_track(base + TRACK_REMOTE, format!("node{n}.remote-engine"));
+            self.probe
+                .name_track(base + TRACK_NET, format!("node{n}.router"));
+        }
+    }
+
+    /// The attached probe (disabled unless [`Machine::set_probe`] was
+    /// called).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Pull-sample every subsystem's authoritative counters into the
+    /// probe's metric registry. The subsystems keep the single source of
+    /// truth; the registry holds the latest sampled reading. A no-op
+    /// when the probe is disabled.
+    pub fn sample_metrics(&self) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        let p = &self.probe;
+        p.publish_counter("kernel.events.scheduled", self.events.scheduled());
+        p.publish_counter("kernel.events.popped", self.events.popped());
+        p.publish_counter("kernel.events.migrated", self.events.migrated());
+        p.publish_counter("machine.instrs", self.total_instrs());
+        p.publish_gauge("mem.page_hit_rate", self.mem_page_hit_rate());
+        p.publish_counter("net.delivered", self.net.delivered());
+        p.publish_counter("net.deflections", self.net.deflections());
+        p.publish_gauge("net.mean_hops", self.net.mean_hops());
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (c, core) in node.cores.iter().enumerate() {
+                let s = core.stats();
+                let k = format!("cpu.node{n}.core{c}");
+                p.publish_counter(&format!("{k}.instrs"), s.instrs);
+                p.publish_counter(&format!("{k}.l1_hits"), s.l1_hits);
+                p.publish_counter(&format!("{k}.l1i_misses"), s.l1i_misses);
+                p.publish_counter(&format!("{k}.l1d_misses"), s.l1d_misses);
+                p.publish_counter(&format!("{k}.sb_reqs"), s.sb_reqs);
+                p.publish_counter(&format!("{k}.tlb_misses"), core.tlb_misses());
+                p.publish_counter(&format!("{k}.stall_cycles"), s.total_stall());
+            }
+            p.publish_counter(
+                &format!("cache.node{n}.bank_lookups"),
+                node.bank_srv.iter().map(|s| s.jobs()).sum(),
+            );
+            p.publish_counter(&format!("ics.node{n}.words"), node.ics.words_moved());
+            p.publish_gauge(
+                &format!("ics.node{n}.utilization"),
+                node.ics.utilization(self.events.now()),
+            );
+            p.publish_counter(
+                &format!("mem.node{n}.accesses"),
+                node.mem.iter().map(|m| m.rdram().accesses()).sum(),
+            );
+            p.publish_counter(
+                &format!("protocol.node{n}.home_msgs"),
+                node.home.msgs_handled(),
+            );
+            p.publish_counter(
+                &format!("protocol.node{n}.remote_msgs"),
+                node.remote.msgs_handled(),
+            );
+            p.publish_gauge(
+                &format!("protocol.node{n}.tsrf_high_water"),
+                node.home
+                    .tsrf_high_water()
+                    .max(node.remote.tsrf_high_water()) as f64,
+            );
+        }
     }
 
     /// Per-CPU statistics snapshots (cloned), node-major order.
@@ -396,6 +508,10 @@ impl Machine {
             cpus,
         );
         r.mem_page_hit_rate = self.mem_page_hit_rate();
+        // Attach the observability snapshot (empty when no probe is
+        // attached; never part of the simulated-state fingerprint).
+        self.sample_metrics();
+        r.metrics = self.probe.metrics().unwrap_or_default();
         r
     }
 
@@ -425,9 +541,8 @@ impl Machine {
                     );
                     return;
                 };
-                self.events_processed += 1;
                 assert!(
-                    self.events_processed < 2_000_000_000,
+                    self.events.popped() < 2_000_000_000,
                     "event budget exhausted: runaway simulation"
                 );
                 self.dispatch(t, ev);
@@ -444,6 +559,14 @@ impl Machine {
                 id,
                 source,
             } => {
+                self.probe.instant(
+                    TraceLevel::Verbose,
+                    "cpu",
+                    "fill",
+                    Self::track_base(node) + cpu as u32,
+                    t.as_ps(),
+                    id,
+                );
                 let cyc = self.time_to_cycle(t);
                 let core = &mut self.nodes[node].cores[cpu];
                 let before = core.stats().instrs;
@@ -453,11 +576,28 @@ impl Machine {
                 self.events.schedule(t, Ev::CpuStep { node, cpu });
             }
             Ev::Bank { node, bank, ev } => {
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "cache",
+                    "bank.lookup",
+                    Self::track_base(node) + TRACK_BANK + bank as u32,
+                    t.as_ps(),
+                    self.cfg.lat.bank.as_ps(),
+                    0,
+                );
                 let nd = &mut self.nodes[node];
                 let acts = nd.banks[bank].handle(ev, &mut nd.l1s);
                 self.apply(t, node, acts.into_iter().map(Item::Bank).collect());
             }
             Ev::MemRead { node, bank, line } => {
+                self.probe.instant(
+                    TraceLevel::Spans,
+                    "mem",
+                    "dram.read",
+                    Self::track_base(node) + TRACK_MEM + bank as u32,
+                    t.as_ps(),
+                    line.0,
+                );
                 // Read the version/directory *now* (at data-return time),
                 // so intervening writes are observed.
                 let nd = &mut self.nodes[node];
@@ -484,7 +624,17 @@ impl Machine {
                     _ => "wb",
                 };
                 let occ = self.cfg.lat.pe_instr.times(occupancy_cycles(kind));
-                let items: Vec<Item> = if self.home_of(line) == node {
+                let is_home = self.home_of(line) == node;
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "protocol",
+                    if is_home { "home" } else { "remote" },
+                    Self::track_base(node) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
+                    t.as_ps(),
+                    occ.as_ps(),
+                    line.0,
+                );
+                let items: Vec<Item> = if is_home {
                     let nd = &mut self.nodes[node];
                     nd.home_srv.acquire(t, occ);
                     let (banks, home) = (&mut nd.mem, &mut nd.home);
@@ -524,9 +674,26 @@ impl Machine {
                 versions: &mut self.versions,
             };
             let before = nd.cores[cpu].stats().instrs;
+            let cyc_before = nd.cores[cpu].now_cycle();
             let status =
                 nd.cores[cpu].advance(nd.streams[cpu].as_mut(), &mut ctx, quantum, &mut reqs);
-            self.instrs_retired += nd.cores[cpu].stats().instrs - before;
+            let retired = nd.cores[cpu].stats().instrs - before;
+            self.instrs_retired += retired;
+            let cyc_after = nd.cores[cpu].now_cycle();
+            if cyc_after > cyc_before {
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "cpu",
+                    "step",
+                    Self::track_base(node) + cpu as u32,
+                    t.as_ps(),
+                    self.cfg
+                        .cpu_clock
+                        .cycles_dur(cyc_after - cyc_before)
+                        .as_ps(),
+                    retired,
+                );
+            }
             status
         };
         for (cycle, req) in reqs.drain(..) {
@@ -764,6 +931,15 @@ impl Machine {
                 };
                 let pkt = Packet::new(NodeId(n as u16), to, msg.lane(), kind, msg);
                 let (arrive, pkt) = self.net.send(t, pkt);
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "net",
+                    "send",
+                    Self::track_base(n) + TRACK_NET,
+                    t.as_ps(),
+                    arrive.max(t).since(t).as_ps(),
+                    pkt.payload.line().0,
+                );
                 self.events.schedule(
                     arrive.max(t),
                     Ev::NetMsg {

@@ -55,6 +55,50 @@ impl MachineReport {
         self.nodes.iter().map(|n| n.home_msgs + n.remote_msgs).sum()
     }
 
+    /// Flatten the report into probe-style `(name, value)` metric rows
+    /// (same hierarchical naming as `Machine::sample_metrics`), ready
+    /// for CSV/JSON export via [`piranha_probe::MetricsSnapshot`].
+    pub fn to_metrics(&self) -> piranha_probe::MetricsSnapshot {
+        use piranha_probe::MetricValue as V;
+        let mut rows: Vec<(String, V)> = vec![
+            ("machine.instrs".into(), V::Count(self.instrs)),
+            ("net.delivered".into(), V::Count(self.net_delivered)),
+            ("net.deflections".into(), V::Count(self.net_deflections)),
+            ("net.mean_hops".into(), V::Value(self.net_mean_hops)),
+            ("protocol.msgs".into(), V::Count(self.protocol_msgs())),
+            (
+                "protocol.mean_occupancy".into(),
+                V::Value(self.mean_engine_occupancy()),
+            ),
+        ];
+        for (n, node) in self.nodes.iter().enumerate() {
+            rows.push((format!("ics.node{n}.words"), V::Count(node.ics_words)));
+            rows.push((
+                format!("ics.node{n}.utilization"),
+                V::Value(node.ics_utilization),
+            ));
+            rows.push((
+                format!("cache.node{n}.bank_lookups"),
+                V::Count(node.bank_lookups),
+            ));
+            rows.push((format!("mem.node{n}.accesses"), V::Count(node.mem_accesses)));
+            rows.push((
+                format!("mem.node{n}.page_hit_rate"),
+                V::Value(node.mem_page_hit_rate),
+            ));
+            rows.push((
+                format!("protocol.node{n}.home_msgs"),
+                V::Count(node.home_msgs),
+            ));
+            rows.push((
+                format!("protocol.node{n}.remote_msgs"),
+                V::Count(node.remote_msgs),
+            ));
+            rows.push((format!("sc.node{n}.packets"), V::Count(node.sc_packets)));
+        }
+        piranha_probe::MetricsSnapshot::from_entries(rows)
+    }
+
     /// Mean protocol-engine occupancy in microinstructions per handled
     /// message (the paper's "few instructions at each engine").
     pub fn mean_engine_occupancy(&self) -> f64 {

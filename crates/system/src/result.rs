@@ -2,6 +2,7 @@
 //! figures are built from.
 
 use piranha_cpu::CoreStats;
+use piranha_probe::{MetricsSnapshot, StallTable};
 use piranha_types::time::Clock;
 use piranha_types::Duration;
 
@@ -31,6 +32,11 @@ pub struct RunResult {
     /// Mean RDRAM open-page hit rate over the whole run (§2.4); zero
     /// until a `Machine` populates it at the end of `Machine::run`.
     pub mem_page_hit_rate: f64,
+    /// Observability snapshot sampled at the end of the run; empty
+    /// unless a probe was attached. Deliberately excluded from
+    /// [`RunResult::fingerprint`]: it describes the measurement, not the
+    /// simulated machine state.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -42,7 +48,63 @@ impl RunResult {
             clock,
             cpus,
             mem_page_hit_rate: 0.0,
+            metrics: MetricsSnapshot::default(),
         }
+    }
+
+    /// A fingerprint of every *simulated* quantity (name, window, clock,
+    /// per-CPU statistics, memory page-hit rate) — and nothing about the
+    /// probe. Two runs of the same configuration must produce the same
+    /// fingerprint whether or not observability was enabled; the
+    /// determinism guard test asserts exactly that.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical rendering of the simulated fields.
+        let repr = format!(
+            "{}|{:?}|{:?}|{:?}|{}",
+            self.name,
+            self.window,
+            self.clock,
+            self.cpus,
+            self.mem_page_hit_rate.to_bits(),
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The per-core stall-attribution table (the Figure 5 breakdown at
+    /// per-core granularity): each core's wall cycles split over busy
+    /// and the five fill-service stall categories, plus an `all` row.
+    /// Every row's fractions sum to 1.
+    pub fn stall_table(&self) -> StallTable {
+        let cats = [
+            "busy",
+            "l2_hit",
+            "l2_fwd",
+            "local_mem",
+            "remote_mem",
+            "remote_dirty",
+        ];
+        let mut t = StallTable::new(&cats);
+        let wall = self.wall_cycles();
+        let row = |s: &CoreStats, wall: u64| {
+            let stalls = s.stall_cycles;
+            let attributed: u64 = stalls.iter().sum();
+            let busy = wall.saturating_sub(attributed);
+            let mut cycles = vec![busy];
+            cycles.extend_from_slice(&stalls);
+            cycles
+        };
+        for (i, s) in self.cpus.iter().enumerate() {
+            t.push_row(format!("cpu{i}"), row(s, wall), wall);
+        }
+        let merged = self.merged();
+        let all_wall = wall * self.cpus.len() as u64;
+        t.push_row("all", row(&merged, all_wall), all_wall);
+        t
     }
 
     /// Total instructions retired in the window.
@@ -161,6 +223,38 @@ mod tests {
         assert!((hit + fwd + miss - 1.0).abs() < 1e-9);
         assert_eq!(fwd, 0.0);
         assert!((hit - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_table_rows_partition_the_window() {
+        let r = mk("x", 1000, 2_000); // 1000 wall cycles at 500 MHz
+        let t = r.stall_table();
+        assert_eq!(t.categories.len(), 6);
+        assert_eq!(t.rows.len(), r.cpus.len() + 1, "per-core rows + all");
+        assert!(t.sums_to_one(1e-6));
+        let f = t.rows[0].fractions();
+        // 100 cycles L2-hit stall + 300 local-mem stall of 1000.
+        assert!((f[1] - 0.1).abs() < 1e-9, "l2_hit fraction: {}", f[1]);
+        assert!((f[3] - 0.3).abs() < 1e-9, "local_mem fraction: {}", f[3]);
+        assert!((f[0] - 0.6).abs() < 1e-9, "busy is the remainder: {}", f[0]);
+    }
+
+    #[test]
+    fn fingerprint_ignores_metrics() {
+        let a = mk("x", 1000, 2_000);
+        let mut b = mk("x", 1000, 2_000);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.metrics = piranha_probe::MetricsSnapshot::from_entries(vec![(
+            "kernel.events.popped".into(),
+            piranha_probe::MetricValue::Count(42),
+        )]);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "metrics must not affect the simulated fingerprint"
+        );
+        let c = mk("x", 1001, 2_000);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "simulated change shows");
     }
 
     #[test]
