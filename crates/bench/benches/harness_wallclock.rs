@@ -12,6 +12,7 @@ fn bench(c: &mut Criterion) {
     let scale = RunScale {
         warmup: 10_000,
         measure: 20_000,
+        ..RunScale::tiny()
     };
     let serial = experiments::all_figures_serial(scale);
     let parallel = experiments::all_figures(scale);

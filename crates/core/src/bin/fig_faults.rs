@@ -1,0 +1,119 @@
+//! Availability under fault injection (paper §2.7): sweeps fault rate ×
+//! configuration on a bounded OLTP workload run to completion, then runs
+//! a headline faulted configuration **twice** to prove bit-identical
+//! determinism, and reports the availability ledger.
+//!
+//! Flags:
+//!
+//! - `--quick` — CI scale (fewer transactions per CPU);
+//! - `--faults=<seed|script>` — a `u64` seeds a random schedule; any
+//!   other value is parsed as a fault script (`"corrupt@50, flap@60"`);
+//! - `--fault-rate=<f64>` — injection rate of a seeded schedule
+//!   (default `1e-4`);
+//! - `--metrics=<path>` — write the headline availability report as
+//!   JSON (this is what the CI `fault-smoke` step validates).
+use piranha::experiments::{self, RunScale};
+use piranha::harness::run_config;
+use piranha::observe::{self, FaultCli, ProbeCli};
+use piranha::{FaultConfig, RunResult};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let txns: u64 = if quick { 40 } else { 200 };
+    let fcli = FaultCli::from_env_args();
+    let faults = match fcli.fault_config() {
+        Ok(cfg) if cfg.enabled() => cfg,
+        // No flags: still exercise the recovery machinery by default.
+        Ok(_) => FaultConfig::seeded(42, 1e-4),
+        Err(e) => {
+            eprintln!("bad --faults value: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // The sweep: fault rate × configuration, through the memoized
+    // parallel harness, each paired against its fault-free baseline.
+    let seed = faults.seed;
+    let rows = experiments::fig_faults(seed, txns);
+    println!(
+        "{}",
+        experiments::render_fault_rows(
+            &format!(
+                "Availability — fault rate x configuration \
+                 (bounded OLTP, {txns} txns/CPU, run to completion, seed {seed})"
+            ),
+            &rows
+        )
+    );
+
+    // The headline run: the CLI-selected schedule on the two-chip
+    // exemplar, executed twice to prove bit-identical determinism, plus
+    // the fault-free baseline of the same machine for slowdown.
+    let w = experiments::oltp_bounded(txns);
+    let scale = RunScale::completion();
+    let mut cfg = observe::exemplar_config();
+    cfg.faults = faults;
+    let r1 = run_config(cfg.clone(), &w, scale);
+    let r2 = run_config(cfg.clone(), &w, scale);
+    let mut base_cfg = cfg.clone();
+    base_cfg.faults = FaultConfig::default();
+    let base = run_config(base_cfg, &w, scale);
+
+    assert_eq!(
+        r1.fingerprint(),
+        r2.fingerprint(),
+        "same seed + same schedule must be bit-identical"
+    );
+    assert!(
+        r1.availability.is_consistent(),
+        "corrected + escalated != injected"
+    );
+    assert_eq!(
+        r1.committed_txns, base.committed_txns,
+        "a recoverable schedule must not lose work"
+    );
+
+    let slowdown = r1.window.as_ps() as f64 / base.window.as_ps().max(1) as f64;
+    let av = &r1.availability;
+    println!("Headline run: {} ({txns} txns/CPU)", cfg.name);
+    println!(
+        "  injected {}  corrected {}  escalated {}  retransmits {}  \
+         mttr {} cycles  slowdown {slowdown:.4}x",
+        av.injected,
+        av.corrected,
+        av.escalated,
+        av.retransmits,
+        av.mttr_cycles()
+    );
+    println!(
+        "  fingerprint {:#018x} (repeat run identical: {})",
+        r1.fingerprint(),
+        r1.fingerprint() == r2.fingerprint()
+    );
+
+    let probe_cli = ProbeCli::from_env_args();
+    if let Some(path) = &probe_cli.metrics {
+        let body = headline_json(&cfg.name, txns, &r1, &r2, slowdown);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("writing {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("  availability report -> {}", path.display());
+    }
+}
+
+/// The JSON report the CI `fault-smoke` step validates.
+fn headline_json(config: &str, txns: u64, r1: &RunResult, r2: &RunResult, slowdown: f64) -> String {
+    let mut av = r1.availability.clone();
+    av.slowdown = Some(slowdown);
+    format!(
+        "{{\"config\":\"{config}\",\"txns_per_cpu\":{txns},\
+         \"committed\":{},\"fingerprint\":{},\"fingerprint_repeat\":{},\
+         \"deterministic\":{},\"availability\":{}}}\n",
+        r1.committed_txns.unwrap_or(0),
+        r1.fingerprint(),
+        r2.fingerprint(),
+        r1.fingerprint() == r2.fingerprint(),
+        av.to_json()
+    )
+}

@@ -20,7 +20,7 @@
 //! deterministic, its output is bit-identical to the serial
 //! [`all_figures_serial`] path.
 
-use piranha_system::{RunResult, SystemConfig};
+use piranha_system::{FaultConfig, RunResult, SystemConfig};
 use piranha_workloads::{DssConfig, OltpConfig, Workload};
 
 pub use piranha_harness::{cache_key, default_threads, Harness, RunPlan, RunRequest, RunScale};
@@ -327,6 +327,160 @@ pub fn mem_pages(scale: RunScale) -> f64 {
 }
 
 // ---------------------------------------------------------------------
+// Fault injection & availability (paper §2.7): the fig_faults sweep.
+// ---------------------------------------------------------------------
+
+/// The per-consult fault rates `fig_faults` sweeps (0 is the paired
+/// fault-free baseline of each configuration).
+pub const FAULT_RATES: [f64; 4] = [0.0, 1e-5, 1e-4, 1e-3];
+
+/// A bounded OLTP workload (`txn_limit` transactions per CPU stream) —
+/// the run-to-completion workload of the fault experiments, so a
+/// faulted run provably commits the same work as its baseline.
+pub fn oltp_bounded(txns_per_cpu: u64) -> Workload {
+    Workload::Oltp(OltpConfig {
+        txn_limit: txns_per_cpu,
+        ..OltpConfig::paper_default()
+    })
+}
+
+/// The configurations the fault sweep covers: the paper's single-chip
+/// P8 and a two-chip P4 system (the latter exercises the inter-chip
+/// link recovery paths).
+fn fig_faults_configs() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::piranha_p8(),
+        SystemConfig::piranha_pn(4).scaled_to_chips(2),
+    ]
+}
+
+fn faulted(mut cfg: SystemConfig, seed: u64, rate: f64) -> SystemConfig {
+    if rate > 0.0 {
+        cfg.faults = FaultConfig::seeded(seed, rate);
+    }
+    cfg
+}
+
+/// One row of the fault-rate × configuration sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRow {
+    /// Configuration name.
+    pub config: String,
+    /// Injection rate per consult point (0 = baseline).
+    pub rate: f64,
+    /// The availability ledger of the run.
+    pub availability: piranha_system::AvailabilityReport,
+    /// Transactions committed (must match the baseline row exactly).
+    pub committed: u64,
+    /// Run time relative to the rate-0 baseline (1.0 = no slowdown).
+    pub slowdown: f64,
+    /// The run's deterministic fingerprint.
+    pub fingerprint: u64,
+}
+
+/// The plan of every simulation `fig_faults` needs.
+pub fn fig_faults_plan(seed: u64, txns_per_cpu: u64) -> RunPlan {
+    let w = oltp_bounded(txns_per_cpu);
+    let mut p = RunPlan::new();
+    for cfg in fig_faults_configs() {
+        for rate in FAULT_RATES {
+            p.add(
+                faulted(cfg.clone(), seed, rate),
+                w.clone(),
+                RunScale::completion(),
+            );
+        }
+    }
+    p
+}
+
+/// Assemble the fault sweep from `h`'s cache: for each configuration,
+/// the fault-free baseline plus each nonzero rate, with slowdown
+/// measured against the fingerprint-verified baseline.
+///
+/// # Panics
+///
+/// Panics if a faulted run commits different work than its baseline or
+/// its availability ledger is inconsistent — both are structural
+/// guarantees of the recovery machinery.
+pub fn fig_faults_with(h: &mut Harness, seed: u64, txns_per_cpu: u64) -> Vec<FaultRow> {
+    let w = oltp_bounded(txns_per_cpu);
+    let mut rows = Vec::new();
+    for cfg in fig_faults_configs() {
+        let base = h.get(&faulted(cfg.clone(), seed, 0.0), &w, RunScale::completion());
+        let base_committed = base.committed_txns.expect("bounded workload reports work");
+        for rate in FAULT_RATES {
+            let r = h.get(
+                &faulted(cfg.clone(), seed, rate),
+                &w,
+                RunScale::completion(),
+            );
+            assert!(
+                r.availability.is_consistent(),
+                "{}@{rate}: corrected + escalated != injected",
+                cfg.name
+            );
+            let committed = r.committed_txns.expect("bounded workload reports work");
+            assert_eq!(
+                committed, base_committed,
+                "{}@{rate}: a recoverable fault rate must not lose work",
+                cfg.name
+            );
+            let slowdown = r.window.as_ps() as f64 / base.window.as_ps().max(1) as f64;
+            let mut availability = r.availability.clone();
+            availability.slowdown = Some(slowdown);
+            rows.push(FaultRow {
+                config: cfg.name.clone(),
+                rate,
+                availability,
+                committed,
+                slowdown,
+                fingerprint: r.fingerprint(),
+            });
+        }
+    }
+    rows
+}
+
+/// The fault sweep with a private parallel harness.
+pub fn fig_faults(seed: u64, txns_per_cpu: u64) -> Vec<FaultRow> {
+    let mut h = Harness::new();
+    h.execute(&fig_faults_plan(seed, txns_per_cpu));
+    fig_faults_with(&mut h, seed, txns_per_cpu)
+}
+
+/// Render the fault sweep as a text table.
+pub fn render_fault_rows(title: &str, rows: &[FaultRow]) -> String {
+    let mut out = format!(
+        "{title}\n{:<10} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}\n",
+        "Config",
+        "Rate",
+        "Injected",
+        "Corrected",
+        "Escalated",
+        "Retrans",
+        "MTTR",
+        "Committed",
+        "Slowdown"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>8.0e} {:>8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>8.3}x\n",
+            r.config,
+            r.rate,
+            r.availability.injected,
+            r.availability.corrected,
+            r.availability.escalated,
+            r.availability.retransmits,
+            r.availability.mttr_cycles(),
+            r.committed,
+            r.slowdown,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // The whole evaluation in one batch.
 // ---------------------------------------------------------------------
 
@@ -554,5 +708,31 @@ mod tests {
         assert!(plan.len() < 25, "plan must deduplicate: got {}", plan.len());
         let keys: std::collections::HashSet<_> = plan.requests().iter().map(|r| r.key()).collect();
         assert_eq!(keys.len(), plan.len(), "all keys unique");
+    }
+
+    #[test]
+    fn fault_sweep_is_consistent_and_loses_no_work() {
+        let rows = fig_faults(42, 3);
+        assert_eq!(rows.len(), fig_faults_configs().len() * FAULT_RATES.len());
+        for cfg in fig_faults_configs() {
+            let per: Vec<&FaultRow> = rows.iter().filter(|r| r.config == cfg.name).collect();
+            let base = per.iter().find(|r| r.rate == 0.0).unwrap();
+            assert_eq!(base.availability.injected, 0);
+            assert!((base.slowdown - 1.0).abs() < 1e-12);
+            for r in &per {
+                // fig_faults_with already asserts ledger consistency and
+                // committed-work equality; re-check the rendered facts.
+                assert_eq!(r.committed, base.committed);
+                assert!(r.slowdown > 0.0);
+            }
+        }
+        let highest = rows
+            .iter()
+            .filter(|r| r.rate == 1e-3)
+            .map(|r| r.availability.injected)
+            .sum::<u64>();
+        assert!(highest > 0, "the top rate injects something");
+        let table = render_fault_rows("Availability", &rows);
+        assert!(table.contains("P8") && table.contains("Slowdown"));
     }
 }

@@ -34,6 +34,7 @@
 //! | §2.4 Memory controller / RDRAM | [`mem`] |
 //! | §2.5 Protocol engines + inter-node protocol | [`protocol`] |
 //! | §2.6 System interconnect | [`net`] |
+//! | §2.7 Reliability (fault injection, ECC, recovery) | [`faults`] |
 //! | §3.1 Workloads (OLTP, DSS) | [`workloads`] |
 //! | §4 Evaluation | [`experiments`] |
 //! | Observability (tracing & metrics) | [`probe`], [`observe`] |
@@ -41,8 +42,8 @@
 #![warn(missing_docs)]
 
 pub use piranha_system::{
-    CoreKind, CpuBreakdown, Machine, PathLatencies, Probe, ProbeConfig, RunResult, SystemConfig,
-    TraceLevel,
+    AvailabilityReport, CoreKind, CpuBreakdown, FaultConfig, FaultKind, Machine, PathLatencies,
+    Probe, ProbeConfig, RunResult, SystemConfig, TraceLevel,
 };
 
 /// Shared architectural types (re-export of `piranha-types`).
@@ -93,6 +94,11 @@ pub mod harness {
 /// Tracing & metrics subsystem (re-export of `piranha-probe`).
 pub mod probe {
     pub use piranha_probe::*;
+}
+/// Fault injection, recovery, and availability reporting (re-export of
+/// `piranha-faults`).
+pub mod faults {
+    pub use piranha_faults::*;
 }
 
 pub mod experiments;

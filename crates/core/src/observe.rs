@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use piranha_harness::{run_config_probed, RunScale};
 use piranha_probe::{chrome, ProbeConfig, TraceLevel};
-use piranha_system::SystemConfig;
+use piranha_system::{FaultConfig, SystemConfig};
 use piranha_workloads::Workload;
 
 /// The observability flags of a figure binary.
@@ -56,6 +56,67 @@ impl ProbeCli {
     /// Whether any export was requested.
     pub fn active(&self) -> bool {
         self.trace.is_some() || self.metrics.is_some()
+    }
+}
+
+/// The fault-injection flags of a figure binary (paper §2.7):
+///
+/// - `--faults=<seed|script>` — a `u64` selects a seeded random
+///   schedule; anything else is parsed as a fault script
+///   (`"corrupt@50, flap@60, flip1@200"`, …);
+/// - `--fault-rate=<f64>` — per-consult injection rate of a seeded
+///   schedule (ignored for scripts; default `1e-4`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultCli {
+    /// The raw `--faults=` value, if given.
+    pub faults: Option<String>,
+    /// The `--fault-rate=` value, if given.
+    pub rate: Option<f64>,
+}
+
+impl FaultCli {
+    /// Parse `--faults=`/`--fault-rate=` out of the process arguments.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse the flags from an explicit argument list; unrelated
+    /// arguments are ignored.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = FaultCli::default();
+        for a in args {
+            if let Some(v) = a.strip_prefix("--faults=") {
+                cli.faults = Some(v.to_string());
+            } else if let Some(v) = a.strip_prefix("--fault-rate=") {
+                cli.rate = v.parse().ok();
+            }
+        }
+        cli
+    }
+
+    /// Whether fault injection was requested at all.
+    pub fn active(&self) -> bool {
+        self.faults.is_some() || self.rate.is_some()
+    }
+
+    /// Resolve the flags into a [`FaultConfig`]. No flags → the
+    /// disabled default; a numeric `--faults=` (or `--fault-rate=`
+    /// alone, with seed 42) → a seeded schedule; any other `--faults=`
+    /// value → a scripted schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of a malformed fault script.
+    pub fn fault_config(&self) -> Result<FaultConfig, String> {
+        let rate = self.rate.unwrap_or(1e-4);
+        match &self.faults {
+            None if self.rate.is_some() => Ok(FaultConfig::seeded(42, rate)),
+            None => Ok(FaultConfig::default()),
+            Some(spec) => match spec.trim().parse::<u64>() {
+                Ok(seed) => Ok(FaultConfig::seeded(seed, rate)),
+                Err(_) => FaultConfig::scripted(spec),
+            },
+        }
     }
 }
 
@@ -146,5 +207,31 @@ mod tests {
     fn exemplar_is_multichip() {
         let cfg = exemplar_config();
         assert!(cfg.nodes >= 2, "protocol/net spans need >1 chip");
+    }
+
+    #[test]
+    fn fault_flags_resolve_to_configs() {
+        // No flags: injection stays disabled.
+        let off = FaultCli::parse(args(&["--quick"]));
+        assert!(!off.active());
+        assert!(!off.fault_config().unwrap().enabled());
+        // Numeric --faults= seeds a random schedule at the given rate.
+        let seeded = FaultCli::parse(args(&["--faults=42", "--fault-rate=1e-3"]));
+        let cfg = seeded.fault_config().unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert!((cfg.rate - 1e-3).abs() < 1e-12);
+        assert!(cfg.enabled());
+        // --fault-rate= alone uses the default seed.
+        let rate_only = FaultCli::parse(args(&["--fault-rate=5e-4"]));
+        assert_eq!(rate_only.fault_config().unwrap().seed, 42);
+        // Non-numeric --faults= parses as a script.
+        let scripted = FaultCli::parse(args(&["--faults=corrupt@50, flip2@300"]));
+        let cfg = scripted.fault_config().unwrap();
+        assert_eq!(cfg.script.len(), 2);
+        assert!(cfg.enabled());
+        // Malformed scripts are reported, not swallowed.
+        assert!(FaultCli::parse(args(&["--faults=bogus@@"]))
+            .fault_config()
+            .is_err());
     }
 }

@@ -68,6 +68,15 @@ pub struct StreamOp {
 pub trait InstrStream {
     /// The next instruction, or `None` when the stream ends.
     fn next_op(&mut self) -> Option<StreamOp>;
+
+    /// How many workload-level units of work (transactions, scan lines)
+    /// this stream has completed, for streams that have such a notion.
+    /// Fixed-instruction-window runs return `None`; bounded workload
+    /// streams report their count so fault-injection runs can prove
+    /// they completed the same work as a fault-free run.
+    fn txns_committed(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<F: FnMut() -> Option<StreamOp>> InstrStream for F {

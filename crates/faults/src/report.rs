@@ -1,0 +1,136 @@
+//! The availability ledger attached to a run's results.
+
+use std::collections::BTreeMap;
+
+use crate::schedule::FaultKind;
+
+/// Counts of faults injected and how each was handled, plus the repair
+/// latency they cost. Attached to `RunResult` and folded into its
+/// fingerprint, so two runs only fingerprint-match when they saw the
+/// same faults handled the same way.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AvailabilityReport {
+    /// Total faults injected (scripted + random).
+    pub injected: u64,
+    /// Faults repaired transparently (CRC retransmit within budget, ECC
+    /// single-bit scrub, engine replay, router stall absorbed).
+    pub corrected: u64,
+    /// Faults that exhausted their first-line recovery and escalated
+    /// (retry budget blown, double-bit error → mirroring failover).
+    pub escalated: u64,
+    /// Packet retransmissions performed (can exceed `injected`: one
+    /// flap may take several attempts).
+    pub retransmits: u64,
+    /// Total repair latency in CPU cycles, summed over faults.
+    pub recovery_cycles: u64,
+    /// Injections per fault kind.
+    pub by_kind: BTreeMap<FaultKind, u64>,
+    /// Measured-window slowdown versus the fault-free baseline of the
+    /// same configuration (1.0 = no slowdown); filled in by experiment
+    /// drivers that run the paired baseline.
+    pub slowdown: Option<f64>,
+}
+
+impl AvailabilityReport {
+    /// Mean time to repair, in cycles per injected fault (0 when no
+    /// faults were injected).
+    pub fn mttr_cycles(&self) -> u64 {
+        self.recovery_cycles.checked_div(self.injected).unwrap_or(0)
+    }
+
+    /// The structural identity every run must satisfy: each injected
+    /// fault was resolved exactly once.
+    pub fn is_consistent(&self) -> bool {
+        self.corrected + self.escalated == self.injected
+            && self.by_kind.values().sum::<u64>() == self.injected
+    }
+
+    /// Whether any fault was injected.
+    pub fn any(&self) -> bool {
+        self.injected > 0
+    }
+
+    /// A stable digest string folded into `RunResult::fingerprint` —
+    /// identical reports (including the all-zero disabled one) digest
+    /// identically.
+    pub fn digest(&self) -> String {
+        format!(
+            "inj{}cor{}esc{}ret{}rec{}",
+            self.injected, self.corrected, self.escalated, self.retransmits, self.recovery_cycles
+        )
+    }
+
+    /// Serialize as a JSON object (hand-rolled; no serde in this
+    /// workspace).
+    pub fn to_json(&self) -> String {
+        let by_kind: Vec<String> = self
+            .by_kind
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", k.token(), v))
+            .collect();
+        let slowdown = match self.slowdown {
+            Some(s) => format!("{s:.6}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"injected\":{},\"corrected\":{},\"escalated\":{},\"retransmits\":{},\"recovery_cycles\":{},\"mttr_cycles\":{},\"slowdown\":{},\"by_kind\":{{{}}}}}",
+            self.injected,
+            self.corrected,
+            self.escalated,
+            self.retransmits,
+            self.recovery_cycles,
+            self.mttr_cycles(),
+            slowdown,
+            by_kind.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_consistent_and_quiet() {
+        let r = AvailabilityReport::default();
+        assert!(r.is_consistent());
+        assert!(!r.any());
+        assert_eq!(r.mttr_cycles(), 0);
+        assert_eq!(r.digest(), "inj0cor0esc0ret0rec0");
+    }
+
+    #[test]
+    fn consistency_requires_exact_resolution() {
+        let mut r = AvailabilityReport {
+            injected: 3,
+            corrected: 2,
+            escalated: 1,
+            ..Default::default()
+        };
+        r.by_kind.insert(FaultKind::LinkFlap, 3);
+        assert!(r.is_consistent());
+        r.corrected = 3;
+        assert!(!r.is_consistent(), "double-resolved fault detected");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = AvailabilityReport {
+            injected: 2,
+            corrected: 1,
+            escalated: 1,
+            retransmits: 3,
+            recovery_cycles: 100,
+            slowdown: Some(1.25),
+            ..Default::default()
+        };
+        r.by_kind.insert(FaultKind::PacketCorrupt, 2);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"injected\":2"));
+        assert!(j.contains("\"mttr_cycles\":50"));
+        assert!(j.contains("\"corrupt\":2"));
+        assert!(j.contains("\"slowdown\":1.25"));
+        assert!(AvailabilityReport::default().to_json().contains("null"));
+    }
+}

@@ -52,6 +52,11 @@ pub struct RunScale {
     pub warmup: u64,
     /// Measured instructions per CPU.
     pub measure: u64,
+    /// When true, the instruction budget is ignored and the machine runs
+    /// until every stream ends (bounded workloads only: `txn_limit` /
+    /// `line_limit` set). Fault experiments use this mode so a faulted
+    /// run provably completes the same work as its fault-free baseline.
+    pub to_completion: bool,
 }
 
 impl RunScale {
@@ -60,6 +65,7 @@ impl RunScale {
         RunScale {
             warmup: 600_000,
             measure: 1_000_000,
+            to_completion: false,
         }
     }
 
@@ -68,6 +74,7 @@ impl RunScale {
         RunScale {
             warmup: 200_000,
             measure: 300_000,
+            to_completion: false,
         }
     }
 
@@ -76,6 +83,16 @@ impl RunScale {
         RunScale {
             warmup: 2_000,
             measure: 10_000,
+            to_completion: false,
+        }
+    }
+
+    /// Run-to-completion mode (no fixed instruction budget).
+    pub fn completion() -> Self {
+        RunScale {
+            warmup: 0,
+            measure: 0,
+            to_completion: true,
         }
     }
 }
@@ -84,7 +101,11 @@ impl RunScale {
 /// thread. This is the primitive everything else schedules.
 pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
     let mut m = Machine::new(cfg, w);
-    m.run(scale.warmup, scale.measure)
+    if scale.to_completion {
+        m.run_to_completion()
+    } else {
+        m.run(scale.warmup, scale.measure)
+    }
 }
 
 /// Like [`run_config`], but with an observability probe attached per
@@ -103,7 +124,11 @@ pub fn run_config_probed(
     let mut m = Machine::new(cfg, w);
     let probe = Probe::new(probe_cfg);
     m.set_probe(probe.clone());
-    let r = m.run(scale.warmup, scale.measure);
+    let r = if scale.to_completion {
+        m.run_to_completion()
+    } else {
+        m.run(scale.warmup, scale.measure)
+    };
     (r, probe)
 }
 

@@ -128,6 +128,30 @@ impl MemBank {
     pub fn rdram(&self) -> &Rdram {
         &self.rdram
     }
+
+    /// Fault-injection entry point: flip the given bit positions of the
+    /// line's SEC-DED codeword and scrub it. A corrected (or clean)
+    /// result re-installs the decoded data — bit-identical to the
+    /// original, which is the point of SEC-DED; an uncorrectable result
+    /// leaves the store untouched and the caller escalates (mirroring
+    /// failover). No timing is charged here: the caller models the
+    /// scrub/failover latency.
+    pub fn inject_and_scrub(&mut self, line: LineAddr, bits: &[u32]) -> crate::ecc::Scrub {
+        let stored = self.version(line);
+        let mut cw = crate::ecc::encode(stored);
+        for &b in bits {
+            cw ^= 1u128 << (b % crate::ecc::CODEWORD_BITS);
+        }
+        let outcome = crate::ecc::scrub(cw);
+        match outcome {
+            crate::ecc::Scrub::Clean(d) | crate::ecc::Scrub::Corrected(d) => {
+                debug_assert_eq!(d, stored, "SEC-DED recovered the exact word");
+                self.versions.insert(line, d);
+            }
+            crate::ecc::Scrub::Uncorrectable => {}
+        }
+        outcome
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +192,30 @@ mod tests {
         );
         assert_eq!(b.version(LineAddr(9)), 11);
         assert_eq!(b.directory(LineAddr(9)), DirEntry::Exclusive(NodeId(2)));
+    }
+
+    #[test]
+    fn inject_and_scrub_round_trips() {
+        let mut b = MemBank::new(MemBankConfig::default());
+        b.set_version(LineAddr(3), 77);
+        // Single-bit flip: corrected, data intact.
+        assert_eq!(
+            b.inject_and_scrub(LineAddr(3), &[17]),
+            crate::ecc::Scrub::Corrected(77)
+        );
+        assert_eq!(b.version(LineAddr(3)), 77);
+        // Double-bit flip: uncorrectable, store untouched (caller
+        // escalates to a mirror restore).
+        assert_eq!(
+            b.inject_and_scrub(LineAddr(3), &[5, 40]),
+            crate::ecc::Scrub::Uncorrectable
+        );
+        assert_eq!(b.version(LineAddr(3)), 77);
+        // No flips at all: clean.
+        assert_eq!(
+            b.inject_and_scrub(LineAddr(3), &[]),
+            crate::ecc::Scrub::Clean(77)
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! SEC-DED ECC over 64-bit words: Hamming(71,64) plus an overall parity
+//! bit, the classic 72-bit DRAM codeword.
+//!
+//! The paper's memory system stores directory bits "in the same ECC
+//! words" as the data and relies on single-error-correct /
+//! double-error-detect codes to ride out soft errors (§2.7's RAS story
+//! starts here: a single-bit flip is scrubbed transparently, a
+//! double-bit flip is detected and escalates to mirroring failover).
+//! This module implements the real code, not a flag: 64 data bits are
+//! scattered over non-power-of-two positions 1..72, seven Hamming check
+//! bits sit at the power-of-two positions, and bit 0 carries overall
+//! parity.
+
+/// Codeword width in bits (64 data + 7 Hamming + 1 overall parity).
+pub const CODEWORD_BITS: u32 = 72;
+
+/// The outcome of scrubbing one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scrub {
+    /// No error: the decoded data word.
+    Clean(u64),
+    /// A single-bit error was corrected; the (intact) data word.
+    Corrected(u64),
+    /// A double-bit error: detected but uncorrectable. The data cannot
+    /// be trusted; the caller must restore from a redundant copy.
+    Uncorrectable,
+}
+
+/// XOR of the (1-based) positions of all set bits in 1..72 — zero for a
+/// valid codeword, the error position for a single flip.
+fn syndrome(cw: u128) -> u32 {
+    let mut s = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if (cw >> pos) & 1 == 1 {
+            s ^= pos;
+        }
+    }
+    s
+}
+
+/// Encode a 64-bit data word into a 72-bit SEC-DED codeword.
+pub fn encode(data: u64) -> u128 {
+    let mut cw: u128 = 0;
+    let mut d = 0;
+    for pos in 1..CODEWORD_BITS {
+        if pos.is_power_of_two() {
+            continue;
+        }
+        if (data >> d) & 1 == 1 {
+            cw |= 1 << pos;
+        }
+        d += 1;
+    }
+    debug_assert_eq!(d, 64, "64 data positions in the codeword");
+    // Set each Hamming check bit (at position 2^i) so the syndrome of
+    // the complete codeword is zero.
+    let syn = syndrome(cw);
+    for i in 0..7 {
+        if (syn >> i) & 1 == 1 {
+            cw |= 1 << (1u32 << i);
+        }
+    }
+    // Overall parity (bit 0) makes the whole 72-bit word even.
+    if cw.count_ones() % 2 == 1 {
+        cw |= 1;
+    }
+    cw
+}
+
+/// Extract the data bits from a codeword (no checking).
+pub fn decode(cw: u128) -> u64 {
+    let mut data = 0u64;
+    let mut d = 0;
+    for pos in 1..CODEWORD_BITS {
+        if pos.is_power_of_two() {
+            continue;
+        }
+        if (cw >> pos) & 1 == 1 {
+            data |= 1 << d;
+        }
+        d += 1;
+    }
+    data
+}
+
+/// Check and (if possible) repair one codeword: single-bit errors are
+/// located by the syndrome and corrected, double-bit errors (nonzero
+/// syndrome with intact overall parity) are detected as uncorrectable.
+pub fn scrub(mut cw: u128) -> Scrub {
+    let syn = syndrome(cw);
+    let parity_even = cw.count_ones().is_multiple_of(2);
+    match (syn, parity_even) {
+        (0, true) => Scrub::Clean(decode(cw)),
+        (0, false) => {
+            // The overall parity bit itself flipped; data is intact.
+            Scrub::Corrected(decode(cw))
+        }
+        (s, false) => {
+            cw ^= 1 << s;
+            Scrub::Corrected(decode(cw))
+        }
+        (_, true) => Scrub::Uncorrectable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<u64> {
+        vec![0, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 0x5555_5555_5555_5555]
+    }
+
+    #[test]
+    fn roundtrip_and_clean_scrub() {
+        for d in samples() {
+            let cw = encode(d);
+            assert!(cw < (1u128 << CODEWORD_BITS));
+            assert_eq!(decode(cw), d);
+            assert_eq!(scrub(cw), Scrub::Clean(d));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        for d in samples() {
+            let cw = encode(d);
+            for bit in 0..CODEWORD_BITS {
+                let bad = cw ^ (1u128 << bit);
+                assert_eq!(
+                    scrub(bad),
+                    Scrub::Corrected(d),
+                    "flip at bit {bit} of data {d:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        for d in [0u64, 0xDEAD_BEEF_CAFE_F00D] {
+            let cw = encode(d);
+            for a in 0..CODEWORD_BITS {
+                for b in (a + 1)..CODEWORD_BITS {
+                    let bad = cw ^ (1u128 << a) ^ (1u128 << b);
+                    assert_eq!(
+                        scrub(bad),
+                        Scrub::Uncorrectable,
+                        "double flip at bits {a},{b} of data {d:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_data_distinct_codewords() {
+        let mut seen = std::collections::HashSet::new();
+        for d in samples() {
+            assert!(seen.insert(encode(d)));
+        }
+    }
+}

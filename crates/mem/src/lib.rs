@@ -14,13 +14,21 @@
 //! limited pointers up to four sharers, then a coarse bit vector
 //! ([`directory`]). Reading a line's directory *is* reading the line,
 //! which is why the timing model charges a single access for both.
+//!
+//! Those ECC words are real here: [`ecc`] implements the 72-bit SEC-DED
+//! code (Hamming(71,64) + overall parity) that corrects single-bit
+//! flips in place and detects double-bit flips, the first line of the
+//! paper's §2.7 RAS story. [`MemBank::inject_and_scrub`] is the fault
+//! plane's entry point into it.
 
 #![warn(missing_docs)]
 
 pub mod bank;
 pub mod directory;
+pub mod ecc;
 pub mod rdram;
 
 pub use bank::{MemBank, MemBankConfig};
 pub use directory::{DirEntry, NodeSet, DIR_BITS, POINTER_LIMIT};
+pub use ecc::Scrub;
 pub use rdram::{Rdram, RdramConfig};

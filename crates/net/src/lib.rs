@@ -18,15 +18,22 @@
 //! per direction at 2 Gbit/s/wire with a DC-balanced 19-bits-in-22
 //! encoding ([`encoding`]) — implemented here exactly as described,
 //! including the inversion-insensitive 19th bit.
+//!
+//! Links also carry error detection ([`recovery`]): a CRC-checked frame
+//! that fails is dropped, NACKed, and retransmitted by the sender
+//! ([`Network::resend`]) with exponential backoff — the recovery half of
+//! the fault model exercised by `piranha-faults`.
 
 #![warn(missing_docs)]
 
 pub mod encoding;
 pub mod packet;
 pub mod queues;
+pub mod recovery;
 pub mod router;
 
 pub use encoding::{decode22, encode22, CodecError};
 pub use packet::{Packet, PacketKind, PRIORITIES};
 pub use queues::{InQueue, OutQueue};
+pub use recovery::{crc32, flip_bit};
 pub use router::{Network, NetworkConfig, Topology};

@@ -58,6 +58,7 @@ impl<T> OutQueue<T> {
         }
         f.push_back(item);
         self.enqueued += 1;
+        self.assert_conserved();
         Ok(())
     }
 
@@ -67,7 +68,20 @@ impl<T> OutQueue<T> {
         if got.is_some() {
             self.dequeued += 1;
         }
+        self.assert_conserved();
         got
+    }
+
+    /// The conservation audit, checked at every mutation in debug
+    /// builds: lifetime credits (enqueues − dequeues) always equal the
+    /// packets physically present, so a dropped or corrupted flit that
+    /// re-enters via the retransmit path cannot strand a credit.
+    fn assert_conserved(&self) {
+        debug_assert_eq!(
+            self.enqueued - self.dequeued,
+            self.len() as u64,
+            "output-queue credit leak"
+        );
     }
 
     /// Total queued packets.
@@ -133,6 +147,7 @@ impl<T> InQueue<T> {
         }
         f.push_back(item);
         self.enqueued += 1;
+        self.assert_conserved();
         Ok(())
     }
 
@@ -145,12 +160,23 @@ impl<T> InQueue<T> {
                 if can_proceed(head) {
                     let got = f.pop_front();
                     self.dequeued += 1;
+                    self.assert_conserved();
                     return got;
                 }
                 // Blocked: fall through to lower priorities (bypass).
             }
         }
         None
+    }
+
+    /// The conservation audit (see [`OutQueue`]); a bypassed head must
+    /// never be counted as dequeued.
+    fn assert_conserved(&self) {
+        debug_assert_eq!(
+            self.enqueued - self.dequeued,
+            self.len() as u64,
+            "input-queue credit leak"
+        );
     }
 
     /// Total queued packets.

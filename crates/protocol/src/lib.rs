@@ -41,9 +41,11 @@ pub mod coherence;
 pub mod microcode;
 pub mod msg;
 pub mod ras;
+pub mod recovery;
 pub mod tsrf;
 
 pub use coherence::{EngineAction, HomeEngine, HomeIn, RemoteEngine, RemoteIn};
 pub use msg::{Grant, ProtoMsg};
 pub use ras::{Capability, LineRange, RasPolicy, WriteVerdict};
+pub use recovery::EngineRecovery;
 pub use tsrf::{Tsrf, TsrfEntry, TSRF_ENTRIES};

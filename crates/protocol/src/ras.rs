@@ -173,6 +173,20 @@ impl RasPolicy {
         self.mirror.get(&line).copied()
     }
 
+    /// All (line, version) pairs currently held in the mirror log, in
+    /// line order — the end-of-run consistency audit walks these and
+    /// compares each against home memory.
+    pub fn mirror_entries(&self) -> Vec<(LineAddr, u64)> {
+        let mut entries: Vec<_> = self.mirror.iter().map(|(l, v)| (*l, *v)).collect();
+        entries.sort_by_key(|(l, _)| l.0);
+        entries
+    }
+
+    /// The registered mirrored ranges.
+    pub fn mirrored_ranges(&self) -> &[LineRange] {
+        &self.mirrored
+    }
+
     /// Capability faults raised so far.
     pub fn faults(&self) -> u64 {
         self.faults

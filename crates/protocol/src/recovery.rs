@@ -1,0 +1,87 @@
+//! Protocol-engine transaction recovery: TSRF watchdog timeout + replay.
+//!
+//! The paper's protocol engines keep all per-transaction state in the
+//! TSRF (§2.5.1), which is exactly what makes recovery cheap: a
+//! transient engine hiccup (a microsequencer glitch, a dropped
+//! condition code) is caught by a watchdog on the occupied TSRF entry,
+//! and the handler is simply re-dispatched from the entry's recorded
+//! inputs — coherence *state* was only committed at handler completion,
+//! so the replay is idempotent. This module models the timing and the
+//! accounting of that path; the state machines in [`crate::coherence`]
+//! are untouched because a replayed handler is, by construction, the
+//! same handler.
+
+use crate::coherence::occupancy_cycles;
+use piranha_kernel::Counter;
+
+/// The watchdog/replay model shared by both engines of a node.
+#[derive(Debug)]
+pub struct EngineRecovery {
+    /// Watchdog timeout, in protocol-engine cycles, before a stuck
+    /// handler is declared hiccuped and replayed.
+    timeout_cycles: u64,
+    replays: Counter,
+    replay_cycles: Counter,
+}
+
+impl EngineRecovery {
+    /// A recovery unit with the given watchdog timeout.
+    pub fn new(timeout_cycles: u64) -> Self {
+        EngineRecovery {
+            timeout_cycles,
+            replays: Counter::new(),
+            replay_cycles: Counter::new(),
+        }
+    }
+
+    /// Charge one hiccup on a handler of the given input kind (the
+    /// `occupancy_cycles` vocabulary: `"req"`, `"reply"`, `"fwd"`,
+    /// `"inval"`, `"ack"`, `"wb"`, `"export"`). Returns the extra
+    /// engine-cycles the transaction loses: the full watchdog timeout
+    /// plus re-executing the handler from its TSRF inputs.
+    pub fn replay(&mut self, input_kind: &str) -> u64 {
+        let cost = self.timeout_cycles + occupancy_cycles(input_kind);
+        self.replays.inc();
+        self.replay_cycles.add(cost);
+        cost
+    }
+
+    /// Replays performed so far.
+    pub fn replays(&self) -> u64 {
+        self.replays.get()
+    }
+
+    /// Total engine-cycles lost to watchdog timeouts and re-execution.
+    pub fn replay_cycles(&self) -> u64 {
+        self.replay_cycles.get()
+    }
+
+    /// The configured watchdog timeout.
+    pub fn timeout_cycles(&self) -> u64 {
+        self.timeout_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_charges_timeout_plus_handler() {
+        let mut r = EngineRecovery::new(50);
+        assert_eq!(r.replay("req"), 50 + occupancy_cycles("req"));
+        assert_eq!(r.replay("ack"), 50 + occupancy_cycles("ack"));
+        assert_eq!(r.replays(), 2);
+        assert_eq!(
+            r.replay_cycles(),
+            100 + occupancy_cycles("req") + occupancy_cycles("ack")
+        );
+        assert_eq!(r.timeout_cycles(), 50);
+    }
+
+    #[test]
+    fn heavier_handlers_cost_more_to_replay() {
+        let mut r = EngineRecovery::new(10);
+        assert!(r.replay("req") > r.replay("ack"), "req handler is longer");
+    }
+}

@@ -2,6 +2,7 @@
 
 use piranha_cache::{L1Config, L2BankConfig};
 use piranha_cpu::{InOrderConfig, OooConfig};
+use piranha_faults::FaultConfig;
 use piranha_ics::IcsConfig;
 use piranha_mem::MemBankConfig;
 use piranha_net::NetworkConfig;
@@ -127,6 +128,9 @@ pub struct SystemConfig {
     /// §2, Figure 2: one CPU, one L2/MC, a two-link router; a full
     /// member of the coherence protocol).
     pub io_nodes: usize,
+    /// Fault injection (paper §2.7 recovery exercise); the default is
+    /// fully disabled and bit-identical to a fault-free machine.
+    pub faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -152,6 +156,7 @@ impl SystemConfig {
             seed: 0xB10_CA5,
             cmi_routes: 4,
             io_nodes: 0,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -214,6 +219,7 @@ impl SystemConfig {
             seed: 0xB10_CA5,
             cmi_routes: 4,
             io_nodes: 0,
+            faults: FaultConfig::default(),
         }
     }
 

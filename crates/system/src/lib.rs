@@ -29,6 +29,7 @@ pub mod sysctl;
 
 pub use config::{CoreKind, PathLatencies, SystemConfig};
 pub use machine::Machine;
+pub use piranha_faults::{AvailabilityReport, FaultConfig, FaultKind};
 pub use piranha_probe::{Probe, ProbeConfig, TraceLevel};
 pub use report::{MachineReport, NodeReport};
 pub use result::{CpuBreakdown, RunResult};

@@ -4,13 +4,17 @@ use std::collections::{HashMap, VecDeque};
 
 use piranha_cache::{BankAction, BankEvent, L1Set, L2Bank, Mesi, Slot};
 use piranha_cpu::{CoreCtx, CoreModel, CoreStatus, InOrderCore, MemReq, OooCore};
+use piranha_faults::{AvailabilityReport, FaultKind, FaultPlane};
 use piranha_ics::{Ics, TransferSize};
 use piranha_kernel::{EventQueue, Server};
-use piranha_mem::{DirEntry, MemBank};
-use piranha_net::{Network, Packet, PacketKind, Topology};
+use piranha_mem::{DirEntry, MemBank, Scrub};
+use piranha_net::{crc32, flip_bit, Network, Packet, PacketKind, Topology};
 use piranha_probe::{Probe, TraceLevel};
 use piranha_protocol::coherence::{occupancy_cycles, DirStore};
-use piranha_protocol::{EngineAction, HomeEngine, HomeIn, ProtoMsg, RemoteEngine, RemoteIn};
+use piranha_protocol::{
+    EngineAction, EngineRecovery, HomeEngine, HomeIn, LineRange, ProtoMsg, RasPolicy, RemoteEngine,
+    RemoteIn,
+};
 use piranha_types::{CpuId, Duration, FillSource, Lane, LineAddr, NodeId, SimTime};
 use piranha_workloads::Workload;
 
@@ -87,6 +91,12 @@ struct Node {
     remote_srv: Server,
     sc: crate::sysctl::SystemController,
     done: Vec<bool>,
+    /// Per-node RAS policy: persistent-memory journal + mirror log
+    /// (paper §2.7).
+    ras: RasPolicy,
+    /// Protocol-engine watchdog/replay machinery (paper §2.7: engine
+    /// hiccups recover by replaying the TSRF transaction).
+    engine_rec: EngineRecovery,
 }
 
 impl std::fmt::Debug for Node {
@@ -185,6 +195,11 @@ pub struct Machine {
     req_buf: Vec<(u64, MemReq)>,
     /// Reusable work queue for `apply`.
     work: VecDeque<(usize, Item)>,
+    /// The fault-injection oracle and availability ledger. Disabled by
+    /// default: every consult is a branch on a cached bool, zero PRNG
+    /// draws, zero latency — a fault-free run is bit-identical to one
+    /// built before this field existed.
+    faults: FaultPlane,
 }
 
 impl std::fmt::Debug for Machine {
@@ -256,6 +271,16 @@ impl Machine {
                 .map(|m| NodeId(m as u16))
                 .collect();
             sc.interconnect_boot(&peers, 1024);
+            let mut ras = RasPolicy::new(NodeId(n as u16));
+            if cfg.faults.enabled() && cfg.faults.mirror_lines > 0 {
+                // Mirror the low lines on every node; `on_home_write`
+                // only fires at a line's home, so each node's mirror log
+                // covers exactly its own homed slice of the range.
+                ras.register_mirrored(LineRange {
+                    start: LineAddr(0),
+                    end: LineAddr(cfg.faults.mirror_lines),
+                });
+            }
             nodes.push(Node {
                 cores,
                 streams: node_streams,
@@ -276,6 +301,8 @@ impl Machine {
                 remote_srv: Server::new(),
                 sc,
                 done: vec![false; n_cpus],
+                ras,
+                engine_rec: EngineRecovery::new(cfg.faults.replay_timeout_cycles),
             });
         }
         let mut events = EventQueue::new();
@@ -285,6 +312,7 @@ impl Machine {
             }
         }
         let unfinished = nodes.iter().map(|n| n.cores.len()).sum();
+        let faults = FaultPlane::new(cfg.faults.clone(), cfg.seed);
         Machine {
             cfg,
             events,
@@ -297,6 +325,7 @@ impl Machine {
             unfinished,
             req_buf: Vec::new(),
             work: VecDeque::new(),
+            faults,
         }
     }
 
@@ -384,7 +413,14 @@ impl Machine {
         p.publish_gauge("mem.page_hit_rate", self.mem_page_hit_rate());
         p.publish_counter("net.delivered", self.net.delivered());
         p.publish_counter("net.deflections", self.net.deflections());
+        p.publish_counter("net.retransmits", self.net.retransmits());
         p.publish_gauge("net.mean_hops", self.net.mean_hops());
+        let av = self.faults.report();
+        p.publish_counter("faults.injected", av.injected);
+        p.publish_counter("faults.corrected", av.corrected);
+        p.publish_counter("faults.escalated", av.escalated);
+        p.publish_counter("faults.retransmits", av.retransmits);
+        p.publish_counter("faults.recovery_cycles", av.recovery_cycles);
         for (n, node) in self.nodes.iter().enumerate() {
             for (c, core) in node.cores.iter().enumerate() {
                 let s = core.stats();
@@ -418,6 +454,11 @@ impl Machine {
                 &format!("protocol.node{n}.remote_msgs"),
                 node.remote.msgs_handled(),
             );
+            p.publish_counter(
+                &format!("protocol.node{n}.replays"),
+                node.engine_rec.replays(),
+            );
+            p.publish_counter(&format!("ras.node{n}.cap_faults"), node.ras.faults());
             p.publish_gauge(
                 &format!("protocol.node{n}.tsrf_high_water"),
                 node.home
@@ -508,11 +549,146 @@ impl Machine {
             cpus,
         );
         r.mem_page_hit_rate = self.mem_page_hit_rate();
-        // Attach the observability snapshot (empty when no probe is
-        // attached; never part of the simulated-state fingerprint).
+        self.finish_result(&mut r);
+        r
+    }
+
+    /// Run until every CPU's stream ends. Only meaningful for bounded
+    /// workloads (`txn_limit`/`line_limit` set): a fault-free and a
+    /// faulted run then complete the *same* work, so the committed count
+    /// must match exactly while only the cycle count differs — the basis
+    /// of the availability slowdown measurement.
+    pub fn run_to_completion(&mut self) -> RunResult {
+        let t0 = self.now();
+        let snap = self.cpu_stats();
+        self.run_until_total(u64::MAX);
+        let t1 = self.now();
+        let end = self.cpu_stats();
+        let cpus: Vec<piranha_cpu::CoreStats> =
+            end.iter().zip(&snap).map(|(e, s)| e.diff(s)).collect();
+        let mut r = RunResult::new(
+            self.cfg.name.clone(),
+            t1.since(t0),
+            self.cfg.cpu_clock,
+            cpus,
+        );
+        r.mem_page_hit_rate = self.mem_page_hit_rate();
+        self.finish_result(&mut r);
+        r
+    }
+
+    /// Attach the availability ledger and committed-work count to a
+    /// result, audit RAS mirror consistency, and snapshot metrics (the
+    /// metrics stay outside the fingerprint; availability and committed
+    /// work are folded in).
+    fn finish_result(&mut self, r: &mut RunResult) {
+        r.availability = self.faults.report().clone();
+        assert!(
+            r.availability.is_consistent(),
+            "availability ledger violated corrected + escalated == injected"
+        );
+        r.committed_txns = self.committed_txns();
+        self.check_ras();
         self.sample_metrics();
         r.metrics = self.probe.metrics().unwrap_or_default();
-        r
+    }
+
+    /// Total workload-level units of work (transactions, scan lines)
+    /// committed across all streams that track one; `None` when no
+    /// stream does (fixed-instruction-window runs).
+    pub fn committed_txns(&self) -> Option<u64> {
+        let mut total = 0u64;
+        let mut any = false;
+        for node in &self.nodes {
+            for s in &node.streams {
+                if let Some(c) = s.txns_committed() {
+                    total += c;
+                    any = true;
+                }
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// The availability ledger accumulated so far.
+    pub fn availability(&self) -> &AvailabilityReport {
+        self.faults.report()
+    }
+
+    /// The fault-injection plane (configuration, unfired script events).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// The RAS policy of `node` (persistence journal, mirror log,
+    /// capability faults).
+    pub fn ras(&self, node: usize) -> &RasPolicy {
+        &self.nodes[node].ras
+    }
+
+    /// Register `range` as persistent on `node`, returning the write
+    /// capability (paper §2.7: capability-guarded persistent memory).
+    pub fn ras_register_persistent(
+        &mut self,
+        node: usize,
+        range: LineRange,
+    ) -> piranha_protocol::Capability {
+        self.nodes[node].ras.register_persistent(range)
+    }
+
+    /// Register `range` as mirrored on `node`: subsequent home-memory
+    /// writes of its lines are duplicated into the mirror log.
+    pub fn ras_register_mirrored(&mut self, node: usize, range: LineRange) {
+        self.nodes[node].ras.register_mirrored(range);
+    }
+
+    /// Execute a persistent-memory barrier on `node` for `range`: every
+    /// cached line of the range homed at `node` that is dirty relative
+    /// to the journal is forced home (memory write + journal + mirror) —
+    /// the paper's commit-without-disk-round-trip (§2.7). Returns how
+    /// many lines were forced.
+    pub fn ras_persist_barrier(&mut self, node: usize, range: LineRange) -> usize {
+        let mut cached: Vec<(LineAddr, u64)> = Vec::new();
+        for nd in &self.nodes {
+            for (_slot, l1) in nd.l1s.iter() {
+                for (line, _state, v) in l1.resident() {
+                    if range.contains(line) && self.home_of(line) == node {
+                        cached.push((line, v));
+                    }
+                }
+            }
+        }
+        let dirty = self.nodes[node]
+            .ras
+            .persist_barrier(range, cached.into_iter());
+        let t = self.events.now();
+        for &(line, v) in &dirty {
+            let bank = self.bank_of(node, line);
+            let nd = &mut self.nodes[node];
+            nd.mem[bank].write(t, line, v);
+            nd.ras.on_home_write(line, v);
+        }
+        dirty.len()
+    }
+
+    /// Audit RAS consistency: every mirror-log entry must match the
+    /// current home-memory version of its line. Runs at the end of every
+    /// `run`/`run_to_completion`; a violation means a home write dodged
+    /// the mirroring hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics naming the first divergent line.
+    pub fn check_ras(&self) {
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (line, v) in node.ras.mirror_entries() {
+                let mem_v = node.mem[(line.0 % node.mem.len() as u64) as usize].version(line);
+                assert_eq!(
+                    v, mem_v,
+                    "mirror log diverges from memory for {line} on node {n}"
+                );
+            }
+        }
     }
 
     /// Run until the total retired instruction count reaches `target` (or
@@ -623,8 +799,30 @@ impl Machine {
                     ProtoMsg::InvalAck { .. } | ProtoMsg::WbAck { .. } => "ack",
                     _ => "wb",
                 };
-                let occ = self.cfg.lat.pe_instr.times(occupancy_cycles(kind));
                 let is_home = self.home_of(line) == node;
+                let mut pe_cycles = occupancy_cycles(kind);
+                if self.faults.enabled() {
+                    let cyc = self.time_to_cycle(t);
+                    if let Some(h) = self.faults.engine_hiccup(cyc) {
+                        // The engine's watchdog expires and the handler
+                        // replays from its TSRF-recorded inputs: extra
+                        // occupancy, same architectural outcome (the
+                        // state machine only commits at completion).
+                        let extra = self.nodes[node].engine_rec.replay(kind);
+                        pe_cycles += extra;
+                        self.faults.note_recovery(h.kind, true, extra, 0);
+                        self.probe.instant(
+                            TraceLevel::Spans,
+                            "faults",
+                            "engine.replay",
+                            Self::track_base(node)
+                                + if is_home { TRACK_HOME } else { TRACK_REMOTE },
+                            t.as_ps(),
+                            extra,
+                        );
+                    }
+                }
+                let occ = self.cfg.lat.pe_instr.times(pe_cycles);
                 self.probe.span(
                     TraceLevel::Spans,
                     "protocol",
@@ -832,8 +1030,15 @@ impl Machine {
             BankAction::ReadMem { line } => {
                 let bank = self.bank_of(n, line);
                 let acc = self.nodes[n].mem[bank].access(t, line);
+                let mut ready = (acc.critical + self.cfg.lat.mc_overhead).max(t);
+                if self.faults.enabled() {
+                    let cyc = self.time_to_cycle(t);
+                    if let Some(f) = self.faults.mem_fault(cyc) {
+                        ready += self.scrub_line(t, n, bank, line, f);
+                    }
+                }
                 self.events.schedule(
-                    (acc.critical + self.cfg.lat.mc_overhead).max(t),
+                    ready,
                     Ev::MemRead {
                         node: n,
                         bank,
@@ -843,7 +1048,9 @@ impl Machine {
             }
             BankAction::WriteMem { line, version } => {
                 let bank = self.bank_of(n, line);
-                self.nodes[n].mem[bank].write(t, line, version);
+                let nd = &mut self.nodes[n];
+                nd.mem[bank].write(t, line, version);
+                nd.ras.on_home_write(line, version);
             }
             BankAction::RemoteReq { slot: _, line, req } => {
                 let home = NodeId(self.home_of(line) as u16);
@@ -929,23 +1136,47 @@ impl Machine {
                 } else {
                     PacketKind::Short
                 };
-                let pkt = Packet::new(NodeId(n as u16), to, msg.lane(), kind, msg);
-                let (arrive, pkt) = self.net.send(t, pkt);
+                let lane = msg.lane();
+                let pkt = Packet::new(NodeId(n as u16), to, lane, kind, msg);
+                let (first, pkt) = self.net.send(t, pkt);
                 self.probe.span(
                     TraceLevel::Spans,
                     "net",
                     "send",
                     Self::track_base(n) + TRACK_NET,
                     t.as_ps(),
-                    arrive.max(t).since(t).as_ps(),
+                    first.max(t).since(t).as_ps(),
                     pkt.payload.line().0,
                 );
+                let mut arrive = first.max(t);
+                let mut payload = pkt.payload;
+                if self.faults.enabled() {
+                    let cyc = self.time_to_cycle(t);
+                    if let Some(f) = self.faults.packet_fault(cyc) {
+                        payload = self.retransmit(t, n, to, lane, kind, payload, f, &mut arrive);
+                    }
+                    if let Some(stall) = self.faults.router_stall(cyc) {
+                        // A transient queue stall: the hop completes late
+                        // but nothing is lost.
+                        arrive += self.cfg.cpu_clock.cycles_dur(stall);
+                        self.faults
+                            .note_recovery(FaultKind::RouterStall, true, stall, 0);
+                        self.probe.instant(
+                            TraceLevel::Spans,
+                            "faults",
+                            "router.stall",
+                            Self::track_base(n) + TRACK_NET,
+                            t.as_ps(),
+                            stall,
+                        );
+                    }
+                }
                 self.events.schedule(
-                    arrive.max(t),
+                    arrive,
                     Ev::NetMsg {
                         node: to.index(),
                         from: NodeId(n as u16),
-                        msg: pkt.payload,
+                        msg: payload,
                     },
                 );
             }
@@ -983,9 +1214,116 @@ impl Machine {
             }
             EngineAction::MemWrite { line, version } => {
                 let bank = self.bank_of(n, line);
-                self.nodes[n].mem[bank].write(t, line, version);
+                let nd = &mut self.nodes[n];
+                nd.mem[bank].write(t, line, version);
+                nd.ras.on_home_write(line, version);
             }
         }
+    }
+
+    /// Drive link-level recovery of one faulted packet send (paper
+    /// §2.6.1/§2.7: CRC-protected links). Each failed attempt costs a
+    /// NACK plus exponentially backed-off delay before the retransmit
+    /// re-walks the network; the packet that finally lands is clean.
+    /// Escalation (budget blown) still delivers — the NAK-free protocol
+    /// cannot tolerate a silently dropped message — but is charged to
+    /// the availability ledger as escalated.
+    #[allow(clippy::too_many_arguments)]
+    fn retransmit(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        to: NodeId,
+        lane: Lane,
+        kind: PacketKind,
+        mut payload: ProtoMsg,
+        f: piranha_faults::PacketFault,
+        arrive: &mut SimTime,
+    ) -> ProtoMsg {
+        let first_cycle = self.time_to_cycle(t);
+        let attempts = f.failed_attempts.min(self.faults.cfg().retry_budget + 1);
+        if f.kind == FaultKind::PacketCorrupt {
+            // Genuine detection, not assumption: corrupt the encoded
+            // payload and check the link CRC actually flags it.
+            let wire = format!("{payload:?}").into_bytes();
+            let good = crc32(&wire);
+            for attempt in 1..=attempts {
+                let mut damaged = wire.clone();
+                flip_bit(&mut damaged, f.flip_bit.wrapping_add(attempt));
+                debug_assert_ne!(
+                    crc32(&damaged),
+                    good,
+                    "link CRC must detect a single-bit flip"
+                );
+            }
+        }
+        for attempt in 1..=attempts {
+            let delay = self.faults.cfg().retransmit_delay_cycles(attempt);
+            let at = *arrive + self.cfg.cpu_clock.cycles_dur(delay);
+            let (t2, p2) = self
+                .net
+                .resend(at, Packet::new(NodeId(n as u16), to, lane, kind, payload));
+            *arrive = t2.max(at);
+            payload = p2.payload;
+        }
+        let corrected = f.failed_attempts <= self.faults.cfg().retry_budget;
+        let mttr = self.time_to_cycle(*arrive).saturating_sub(first_cycle);
+        self.faults
+            .note_recovery(f.kind, corrected, mttr, attempts as u64);
+        self.probe.instant(
+            TraceLevel::Spans,
+            "faults",
+            "packet.retransmit",
+            Self::track_base(n) + TRACK_NET,
+            t.as_ps(),
+            attempts as u64,
+        );
+        payload
+    }
+
+    /// Apply an injected memory bit-flip and run the SEC-DED scrub
+    /// (paper §2.7: memory protected by ECC, mirroring for what ECC
+    /// cannot fix). Single-bit errors correct in place; double-bit
+    /// errors escalate to a mirror-log restore when one exists. Returns
+    /// the repair latency to add to the read's data-return time.
+    fn scrub_line(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        bank: usize,
+        line: LineAddr,
+        f: piranha_faults::MemFault,
+    ) -> Duration {
+        let double = f.kind == FaultKind::MemFlipDouble;
+        let bits: &[u32] = if double {
+            &[f.bit_a, f.bit_b]
+        } else {
+            &[f.bit_a]
+        };
+        let outcome = self.nodes[n].mem[bank].inject_and_scrub(line, bits);
+        let (corrected, penalty) = match outcome {
+            Scrub::Clean(_) | Scrub::Corrected(_) => (true, self.faults.cfg().scrub_cycles),
+            Scrub::Uncorrectable => {
+                // SEC-DED gives up; restore from the mirror when one
+                // exists. Either way the fault escalated past the
+                // first-line ECC defence.
+                let nd = &mut self.nodes[n];
+                if let Some(v) = nd.ras.mirror_copy(line) {
+                    nd.mem[bank].set_version(line, v);
+                }
+                (false, self.faults.cfg().failover_cycles)
+            }
+        };
+        self.faults.note_recovery(f.kind, corrected, penalty, 0);
+        self.probe.instant(
+            TraceLevel::Spans,
+            "faults",
+            "mem.scrub",
+            Self::track_base(n) + TRACK_MEM + bank as u32,
+            t.as_ps(),
+            line.0,
+        );
+        self.cfg.cpu_clock.cycles_dur(penalty)
     }
 
     /// Snapshot a machine-wide utilization report (the system
@@ -1181,6 +1519,61 @@ mod tests {
             (r.total_instrs(), r.window, m.now())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faulted_run_recovers_and_stays_deterministic() {
+        let run = || {
+            let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+            cfg.cpu_quantum = 500;
+            cfg.faults = piranha_faults::FaultConfig::seeded(42, 2e-3);
+            let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+            let r = m.run(1_000, 5_000);
+            assert!(r.availability.is_consistent());
+            m.check_coherence();
+            (r.fingerprint(), r.availability.injected)
+        };
+        let (fp_a, inj_a) = run();
+        let (fp_b, inj_b) = run();
+        assert!(inj_a > 0, "rate 2e-3 over a multichip run must inject");
+        assert_eq!((fp_a, inj_a), (fp_b, inj_b), "same seed, same run");
+    }
+
+    #[test]
+    fn zero_rate_fault_config_is_bit_identical_to_disabled() {
+        let run = |faults: piranha_faults::FaultConfig| {
+            let mut cfg = SystemConfig::piranha_pn(2);
+            cfg.cpu_quantum = 500;
+            cfg.faults = faults;
+            let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+            m.run(1_000, 5_000).fingerprint()
+        };
+        let off = run(piranha_faults::FaultConfig::default());
+        let zero = run(piranha_faults::FaultConfig {
+            seed: 99,
+            ..piranha_faults::FaultConfig::default()
+        });
+        assert_eq!(off, zero, "a zero-rate plane draws nothing, costs nothing");
+    }
+
+    #[test]
+    fn scripted_faults_fire_and_are_ledgered() {
+        let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+        cfg.cpu_quantum = 500;
+        cfg.faults = piranha_faults::FaultConfig::scripted(
+            "corrupt@50, flap@60, stall@80, hiccup@100, flip1@200, flip2@300",
+        )
+        .unwrap();
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(1_000, 5_000);
+        assert_eq!(r.availability.injected, 6, "all six scripted events fired");
+        assert!(r.availability.is_consistent());
+        assert_eq!(m.fault_plane().unfired_scripted(), 0);
+        assert!(
+            r.availability.escalated >= 1,
+            "the double-bit flip escalates past ECC"
+        );
+        assert!(r.availability.retransmits >= 2, "corrupt + flap retransmit");
     }
 }
 

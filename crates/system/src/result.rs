@@ -2,6 +2,7 @@
 //! figures are built from.
 
 use piranha_cpu::CoreStats;
+use piranha_faults::AvailabilityReport;
 use piranha_probe::{MetricsSnapshot, StallTable};
 use piranha_types::time::Clock;
 use piranha_types::Duration;
@@ -37,6 +38,14 @@ pub struct RunResult {
     /// [`RunResult::fingerprint`]: it describes the measurement, not the
     /// simulated machine state.
     pub metrics: MetricsSnapshot,
+    /// The fault-injection availability ledger (all-zero when faults are
+    /// disabled). Part of the fingerprint: two runs only match when they
+    /// saw the same faults handled the same way.
+    pub availability: AvailabilityReport,
+    /// Workload-level units of work committed (bounded workloads run to
+    /// completion); `None` for fixed-instruction-window runs. Part of
+    /// the fingerprint.
+    pub committed_txns: Option<u64>,
 }
 
 impl RunResult {
@@ -49,6 +58,8 @@ impl RunResult {
             cpus,
             mem_page_hit_rate: 0.0,
             metrics: MetricsSnapshot::default(),
+            availability: AvailabilityReport::default(),
+            committed_txns: None,
         }
     }
 
@@ -59,13 +70,18 @@ impl RunResult {
     /// determinism guard test asserts exactly that.
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over a canonical rendering of the simulated fields.
+        // The availability digest and committed count are simulated
+        // quantities too: a disabled fault plane digests identically to
+        // the pre-fault-injection representation of the same run.
         let repr = format!(
-            "{}|{:?}|{:?}|{:?}|{}",
+            "{}|{:?}|{:?}|{:?}|{}|{}|{:?}",
             self.name,
             self.window,
             self.clock,
             self.cpus,
             self.mem_page_hit_rate.to_bits(),
+            self.availability.digest(),
+            self.committed_txns,
         );
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.as_bytes() {
@@ -255,6 +271,23 @@ mod tests {
         );
         let c = mk("x", 1001, 2_000);
         assert_ne!(a.fingerprint(), c.fingerprint(), "simulated change shows");
+    }
+
+    #[test]
+    fn fingerprint_reflects_availability_and_committed_work() {
+        let a = mk("x", 1000, 2_000);
+        let mut b = mk("x", 1000, 2_000);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.availability.injected = 1;
+        b.availability.corrected = 1;
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "a recovered fault is a simulated difference"
+        );
+        let mut c = mk("x", 1000, 2_000);
+        c.committed_txns = Some(17);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct DssConfig {
     pub selectivity: f64,
     /// Code footprint in bytes (a few KB: the scan loop).
     pub code_bytes: u64,
+    /// Stop after this many table lines per CPU stream (0 = unbounded).
+    /// Bounded streams let fault-injection runs prove completion of
+    /// identical work.
+    pub line_limit: u64,
 }
 
 impl DssConfig {
@@ -54,6 +58,7 @@ impl DssConfig {
             mispredict_rate: 0.005,
             selectivity: 0.55,
             code_bytes: 6 << 10,
+            line_limit: 0,
         }
     }
 }
@@ -203,9 +208,16 @@ impl DssStream {
 impl InstrStream for DssStream {
     fn next_op(&mut self) -> Option<StreamOp> {
         if self.queue.is_empty() {
+            if self.cfg.line_limit > 0 && self.lines_scanned >= self.cfg.line_limit {
+                return None;
+            }
             self.generate_line();
         }
         self.queue.pop_front()
+    }
+
+    fn txns_committed(&self) -> Option<u64> {
+        Some(self.lines_scanned)
     }
 }
 
@@ -217,6 +229,20 @@ mod tests {
         (0..n)
             .map(|_| s.next_op().expect("infinite stream"))
             .collect()
+    }
+
+    #[test]
+    fn line_limit_ends_the_stream_at_exactly_the_limit() {
+        let cfg = DssConfig {
+            line_limit: 5,
+            ..DssConfig::paper_default()
+        };
+        let mut s = DssStream::new(cfg, 0, 4, 1);
+        let ops: Vec<StreamOp> = std::iter::from_fn(|| s.next_op()).collect();
+        assert!(!ops.is_empty());
+        assert_eq!(s.txns_committed(), Some(5));
+        assert_eq!(s.lines_scanned(), 5);
+        assert!(s.next_op().is_none());
     }
 
     #[test]

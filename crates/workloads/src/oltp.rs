@@ -64,6 +64,10 @@ pub struct OltpConfig {
     /// Work multiplier: >1 adds extra phases per transaction (used for
     /// the TPC-C-like variant).
     pub work_scale: u32,
+    /// Stop after this many transactions per CPU stream (0 = unbounded,
+    /// the fixed-instruction-window default). Bounded streams let
+    /// fault-injection runs prove completion of identical work.
+    pub txn_limit: u64,
 }
 
 impl OltpConfig {
@@ -85,6 +89,7 @@ impl OltpConfig {
             serial_dep_rate: 0.70,
             log_slots: 32,
             work_scale: 1,
+            txn_limit: 0,
         }
     }
 
@@ -483,9 +488,16 @@ impl OltpStream {
 impl InstrStream for OltpStream {
     fn next_op(&mut self) -> Option<StreamOp> {
         if self.queue.is_empty() {
+            if self.cfg.txn_limit > 0 && self.txns_generated >= self.cfg.txn_limit {
+                return None;
+            }
             self.generate_txn();
         }
         self.queue.pop_front()
+    }
+
+    fn txns_committed(&self) -> Option<u64> {
+        Some(self.txns_generated)
     }
 }
 
@@ -505,6 +517,22 @@ mod tests {
         let mut a = OltpStream::new(cfg.clone(), 0, 8, 42);
         let mut b = OltpStream::new(cfg, 0, 8, 42);
         assert_eq!(take(5000, &mut a), take(5000, &mut b));
+    }
+
+    #[test]
+    fn txn_limit_ends_the_stream_at_exactly_the_limit() {
+        let cfg = OltpConfig {
+            txn_limit: 3,
+            ..OltpConfig::paper_default()
+        };
+        let mut s = OltpStream::new(cfg, 0, 8, 42);
+        let ops: Vec<StreamOp> = std::iter::from_fn(|| s.next_op()).collect();
+        assert!(!ops.is_empty());
+        assert_eq!(s.txns_committed(), Some(3));
+        assert!(s.next_op().is_none(), "stream stays exhausted");
+        // The unbounded default never ends.
+        let mut unbounded = OltpStream::new(OltpConfig::paper_default(), 0, 8, 42);
+        assert_eq!(take(5000, &mut unbounded).len(), 5000);
     }
 
     #[test]

@@ -7,6 +7,7 @@ fn tiny() -> RunScale {
     RunScale {
         warmup: 40_000,
         measure: 80_000,
+        ..RunScale::tiny()
     }
 }
 
