@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod component;
 pub mod config;
 pub mod dup;
 pub mod l1;
@@ -32,6 +33,7 @@ pub mod l2;
 pub mod mesi;
 pub mod tlb;
 
+pub use component::{CacheComplex, CacheEvent};
 pub use config::{L1Config, L2BankConfig};
 pub use dup::{DupEntry, DupTags, ExtState, Owner, Slot};
 pub use l1::{L1Cache, L1Set, StoreOutcome, Victim};

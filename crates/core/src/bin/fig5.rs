@@ -2,13 +2,23 @@
 //! versus the out-of-order (OOO) and in-order (INO) baselines on OLTP
 //! and DSS, with execution-time breakdowns (OOO = 100).
 //!
-//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
-//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
+//! Flags: `--quick` (CI scale), `--fingerprints` (print one
+//! `label\tfingerprint` line per run and nothing else — the CI golden
+//! smoke diffs this against `tests/golden_fig5_quick.tsv`),
+//! `--trace=<path>` (Chrome-trace JSON of a probed exemplar run),
+//! `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
 use piranha::observe::{self, ProbeCli};
 
 fn main() {
     let scale = scale_from_args();
+    if std::env::args().any(|a| a == "--fingerprints") {
+        print!(
+            "{}",
+            experiments::render_fingerprints(&experiments::fig5_fingerprints(scale))
+        );
+        return;
+    }
     println!(
         "{}",
         experiments::render_bars(

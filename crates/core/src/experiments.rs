@@ -11,7 +11,7 @@
 //! ## The harness
 //!
 //! All figures are produced through the parallel, memoizing
-//! [`Harness`](piranha_harness::Harness): each figure declares the
+//! [`Harness`]: each figure declares the
 //! `(SystemConfig, Workload, RunScale)` tuples it needs as a
 //! [`RunPlan`], unique runs execute across scoped worker threads, and
 //! shared baselines (OOO, P1, P8 appear in four or more figures each)
@@ -476,6 +476,109 @@ pub fn render_fault_rows(title: &str, rows: &[FaultRow]) -> String {
             r.committed,
             r.slowdown,
         ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Golden fingerprints: the event-ordering regression guard. Every
+// refactor of the simulator core must keep these bit-identical — the
+// checked-in `tests/golden_fingerprints.tsv` is diffed by
+// `tests/golden_fingerprint.rs` and by the CI smoke job.
+// ---------------------------------------------------------------------
+
+/// Fault-schedule seed of the golden set (the `fig_faults` headline
+/// schedule, shared with the CI fault smoke).
+pub const GOLDEN_FAULT_SEED: u64 = 42;
+
+/// Transactions per CPU of the golden bounded-OLTP completion runs.
+pub const GOLDEN_FAULT_TXNS: u64 = 3;
+
+fn workload_tag(w: &Workload) -> String {
+    match w {
+        Workload::Oltp(c) if c.txn_limit > 0 => format!("oltp[txn={}]", c.txn_limit),
+        Workload::Oltp(_) => "oltp".into(),
+        Workload::Dss(c) if c.line_limit > 0 => format!("dss[lines={}]", c.line_limit),
+        Workload::Dss(_) => "dss".into(),
+        Workload::Synth(_) => "synth".into(),
+        Workload::Web(_) => "web".into(),
+    }
+}
+
+fn scale_tag(scale: RunScale) -> String {
+    if scale.to_completion {
+        "completion".into()
+    } else {
+        format!("w{}+m{}", scale.warmup, scale.measure)
+    }
+}
+
+/// A short, stable, human-readable label naming one golden run:
+/// `config|workload|scale[|faults]`. Unique across [`golden_plan`]
+/// (asserted by the golden test).
+pub fn golden_label(req: &RunRequest) -> String {
+    let mut label = format!(
+        "{}|{}|{}",
+        req.cfg.name,
+        workload_tag(&req.workload),
+        scale_tag(req.scale)
+    );
+    if req.cfg.faults.enabled() {
+        label.push_str(&format!(
+            "|faults[seed={},rate={:e}]",
+            req.cfg.faults.seed, req.cfg.faults.rate
+        ));
+    }
+    label
+}
+
+/// The golden plan: every fig5–fig8 configuration at `scale` plus the
+/// fig_faults headline schedule (seed [`GOLDEN_FAULT_SEED`],
+/// [`GOLDEN_FAULT_TXNS`] transactions per CPU, run to completion).
+pub fn golden_plan(scale: RunScale) -> RunPlan {
+    let mut p = RunPlan::new();
+    p.merge(fig5_plan(&oltp(), scale));
+    p.merge(fig5_plan(&dss(), scale));
+    p.merge(fig6_plan(scale));
+    p.merge(fig7_plan(scale));
+    p.merge(fig8_plan(&oltp(), scale));
+    p.merge(fig8_plan(&dss(), scale));
+    p.merge(fig_faults_plan(GOLDEN_FAULT_SEED, GOLDEN_FAULT_TXNS));
+    p
+}
+
+fn plan_fingerprints(plan: &RunPlan) -> Vec<(String, u64)> {
+    let mut h = Harness::new();
+    h.execute(plan);
+    plan.requests()
+        .iter()
+        .map(|req| {
+            let r = h.get(&req.cfg, &req.workload, req.scale);
+            (golden_label(req), r.fingerprint())
+        })
+        .collect()
+}
+
+/// Labeled deterministic fingerprints of the whole golden set, in plan
+/// order.
+pub fn golden_fingerprints(scale: RunScale) -> Vec<(String, u64)> {
+    plan_fingerprints(&golden_plan(scale))
+}
+
+/// Labeled fingerprints of just the Figure 5 runs (OLTP + DSS) — the
+/// cheap subset the CI smoke job diffs via `fig5 --fingerprints`.
+pub fn fig5_fingerprints(scale: RunScale) -> Vec<(String, u64)> {
+    let mut plan = fig5_plan(&oltp(), scale);
+    plan.merge(fig5_plan(&dss(), scale));
+    plan_fingerprints(&plan)
+}
+
+/// Render labeled fingerprints in the golden-file format: one
+/// `label\tfingerprint-hex` line per run.
+pub fn render_fingerprints(rows: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (label, fp) in rows {
+        out.push_str(&format!("{label}\t{fp:016x}\n"));
     }
     out
 }

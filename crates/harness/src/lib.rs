@@ -97,15 +97,22 @@ impl RunScale {
     }
 }
 
-/// Run one configuration against one workload, serially, on the calling
-/// thread. This is the primitive everything else schedules.
-pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
-    let mut m = Machine::new(cfg, w);
+/// Drive a built machine for `scale`: either a warmup+measure window or
+/// a run to stream completion. Shared by [`run_config`] and
+/// [`run_config_probed`] so the two paths cannot drift apart.
+fn drive(m: &mut Machine, scale: RunScale) -> RunResult {
     if scale.to_completion {
         m.run_to_completion()
     } else {
         m.run(scale.warmup, scale.measure)
     }
+}
+
+/// Run one configuration against one workload, serially, on the calling
+/// thread. This is the primitive everything else schedules.
+pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
+    let mut m = Machine::new(cfg, w);
+    drive(&mut m, scale)
 }
 
 /// Like [`run_config`], but with an observability probe attached per
@@ -124,11 +131,7 @@ pub fn run_config_probed(
     let mut m = Machine::new(cfg, w);
     let probe = Probe::new(probe_cfg);
     m.set_probe(probe.clone());
-    let r = if scale.to_completion {
-        m.run_to_completion()
-    } else {
-        m.run(scale.warmup, scale.measure)
-    };
+    let r = drive(&mut m, scale);
     (r, probe)
 }
 

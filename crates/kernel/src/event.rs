@@ -54,6 +54,7 @@ pub struct EventQueue<E> {
     overflow: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: SimTime,
+    scheduled: u64,
     popped: u64,
     migrated: u64,
 }
@@ -96,6 +97,7 @@ impl<E> EventQueue<E> {
             overflow: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            scheduled: 0,
             popped: 0,
             migrated: 0,
         }
@@ -139,13 +141,27 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is earlier than the time of the last event popped —
     /// the simulation may never schedule into the past.
     pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.schedule_seq(time, seq, event);
+    }
+
+    /// Schedule `event` at `time` with an externally allocated sequence
+    /// number. This is the [`Scheduler`](crate::Scheduler) entry point:
+    /// sub-queues of a per-node scheduler share one global seq counter
+    /// so the merged drain order is identical to a single queue's.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`EventQueue::schedule`] on a past `time`. Callers
+    /// must keep `seq` unique; equal-time entries drain in `seq` order.
+    pub(crate) fn schedule_seq(&mut self, time: SimTime, seq: u64, event: E) {
         assert!(
             time >= self.now,
             "event scheduled at {time} is in the past (now = {})",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
+        self.scheduled += 1;
         let entry = Entry { time, seq, event };
         if day(time) >= self.horizon() {
             self.overflow.push(Reverse(entry));
@@ -191,16 +207,24 @@ impl<E> EventQueue<E> {
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// The `(time, seq)` key of the earliest pending event, if any —
+    /// the key [`pop`](EventQueue::pop) would deliver next. The merge
+    /// loop of [`Scheduler`](crate::Scheduler) compares these keys
+    /// across sub-queues.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         // Migration is lazy, so the overflow min can precede the wheel
-        // min; take the earlier of the two.
-        let over = self.overflow.peek().map(|Reverse(e)| e.time);
+        // min; take the smaller of the two keys.
+        let over = self.overflow.peek().map(|Reverse(e)| (e.time, e.seq));
         if self.wheel_len == 0 {
             return over;
         }
         let mut d = day(self.now);
         let wheel = loop {
             if let Some(front) = self.buckets[(d as usize) & (NBUCKETS - 1)].front() {
-                break front.time;
+                break (front.time, front.seq);
             }
             d += 1;
         };
@@ -225,9 +249,12 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Total events scheduled over the queue's lifetime.
+    /// Total events scheduled over the queue's lifetime. At quiescence
+    /// `scheduled() == popped() + len() as u64` — the accounting
+    /// invariant the kernel tests assert, for standalone queues and for
+    /// every sub-queue of a [`Scheduler`](crate::Scheduler) alike.
     pub fn scheduled(&self) -> u64 {
-        self.seq
+        self.scheduled
     }
 
     /// Total events popped over the queue's lifetime.
@@ -371,6 +398,21 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime(far), 0)));
         assert_eq!(q.popped(), 4);
         assert_eq!(q.scheduled(), 4);
+    }
+
+    #[test]
+    fn scheduled_equals_popped_plus_pending() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..50 {
+            q.schedule(SimTime(i * 7), i as u32);
+        }
+        for _ in 0..20 {
+            q.pop();
+        }
+        assert_eq!(q.scheduled(), q.popped() + q.len() as u64);
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled(), q.popped() + q.len() as u64);
+        assert_eq!(q.popped(), 50);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The memory-array component adapter.
+//!
+//! One node's RDRAM banks behind the kernel's [`Component`] interface.
+//! A [`MemEvent`] models the data-return instant of a read the memory
+//! controller started earlier; the array reads the line's version and
+//! directory *at that instant* — so intervening writes are observed —
+//! and emits them as a [`MemData`] action for the wiring to hand back to
+//! the requesting L2 bank. Writes, directory updates, and ECC scrubbing
+//! are synchronous and go through the direct methods.
+
+use piranha_kernel::{Component, Port};
+use piranha_types::{LineAddr, RemoteSummary, SimTime};
+
+use crate::{ecc::Scrub, DirEntry, MemAccess, MemBank};
+
+/// A read's data-return event: bank `bank` returns `line` now.
+#[derive(Debug, Clone, Copy)]
+pub struct MemEvent {
+    /// Node-local memory bank (same interleave as the L2 banks).
+    pub bank: usize,
+    /// The line whose read completes.
+    pub line: LineAddr,
+}
+
+/// The data a completing read carries back to its L2 bank.
+#[derive(Debug, Clone, Copy)]
+pub struct MemData {
+    /// Bank the data came from.
+    pub bank: usize,
+    /// The line.
+    pub line: LineAddr,
+    /// The line's version as of the return instant.
+    pub version: u64,
+    /// The directory's remote-sharing summary as of the return instant.
+    pub remote: RemoteSummary,
+}
+
+/// One node's memory banks (RDRAM channels plus the in-memory
+/// directory, paper §2.5–2.6).
+#[derive(Debug)]
+pub struct MemArray {
+    banks: Vec<MemBank>,
+}
+
+impl MemArray {
+    /// An array over pre-built banks.
+    pub fn new(banks: Vec<MemBank>) -> Self {
+        MemArray { banks }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Start a read on bank `bank`; returns its access timing.
+    pub fn access(&mut self, bank: usize, now: SimTime, line: LineAddr) -> MemAccess {
+        self.banks[bank].access(now, line)
+    }
+
+    /// Write `line`'s version on bank `bank`.
+    pub fn write(&mut self, bank: usize, now: SimTime, line: LineAddr, version: u64) -> MemAccess {
+        self.banks[bank].write(now, line, version)
+    }
+
+    /// The stored version of `line` on bank `bank`.
+    pub fn version(&self, bank: usize, line: LineAddr) -> u64 {
+        self.banks[bank].version(line)
+    }
+
+    /// Overwrite `line`'s version (RAS mirror failover path).
+    pub fn set_version(&mut self, bank: usize, line: LineAddr, version: u64) {
+        self.banks[bank].set_version(line, version)
+    }
+
+    /// The directory entry of `line` on bank `bank`.
+    pub fn directory(&self, bank: usize, line: LineAddr) -> DirEntry {
+        self.banks[bank].directory(line)
+    }
+
+    /// Inject `bits` flips into `line` and run the ECC scrubber.
+    pub fn inject_and_scrub(&mut self, bank: usize, line: LineAddr, bits: &[u32]) -> Scrub {
+        self.banks[bank].inject_and_scrub(line, bits)
+    }
+
+    /// The banks themselves (directory store views, statistics).
+    pub fn banks(&self) -> &[MemBank] {
+        &self.banks
+    }
+
+    /// Mutable bank slice (the home engine's `DirStore` borrows it).
+    pub fn banks_mut(&mut self) -> &mut [MemBank] {
+        &mut self.banks
+    }
+}
+
+impl Component for MemArray {
+    type Event = MemEvent;
+    type Action = MemData;
+    type Ctx<'a> = ();
+
+    fn handle(&mut self, now: SimTime, event: MemEvent, _ctx: (), out: &mut Port<MemData>) {
+        let MemEvent { bank, line } = event;
+        // Read version and directory at data-return time, not at the
+        // time the read was issued.
+        let version = self.banks[bank].version(line);
+        let remote = self.banks[bank].directory(line).summary();
+        out.emit(
+            now,
+            MemData {
+                bank,
+                line,
+                version,
+                remote,
+            },
+        );
+    }
+}

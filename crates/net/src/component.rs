@@ -1,0 +1,115 @@
+//! The interconnect-fabric component adapter.
+//!
+//! The machine-wide intra-chip/inter-chip network behind the kernel's
+//! [`Component`] interface. A [`Depart`] event injects a payload at its
+//! source node; the fabric routes it (charging hop and contention
+//! latency inside [`Network`]) and emits an [`Arrive`] action stamped
+//! with the delivery time, clamped to be no earlier than the send. The
+//! wiring applies link-fault hooks (CRC retransmits, router stalls) on
+//! the emitted action, at the port boundary — the fabric itself is
+//! fault-free, matching the paper's reliable-delivery datapath split.
+
+use piranha_kernel::{Component, Port};
+use piranha_types::{Lane, NodeId, SimTime};
+
+use crate::{Network, Packet, PacketKind, Topology};
+
+/// A packet departure: `payload` leaves `from` bound for `to`.
+#[derive(Debug, Clone)]
+pub struct Depart<P> {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Virtual lane (deadlock-avoidance class).
+    pub lane: Lane,
+    /// Short (header-only) or long (with data) packet.
+    pub kind: PacketKind,
+    /// The protocol payload.
+    pub payload: P,
+}
+
+/// A packet arrival at its destination, emitted at the delivery time.
+#[derive(Debug, Clone)]
+pub struct Arrive<P> {
+    /// The node the packet came from.
+    pub from: NodeId,
+    /// The node it arrived at.
+    pub to: NodeId,
+    /// The delivered payload.
+    pub payload: P,
+}
+
+/// The routed interconnect (paper §2.4/§3.2): one fabric serves the
+/// whole machine, so unlike the per-node adapters it is a single
+/// machine-wide component.
+#[derive(Debug)]
+pub struct Fabric<P> {
+    net: Network<P>,
+}
+
+impl<P> Fabric<P> {
+    /// A fabric over `net`.
+    pub fn new(net: Network<P>) -> Self {
+        Fabric { net }
+    }
+
+    /// Re-inject a packet after a link-level retransmit; returns the
+    /// new delivery time and the routed packet. Used by the wiring's
+    /// fault hooks only.
+    pub fn resend(&mut self, now: SimTime, pkt: Packet<P>) -> (SimTime, Packet<P>) {
+        self.net.resend(now, pkt)
+    }
+
+    /// Packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.net.delivered()
+    }
+
+    /// Link-level retransmissions.
+    pub fn retransmits(&self) -> u64 {
+        self.net.retransmits()
+    }
+
+    /// Packets deflected by full output queues.
+    pub fn deflections(&self) -> u64 {
+        self.net.deflections()
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        self.net.mean_hops()
+    }
+
+    /// The routed topology.
+    pub fn topology(&self) -> &Topology {
+        self.net.topology()
+    }
+}
+
+impl<P> Component for Fabric<P> {
+    type Event = Depart<P>;
+    type Action = Arrive<P>;
+    type Ctx<'a> = ();
+
+    fn handle(&mut self, now: SimTime, event: Depart<P>, _ctx: (), out: &mut Port<Arrive<P>>) {
+        let Depart {
+            from,
+            to,
+            lane,
+            kind,
+            payload,
+        } = event;
+        let (first, pkt) = self
+            .net
+            .send(now, Packet::new(from, to, lane, kind, payload));
+        out.emit(
+            first.max(now),
+            Arrive {
+                from,
+                to,
+                payload: pkt.payload,
+            },
+        );
+    }
+}

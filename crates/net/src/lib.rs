@@ -26,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod component;
 pub mod encoding;
 pub mod packet;
 pub mod queues;
 pub mod recovery;
 pub mod router;
 
+pub use component::{Arrive, Depart, Fabric};
 pub use encoding::{decode22, encode22, CodecError};
 pub use packet::{Packet, PacketKind, PRIORITIES};
 pub use queues::{InQueue, OutQueue};

@@ -1,6 +1,6 @@
 //! Chrome `trace_event` export.
 //!
-//! Serializes a [`TraceSnapshot`](crate::TraceSnapshot) into the JSON
+//! Serializes a [`TraceSnapshot`] into the JSON
 //! object format consumed by Perfetto (<https://ui.perfetto.dev>) and
 //! `chrome://tracing`: complete events (`"ph": "X"`) for spans, instant
 //! events (`"ph": "i"`) for zero-duration records, plus `thread_name`

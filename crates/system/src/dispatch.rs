@@ -1,0 +1,701 @@
+//! Event dispatch: routing between the component adapters.
+//!
+//! This is the only layer that knows the machine's topology of
+//! components. Each arm of [`Machine::dispatch`] hands the event to the
+//! owning adapter's `Component::handle` and routes the actions that come
+//! back out of its port — it contains **no subsystem logic** of its own.
+//! The two cross-cutting concerns the paper treats as system-level —
+//! fault injection/recovery (§2.7) and observability — are applied here,
+//! uniformly at the port boundary, so no subsystem crate knows they
+//! exist.
+
+use std::collections::VecDeque;
+
+use piranha_cache::{BankAction, BankEvent, CacheEvent, Mesi, Slot};
+use piranha_cpu::{CpuAction, CpuCtx, CpuEvent};
+use piranha_faults::FaultKind;
+use piranha_ics::TransferSize;
+use piranha_kernel::Component;
+use piranha_mem::{MemEvent, Scrub};
+use piranha_net::{crc32, flip_bit, Depart, Packet, PacketKind};
+use piranha_probe::TraceLevel;
+use piranha_protocol::coherence::occupancy_cycles;
+use piranha_protocol::{EngineAction, EngineEvent, HomeIn, ProtoMsg, RemoteIn};
+use piranha_types::{CpuId, Duration, Lane, LineAddr, NodeId, SimTime};
+
+use crate::machine::Machine;
+use crate::node::{Node, NodeDirs};
+use crate::wiring::{track_base, TRACK_BANK, TRACK_HOME, TRACK_MEM, TRACK_NET, TRACK_REMOTE};
+
+/// An event on the machine's scheduler. The handling node is the
+/// scheduler's own dimension, so events name only the in-node target.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    /// An event for the node's CPU cluster (step or fill).
+    Cpu(CpuEvent),
+    /// An event for one of the node's L2 banks.
+    Bank(CacheEvent),
+    /// A memory read's critical word is available.
+    MemRead(MemEvent),
+    /// A protocol message arrives at the node.
+    NetMsg { from: NodeId, msg: ProtoMsg },
+}
+
+/// A unit of synchronous follow-on work inside one dispatch.
+pub(crate) enum Item {
+    Bank(BankAction),
+    Eng(EngineAction),
+}
+
+impl Machine {
+    pub(crate) fn dispatch(&mut self, t: SimTime, node: usize, ev: Ev) {
+        match ev {
+            Ev::Cpu(ev) => self.cpu_event(t, node, ev),
+            Ev::Bank(ce) => {
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "cache",
+                    "bank.lookup",
+                    track_base(node) + TRACK_BANK + ce.bank as u32,
+                    t.as_ps(),
+                    self.cfg.lat.bank.as_ps(),
+                    0,
+                );
+                let mut port = std::mem::take(&mut self.bank_port);
+                self.nodes[node].caches.handle(t, ce, (), &mut port);
+                let items: Vec<Item> = port.drain().map(|(_, a)| Item::Bank(a)).collect();
+                self.bank_port = port;
+                self.apply(t, node, items);
+            }
+            Ev::MemRead(me) => {
+                self.probe.instant(
+                    TraceLevel::Spans,
+                    "mem",
+                    "dram.read",
+                    track_base(node) + TRACK_MEM + me.bank as u32,
+                    t.as_ps(),
+                    me.line.0,
+                );
+                // The memory array reads version/directory at data-return
+                // time, so intervening writes are observed; its MemData
+                // goes straight back to the requesting bank.
+                let mut mport = std::mem::take(&mut self.mem_port);
+                self.nodes[node].mem.handle(t, me, (), &mut mport);
+                let mut bport = std::mem::take(&mut self.bank_port);
+                for (_, d) in mport.drain() {
+                    self.nodes[node].caches.handle(
+                        t,
+                        CacheEvent {
+                            bank: d.bank,
+                            ev: BankEvent::MemData {
+                                line: d.line,
+                                version: d.version,
+                                remote: d.remote,
+                            },
+                        },
+                        (),
+                        &mut bport,
+                    );
+                }
+                self.mem_port = mport;
+                let items: Vec<Item> = bport.drain().map(|(_, a)| Item::Bank(a)).collect();
+                self.bank_port = bport;
+                self.apply(t, node, items);
+            }
+            Ev::NetMsg { from, msg } => {
+                let line = msg.line();
+                let kind = match &msg {
+                    ProtoMsg::Req { .. } => "req",
+                    ProtoMsg::Reply { .. } => "reply",
+                    ProtoMsg::Fwd { .. } => "fwd",
+                    ProtoMsg::Inval { .. } => "inval",
+                    ProtoMsg::InvalAck { .. } | ProtoMsg::WbAck { .. } => "ack",
+                    _ => "wb",
+                };
+                let is_home = self.home_of(line) == node;
+                let mut pe_cycles = occupancy_cycles(kind);
+                if self.faults.enabled() {
+                    let cyc = self.time_to_cycle(t);
+                    if let Some(h) = self.faults.engine_hiccup(cyc) {
+                        // The engine's watchdog expires and the handler
+                        // replays from its TSRF-recorded inputs: extra
+                        // occupancy, same architectural outcome (the
+                        // state machine only commits at completion).
+                        let extra = self.nodes[node].engines.replay(kind);
+                        pe_cycles += extra;
+                        self.faults.note_recovery(h.kind, true, extra, 0);
+                        self.probe.instant(
+                            TraceLevel::Spans,
+                            "faults",
+                            "engine.replay",
+                            track_base(node) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
+                            t.as_ps(),
+                            extra,
+                        );
+                    }
+                }
+                let occ = self.cfg.lat.pe_instr.times(pe_cycles);
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "protocol",
+                    if is_home { "home" } else { "remote" },
+                    track_base(node) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
+                    t.as_ps(),
+                    occ.as_ps(),
+                    line.0,
+                );
+                let mut port = std::mem::take(&mut self.eng_port);
+                {
+                    let nd = &mut self.nodes[node];
+                    nd.engines.acquire(is_home, t, occ);
+                    let Node { engines, mem, .. } = nd;
+                    let mut dirs = NodeDirs {
+                        banks: mem.banks_mut(),
+                    };
+                    let ev = if is_home {
+                        EngineEvent::Home(HomeIn::Msg { from, msg })
+                    } else {
+                        EngineEvent::Remote(RemoteIn::Msg { from, msg })
+                    };
+                    engines.handle(t, ev, &mut dirs, &mut port);
+                }
+                let items: Vec<Item> = port.drain().map(|(_, a)| Item::Eng(a)).collect();
+                self.eng_port = port;
+                self.apply(t, node, items);
+            }
+        }
+    }
+
+    /// Deliver one event to the node's CPU cluster and route the
+    /// resulting actions: memory requests toward the L2 (via the ICS and
+    /// the bank occupancy server), reschedules onto the scheduler, and
+    /// completions into the run loop's `unfinished` count.
+    fn cpu_event(&mut self, t: SimTime, node: usize, ev: CpuEvent) {
+        let (cpu, is_step) = match ev {
+            CpuEvent::Step { cpu } => (cpu, true),
+            CpuEvent::Fill { cpu, id, .. } => {
+                self.probe.instant(
+                    TraceLevel::Verbose,
+                    "cpu",
+                    "fill",
+                    track_base(node) + cpu as u32,
+                    t.as_ps(),
+                    id,
+                );
+                (cpu, false)
+            }
+        };
+        let fill_cycle = self.time_to_cycle(t);
+        let mut port = std::mem::take(&mut self.cpu_port);
+        let (retired, cyc_delta) = {
+            let Machine {
+                nodes, versions, ..
+            } = self;
+            let Node {
+                cpus, caches, sc, ..
+            } = &mut nodes[node];
+            let before = cpus.core(cpu).stats().instrs;
+            let cyc_before = cpus.core(cpu).now_cycle();
+            let ctx = CpuCtx {
+                l1s: caches.l1s_mut(),
+                versions,
+                enabled: sc.cpu_enabled(CpuId(cpu as u8)),
+                fill_cycle,
+            };
+            cpus.handle(t, ev, ctx, &mut port);
+            (
+                cpus.core(cpu).stats().instrs - before,
+                cpus.core(cpu).now_cycle() - cyc_before,
+            )
+        };
+        self.instrs_retired += retired;
+        if is_step && cyc_delta > 0 {
+            self.probe.span(
+                TraceLevel::Spans,
+                "cpu",
+                "step",
+                track_base(node) + cpu as u32,
+                t.as_ps(),
+                self.cfg.cpu_clock.cycles_dur(cyc_delta).as_ps(),
+                retired,
+            );
+        }
+        for (_, act) in port.drain() {
+            match act {
+                CpuAction::Issue { cpu, at_cycle, req } => {
+                    let issue = self.cycle_to_time(at_cycle).max(t);
+                    // Request message over the ICS (header) + path latency.
+                    let tics =
+                        self.nodes[node]
+                            .ics
+                            .transfer(issue, TransferSize::Header, Lane::Low);
+                    let arrive = (issue + self.cfg.lat.req).max(tics);
+                    let bank = self.bank_of(node, req.line);
+                    let exec = self.nodes[node]
+                        .caches
+                        .acquire(bank, arrive, self.cfg.lat.bank);
+                    let slot = Slot::new(CpuId(cpu as u8), req.kind);
+                    let prev = self.outstanding.insert((node, slot, req.line), req.id);
+                    assert!(
+                        prev.is_none(),
+                        "duplicate outstanding request for {slot} {}",
+                        req.line
+                    );
+                    let home_local = self.home_of(req.line) == node;
+                    self.events.schedule(
+                        node,
+                        exec.max(t),
+                        Ev::Bank(CacheEvent {
+                            bank,
+                            ev: BankEvent::Miss {
+                                slot,
+                                req: req.req,
+                                line: req.line,
+                                home_local,
+                                store_version: req.store_version,
+                            },
+                        }),
+                    );
+                }
+                CpuAction::Wake { cpu, at_cycle } => {
+                    let next = self.cycle_to_time(at_cycle).max(t);
+                    self.events
+                        .schedule(node, next, Ev::Cpu(CpuEvent::Step { cpu }));
+                }
+                CpuAction::Finished { .. } => self.unfinished -= 1,
+            }
+        }
+        self.cpu_port = port;
+    }
+
+    /// Run `ev` through the node's engine complex (threading the
+    /// directory view in) and queue the resulting actions.
+    fn engine(&mut self, t: SimTime, n: usize, ev: EngineEvent, q: &mut VecDeque<(usize, Item)>) {
+        let mut port = std::mem::take(&mut self.eng_port);
+        {
+            let Node { engines, mem, .. } = &mut self.nodes[n];
+            let mut dirs = NodeDirs {
+                banks: mem.banks_mut(),
+            };
+            engines.handle(t, ev, &mut dirs, &mut port);
+        }
+        q.extend(port.drain().map(|(_, a)| (n, Item::Eng(a))));
+        self.eng_port = port;
+    }
+
+    /// Run `ev` through one of the node's L2 banks and queue the
+    /// resulting actions.
+    fn bank(&mut self, t: SimTime, n: usize, ev: CacheEvent, q: &mut VecDeque<(usize, Item)>) {
+        let mut port = std::mem::take(&mut self.bank_port);
+        self.nodes[n].caches.handle(t, ev, (), &mut port);
+        q.extend(port.drain().map(|(_, a)| (n, Item::Bank(a))));
+        self.bank_port = port;
+    }
+
+    /// Apply a work-list of bank/engine actions at time `t` on `node`.
+    /// The work queue's allocation is reused across dispatches.
+    pub(crate) fn apply(&mut self, t: SimTime, origin: usize, items: Vec<Item>) {
+        let mut q = std::mem::take(&mut self.work);
+        debug_assert!(q.is_empty());
+        q.extend(items.into_iter().map(|i| (origin, i)));
+        while let Some((n, item)) = q.pop_front() {
+            match item {
+                Item::Bank(a) => self.apply_bank_action(t, n, a, &mut q),
+                Item::Eng(a) => self.apply_engine_action(t, n, a, &mut q),
+            }
+        }
+        self.work = q;
+    }
+
+    fn apply_bank_action(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        a: BankAction,
+        q: &mut VecDeque<(usize, Item)>,
+    ) {
+        match a {
+            BankAction::Grant {
+                slot,
+                line,
+                state: _,
+                version: _,
+                source,
+                upgraded,
+            } => {
+                let id = self
+                    .outstanding
+                    .remove(&(n, slot, line))
+                    .unwrap_or_else(|| panic!("grant without outstanding request: {slot} {line}"));
+                // Data fills occupy an ICS datapath; upgrades are
+                // header-only.
+                let size = if upgraded {
+                    TransferSize::Header
+                } else {
+                    TransferSize::Line
+                };
+                self.nodes[n].ics.transfer(t, size, Lane::High);
+                let wake = t + self.reply_latency(source);
+                self.events.schedule(
+                    n,
+                    wake,
+                    Ev::Cpu(CpuEvent::Fill {
+                        cpu: slot.cpu().index(),
+                        id,
+                        source,
+                    }),
+                );
+            }
+            BankAction::Inval { .. } | BankAction::Downgrade { .. } => {
+                self.nodes[n]
+                    .ics
+                    .transfer(t, TransferSize::Header, Lane::High);
+            }
+            BankAction::VictimDisplaced {
+                slot,
+                line,
+                state,
+                version,
+            } => {
+                // Victim data crosses the ICS to its own bank.
+                let size = if state == Mesi::Modified {
+                    TransferSize::Line
+                } else {
+                    TransferSize::Header
+                };
+                self.nodes[n].ics.transfer(t, size, Lane::Low);
+                let bank = self.bank_of(n, line);
+                self.bank(
+                    t,
+                    n,
+                    CacheEvent {
+                        bank,
+                        ev: BankEvent::Victim {
+                            slot,
+                            line,
+                            state,
+                            version,
+                        },
+                    },
+                    q,
+                );
+            }
+            BankAction::ReadMem { line } => {
+                let bank = self.bank_of(n, line);
+                let acc = self.nodes[n].mem.access(bank, t, line);
+                let mut ready = (acc.critical + self.cfg.lat.mc_overhead).max(t);
+                if self.faults.enabled() {
+                    let cyc = self.time_to_cycle(t);
+                    if let Some(f) = self.faults.mem_fault(cyc) {
+                        ready += self.scrub_line(t, n, bank, line, f);
+                    }
+                }
+                self.events
+                    .schedule(n, ready, Ev::MemRead(MemEvent { bank, line }));
+            }
+            BankAction::WriteMem { line, version } => {
+                let bank = self.bank_of(n, line);
+                let nd = &mut self.nodes[n];
+                nd.mem.write(bank, t, line, version);
+                nd.ras.on_home_write(line, version);
+            }
+            BankAction::RemoteReq { slot: _, line, req } => {
+                let home = NodeId(self.home_of(line) as u16);
+                self.engine(
+                    t,
+                    n,
+                    EngineEvent::Remote(RemoteIn::LocalReq { line, req, home }),
+                    q,
+                );
+            }
+            BankAction::RemoteWb { line, version } => {
+                let home = NodeId(self.home_of(line) as u16);
+                self.engine(
+                    t,
+                    n,
+                    EngineEvent::Remote(RemoteIn::LocalWb {
+                        line,
+                        version,
+                        home,
+                    }),
+                    q,
+                );
+            }
+            BankAction::HomeInvalRemote { line } => {
+                self.engine(
+                    t,
+                    n,
+                    EngineEvent::Home(HomeIn::LocalInvalRemotes { line }),
+                    q,
+                );
+            }
+            BankAction::HomeRecall { slot: _, line, req } => {
+                self.engine(
+                    t,
+                    n,
+                    EngineEvent::Home(HomeIn::LocalRecall { line, req }),
+                    q,
+                );
+            }
+            BankAction::ExportReply {
+                line,
+                version,
+                dirty,
+                cached,
+            } => {
+                let ev = if self.home_of(line) == n {
+                    EngineEvent::Home(HomeIn::ExportReply {
+                        line,
+                        version,
+                        dirty,
+                        cached,
+                    })
+                } else {
+                    EngineEvent::Remote(RemoteIn::ExportReply {
+                        line,
+                        version,
+                        dirty,
+                        cached,
+                    })
+                };
+                self.engine(t, n, ev, q);
+            }
+        }
+    }
+
+    fn apply_engine_action(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        a: EngineAction,
+        q: &mut VecDeque<(usize, Item)>,
+    ) {
+        match a {
+            EngineAction::Send { to, msg } => {
+                let kind = if msg.is_long() {
+                    PacketKind::Long
+                } else {
+                    PacketKind::Short
+                };
+                let lane = msg.lane();
+                let mut port = std::mem::take(&mut self.net_port);
+                self.net.handle(
+                    t,
+                    Depart {
+                        from: NodeId(n as u16),
+                        to,
+                        lane,
+                        kind,
+                        payload: msg,
+                    },
+                    (),
+                    &mut port,
+                );
+                let (first, arr) = {
+                    let mut it = port.drain();
+                    it.next().expect("one arrival per departure")
+                };
+                debug_assert!(port.is_empty());
+                self.net_port = port;
+                self.probe.span(
+                    TraceLevel::Spans,
+                    "net",
+                    "send",
+                    track_base(n) + TRACK_NET,
+                    t.as_ps(),
+                    first.since(t).as_ps(),
+                    arr.payload.line().0,
+                );
+                let mut arrive = first;
+                let mut payload = arr.payload;
+                if self.faults.enabled() {
+                    let cyc = self.time_to_cycle(t);
+                    if let Some(f) = self.faults.packet_fault(cyc) {
+                        payload = self.retransmit(t, n, to, lane, kind, payload, f, &mut arrive);
+                    }
+                    if let Some(stall) = self.faults.router_stall(cyc) {
+                        // A transient queue stall: the hop completes late
+                        // but nothing is lost.
+                        arrive += self.cfg.cpu_clock.cycles_dur(stall);
+                        self.faults
+                            .note_recovery(FaultKind::RouterStall, true, stall, 0);
+                        self.probe.instant(
+                            TraceLevel::Spans,
+                            "faults",
+                            "router.stall",
+                            track_base(n) + TRACK_NET,
+                            t.as_ps(),
+                            stall,
+                        );
+                    }
+                }
+                self.events.schedule(
+                    to.index(),
+                    arrive,
+                    Ev::NetMsg {
+                        from: NodeId(n as u16),
+                        msg: payload,
+                    },
+                );
+            }
+            EngineAction::Export { line, excl } => {
+                let bank = self.bank_of(n, line);
+                self.bank(
+                    t,
+                    n,
+                    CacheEvent {
+                        bank,
+                        ev: BankEvent::Export { line, excl },
+                    },
+                    q,
+                );
+            }
+            EngineAction::Fill {
+                line,
+                excl,
+                version,
+                source,
+            } => {
+                let bank = self.bank_of(n, line);
+                let grant = if excl { Mesi::Exclusive } else { Mesi::Shared };
+                self.bank(
+                    t,
+                    n,
+                    CacheEvent {
+                        bank,
+                        ev: BankEvent::RemoteFill {
+                            line,
+                            grant,
+                            version,
+                            source,
+                        },
+                    },
+                    q,
+                );
+            }
+            EngineAction::Purge { line } => {
+                let bank = self.bank_of(n, line);
+                self.bank(
+                    t,
+                    n,
+                    CacheEvent {
+                        bank,
+                        ev: BankEvent::InvalAll { line },
+                    },
+                    q,
+                );
+            }
+            EngineAction::MemWrite { line, version } => {
+                let bank = self.bank_of(n, line);
+                let nd = &mut self.nodes[n];
+                nd.mem.write(bank, t, line, version);
+                nd.ras.on_home_write(line, version);
+            }
+        }
+    }
+
+    /// Drive link-level recovery of one faulted packet send (paper
+    /// §2.6.1/§2.7: CRC-protected links). Each failed attempt costs a
+    /// NACK plus exponentially backed-off delay before the retransmit
+    /// re-walks the network; the packet that finally lands is clean.
+    /// Escalation (budget blown) still delivers — the NAK-free protocol
+    /// cannot tolerate a silently dropped message — but is charged to
+    /// the availability ledger as escalated.
+    #[allow(clippy::too_many_arguments)]
+    fn retransmit(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        to: NodeId,
+        lane: Lane,
+        kind: PacketKind,
+        mut payload: ProtoMsg,
+        f: piranha_faults::PacketFault,
+        arrive: &mut SimTime,
+    ) -> ProtoMsg {
+        let first_cycle = self.time_to_cycle(t);
+        let attempts = f.failed_attempts.min(self.faults.cfg().retry_budget + 1);
+        if f.kind == FaultKind::PacketCorrupt {
+            // Genuine detection, not assumption: corrupt the encoded
+            // payload and check the link CRC actually flags it.
+            let wire = format!("{payload:?}").into_bytes();
+            let good = crc32(&wire);
+            for attempt in 1..=attempts {
+                let mut damaged = wire.clone();
+                flip_bit(&mut damaged, f.flip_bit.wrapping_add(attempt));
+                debug_assert_ne!(
+                    crc32(&damaged),
+                    good,
+                    "link CRC must detect a single-bit flip"
+                );
+            }
+        }
+        for attempt in 1..=attempts {
+            let delay = self.faults.cfg().retransmit_delay_cycles(attempt);
+            let at = *arrive + self.cfg.cpu_clock.cycles_dur(delay);
+            let (t2, p2) = self
+                .net
+                .resend(at, Packet::new(NodeId(n as u16), to, lane, kind, payload));
+            *arrive = t2.max(at);
+            payload = p2.payload;
+        }
+        let corrected = f.failed_attempts <= self.faults.cfg().retry_budget;
+        let mttr = self.time_to_cycle(*arrive).saturating_sub(first_cycle);
+        self.faults
+            .note_recovery(f.kind, corrected, mttr, attempts as u64);
+        self.probe.instant(
+            TraceLevel::Spans,
+            "faults",
+            "packet.retransmit",
+            track_base(n) + TRACK_NET,
+            t.as_ps(),
+            attempts as u64,
+        );
+        payload
+    }
+
+    /// Apply an injected memory bit-flip and run the SEC-DED scrub
+    /// (paper §2.7: memory protected by ECC, mirroring for what ECC
+    /// cannot fix). Single-bit errors correct in place; double-bit
+    /// errors escalate to a mirror-log restore when one exists. Returns
+    /// the repair latency to add to the read's data-return time.
+    fn scrub_line(
+        &mut self,
+        t: SimTime,
+        n: usize,
+        bank: usize,
+        line: LineAddr,
+        f: piranha_faults::MemFault,
+    ) -> Duration {
+        let double = f.kind == FaultKind::MemFlipDouble;
+        let bits: &[u32] = if double {
+            &[f.bit_a, f.bit_b]
+        } else {
+            &[f.bit_a]
+        };
+        let outcome = self.nodes[n].mem.inject_and_scrub(bank, line, bits);
+        let (corrected, penalty) = match outcome {
+            Scrub::Clean(_) | Scrub::Corrected(_) => (true, self.faults.cfg().scrub_cycles),
+            Scrub::Uncorrectable => {
+                // SEC-DED gives up; restore from the mirror when one
+                // exists. Either way the fault escalated past the
+                // first-line ECC defence.
+                let nd = &mut self.nodes[n];
+                if let Some(v) = nd.ras.mirror_copy(line) {
+                    nd.mem.set_version(bank, line, v);
+                }
+                (false, self.faults.cfg().failover_cycles)
+            }
+        };
+        self.faults.note_recovery(f.kind, corrected, penalty, 0);
+        self.probe.instant(
+            TraceLevel::Spans,
+            "faults",
+            "mem.scrub",
+            track_base(n) + TRACK_MEM + bank as u32,
+            t.as_ps(),
+            line.0,
+        );
+        self.cfg.cpu_clock.cycles_dur(penalty)
+    }
+}

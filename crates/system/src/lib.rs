@@ -22,10 +22,16 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub(crate) mod dispatch;
 pub mod machine;
+pub(crate) mod node;
 pub mod report;
 pub mod result;
 pub mod sysctl;
+pub(crate) mod wiring;
+
+#[cfg(test)]
+mod tests;
 
 pub use config::{CoreKind, PathLatencies, SystemConfig};
 pub use machine::Machine;

@@ -1,167 +1,40 @@
-//! The event-driven whole-system simulator.
+//! The event-driven whole-system simulator: run loop and system API.
+//!
+//! The [`Machine`] is three thin layers over the component adapters the
+//! subsystem crates export:
+//!
+//! * `node` — per-chip composition (CPU cluster, cache complex,
+//!   memory array, engine complex, ICS, system controller, RAS);
+//! * `dispatch` — event routing between adapters, with fault
+//!   injection and probe spans applied at the port boundary;
+//! * `wiring` — construction, topology, and observability plumbing.
+//!
+//! This module keeps only the run loop, the per-node scheduler, and the
+//! externally visible system API (RAS operations, hot CPU start/stop,
+//! coherence audit).
 
 use std::collections::{HashMap, VecDeque};
 
-use piranha_cache::{BankAction, BankEvent, L1Set, L2Bank, Mesi, Slot};
-use piranha_cpu::{CoreCtx, CoreModel, CoreStatus, InOrderCore, MemReq, OooCore};
-use piranha_faults::{AvailabilityReport, FaultKind, FaultPlane};
-use piranha_ics::{Ics, TransferSize};
-use piranha_kernel::{EventQueue, Server};
-use piranha_mem::{DirEntry, MemBank, Scrub};
-use piranha_net::{crc32, flip_bit, Network, Packet, PacketKind, Topology};
-use piranha_probe::{Probe, TraceLevel};
-use piranha_protocol::coherence::{occupancy_cycles, DirStore};
-use piranha_protocol::{
-    EngineAction, EngineRecovery, HomeEngine, HomeIn, LineRange, ProtoMsg, RasPolicy, RemoteEngine,
-    RemoteIn,
-};
-use piranha_types::{CpuId, Duration, FillSource, Lane, LineAddr, NodeId, SimTime};
+use piranha_cache::{BankAction, Slot};
+use piranha_cpu::CpuAction;
+use piranha_faults::{AvailabilityReport, FaultPlane};
+use piranha_kernel::{Port, Scheduler};
+use piranha_mem::MemData;
+use piranha_net::{Arrive, Fabric};
+use piranha_probe::Probe;
+use piranha_protocol::{EngineAction, LineRange, ProtoMsg, RasPolicy};
+use piranha_types::{CpuId, Duration, FillSource, LineAddr, SimTime};
 use piranha_workloads::Workload;
 
-use crate::config::{CoreKind, SystemConfig};
+use crate::config::SystemConfig;
+use crate::dispatch::{Ev, Item};
+use crate::node::Node;
 use crate::result::RunResult;
 
 /// Lines per OS page (8 KB pages interleave homes across nodes).
-const PAGE_LINES: u64 = 128;
+pub(crate) const PAGE_LINES: u64 = 128;
 
-/// Chrome-trace track layout: each node owns a stride of 64 track ids —
-/// CPUs at `base + cpu`, L2 banks at `base + TRACK_BANK + bank`, memory
-/// channels at `base + TRACK_MEM + bank`, then the two protocol engines
-/// and the router port.
-const TRACK_STRIDE: u32 = 64;
-const TRACK_BANK: u32 = 16;
-const TRACK_MEM: u32 = 24;
-const TRACK_HOME: u32 = 32;
-const TRACK_REMOTE: u32 = 33;
-const TRACK_NET: u32 = 34;
-
-/// Build the interconnect topology: processing nodes fully connected
-/// (gluelessly possible up to five with four channels each) or meshed,
-/// with each I/O node attached by its two channels to two processing
-/// nodes for redundancy (paper §2.6.1).
-fn build_topology(processing: usize, io: usize) -> Topology {
-    let total = processing + io;
-    if total == 1 {
-        // A single node never routes; a trivial two-node ring keeps the
-        // network object well-formed (and unused).
-        return Topology::ring(2);
-    }
-    if io == 0 {
-        return if total <= 5 {
-            Topology::fully_connected(total)
-        } else {
-            let w = (total as f64).sqrt().ceil() as usize;
-            Topology::mesh(w, total.div_ceil(w).max(2))
-        };
-    }
-    // Custom: processing clique + dual-homed I/O nodes.
-    let mut adj: Vec<Vec<NodeId>> = (0..total).map(|_| Vec::new()).collect();
-    for a in 0..processing {
-        for b in (a + 1)..processing {
-            adj[a].push(NodeId(b as u16));
-            adj[b].push(NodeId(a as u16));
-        }
-    }
-    for i in 0..io {
-        let n = processing + i;
-        let first = i % processing;
-        adj[n].push(NodeId(first as u16));
-        adj[first].push(NodeId(n as u16));
-        if processing > 1 {
-            let second = (i + 1) % processing;
-            adj[n].push(NodeId(second as u16));
-            adj[second].push(NodeId(n as u16));
-        }
-    }
-    Topology::custom(adj)
-}
-
-/// One node (chip) of the machine.
-struct Node {
-    cores: Vec<Box<dyn CoreModel>>,
-    streams: Vec<Box<dyn piranha_cpu::InstrStream>>,
-    l1s: L1Set,
-    banks: Vec<L2Bank>,
-    bank_srv: Vec<Server>,
-    mem: Vec<MemBank>,
-    ics: Ics,
-    home: HomeEngine,
-    remote: RemoteEngine,
-    home_srv: Server,
-    remote_srv: Server,
-    sc: crate::sysctl::SystemController,
-    done: Vec<bool>,
-    /// Per-node RAS policy: persistent-memory journal + mirror log
-    /// (paper §2.7).
-    ras: RasPolicy,
-    /// Protocol-engine watchdog/replay machinery (paper §2.7: engine
-    /// hiccups recover by replaying the TSRF transaction).
-    engine_rec: EngineRecovery,
-}
-
-impl std::fmt::Debug for Node {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node")
-            .field("cpus", &self.cores.len())
-            .finish_non_exhaustive()
-    }
-}
-
-/// View of one node's memory banks as the home engine's directory store.
-struct NodeDirs<'a> {
-    banks: &'a mut [MemBank],
-}
-
-impl DirStore for NodeDirs<'_> {
-    fn dir(&self, line: LineAddr) -> DirEntry {
-        self.banks[(line.0 % self.banks.len() as u64) as usize].directory(line)
-    }
-    fn set_dir(&mut self, line: LineAddr, dir: DirEntry) {
-        let n = self.banks.len() as u64;
-        self.banks[(line.0 % n) as usize].set_directory(line, dir);
-    }
-    fn mem_version(&self, line: LineAddr) -> u64 {
-        self.banks[(line.0 % self.banks.len() as u64) as usize].version(line)
-    }
-}
-
-#[derive(Debug, Clone)]
-enum Ev {
-    /// Let a CPU execute.
-    CpuStep { node: usize, cpu: usize },
-    /// Deliver a fill completion to a CPU.
-    CpuFill {
-        node: usize,
-        cpu: usize,
-        id: u64,
-        source: FillSource,
-    },
-    /// Deliver an event to an L2 bank.
-    Bank {
-        node: usize,
-        bank: usize,
-        ev: BankEvent,
-    },
-    /// A memory read's critical word is available.
-    MemRead {
-        node: usize,
-        bank: usize,
-        line: LineAddr,
-    },
-    /// A protocol message arrives at a node.
-    NetMsg {
-        node: usize,
-        from: NodeId,
-        msg: ProtoMsg,
-    },
-}
-
-enum Item {
-    Bank(BankAction),
-    Eng(EngineAction),
-}
-
-/// The whole simulated system: nodes, interconnect, event queue.
+/// The whole simulated system: nodes, interconnect, event scheduler.
 ///
 /// # Examples
 ///
@@ -174,32 +47,38 @@ enum Item {
 /// println!("{:.3} instructions/ns", result.throughput_ipns());
 /// ```
 pub struct Machine {
-    cfg: SystemConfig,
-    events: EventQueue<Ev>,
-    nodes: Vec<Node>,
-    net: Network<ProtoMsg>,
-    versions: u64,
+    pub(crate) cfg: SystemConfig,
+    /// Per-node event sub-queues with a deterministic global merge.
+    pub(crate) events: Scheduler<Ev>,
+    pub(crate) nodes: Vec<Node>,
+    /// The machine-wide interconnect fabric.
+    pub(crate) net: Fabric<ProtoMsg>,
+    pub(crate) versions: u64,
     /// Outstanding CPU requests: (node, slot, line) → request id.
-    outstanding: HashMap<(usize, Slot, LineAddr), u64>,
+    pub(crate) outstanding: HashMap<(usize, Slot, LineAddr), u64>,
     /// Observability handle; `Probe::disabled()` (the default) makes
     /// every recording call a no-op. The simulation never reads it, so
     /// attaching a probe cannot change simulated results.
-    probe: Probe,
+    pub(crate) probe: Probe,
     /// Running total of retired instructions, maintained incrementally so
     /// the run loop does not rescan every core.
-    instrs_retired: u64,
+    pub(crate) instrs_retired: u64,
     /// CPUs that are enabled and not yet done; `run_until_total` stops
     /// when this hits zero instead of scanning nodes × cores.
-    unfinished: usize,
-    /// Reusable buffer for `cpu_step`'s memory requests.
-    req_buf: Vec<(u64, MemReq)>,
+    pub(crate) unfinished: usize,
     /// Reusable work queue for `apply`.
-    work: VecDeque<(usize, Item)>,
+    pub(crate) work: VecDeque<(usize, Item)>,
+    /// Reusable output ports, one per action type, drained by dispatch.
+    pub(crate) cpu_port: Port<CpuAction>,
+    pub(crate) bank_port: Port<BankAction>,
+    pub(crate) mem_port: Port<MemData>,
+    pub(crate) eng_port: Port<EngineAction>,
+    pub(crate) net_port: Port<Arrive<ProtoMsg>>,
     /// The fault-injection oracle and availability ledger. Disabled by
     /// default: every consult is a branch on a cached bool, zero PRNG
     /// draws, zero latency — a fault-free run is bit-identical to one
     /// built before this field existed.
-    faults: FaultPlane,
+    pub(crate) faults: FaultPlane,
 }
 
 impl std::fmt::Debug for Machine {
@@ -221,133 +100,25 @@ impl Machine {
         Self::with_streams(cfg, streams)
     }
 
-    /// Build a machine with explicit per-CPU streams (for examples and
-    /// tests driving custom programs, e.g. through `piranha_cpu::IsaStream`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of streams does not match the CPU count.
-    pub fn with_streams(
-        cfg: SystemConfig,
-        mut streams: Vec<Box<dyn piranha_cpu::InstrStream>>,
-    ) -> Self {
-        assert_eq!(
-            streams.len(),
-            cfg.workload_cpus(),
-            "one stream per processing CPU (I/O nodes drive themselves)"
-        );
-        let total_nodes = cfg.nodes + cfg.io_nodes;
-        let topo = build_topology(cfg.nodes, cfg.io_nodes);
-        let net = Network::new(topo, cfg.net);
-        let mut nodes = Vec::with_capacity(total_nodes);
-        for n in 0..total_nodes {
-            let is_io = n >= cfg.nodes;
-            let (n_cpus, n_banks) = if is_io {
-                (1, 1)
-            } else {
-                (cfg.cpus_per_node, cfg.l2_banks)
-            };
-            let cores: Vec<Box<dyn CoreModel>> = (0..n_cpus)
-                .map(|_| match cfg.core {
-                    CoreKind::InOrder(c) => Box::new(InOrderCore::new(c)) as Box<dyn CoreModel>,
-                    CoreKind::Ooo(c) => Box::new(OooCore::new(c)) as Box<dyn CoreModel>,
-                })
-                .collect();
-            let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if is_io {
-                // The I/O chip's CPU runs device-driver/DMA traffic,
-                // fully coherent with the rest of the system.
-                vec![Box::new(piranha_workloads::SynthStream::new(
-                    piranha_workloads::SynthConfig::dma(),
-                    n - cfg.nodes,
-                    cfg.io_nodes,
-                    cfg.seed ^ 0x10,
-                ))]
-            } else {
-                streams.drain(..cfg.cpus_per_node).collect()
-            };
-            let mut sc = crate::sysctl::SystemController::new(NodeId(n as u16), n_cpus);
-            let peers: Vec<NodeId> = (0..total_nodes)
-                .filter(|&m| m != n)
-                .map(|m| NodeId(m as u16))
-                .collect();
-            sc.interconnect_boot(&peers, 1024);
-            let mut ras = RasPolicy::new(NodeId(n as u16));
-            if cfg.faults.enabled() && cfg.faults.mirror_lines > 0 {
-                // Mirror the low lines on every node; `on_home_write`
-                // only fires at a line's home, so each node's mirror log
-                // covers exactly its own homed slice of the range.
-                ras.register_mirrored(LineRange {
-                    start: LineAddr(0),
-                    end: LineAddr(cfg.faults.mirror_lines),
-                });
-            }
-            nodes.push(Node {
-                cores,
-                streams: node_streams,
-                l1s: L1Set::new(n_cpus, cfg.l1),
-                banks: (0..n_banks)
-                    .map(|b| L2Bank::new(cfg.l2_bank, b as u64, n_banks as u64))
-                    .collect(),
-                bank_srv: (0..n_banks).map(|_| Server::new()).collect(),
-                mem: (0..n_banks).map(|_| MemBank::new(cfg.mem)).collect(),
-                ics: Ics::new(cfg.ics),
-                home: {
-                    let mut h = HomeEngine::new(NodeId(n as u16), total_nodes);
-                    h.set_cmi_routes(cfg.cmi_routes);
-                    h
-                },
-                remote: RemoteEngine::new(NodeId(n as u16)),
-                home_srv: Server::new(),
-                remote_srv: Server::new(),
-                sc,
-                done: vec![false; n_cpus],
-                ras,
-                engine_rec: EngineRecovery::new(cfg.faults.replay_timeout_cycles),
-            });
-        }
-        let mut events = EventQueue::new();
-        for (n, node) in nodes.iter().enumerate() {
-            for c in 0..node.cores.len() {
-                events.schedule(SimTime::ZERO, Ev::CpuStep { node: n, cpu: c });
-            }
-        }
-        let unfinished = nodes.iter().map(|n| n.cores.len()).sum();
-        let faults = FaultPlane::new(cfg.faults.clone(), cfg.seed);
-        Machine {
-            cfg,
-            events,
-            nodes,
-            net,
-            versions: 0,
-            outstanding: HashMap::new(),
-            probe: Probe::disabled(),
-            instrs_retired: 0,
-            unfinished,
-            req_buf: Vec::new(),
-            work: VecDeque::new(),
-            faults,
-        }
-    }
-
     /// The home node of a line (8 KB pages interleaved round-robin).
-    fn home_of(&self, line: LineAddr) -> usize {
+    pub(crate) fn home_of(&self, line: LineAddr) -> usize {
         ((line.0 / PAGE_LINES) % self.nodes.len() as u64) as usize
     }
 
-    fn bank_of(&self, node: usize, line: LineAddr) -> usize {
-        (line.0 % self.nodes[node].banks.len() as u64) as usize
+    pub(crate) fn bank_of(&self, node: usize, line: LineAddr) -> usize {
+        (line.0 % self.nodes[node].caches.bank_count() as u64) as usize
     }
 
-    fn cycle_to_time(&self, cycle: u64) -> SimTime {
+    pub(crate) fn cycle_to_time(&self, cycle: u64) -> SimTime {
         SimTime::ZERO + self.cfg.cpu_clock.cycles_dur(cycle)
     }
 
-    fn time_to_cycle(&self, t: SimTime) -> u64 {
+    pub(crate) fn time_to_cycle(&self, t: SimTime) -> u64 {
         self.cfg.cpu_clock.cycles(t.since(SimTime::ZERO))
     }
 
     /// Reply latency from bank to CPU by service point.
-    fn reply_latency(&self, source: FillSource) -> Duration {
+    pub(crate) fn reply_latency(&self, source: FillSource) -> Duration {
         match source {
             FillSource::L2Fwd => self.cfg.lat.reply + self.cfg.lat.fwd_probe,
             _ => self.cfg.lat.reply,
@@ -359,130 +130,23 @@ impl Machine {
         &self.cfg
     }
 
-    fn track_base(node: usize) -> u32 {
-        node as u32 * TRACK_STRIDE
-    }
-
-    /// Attach an observability probe; names this machine's tracks for
-    /// the Chrome-trace exporter. Pass [`Probe::disabled`] to detach.
-    pub fn set_probe(&mut self, probe: Probe) {
-        self.probe = probe;
-        if !self.probe.is_enabled() {
-            return;
-        }
-        for (n, node) in self.nodes.iter().enumerate() {
-            let base = Self::track_base(n);
-            for c in 0..node.cores.len() {
-                self.probe
-                    .name_track(base + c as u32, format!("node{n}.cpu{c}"));
-            }
-            for b in 0..node.banks.len() {
-                self.probe
-                    .name_track(base + TRACK_BANK + b as u32, format!("node{n}.l2bank{b}"));
-                self.probe
-                    .name_track(base + TRACK_MEM + b as u32, format!("node{n}.mem{b}"));
-            }
-            self.probe
-                .name_track(base + TRACK_HOME, format!("node{n}.home-engine"));
-            self.probe
-                .name_track(base + TRACK_REMOTE, format!("node{n}.remote-engine"));
-            self.probe
-                .name_track(base + TRACK_NET, format!("node{n}.router"));
-        }
-    }
-
     /// The attached probe (disabled unless [`Machine::set_probe`] was
     /// called).
     pub fn probe(&self) -> &Probe {
         &self.probe
     }
 
-    /// Pull-sample every subsystem's authoritative counters into the
-    /// probe's metric registry. The subsystems keep the single source of
-    /// truth; the registry holds the latest sampled reading. A no-op
-    /// when the probe is disabled.
-    pub fn sample_metrics(&self) {
-        if !self.probe.is_enabled() {
-            return;
-        }
-        let p = &self.probe;
-        p.publish_counter("kernel.events.scheduled", self.events.scheduled());
-        p.publish_counter("kernel.events.popped", self.events.popped());
-        p.publish_counter("kernel.events.migrated", self.events.migrated());
-        p.publish_counter("machine.instrs", self.total_instrs());
-        p.publish_gauge("mem.page_hit_rate", self.mem_page_hit_rate());
-        p.publish_counter("net.delivered", self.net.delivered());
-        p.publish_counter("net.deflections", self.net.deflections());
-        p.publish_counter("net.retransmits", self.net.retransmits());
-        p.publish_gauge("net.mean_hops", self.net.mean_hops());
-        let av = self.faults.report();
-        p.publish_counter("faults.injected", av.injected);
-        p.publish_counter("faults.corrected", av.corrected);
-        p.publish_counter("faults.escalated", av.escalated);
-        p.publish_counter("faults.retransmits", av.retransmits);
-        p.publish_counter("faults.recovery_cycles", av.recovery_cycles);
-        for (n, node) in self.nodes.iter().enumerate() {
-            for (c, core) in node.cores.iter().enumerate() {
-                let s = core.stats();
-                let k = format!("cpu.node{n}.core{c}");
-                p.publish_counter(&format!("{k}.instrs"), s.instrs);
-                p.publish_counter(&format!("{k}.l1_hits"), s.l1_hits);
-                p.publish_counter(&format!("{k}.l1i_misses"), s.l1i_misses);
-                p.publish_counter(&format!("{k}.l1d_misses"), s.l1d_misses);
-                p.publish_counter(&format!("{k}.sb_reqs"), s.sb_reqs);
-                p.publish_counter(&format!("{k}.tlb_misses"), core.tlb_misses());
-                p.publish_counter(&format!("{k}.stall_cycles"), s.total_stall());
-            }
-            p.publish_counter(
-                &format!("cache.node{n}.bank_lookups"),
-                node.bank_srv.iter().map(|s| s.jobs()).sum(),
-            );
-            p.publish_counter(&format!("ics.node{n}.words"), node.ics.words_moved());
-            p.publish_gauge(
-                &format!("ics.node{n}.utilization"),
-                node.ics.utilization(self.events.now()),
-            );
-            p.publish_counter(
-                &format!("mem.node{n}.accesses"),
-                node.mem.iter().map(|m| m.rdram().accesses()).sum(),
-            );
-            p.publish_counter(
-                &format!("protocol.node{n}.home_msgs"),
-                node.home.msgs_handled(),
-            );
-            p.publish_counter(
-                &format!("protocol.node{n}.remote_msgs"),
-                node.remote.msgs_handled(),
-            );
-            p.publish_counter(
-                &format!("protocol.node{n}.replays"),
-                node.engine_rec.replays(),
-            );
-            p.publish_counter(&format!("ras.node{n}.cap_faults"), node.ras.faults());
-            p.publish_gauge(
-                &format!("protocol.node{n}.tsrf_high_water"),
-                node.home
-                    .tsrf_high_water()
-                    .max(node.remote.tsrf_high_water()) as f64,
-            );
-        }
-    }
-
     /// Per-CPU statistics snapshots (cloned), node-major order.
     pub fn cpu_stats(&self) -> Vec<piranha_cpu::CoreStats> {
         self.nodes
             .iter()
-            .flat_map(|n| n.cores.iter().map(|c| c.stats().clone()))
+            .flat_map(|n| n.cpus.cores().map(|c| c.stats().clone()))
             .collect()
     }
 
     /// Total instructions retired so far across all CPUs.
     pub fn total_instrs(&self) -> u64 {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.cores.iter())
-            .map(|c| c.stats().instrs)
-            .sum()
+        self.nodes.iter().map(|n| n.cpus.instrs()).sum()
     }
 
     /// Current simulated time.
@@ -490,8 +154,8 @@ impl Machine {
         self.events.now()
     }
 
-    /// The interconnect (for delivery/deflection statistics).
-    pub fn network(&self) -> &Network<ProtoMsg> {
+    /// The interconnect fabric (for delivery/deflection statistics).
+    pub fn network(&self) -> &Fabric<ProtoMsg> {
         &self.net
     }
 
@@ -500,7 +164,7 @@ impl Machine {
         let mut hits = 0.0;
         let mut n = 0.0;
         for node in &self.nodes {
-            for m in &node.mem {
+            for m in node.mem.banks() {
                 let a = m.rdram().accesses() as f64;
                 hits += m.rdram().page_hit_rate() * a;
                 n += a;
@@ -521,10 +185,10 @@ impl Machine {
         let mut hw = 0;
         let mut rw = 0;
         for n in &self.nodes {
-            hm += n.home.msgs_handled();
-            rm += n.remote.msgs_handled();
-            hw = hw.max(n.home.tsrf_high_water());
-            rw = rw.max(n.remote.tsrf_high_water());
+            hm += n.engines.home().msgs_handled();
+            rm += n.engines.remote().msgs_handled();
+            hw = hw.max(n.engines.home().tsrf_high_water());
+            rw = rw.max(n.engines.remote().tsrf_high_water());
         }
         (hm, rm, hw, rw)
     }
@@ -535,22 +199,7 @@ impl Machine {
     pub fn run(&mut self, warmup: u64, measure: u64) -> RunResult {
         let ncpus = self.cfg.total_cpus() as u64;
         self.run_until_total(self.total_instrs() + warmup * ncpus);
-        let snap: Vec<piranha_cpu::CoreStats> = self.cpu_stats();
-        let t0 = self.now();
-        self.run_until_total(self.total_instrs() + measure * ncpus);
-        let t1 = self.now();
-        let end = self.cpu_stats();
-        let cpus: Vec<piranha_cpu::CoreStats> =
-            end.iter().zip(&snap).map(|(e, s)| e.diff(s)).collect();
-        let mut r = RunResult::new(
-            self.cfg.name.clone(),
-            t1.since(t0),
-            self.cfg.cpu_clock,
-            cpus,
-        );
-        r.mem_page_hit_rate = self.mem_page_hit_rate();
-        self.finish_result(&mut r);
-        r
+        self.run_window(measure * ncpus)
     }
 
     /// Run until every CPU's stream ends. Only meaningful for bounded
@@ -559,9 +208,16 @@ impl Machine {
     /// must match exactly while only the cycle count differs — the basis
     /// of the availability slowdown measurement.
     pub fn run_to_completion(&mut self) -> RunResult {
+        self.run_window(u64::MAX)
+    }
+
+    /// The shared measurement driver: snapshot, run for `budget` more
+    /// aggregate instructions (saturating, so `u64::MAX` means "until
+    /// every stream ends"), and package the measured window.
+    fn run_window(&mut self, budget: u64) -> RunResult {
+        let snap: Vec<piranha_cpu::CoreStats> = self.cpu_stats();
         let t0 = self.now();
-        let snap = self.cpu_stats();
-        self.run_until_total(u64::MAX);
+        self.run_until_total(self.total_instrs().saturating_add(budget));
         let t1 = self.now();
         let end = self.cpu_stats();
         let cpus: Vec<piranha_cpu::CoreStats> =
@@ -600,7 +256,7 @@ impl Machine {
         let mut total = 0u64;
         let mut any = false;
         for node in &self.nodes {
-            for s in &node.streams {
+            for s in node.cpus.streams() {
                 if let Some(c) = s.txns_committed() {
                     total += c;
                     any = true;
@@ -650,7 +306,7 @@ impl Machine {
     pub fn ras_persist_barrier(&mut self, node: usize, range: LineRange) -> usize {
         let mut cached: Vec<(LineAddr, u64)> = Vec::new();
         for nd in &self.nodes {
-            for (_slot, l1) in nd.l1s.iter() {
+            for (_slot, l1) in nd.caches.l1s().iter() {
                 for (line, _state, v) in l1.resident() {
                     if range.contains(line) && self.home_of(line) == node {
                         cached.push((line, v));
@@ -665,7 +321,7 @@ impl Machine {
         for &(line, v) in &dirty {
             let bank = self.bank_of(node, line);
             let nd = &mut self.nodes[node];
-            nd.mem[bank].write(t, line, v);
+            nd.mem.write(bank, t, line, v);
             nd.ras.on_home_write(line, v);
         }
         dirty.len()
@@ -682,7 +338,8 @@ impl Machine {
     pub fn check_ras(&self) {
         for (n, node) in self.nodes.iter().enumerate() {
             for (line, v) in node.ras.mirror_entries() {
-                let mem_v = node.mem[(line.0 % node.mem.len() as u64) as usize].version(line);
+                let bank = (line.0 % node.mem.bank_count() as u64) as usize;
+                let mem_v = node.mem.version(bank, line);
                 assert_eq!(
                     v, mem_v,
                     "mirror log diverges from memory for {line} on node {n}"
@@ -710,7 +367,7 @@ impl Machine {
                 return;
             }
             for _ in 0..64 {
-                let Some((t, ev)) = self.events.pop() else {
+                let Some((t, node, ev)) = self.events.pop() else {
                     assert!(
                         self.unfinished == 0,
                         "event queue drained with unfinished CPUs: deadlock"
@@ -721,650 +378,8 @@ impl Machine {
                     self.events.popped() < 2_000_000_000,
                     "event budget exhausted: runaway simulation"
                 );
-                self.dispatch(t, ev);
+                self.dispatch(t, node, ev);
             }
-        }
-    }
-
-    fn dispatch(&mut self, t: SimTime, ev: Ev) {
-        match ev {
-            Ev::CpuStep { node, cpu } => self.cpu_step(t, node, cpu),
-            Ev::CpuFill {
-                node,
-                cpu,
-                id,
-                source,
-            } => {
-                self.probe.instant(
-                    TraceLevel::Verbose,
-                    "cpu",
-                    "fill",
-                    Self::track_base(node) + cpu as u32,
-                    t.as_ps(),
-                    id,
-                );
-                let cyc = self.time_to_cycle(t);
-                let core = &mut self.nodes[node].cores[cpu];
-                let before = core.stats().instrs;
-                core.fill(id, cyc, source);
-                let after = core.stats().instrs;
-                self.instrs_retired += after - before;
-                self.events.schedule(t, Ev::CpuStep { node, cpu });
-            }
-            Ev::Bank { node, bank, ev } => {
-                self.probe.span(
-                    TraceLevel::Spans,
-                    "cache",
-                    "bank.lookup",
-                    Self::track_base(node) + TRACK_BANK + bank as u32,
-                    t.as_ps(),
-                    self.cfg.lat.bank.as_ps(),
-                    0,
-                );
-                let nd = &mut self.nodes[node];
-                let acts = nd.banks[bank].handle(ev, &mut nd.l1s);
-                self.apply(t, node, acts.into_iter().map(Item::Bank).collect());
-            }
-            Ev::MemRead { node, bank, line } => {
-                self.probe.instant(
-                    TraceLevel::Spans,
-                    "mem",
-                    "dram.read",
-                    Self::track_base(node) + TRACK_MEM + bank as u32,
-                    t.as_ps(),
-                    line.0,
-                );
-                // Read the version/directory *now* (at data-return time),
-                // so intervening writes are observed.
-                let nd = &mut self.nodes[node];
-                let version = nd.mem[bank].version(line);
-                let remote = nd.mem[bank].directory(line).summary();
-                let acts = nd.banks[bank].handle(
-                    BankEvent::MemData {
-                        line,
-                        version,
-                        remote,
-                    },
-                    &mut nd.l1s,
-                );
-                self.apply(t, node, acts.into_iter().map(Item::Bank).collect());
-            }
-            Ev::NetMsg { node, from, msg } => {
-                let line = msg.line();
-                let kind = match &msg {
-                    ProtoMsg::Req { .. } => "req",
-                    ProtoMsg::Reply { .. } => "reply",
-                    ProtoMsg::Fwd { .. } => "fwd",
-                    ProtoMsg::Inval { .. } => "inval",
-                    ProtoMsg::InvalAck { .. } | ProtoMsg::WbAck { .. } => "ack",
-                    _ => "wb",
-                };
-                let is_home = self.home_of(line) == node;
-                let mut pe_cycles = occupancy_cycles(kind);
-                if self.faults.enabled() {
-                    let cyc = self.time_to_cycle(t);
-                    if let Some(h) = self.faults.engine_hiccup(cyc) {
-                        // The engine's watchdog expires and the handler
-                        // replays from its TSRF-recorded inputs: extra
-                        // occupancy, same architectural outcome (the
-                        // state machine only commits at completion).
-                        let extra = self.nodes[node].engine_rec.replay(kind);
-                        pe_cycles += extra;
-                        self.faults.note_recovery(h.kind, true, extra, 0);
-                        self.probe.instant(
-                            TraceLevel::Spans,
-                            "faults",
-                            "engine.replay",
-                            Self::track_base(node)
-                                + if is_home { TRACK_HOME } else { TRACK_REMOTE },
-                            t.as_ps(),
-                            extra,
-                        );
-                    }
-                }
-                let occ = self.cfg.lat.pe_instr.times(pe_cycles);
-                self.probe.span(
-                    TraceLevel::Spans,
-                    "protocol",
-                    if is_home { "home" } else { "remote" },
-                    Self::track_base(node) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
-                    t.as_ps(),
-                    occ.as_ps(),
-                    line.0,
-                );
-                let items: Vec<Item> = if is_home {
-                    let nd = &mut self.nodes[node];
-                    nd.home_srv.acquire(t, occ);
-                    let (banks, home) = (&mut nd.mem, &mut nd.home);
-                    let mut dirs = NodeDirs { banks };
-                    home.handle(HomeIn::Msg { from, msg }, &mut dirs)
-                        .into_iter()
-                        .map(Item::Eng)
-                        .collect()
-                } else {
-                    let nd = &mut self.nodes[node];
-                    nd.remote_srv.acquire(t, occ);
-                    nd.remote
-                        .handle(RemoteIn::Msg { from, msg })
-                        .into_iter()
-                        .map(Item::Eng)
-                        .collect()
-                };
-                self.apply(t, node, items);
-            }
-        }
-    }
-
-    fn cpu_step(&mut self, t: SimTime, node: usize, cpu: usize) {
-        let quantum = self.cfg.cpu_quantum;
-        let mut reqs = std::mem::take(&mut self.req_buf);
-        debug_assert!(reqs.is_empty());
-        let status = {
-            let nd = &mut self.nodes[node];
-            if nd.done[cpu] || !nd.sc.cpu_enabled(CpuId(cpu as u8)) {
-                self.req_buf = reqs;
-                return;
-            }
-            let (l1i, l1d) = nd.l1s.pair_mut(CpuId(cpu as u8));
-            let mut ctx = CoreCtx {
-                l1i,
-                l1d,
-                versions: &mut self.versions,
-            };
-            let before = nd.cores[cpu].stats().instrs;
-            let cyc_before = nd.cores[cpu].now_cycle();
-            let status =
-                nd.cores[cpu].advance(nd.streams[cpu].as_mut(), &mut ctx, quantum, &mut reqs);
-            let retired = nd.cores[cpu].stats().instrs - before;
-            self.instrs_retired += retired;
-            let cyc_after = nd.cores[cpu].now_cycle();
-            if cyc_after > cyc_before {
-                self.probe.span(
-                    TraceLevel::Spans,
-                    "cpu",
-                    "step",
-                    Self::track_base(node) + cpu as u32,
-                    t.as_ps(),
-                    self.cfg
-                        .cpu_clock
-                        .cycles_dur(cyc_after - cyc_before)
-                        .as_ps(),
-                    retired,
-                );
-            }
-            status
-        };
-        for (cycle, req) in reqs.drain(..) {
-            let issue = self.cycle_to_time(cycle).max(t);
-            // Request message over the ICS (header) + path latency.
-            let tics = self.nodes[node]
-                .ics
-                .transfer(issue, TransferSize::Header, Lane::Low);
-            let arrive = (issue + self.cfg.lat.req).max(tics);
-            let bank = self.bank_of(node, req.line);
-            let exec = self.nodes[node].bank_srv[bank].acquire(arrive, self.cfg.lat.bank);
-            let slot = Slot::new(CpuId(cpu as u8), req.kind);
-            let prev = self.outstanding.insert((node, slot, req.line), req.id);
-            assert!(
-                prev.is_none(),
-                "duplicate outstanding request for {slot} {}",
-                req.line
-            );
-            let home_local = self.home_of(req.line) == node;
-            self.events.schedule(
-                exec.max(t),
-                Ev::Bank {
-                    node,
-                    bank,
-                    ev: BankEvent::Miss {
-                        slot,
-                        req: req.req,
-                        line: req.line,
-                        home_local,
-                        store_version: req.store_version,
-                    },
-                },
-            );
-        }
-        self.req_buf = reqs;
-        match status {
-            CoreStatus::Runnable => {
-                let next = self
-                    .cycle_to_time(self.nodes[node].cores[cpu].now_cycle())
-                    .max(t);
-                self.events.schedule(next, Ev::CpuStep { node, cpu });
-            }
-            CoreStatus::Blocked => {}
-            CoreStatus::Done => {
-                self.nodes[node].done[cpu] = true;
-                self.unfinished -= 1;
-            }
-        }
-    }
-
-    /// Apply a work-list of bank/engine actions at time `t` on `node`.
-    /// The work queue's allocation is reused across dispatches.
-    fn apply(&mut self, t: SimTime, origin: usize, items: Vec<Item>) {
-        let mut q = std::mem::take(&mut self.work);
-        debug_assert!(q.is_empty());
-        q.extend(items.into_iter().map(|i| (origin, i)));
-        while let Some((n, item)) = q.pop_front() {
-            match item {
-                Item::Bank(a) => self.apply_bank_action(t, n, a, &mut q),
-                Item::Eng(a) => self.apply_engine_action(t, n, a, &mut q),
-            }
-        }
-        self.work = q;
-    }
-
-    fn apply_bank_action(
-        &mut self,
-        t: SimTime,
-        n: usize,
-        a: BankAction,
-        q: &mut VecDeque<(usize, Item)>,
-    ) {
-        match a {
-            BankAction::Grant {
-                slot,
-                line,
-                state: _,
-                version: _,
-                source,
-                upgraded,
-            } => {
-                let id = self
-                    .outstanding
-                    .remove(&(n, slot, line))
-                    .unwrap_or_else(|| panic!("grant without outstanding request: {slot} {line}"));
-                // Data fills occupy an ICS datapath; upgrades are
-                // header-only.
-                let size = if upgraded {
-                    TransferSize::Header
-                } else {
-                    TransferSize::Line
-                };
-                self.nodes[n].ics.transfer(t, size, Lane::High);
-                let wake = t + self.reply_latency(source);
-                self.events.schedule(
-                    wake,
-                    Ev::CpuFill {
-                        node: n,
-                        cpu: slot.cpu().index(),
-                        id,
-                        source,
-                    },
-                );
-            }
-            BankAction::Inval { .. } | BankAction::Downgrade { .. } => {
-                self.nodes[n]
-                    .ics
-                    .transfer(t, TransferSize::Header, Lane::High);
-            }
-            BankAction::VictimDisplaced {
-                slot,
-                line,
-                state,
-                version,
-            } => {
-                // Victim data crosses the ICS to its own bank.
-                let size = if state == Mesi::Modified {
-                    TransferSize::Line
-                } else {
-                    TransferSize::Header
-                };
-                self.nodes[n].ics.transfer(t, size, Lane::Low);
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
-                let acts = nd.banks[bank].handle(
-                    BankEvent::Victim {
-                        slot,
-                        line,
-                        state,
-                        version,
-                    },
-                    &mut nd.l1s,
-                );
-                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
-            }
-            BankAction::ReadMem { line } => {
-                let bank = self.bank_of(n, line);
-                let acc = self.nodes[n].mem[bank].access(t, line);
-                let mut ready = (acc.critical + self.cfg.lat.mc_overhead).max(t);
-                if self.faults.enabled() {
-                    let cyc = self.time_to_cycle(t);
-                    if let Some(f) = self.faults.mem_fault(cyc) {
-                        ready += self.scrub_line(t, n, bank, line, f);
-                    }
-                }
-                self.events.schedule(
-                    ready,
-                    Ev::MemRead {
-                        node: n,
-                        bank,
-                        line,
-                    },
-                );
-            }
-            BankAction::WriteMem { line, version } => {
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
-                nd.mem[bank].write(t, line, version);
-                nd.ras.on_home_write(line, version);
-            }
-            BankAction::RemoteReq { slot: _, line, req } => {
-                let home = NodeId(self.home_of(line) as u16);
-                let acts = self.nodes[n]
-                    .remote
-                    .handle(RemoteIn::LocalReq { line, req, home });
-                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
-            }
-            BankAction::RemoteWb { line, version } => {
-                let home = NodeId(self.home_of(line) as u16);
-                let acts = self.nodes[n].remote.handle(RemoteIn::LocalWb {
-                    line,
-                    version,
-                    home,
-                });
-                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
-            }
-            BankAction::HomeInvalRemote { line } => {
-                let nd = &mut self.nodes[n];
-                let (banks, home) = (&mut nd.mem, &mut nd.home);
-                let mut dirs = NodeDirs { banks };
-                let acts = home.handle(HomeIn::LocalInvalRemotes { line }, &mut dirs);
-                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
-            }
-            BankAction::HomeRecall { slot: _, line, req } => {
-                let nd = &mut self.nodes[n];
-                let (banks, home) = (&mut nd.mem, &mut nd.home);
-                let mut dirs = NodeDirs { banks };
-                let acts = home.handle(HomeIn::LocalRecall { line, req }, &mut dirs);
-                q.extend(acts.into_iter().map(|x| (n, Item::Eng(x))));
-            }
-            BankAction::ExportReply {
-                line,
-                version,
-                dirty,
-                cached,
-            } => {
-                let items: Vec<Item> = if self.home_of(line) == n {
-                    let nd = &mut self.nodes[n];
-                    let (banks, home) = (&mut nd.mem, &mut nd.home);
-                    let mut dirs = NodeDirs { banks };
-                    home.handle(
-                        HomeIn::ExportReply {
-                            line,
-                            version,
-                            dirty,
-                            cached,
-                        },
-                        &mut dirs,
-                    )
-                    .into_iter()
-                    .map(Item::Eng)
-                    .collect()
-                } else {
-                    self.nodes[n]
-                        .remote
-                        .handle(RemoteIn::ExportReply {
-                            line,
-                            version,
-                            dirty,
-                            cached,
-                        })
-                        .into_iter()
-                        .map(Item::Eng)
-                        .collect()
-                };
-                q.extend(items.into_iter().map(|x| (n, x)));
-            }
-        }
-    }
-
-    fn apply_engine_action(
-        &mut self,
-        t: SimTime,
-        n: usize,
-        a: EngineAction,
-        q: &mut VecDeque<(usize, Item)>,
-    ) {
-        match a {
-            EngineAction::Send { to, msg } => {
-                let kind = if msg.is_long() {
-                    PacketKind::Long
-                } else {
-                    PacketKind::Short
-                };
-                let lane = msg.lane();
-                let pkt = Packet::new(NodeId(n as u16), to, lane, kind, msg);
-                let (first, pkt) = self.net.send(t, pkt);
-                self.probe.span(
-                    TraceLevel::Spans,
-                    "net",
-                    "send",
-                    Self::track_base(n) + TRACK_NET,
-                    t.as_ps(),
-                    first.max(t).since(t).as_ps(),
-                    pkt.payload.line().0,
-                );
-                let mut arrive = first.max(t);
-                let mut payload = pkt.payload;
-                if self.faults.enabled() {
-                    let cyc = self.time_to_cycle(t);
-                    if let Some(f) = self.faults.packet_fault(cyc) {
-                        payload = self.retransmit(t, n, to, lane, kind, payload, f, &mut arrive);
-                    }
-                    if let Some(stall) = self.faults.router_stall(cyc) {
-                        // A transient queue stall: the hop completes late
-                        // but nothing is lost.
-                        arrive += self.cfg.cpu_clock.cycles_dur(stall);
-                        self.faults
-                            .note_recovery(FaultKind::RouterStall, true, stall, 0);
-                        self.probe.instant(
-                            TraceLevel::Spans,
-                            "faults",
-                            "router.stall",
-                            Self::track_base(n) + TRACK_NET,
-                            t.as_ps(),
-                            stall,
-                        );
-                    }
-                }
-                self.events.schedule(
-                    arrive,
-                    Ev::NetMsg {
-                        node: to.index(),
-                        from: NodeId(n as u16),
-                        msg: payload,
-                    },
-                );
-            }
-            EngineAction::Export { line, excl } => {
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
-                let acts = nd.banks[bank].handle(BankEvent::Export { line, excl }, &mut nd.l1s);
-                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
-            }
-            EngineAction::Fill {
-                line,
-                excl,
-                version,
-                source,
-            } => {
-                let bank = self.bank_of(n, line);
-                let grant = if excl { Mesi::Exclusive } else { Mesi::Shared };
-                let nd = &mut self.nodes[n];
-                let acts = nd.banks[bank].handle(
-                    BankEvent::RemoteFill {
-                        line,
-                        grant,
-                        version,
-                        source,
-                    },
-                    &mut nd.l1s,
-                );
-                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
-            }
-            EngineAction::Purge { line } => {
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
-                let acts = nd.banks[bank].handle(BankEvent::InvalAll { line }, &mut nd.l1s);
-                q.extend(acts.into_iter().map(|x| (n, Item::Bank(x))));
-            }
-            EngineAction::MemWrite { line, version } => {
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
-                nd.mem[bank].write(t, line, version);
-                nd.ras.on_home_write(line, version);
-            }
-        }
-    }
-
-    /// Drive link-level recovery of one faulted packet send (paper
-    /// §2.6.1/§2.7: CRC-protected links). Each failed attempt costs a
-    /// NACK plus exponentially backed-off delay before the retransmit
-    /// re-walks the network; the packet that finally lands is clean.
-    /// Escalation (budget blown) still delivers — the NAK-free protocol
-    /// cannot tolerate a silently dropped message — but is charged to
-    /// the availability ledger as escalated.
-    #[allow(clippy::too_many_arguments)]
-    fn retransmit(
-        &mut self,
-        t: SimTime,
-        n: usize,
-        to: NodeId,
-        lane: Lane,
-        kind: PacketKind,
-        mut payload: ProtoMsg,
-        f: piranha_faults::PacketFault,
-        arrive: &mut SimTime,
-    ) -> ProtoMsg {
-        let first_cycle = self.time_to_cycle(t);
-        let attempts = f.failed_attempts.min(self.faults.cfg().retry_budget + 1);
-        if f.kind == FaultKind::PacketCorrupt {
-            // Genuine detection, not assumption: corrupt the encoded
-            // payload and check the link CRC actually flags it.
-            let wire = format!("{payload:?}").into_bytes();
-            let good = crc32(&wire);
-            for attempt in 1..=attempts {
-                let mut damaged = wire.clone();
-                flip_bit(&mut damaged, f.flip_bit.wrapping_add(attempt));
-                debug_assert_ne!(
-                    crc32(&damaged),
-                    good,
-                    "link CRC must detect a single-bit flip"
-                );
-            }
-        }
-        for attempt in 1..=attempts {
-            let delay = self.faults.cfg().retransmit_delay_cycles(attempt);
-            let at = *arrive + self.cfg.cpu_clock.cycles_dur(delay);
-            let (t2, p2) = self
-                .net
-                .resend(at, Packet::new(NodeId(n as u16), to, lane, kind, payload));
-            *arrive = t2.max(at);
-            payload = p2.payload;
-        }
-        let corrected = f.failed_attempts <= self.faults.cfg().retry_budget;
-        let mttr = self.time_to_cycle(*arrive).saturating_sub(first_cycle);
-        self.faults
-            .note_recovery(f.kind, corrected, mttr, attempts as u64);
-        self.probe.instant(
-            TraceLevel::Spans,
-            "faults",
-            "packet.retransmit",
-            Self::track_base(n) + TRACK_NET,
-            t.as_ps(),
-            attempts as u64,
-        );
-        payload
-    }
-
-    /// Apply an injected memory bit-flip and run the SEC-DED scrub
-    /// (paper §2.7: memory protected by ECC, mirroring for what ECC
-    /// cannot fix). Single-bit errors correct in place; double-bit
-    /// errors escalate to a mirror-log restore when one exists. Returns
-    /// the repair latency to add to the read's data-return time.
-    fn scrub_line(
-        &mut self,
-        t: SimTime,
-        n: usize,
-        bank: usize,
-        line: LineAddr,
-        f: piranha_faults::MemFault,
-    ) -> Duration {
-        let double = f.kind == FaultKind::MemFlipDouble;
-        let bits: &[u32] = if double {
-            &[f.bit_a, f.bit_b]
-        } else {
-            &[f.bit_a]
-        };
-        let outcome = self.nodes[n].mem[bank].inject_and_scrub(line, bits);
-        let (corrected, penalty) = match outcome {
-            Scrub::Clean(_) | Scrub::Corrected(_) => (true, self.faults.cfg().scrub_cycles),
-            Scrub::Uncorrectable => {
-                // SEC-DED gives up; restore from the mirror when one
-                // exists. Either way the fault escalated past the
-                // first-line ECC defence.
-                let nd = &mut self.nodes[n];
-                if let Some(v) = nd.ras.mirror_copy(line) {
-                    nd.mem[bank].set_version(line, v);
-                }
-                (false, self.faults.cfg().failover_cycles)
-            }
-        };
-        self.faults.note_recovery(f.kind, corrected, penalty, 0);
-        self.probe.instant(
-            TraceLevel::Spans,
-            "faults",
-            "mem.scrub",
-            Self::track_base(n) + TRACK_MEM + bank as u32,
-            t.as_ps(),
-            line.0,
-        );
-        self.cfg.cpu_clock.cycles_dur(penalty)
-    }
-
-    /// Snapshot a machine-wide utilization report (the system
-    /// controller's performance-monitoring role, §2).
-    pub fn report(&self) -> crate::report::MachineReport {
-        let nodes = self
-            .nodes
-            .iter()
-            .map(|n| {
-                let mem_accesses: u64 = n.mem.iter().map(|m| m.rdram().accesses()).sum();
-                let hits: f64 = n
-                    .mem
-                    .iter()
-                    .map(|m| m.rdram().page_hit_rate() * m.rdram().accesses() as f64)
-                    .sum();
-                crate::report::NodeReport {
-                    ics_words: n.ics.words_moved(),
-                    ics_utilization: n.ics.utilization(self.events.now()),
-                    bank_lookups: n.bank_srv.iter().map(|s| s.jobs()).sum(),
-                    mem_accesses,
-                    mem_page_hit_rate: if mem_accesses == 0 {
-                        0.0
-                    } else {
-                        hits / mem_accesses as f64
-                    },
-                    home_msgs: n.home.msgs_handled(),
-                    remote_msgs: n.remote.msgs_handled(),
-                    home_instrs: n.home.instr_executed(),
-                    remote_instrs: n.remote.instr_executed(),
-                    tsrf_high_water: (n.home.tsrf_high_water(), n.remote.tsrf_high_water()),
-                    sc_packets: n.sc.packets_handled(),
-                }
-            })
-            .collect();
-        crate::report::MachineReport {
-            now: self.events.now(),
-            nodes,
-            net_delivered: self.net.delivered(),
-            net_deflections: self.net.deflections(),
-            net_mean_hops: self.net.mean_hops(),
-            instrs: self.total_instrs(),
         }
     }
 
@@ -1373,7 +388,7 @@ impl Machine {
     /// complete; the core simply stops being scheduled.
     pub fn stop_cpu(&mut self, node: usize, cpu: usize) {
         let nd = &mut self.nodes[node];
-        let was_running = nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.done[cpu];
+        let was_running = nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.cpus.is_done(cpu);
         nd.sc.handle(crate::sysctl::CtrlPacket::StopCpu {
             cpu: CpuId(cpu as u8),
         });
@@ -1389,11 +404,12 @@ impl Machine {
         nd.sc.handle(crate::sysctl::CtrlPacket::StartCpu {
             cpu: CpuId(cpu as u8),
         });
-        if was_stopped && nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.done[cpu] {
+        if was_stopped && nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.cpus.is_done(cpu) {
             self.unfinished += 1;
         }
         let t = self.events.now();
-        self.events.schedule(t, Ev::CpuStep { node, cpu });
+        self.events
+            .schedule(node, t, Ev::Cpu(piranha_cpu::CpuEvent::Step { cpu }));
     }
 
     /// The system controller of `node` (configuration, interrupts,
@@ -1423,7 +439,7 @@ impl Machine {
         let mut writable: Map<LineAddr, (usize, Slot)> = Map::new();
         let mut per_node: Map<(usize, LineAddr), (u32, u32)> = Map::new(); // (copies, writable)
         for (n, node) in self.nodes.iter().enumerate() {
-            for (slot, l1) in node.l1s.iter() {
+            for (slot, l1) in node.caches.l1s().iter() {
                 for (line, state, _v) in l1.resident() {
                     let e = per_node.entry((n, line)).or_insert((0, 0));
                     e.0 += 1;
@@ -1435,9 +451,9 @@ impl Machine {
                             );
                         }
                     }
-                    let bank = &node.banks[self.bank_of(n, line)];
-                    let d = bank
-                        .dup()
+                    let d = node
+                        .caches
+                        .dup(self.bank_of(n, line))
                         .get(line)
                         .unwrap_or_else(|| panic!("L1 line {line} missing from dup tags"));
                     assert!(
@@ -1455,184 +471,5 @@ impl Machine {
                 );
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use piranha_workloads::{SynthConfig, Workload};
-
-    #[test]
-    fn single_cpu_synthetic_smoke() {
-        let mut cfg = SystemConfig::piranha_p1();
-        cfg.cpu_quantum = 500;
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
-        let r = m.run(2_000, 20_000);
-        assert!(r.total_instrs() >= 20_000);
-        assert!(r.throughput_ipns() > 0.0);
-        m.check_coherence();
-    }
-
-    #[test]
-    fn eight_cpu_sharing_smoke() {
-        let mut cfg = SystemConfig::piranha_p8();
-        cfg.cpu_quantum = 500;
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-        let r = m.run(2_000, 10_000);
-        assert!(r.total_instrs() >= 80_000);
-        let (hit, fwd, miss) = r.l1_miss_breakdown();
-        assert!(hit + fwd + miss > 0.99);
-        m.check_coherence();
-    }
-
-    #[test]
-    fn ooo_smoke() {
-        let mut cfg = SystemConfig::ooo();
-        cfg.cpu_quantum = 500;
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
-        let r = m.run(2_000, 20_000);
-        assert!(r.total_instrs() >= 20_000);
-    }
-
-    #[test]
-    fn two_chip_coherence_smoke() {
-        let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
-        cfg.cpu_quantum = 500;
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-        let r = m.run(1_000, 5_000);
-        assert!(r.total_instrs() >= 20_000);
-        let merged = r.merged();
-        assert!(
-            merged.fills[3] + merged.fills[4] > 0,
-            "multi-chip run must see remote fills"
-        );
-    }
-
-    #[test]
-    fn determinism() {
-        let run = || {
-            let mut cfg = SystemConfig::piranha_pn(2);
-            cfg.cpu_quantum = 500;
-            let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-            let r = m.run(1_000, 5_000);
-            (r.total_instrs(), r.window, m.now())
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn faulted_run_recovers_and_stays_deterministic() {
-        let run = || {
-            let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
-            cfg.cpu_quantum = 500;
-            cfg.faults = piranha_faults::FaultConfig::seeded(42, 2e-3);
-            let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-            let r = m.run(1_000, 5_000);
-            assert!(r.availability.is_consistent());
-            m.check_coherence();
-            (r.fingerprint(), r.availability.injected)
-        };
-        let (fp_a, inj_a) = run();
-        let (fp_b, inj_b) = run();
-        assert!(inj_a > 0, "rate 2e-3 over a multichip run must inject");
-        assert_eq!((fp_a, inj_a), (fp_b, inj_b), "same seed, same run");
-    }
-
-    #[test]
-    fn zero_rate_fault_config_is_bit_identical_to_disabled() {
-        let run = |faults: piranha_faults::FaultConfig| {
-            let mut cfg = SystemConfig::piranha_pn(2);
-            cfg.cpu_quantum = 500;
-            cfg.faults = faults;
-            let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-            m.run(1_000, 5_000).fingerprint()
-        };
-        let off = run(piranha_faults::FaultConfig::default());
-        let zero = run(piranha_faults::FaultConfig {
-            seed: 99,
-            ..piranha_faults::FaultConfig::default()
-        });
-        assert_eq!(off, zero, "a zero-rate plane draws nothing, costs nothing");
-    }
-
-    #[test]
-    fn scripted_faults_fire_and_are_ledgered() {
-        let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
-        cfg.cpu_quantum = 500;
-        cfg.faults = piranha_faults::FaultConfig::scripted(
-            "corrupt@50, flap@60, stall@80, hiccup@100, flip1@200, flip2@300",
-        )
-        .unwrap();
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-        let r = m.run(1_000, 5_000);
-        assert_eq!(r.availability.injected, 6, "all six scripted events fired");
-        assert!(r.availability.is_consistent());
-        assert_eq!(m.fault_plane().unfired_scripted(), 0);
-        assert!(
-            r.availability.escalated >= 1,
-            "the double-bit flip escalates past ECC"
-        );
-        assert!(r.availability.retransmits >= 2, "corrupt + flap retransmit");
-    }
-}
-
-#[cfg(test)]
-mod io_tests {
-    use super::*;
-    use crate::config::SystemConfig;
-    use piranha_workloads::{SynthConfig, Workload};
-
-    /// An I/O node participates fully in global coherence: its DMA
-    /// traffic reaches memory homed on processing nodes and vice versa.
-    #[test]
-    fn io_node_is_a_coherence_citizen() {
-        let cfg = SystemConfig::piranha_pn(2).with_io_nodes(1);
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
-        m.run_until_total(120_000);
-        m.check_coherence();
-        // The I/O node's CPU (last in node-major order) made progress.
-        let stats = m.cpu_stats();
-        let io_cpu = stats.last().unwrap();
-        assert!(io_cpu.instrs > 1_000, "I/O CPU ran its driver stream");
-        let remote: u64 = io_cpu.fills[3] + io_cpu.fills[4];
-        assert!(remote > 0, "I/O traffic crossed the interconnect");
-    }
-
-    /// Dual-homed I/O links: the custom topology keeps every node
-    /// reachable and within the channel budget.
-    #[test]
-    fn io_topology_shape() {
-        let t = build_topology(4, 2);
-        assert_eq!(t.nodes(), 6);
-        assert!(
-            t.max_degree() <= 5,
-            "processing degree 3 + up to 2 io links"
-        );
-        assert_eq!(
-            t.neighbours(NodeId(4)).len(),
-            2,
-            "io nodes have two channels"
-        );
-    }
-
-    /// The system controller can stop and restart cores mid-run.
-    #[test]
-    fn sc_stops_and_restarts_cores() {
-        let cfg = SystemConfig::piranha_pn(2);
-        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
-        m.run_until_total(20_000);
-        m.stop_cpu(0, 1);
-        let before = m.cpu_stats()[1].instrs;
-        m.run_until_total(m.total_instrs() + 20_000);
-        let after = m.cpu_stats()[1].instrs;
-        assert!(
-            after - before < 4_000,
-            "stopped CPU must not keep executing: {before} -> {after}"
-        );
-        m.start_cpu(0, 1);
-        m.run_until_total(m.total_instrs() + 20_000);
-        assert!(m.cpu_stats()[1].instrs > after, "restarted CPU resumes");
-        assert!(m.system_controller(0).packets_handled() > 0);
     }
 }

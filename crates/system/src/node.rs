@@ -1,0 +1,120 @@
+//! One node (chip) of the machine, assembled from the subsystem
+//! component adapters.
+//!
+//! A node owns exactly the hardware one Piranha chip carries: the CPU
+//! cluster with its instruction streams, the cache complex (L1s + L2
+//! banks), the memory array with the in-memory directory, the two
+//! protocol engines, the intra-chip switch, the system controller, and
+//! the node's RAS policy. The node is pure composition — every behavior
+//! lives in a subsystem crate's [`Component`](piranha_kernel::Component)
+//! adapter; the dispatch layer routes events between them.
+
+use piranha_cache::{CacheComplex, L1Set, L2Bank};
+use piranha_cpu::{CoreModel, CpuCluster, InOrderCore, InstrStream, OooCore};
+use piranha_ics::Ics;
+use piranha_mem::{DirEntry, MemArray, MemBank};
+use piranha_protocol::coherence::DirStore;
+use piranha_protocol::{EngineComplex, LineRange, RasPolicy};
+use piranha_types::{LineAddr, NodeId};
+
+use crate::config::{CoreKind, SystemConfig};
+use crate::sysctl::SystemController;
+
+/// One node (chip) of the machine.
+pub(crate) struct Node {
+    /// The CPU cluster: cores, streams, done-tracking.
+    pub(crate) cpus: CpuCluster,
+    /// L1s + L2 banks + bank occupancy.
+    pub(crate) caches: CacheComplex,
+    /// RDRAM banks + in-memory directory.
+    pub(crate) mem: MemArray,
+    /// Home/remote protocol engines + occupancy + replay recovery.
+    pub(crate) engines: EngineComplex,
+    /// The intra-chip switch.
+    pub(crate) ics: Ics,
+    /// The system controller (hot start/stop, boot, monitoring).
+    pub(crate) sc: SystemController,
+    /// Per-node RAS policy: persistent-memory journal + mirror log
+    /// (paper §2.7).
+    pub(crate) ras: RasPolicy,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("cpus", &self.cpus.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Node {
+    /// Build node `n` of a `total_nodes` machine. I/O nodes get one CPU
+    /// and one bank; processing nodes get the configured complement.
+    pub(crate) fn new(
+        cfg: &SystemConfig,
+        n: usize,
+        total_nodes: usize,
+        streams: Vec<Box<dyn InstrStream>>,
+    ) -> Self {
+        let n_cpus = streams.len();
+        let is_io = n >= cfg.nodes;
+        let n_banks = if is_io { 1 } else { cfg.l2_banks };
+        let cores: Vec<Box<dyn CoreModel>> = (0..n_cpus)
+            .map(|_| match cfg.core {
+                CoreKind::InOrder(c) => Box::new(InOrderCore::new(c)) as Box<dyn CoreModel>,
+                CoreKind::Ooo(c) => Box::new(OooCore::new(c)) as Box<dyn CoreModel>,
+            })
+            .collect();
+        let banks: Vec<L2Bank> = (0..n_banks)
+            .map(|b| L2Bank::new(cfg.l2_bank, b as u64, n_banks as u64))
+            .collect();
+        let mut sc = SystemController::new(NodeId(n as u16), n_cpus);
+        let peers: Vec<NodeId> = (0..total_nodes)
+            .filter(|&m| m != n)
+            .map(|m| NodeId(m as u16))
+            .collect();
+        sc.interconnect_boot(&peers, 1024);
+        let mut ras = RasPolicy::new(NodeId(n as u16));
+        if cfg.faults.enabled() && cfg.faults.mirror_lines > 0 {
+            // Mirror the low lines on every node; `on_home_write` only
+            // fires at a line's home, so each node's mirror log covers
+            // exactly its own homed slice of the range.
+            ras.register_mirrored(LineRange {
+                start: LineAddr(0),
+                end: LineAddr(cfg.faults.mirror_lines),
+            });
+        }
+        Node {
+            cpus: CpuCluster::new(cores, streams, cfg.cpu_quantum),
+            caches: CacheComplex::new(L1Set::new(n_cpus, cfg.l1), banks),
+            mem: MemArray::new((0..n_banks).map(|_| MemBank::new(cfg.mem)).collect()),
+            engines: EngineComplex::new(
+                NodeId(n as u16),
+                total_nodes,
+                cfg.cmi_routes,
+                cfg.faults.replay_timeout_cycles,
+            ),
+            ics: Ics::new(cfg.ics),
+            sc,
+            ras,
+        }
+    }
+}
+
+/// View of one node's memory banks as the home engine's directory store.
+pub(crate) struct NodeDirs<'a> {
+    pub(crate) banks: &'a mut [MemBank],
+}
+
+impl DirStore for NodeDirs<'_> {
+    fn dir(&self, line: LineAddr) -> DirEntry {
+        self.banks[(line.0 % self.banks.len() as u64) as usize].directory(line)
+    }
+    fn set_dir(&mut self, line: LineAddr, dir: DirEntry) {
+        let n = self.banks.len() as u64;
+        self.banks[(line.0 % n) as usize].set_directory(line, dir);
+    }
+    fn mem_version(&self, line: LineAddr) -> u64 {
+        self.banks[(line.0 % self.banks.len() as u64) as usize].version(line)
+    }
+}

@@ -1,0 +1,174 @@
+//! Machine-level smoke, determinism, fault, and I/O-node tests.
+
+use piranha_types::NodeId;
+use piranha_workloads::{SynthConfig, Workload};
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::wiring::build_topology;
+
+#[test]
+fn single_cpu_synthetic_smoke() {
+    let mut cfg = SystemConfig::piranha_p1();
+    cfg.cpu_quantum = 500;
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
+    let r = m.run(2_000, 20_000);
+    assert!(r.total_instrs() >= 20_000);
+    assert!(r.throughput_ipns() > 0.0);
+    m.check_coherence();
+}
+
+#[test]
+fn eight_cpu_sharing_smoke() {
+    let mut cfg = SystemConfig::piranha_p8();
+    cfg.cpu_quantum = 500;
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+    let r = m.run(2_000, 10_000);
+    assert!(r.total_instrs() >= 80_000);
+    let (hit, fwd, miss) = r.l1_miss_breakdown();
+    assert!(hit + fwd + miss > 0.99);
+    m.check_coherence();
+}
+
+#[test]
+fn ooo_smoke() {
+    let mut cfg = SystemConfig::ooo();
+    cfg.cpu_quantum = 500;
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
+    let r = m.run(2_000, 20_000);
+    assert!(r.total_instrs() >= 20_000);
+}
+
+#[test]
+fn two_chip_coherence_smoke() {
+    let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+    cfg.cpu_quantum = 500;
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+    let r = m.run(1_000, 5_000);
+    assert!(r.total_instrs() >= 20_000);
+    let merged = r.merged();
+    assert!(
+        merged.fills[3] + merged.fills[4] > 0,
+        "multi-chip run must see remote fills"
+    );
+}
+
+#[test]
+fn determinism() {
+    let run = || {
+        let mut cfg = SystemConfig::piranha_pn(2);
+        cfg.cpu_quantum = 500;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(1_000, 5_000);
+        (r.total_instrs(), r.window, m.now())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn faulted_run_recovers_and_stays_deterministic() {
+    let run = || {
+        let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+        cfg.cpu_quantum = 500;
+        cfg.faults = piranha_faults::FaultConfig::seeded(42, 2e-3);
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(1_000, 5_000);
+        assert!(r.availability.is_consistent());
+        m.check_coherence();
+        (r.fingerprint(), r.availability.injected)
+    };
+    let (fp_a, inj_a) = run();
+    let (fp_b, inj_b) = run();
+    assert!(inj_a > 0, "rate 2e-3 over a multichip run must inject");
+    assert_eq!((fp_a, inj_a), (fp_b, inj_b), "same seed, same run");
+}
+
+#[test]
+fn zero_rate_fault_config_is_bit_identical_to_disabled() {
+    let run = |faults: piranha_faults::FaultConfig| {
+        let mut cfg = SystemConfig::piranha_pn(2);
+        cfg.cpu_quantum = 500;
+        cfg.faults = faults;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        m.run(1_000, 5_000).fingerprint()
+    };
+    let off = run(piranha_faults::FaultConfig::default());
+    let zero = run(piranha_faults::FaultConfig {
+        seed: 99,
+        ..piranha_faults::FaultConfig::default()
+    });
+    assert_eq!(off, zero, "a zero-rate plane draws nothing, costs nothing");
+}
+
+#[test]
+fn scripted_faults_fire_and_are_ledgered() {
+    let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+    cfg.cpu_quantum = 500;
+    cfg.faults = piranha_faults::FaultConfig::scripted(
+        "corrupt@50, flap@60, stall@80, hiccup@100, flip1@200, flip2@300",
+    )
+    .unwrap();
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+    let r = m.run(1_000, 5_000);
+    assert_eq!(r.availability.injected, 6, "all six scripted events fired");
+    assert!(r.availability.is_consistent());
+    assert_eq!(m.fault_plane().unfired_scripted(), 0);
+    assert!(
+        r.availability.escalated >= 1,
+        "the double-bit flip escalates past ECC"
+    );
+    assert!(r.availability.retransmits >= 2, "corrupt + flap retransmit");
+}
+
+/// An I/O node participates fully in global coherence: its DMA
+/// traffic reaches memory homed on processing nodes and vice versa.
+#[test]
+fn io_node_is_a_coherence_citizen() {
+    let cfg = SystemConfig::piranha_pn(2).with_io_nodes(1);
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+    m.run_until_total(120_000);
+    m.check_coherence();
+    // The I/O node's CPU (last in node-major order) made progress.
+    let stats = m.cpu_stats();
+    let io_cpu = stats.last().unwrap();
+    assert!(io_cpu.instrs > 1_000, "I/O CPU ran its driver stream");
+    let remote: u64 = io_cpu.fills[3] + io_cpu.fills[4];
+    assert!(remote > 0, "I/O traffic crossed the interconnect");
+}
+
+/// Dual-homed I/O links: the custom topology keeps every node
+/// reachable and within the channel budget.
+#[test]
+fn io_topology_shape() {
+    let t = build_topology(4, 2);
+    assert_eq!(t.nodes(), 6);
+    assert!(
+        t.max_degree() <= 5,
+        "processing degree 3 + up to 2 io links"
+    );
+    assert_eq!(
+        t.neighbours(NodeId(4)).len(),
+        2,
+        "io nodes have two channels"
+    );
+}
+
+/// The system controller can stop and restart cores mid-run.
+#[test]
+fn sc_stops_and_restarts_cores() {
+    let cfg = SystemConfig::piranha_pn(2);
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::light()));
+    m.run_until_total(20_000);
+    m.stop_cpu(0, 1);
+    let before = m.cpu_stats()[1].instrs;
+    m.run_until_total(m.total_instrs() + 20_000);
+    let after = m.cpu_stats()[1].instrs;
+    assert!(
+        after - before < 4_000,
+        "stopped CPU must not keep executing: {before} -> {after}"
+    );
+    m.start_cpu(0, 1);
+    m.run_until_total(m.total_instrs() + 20_000);
+    assert!(m.cpu_stats()[1].instrs > after, "restarted CPU resumes");
+    assert!(m.system_controller(0).packets_handled() > 0);
+}

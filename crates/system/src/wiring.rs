@@ -1,0 +1,280 @@
+//! Machine assembly: topology, node construction, and observability
+//! wiring (track naming, metric sampling, utilization reports).
+
+use piranha_kernel::{Port, Scheduler};
+use piranha_net::{Fabric, Network, Topology};
+use piranha_probe::Probe;
+use piranha_types::{NodeId, SimTime};
+use piranha_workloads::{SynthConfig, SynthStream};
+
+use crate::config::SystemConfig;
+use crate::dispatch::Ev;
+use crate::machine::Machine;
+use crate::node::Node;
+
+/// Chrome-trace track layout: each node owns a stride of 64 track ids —
+/// CPUs at `base + cpu`, L2 banks at `base + TRACK_BANK + bank`, memory
+/// channels at `base + TRACK_MEM + bank`, then the two protocol engines
+/// and the router port.
+pub(crate) const TRACK_STRIDE: u32 = 64;
+pub(crate) const TRACK_BANK: u32 = 16;
+pub(crate) const TRACK_MEM: u32 = 24;
+pub(crate) const TRACK_HOME: u32 = 32;
+pub(crate) const TRACK_REMOTE: u32 = 33;
+pub(crate) const TRACK_NET: u32 = 34;
+
+pub(crate) fn track_base(node: usize) -> u32 {
+    node as u32 * TRACK_STRIDE
+}
+
+/// Build the interconnect topology: processing nodes fully connected
+/// (gluelessly possible up to five with four channels each) or meshed,
+/// with each I/O node attached by its two channels to two processing
+/// nodes for redundancy (paper §2.6.1).
+pub(crate) fn build_topology(processing: usize, io: usize) -> Topology {
+    let total = processing + io;
+    if total == 1 {
+        // A single node never routes; a trivial two-node ring keeps the
+        // network object well-formed (and unused).
+        return Topology::ring(2);
+    }
+    if io == 0 {
+        return if total <= 5 {
+            Topology::fully_connected(total)
+        } else {
+            let w = (total as f64).sqrt().ceil() as usize;
+            Topology::mesh(w, total.div_ceil(w).max(2))
+        };
+    }
+    // Custom: processing clique + dual-homed I/O nodes.
+    let mut adj: Vec<Vec<NodeId>> = (0..total).map(|_| Vec::new()).collect();
+    for a in 0..processing {
+        for b in (a + 1)..processing {
+            adj[a].push(NodeId(b as u16));
+            adj[b].push(NodeId(a as u16));
+        }
+    }
+    for i in 0..io {
+        let n = processing + i;
+        let first = i % processing;
+        adj[n].push(NodeId(first as u16));
+        adj[first].push(NodeId(n as u16));
+        if processing > 1 {
+            let second = (i + 1) % processing;
+            adj[n].push(NodeId(second as u16));
+            adj[second].push(NodeId(n as u16));
+        }
+    }
+    Topology::custom(adj)
+}
+
+impl Machine {
+    /// Build a machine with explicit per-CPU streams (for examples and
+    /// tests driving custom programs, e.g. through `piranha_cpu::IsaStream`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of streams does not match the CPU count.
+    pub fn with_streams(
+        cfg: SystemConfig,
+        mut streams: Vec<Box<dyn piranha_cpu::InstrStream>>,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.workload_cpus(),
+            "one stream per processing CPU (I/O nodes drive themselves)"
+        );
+        let total_nodes = cfg.nodes + cfg.io_nodes;
+        let topo = build_topology(cfg.nodes, cfg.io_nodes);
+        let net = Fabric::new(Network::new(topo, cfg.net));
+        let mut nodes = Vec::with_capacity(total_nodes);
+        for n in 0..total_nodes {
+            let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if n >= cfg.nodes {
+                // The I/O chip's CPU runs device-driver/DMA traffic,
+                // fully coherent with the rest of the system.
+                vec![Box::new(SynthStream::new(
+                    SynthConfig::dma(),
+                    n - cfg.nodes,
+                    cfg.io_nodes,
+                    cfg.seed ^ 0x10,
+                ))]
+            } else {
+                streams.drain(..cfg.cpus_per_node).collect()
+            };
+            nodes.push(Node::new(&cfg, n, total_nodes, node_streams));
+        }
+        let mut events = Scheduler::new(total_nodes);
+        for (n, node) in nodes.iter().enumerate() {
+            for c in 0..node.cpus.len() {
+                events.schedule(
+                    n,
+                    SimTime::ZERO,
+                    Ev::Cpu(piranha_cpu::CpuEvent::Step { cpu: c }),
+                );
+            }
+        }
+        let unfinished = nodes.iter().map(|n| n.cpus.len()).sum();
+        let faults = piranha_faults::FaultPlane::new(cfg.faults.clone(), cfg.seed);
+        Machine {
+            cfg,
+            events,
+            nodes,
+            net,
+            versions: 0,
+            outstanding: std::collections::HashMap::new(),
+            probe: Probe::disabled(),
+            instrs_retired: 0,
+            unfinished,
+            work: std::collections::VecDeque::new(),
+            cpu_port: Port::new(),
+            bank_port: Port::new(),
+            mem_port: Port::new(),
+            eng_port: Port::new(),
+            net_port: Port::new(),
+            faults,
+        }
+    }
+
+    /// Attach an observability probe; names this machine's tracks for
+    /// the Chrome-trace exporter. Pass [`Probe::disabled`] to detach.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+        if !self.probe.is_enabled() {
+            return;
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            let base = track_base(n);
+            for c in 0..node.cpus.len() {
+                self.probe
+                    .name_track(base + c as u32, format!("node{n}.cpu{c}"));
+            }
+            for b in 0..node.caches.bank_count() {
+                self.probe
+                    .name_track(base + TRACK_BANK + b as u32, format!("node{n}.l2bank{b}"));
+                self.probe
+                    .name_track(base + TRACK_MEM + b as u32, format!("node{n}.mem{b}"));
+            }
+            self.probe
+                .name_track(base + TRACK_HOME, format!("node{n}.home-engine"));
+            self.probe
+                .name_track(base + TRACK_REMOTE, format!("node{n}.remote-engine"));
+            self.probe
+                .name_track(base + TRACK_NET, format!("node{n}.router"));
+        }
+    }
+
+    /// Pull-sample every subsystem's authoritative counters into the
+    /// probe's metric registry. The subsystems keep the single source of
+    /// truth; the registry holds the latest sampled reading. A no-op
+    /// when the probe is disabled.
+    pub fn sample_metrics(&self) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        let p = &self.probe;
+        p.publish_counter("kernel.events.scheduled", self.events.scheduled());
+        p.publish_counter("kernel.events.popped", self.events.popped());
+        p.publish_counter("kernel.events.migrated", self.events.migrated());
+        p.publish_counter("machine.instrs", self.total_instrs());
+        p.publish_gauge("mem.page_hit_rate", self.mem_page_hit_rate());
+        p.publish_counter("net.delivered", self.net.delivered());
+        p.publish_counter("net.deflections", self.net.deflections());
+        p.publish_counter("net.retransmits", self.net.retransmits());
+        p.publish_gauge("net.mean_hops", self.net.mean_hops());
+        let av = self.faults.report();
+        p.publish_counter("faults.injected", av.injected);
+        p.publish_counter("faults.corrected", av.corrected);
+        p.publish_counter("faults.escalated", av.escalated);
+        p.publish_counter("faults.retransmits", av.retransmits);
+        p.publish_counter("faults.recovery_cycles", av.recovery_cycles);
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (c, core) in node.cpus.cores().enumerate() {
+                let s = core.stats();
+                let k = format!("cpu.node{n}.core{c}");
+                p.publish_counter(&format!("{k}.instrs"), s.instrs);
+                p.publish_counter(&format!("{k}.l1_hits"), s.l1_hits);
+                p.publish_counter(&format!("{k}.l1i_misses"), s.l1i_misses);
+                p.publish_counter(&format!("{k}.l1d_misses"), s.l1d_misses);
+                p.publish_counter(&format!("{k}.sb_reqs"), s.sb_reqs);
+                p.publish_counter(&format!("{k}.tlb_misses"), core.tlb_misses());
+                p.publish_counter(&format!("{k}.stall_cycles"), s.total_stall());
+            }
+            p.publish_counter(
+                &format!("cache.node{n}.bank_lookups"),
+                node.caches.lookups(),
+            );
+            p.publish_counter(&format!("ics.node{n}.words"), node.ics.words_moved());
+            p.publish_gauge(
+                &format!("ics.node{n}.utilization"),
+                node.ics.utilization(self.events.now()),
+            );
+            p.publish_counter(
+                &format!("mem.node{n}.accesses"),
+                node.mem.banks().iter().map(|m| m.rdram().accesses()).sum(),
+            );
+            p.publish_counter(
+                &format!("protocol.node{n}.home_msgs"),
+                node.engines.home().msgs_handled(),
+            );
+            p.publish_counter(
+                &format!("protocol.node{n}.remote_msgs"),
+                node.engines.remote().msgs_handled(),
+            );
+            p.publish_counter(&format!("protocol.node{n}.replays"), node.engines.replays());
+            p.publish_counter(&format!("ras.node{n}.cap_faults"), node.ras.faults());
+            p.publish_gauge(
+                &format!("protocol.node{n}.tsrf_high_water"),
+                node.engines
+                    .home()
+                    .tsrf_high_water()
+                    .max(node.engines.remote().tsrf_high_water()) as f64,
+            );
+        }
+    }
+
+    /// Snapshot a machine-wide utilization report (the system
+    /// controller's performance-monitoring role, §2).
+    pub fn report(&self) -> crate::report::MachineReport {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mem_accesses: u64 = n.mem.banks().iter().map(|m| m.rdram().accesses()).sum();
+                let hits: f64 = n
+                    .mem
+                    .banks()
+                    .iter()
+                    .map(|m| m.rdram().page_hit_rate() * m.rdram().accesses() as f64)
+                    .sum();
+                crate::report::NodeReport {
+                    ics_words: n.ics.words_moved(),
+                    ics_utilization: n.ics.utilization(self.events.now()),
+                    bank_lookups: n.caches.lookups(),
+                    mem_accesses,
+                    mem_page_hit_rate: if mem_accesses == 0 {
+                        0.0
+                    } else {
+                        hits / mem_accesses as f64
+                    },
+                    home_msgs: n.engines.home().msgs_handled(),
+                    remote_msgs: n.engines.remote().msgs_handled(),
+                    home_instrs: n.engines.home().instr_executed(),
+                    remote_instrs: n.engines.remote().instr_executed(),
+                    tsrf_high_water: (
+                        n.engines.home().tsrf_high_water(),
+                        n.engines.remote().tsrf_high_water(),
+                    ),
+                    sc_packets: n.sc.packets_handled(),
+                }
+            })
+            .collect();
+        crate::report::MachineReport {
+            now: self.events.now(),
+            nodes,
+            net_delivered: self.net.delivered(),
+            net_deflections: self.net.deflections(),
+            net_mean_hops: self.net.mean_hops(),
+            instrs: self.total_instrs(),
+        }
+    }
+}

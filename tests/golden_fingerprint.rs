@@ -1,0 +1,109 @@
+//! Golden-fingerprint guard: the event-ordering contract of the
+//! simulator core.
+//!
+//! Every fig5–fig8 configuration at quick scale, plus the `fig_faults`
+//! headline schedule, must produce a [`RunResult::fingerprint()`] that
+//! is bit-identical to the checked-in `tests/golden_fingerprints.tsv`.
+//! Any change to event delivery order — a reordered `schedule()` call, a
+//! different tie-break in the event queue, a perturbed PRNG consult —
+//! shows up here as a fingerprint diff, so refactors of the dispatch
+//! path (like the component/port decomposition) are provably
+//! behavior-preserving.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! cargo test --release --test golden_fingerprint -- --ignored bless
+//! ```
+//!
+//! and commit the updated `.tsv` files with an explanation of why the
+//! ordering legitimately changed.
+
+use piranha::experiments::{
+    fig5_fingerprints, golden_fingerprints, golden_plan, render_fingerprints, RunScale,
+};
+
+const GOLDEN: &str = include_str!("golden_fingerprints.tsv");
+const GOLDEN_FIG5: &str = include_str!("golden_fig5_quick.tsv");
+
+fn golden_dir() -> std::path::PathBuf {
+    // Compiled as a `[[test]]` of crates/core, so the manifest dir is
+    // two levels below the repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests")
+}
+
+#[test]
+fn golden_labels_are_unique() {
+    let plan = golden_plan(RunScale::quick());
+    let labels: std::collections::HashSet<String> = plan
+        .requests()
+        .iter()
+        .map(piranha::experiments::golden_label)
+        .collect();
+    assert_eq!(
+        labels.len(),
+        plan.len(),
+        "every golden run must have a distinct label"
+    );
+}
+
+#[test]
+fn golden_fingerprints_match_checked_in_values() {
+    let got = render_fingerprints(&golden_fingerprints(RunScale::quick()));
+    assert!(
+        !GOLDEN.trim().is_empty(),
+        "golden file missing — run the ignored `bless` test to create it"
+    );
+    if got != GOLDEN {
+        let diff: Vec<String> = got
+            .lines()
+            .zip(GOLDEN.lines().chain(std::iter::repeat("<missing>")))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| format!("  got:    {a}\n  golden: {b}"))
+            .collect();
+        panic!(
+            "event ordering changed — {} of {} fingerprints differ:\n{}\n\
+             If intentional, re-bless with:\n  cargo test --release --test \
+             golden_fingerprint -- --ignored bless",
+            diff.len(),
+            got.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn fig5_subset_matches_checked_in_values() {
+    let got = render_fingerprints(&fig5_fingerprints(RunScale::quick()));
+    assert_eq!(
+        got, GOLDEN_FIG5,
+        "fig5 fingerprint subset drifted from tests/golden_fig5_quick.tsv \
+         (this is the set the CI smoke job diffs via `fig5 --quick --fingerprints`)"
+    );
+}
+
+#[test]
+fn fig5_subset_is_a_prefix_of_the_golden_set() {
+    // The CI smoke only covers fig5; make sure those lines really are
+    // the corresponding lines of the full golden file, so the two files
+    // can never disagree about the same run.
+    for line in GOLDEN_FIG5.lines() {
+        assert!(
+            GOLDEN.lines().any(|g| g == line),
+            "fig5 golden line not present in the full golden set: {line}"
+        );
+    }
+}
+
+/// Regenerates both golden files. Ignored by default; run explicitly
+/// when an intentional change to event ordering is being made.
+#[test]
+#[ignore = "regenerates the golden files; run explicitly to bless"]
+fn bless() {
+    let dir = golden_dir();
+    let all = render_fingerprints(&golden_fingerprints(RunScale::quick()));
+    std::fs::write(dir.join("golden_fingerprints.tsv"), &all).unwrap();
+    let fig5 = render_fingerprints(&fig5_fingerprints(RunScale::quick()));
+    std::fs::write(dir.join("golden_fig5_quick.tsv"), &fig5).unwrap();
+    println!("blessed {} golden fingerprints", all.lines().count());
+}
