@@ -1,0 +1,88 @@
+//! Wall-clock speedup of the conservative parallel-in-space engine
+//! (`piranha-parsim`) on a fig8-style multi-chip run: a 4-chip machine
+//! of 4-CPU Piranha chips at quick scale, executed serially (1 lane
+//! worker) and with 2 and 4 lane workers. The runs are bit-identical by
+//! construction — the bench asserts the fingerprints match before it
+//! trusts any timing — so the only thing that changes is wall-clock.
+//!
+//! Writes the measurements to `BENCH_parsim.json` at the repo root. On
+//! a machine with ≥ 4 cores the 2-worker run must be ≥ 1.4× faster than
+//! serial (the ISSUE acceptance bar); on smaller machines the speedup
+//! is reported but not asserted, since oversubscribed lane threads
+//! cannot beat the serial loop.
+//!
+//! Not a Criterion target on purpose: one quick-scale multi-chip run is
+//! seconds, not microseconds, so a single timed run per worker count is
+//! the right measurement (Criterion's sampling would multiply minutes).
+
+use std::time::Instant;
+
+use piranha::experiments::{self, RunScale};
+use piranha::harness::run_config_parallel;
+use piranha::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::piranha_pn(4).scaled_to_chips(4);
+    let w = experiments::oltp();
+    let scale = RunScale::quick();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "parsim_speedup: {} on OLTP at quick scale, {cores} core(s)",
+        cfg.name
+    );
+
+    let t0 = Instant::now();
+    let serial = run_config_parallel(cfg.clone(), &w, scale, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  workers=1  {serial_s:>7.2}s  fp {:#018x}",
+        serial.fingerprint()
+    );
+
+    let mut rows = Vec::new();
+    for workers in [2usize, 4] {
+        let t0 = Instant::now();
+        let r = run_config_parallel(cfg.clone(), &w, scale, workers);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            r.fingerprint(),
+            serial.fingerprint(),
+            "parallel run at {workers} workers is not bit-identical to serial"
+        );
+        let speedup = serial_s / secs;
+        println!("  workers={workers}  {secs:>7.2}s  speedup {speedup:.2}x (bit-identical)");
+        rows.push((workers, secs, speedup));
+    }
+
+    let asserted = cores >= 4;
+    let two_worker_speedup = rows[0].2;
+    if asserted {
+        assert!(
+            two_worker_speedup >= 1.4,
+            "2-worker speedup {two_worker_speedup:.2}x < 1.4x on a {cores}-core machine"
+        );
+    } else {
+        println!("  (speedup bar not asserted: {cores} core(s) < 4)");
+    }
+
+    let worker_rows: Vec<String> = rows
+        .iter()
+        .map(|(workers, secs, speedup)| {
+            format!("{{\"workers\":{workers},\"seconds\":{secs:.3},\"speedup\":{speedup:.3}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"parsim_speedup\",\"config\":\"{}\",\"workload\":\"oltp\",\
+         \"scale\":\"quick\",\"cores\":{cores},\"serial_seconds\":{serial_s:.3},\
+         \"bit_identical\":true,\"speedup_asserted\":{asserted},\
+         \"min_required_speedup\":1.4,\"runs\":[{}]}}\n",
+        cfg.name,
+        worker_rows.join(",")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parsim.json");
+    std::fs::write(&path, &json).expect("writing BENCH_parsim.json");
+    println!(
+        "  report -> {}",
+        path.canonicalize().unwrap_or(path).display()
+    );
+}

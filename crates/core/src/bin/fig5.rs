@@ -5,12 +5,16 @@
 //! Flags: `--quick` (CI scale), `--fingerprints` (print one
 //! `label\tfingerprint` line per run and nothing else — the CI golden
 //! smoke diffs this against `tests/golden_fig5_quick.tsv`),
+//! `--parallel=<n>` (run multi-chip machines with `n` lane workers —
+//! bit-identical to serial; fig5's machines are all single-chip so the
+//! flag only matters for the probed exemplar),
 //! `--trace=<path>` (Chrome-trace JSON of a probed exemplar run),
 //! `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli};
 
 fn main() {
+    ParallelCli::from_env_args().apply();
     let scale = scale_from_args();
     if std::env::args().any(|a| a == "--fingerprints") {
         print!(

@@ -1,12 +1,15 @@
 //! Regenerates Figure 6: (a) Piranha's OLTP speedup with 1..8 on-chip
 //! CPUs, and (b) the L1-miss breakdown (L2 hit / L2 fwd / L2 miss).
 //!
-//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
-//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
+//! Flags: `--quick` (CI scale), `--parallel=<n>` (lane workers for
+//! multi-chip machines — here only the probed exemplar),
+//! `--trace=<path>` (Chrome-trace JSON of a probed exemplar run),
+//! `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli};
 
 fn main() {
+    ParallelCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {

@@ -1,17 +1,28 @@
 //! Regenerates Figure 7: OLTP speedup of multi-chip (NUMA) systems —
 //! 4-CPU Piranha chips versus OOO chips, 1 to 4 chips.
 //!
-//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
-//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
+//! Flags: `--quick` (CI scale), `--parallel=<n>` (run each multi-chip
+//! machine with `n` lane workers — bit-identical to serial),
+//! `--fingerprints` (print one `label\tfingerprint` line per run and
+//! nothing else), `--trace=<path>` (Chrome-trace JSON of a probed
+//! exemplar run), `--metrics=<path>` (flat metric dump).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli};
 
 fn main() {
+    ParallelCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
         RunScale::full()
     };
+    if std::env::args().any(|a| a == "--fingerprints") {
+        print!(
+            "{}",
+            experiments::render_fingerprints(&experiments::fig7_fingerprints(scale))
+        );
+        return;
+    }
     println!("Figure 7 — multi-chip OLTP speedup (vs each design's single chip)");
     println!("  {:<6} {:>10} {:>10}", "Chips", "Piranha", "OOO");
     for (chips, p, o) in experiments::fig7(scale) {

@@ -1,17 +1,30 @@
 //! Regenerates Figure 8: the performance potential of a full-custom
 //! Piranha (P8F) on OLTP and DSS (OOO = 100).
 //!
-//! Flags: `--quick` (CI scale), `--trace=<path>` (Chrome-trace JSON of
-//! a probed exemplar run), `--metrics=<path>` (flat metric dump).
+//! Flags: `--quick` (CI scale), `--parallel=<n>` (run multi-chip
+//! machines with `n` lane workers — bit-identical to serial),
+//! `--fingerprints` (print one `label\tfingerprint` line per run and
+//! nothing else; includes the Figure 7 multi-chip rows so the CI
+//! parsim smoke exercises the quantum engine), `--trace=<path>`
+//! (Chrome-trace JSON of a probed exemplar run), `--metrics=<path>`
+//! (flat metric dump).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli};
 
 fn main() {
+    ParallelCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
         RunScale::full()
     };
+    if std::env::args().any(|a| a == "--fingerprints") {
+        print!(
+            "{}",
+            experiments::render_fingerprints(&experiments::fig8_fingerprints(scale))
+        );
+        return;
+    }
     println!(
         "{}",
         experiments::render_bars(

@@ -11,13 +11,16 @@
 //! - `--fault-rate=<f64>` — injection rate of a seeded schedule
 //!   (default `1e-4`);
 //! - `--metrics=<path>` — write the headline availability report as
-//!   JSON (this is what the CI `fault-smoke` step validates).
+//!   JSON (this is what the CI `fault-smoke` step validates);
+//! - `--parallel=<n>` — run multi-chip machines (the sweep's and the
+//!   headline's) with `n` lane workers; bit-identical to serial.
 use piranha::experiments::{self, RunScale};
 use piranha::harness::run_config;
-use piranha::observe::{self, FaultCli, ProbeCli};
+use piranha::observe::{self, FaultCli, ParallelCli, ProbeCli};
 use piranha::{FaultConfig, RunResult};
 
 fn main() {
+    ParallelCli::from_env_args().apply();
     let quick = std::env::args().any(|a| a == "--quick");
     let txns: u64 = if quick { 40 } else { 200 };
     let fcli = FaultCli::from_env_args();

@@ -573,6 +573,28 @@ pub fn fig5_fingerprints(scale: RunScale) -> Vec<(String, u64)> {
     plan_fingerprints(&plan)
 }
 
+/// Labeled fingerprints of the Figure 7 multi-chip scaling runs — the
+/// rows that exercise the conservative parallel engine (every other
+/// figure's configs are single-chip except fig7's 2- and 4-chip
+/// points).
+pub fn fig7_fingerprints(scale: RunScale) -> Vec<(String, u64)> {
+    plan_fingerprints(&fig7_plan(scale))
+}
+
+/// Labeled fingerprints of the Figure 8 runs (OLTP + DSS) plus the
+/// Figure 7 multi-chip scaling runs — the subset the CI parsim smoke
+/// diffs via `fig8 --quick --parallel=2 --fingerprints`. The fig7 rows
+/// ride along because fig8's own configurations are single-chip; with
+/// them the smoke provably drives multi-chip machines through the
+/// quantum-stepped engine and still matches the serially-blessed
+/// golden file.
+pub fn fig8_fingerprints(scale: RunScale) -> Vec<(String, u64)> {
+    let mut plan = fig8_plan(&oltp(), scale);
+    plan.merge(fig8_plan(&dss(), scale));
+    plan.merge(fig7_plan(scale));
+    plan_fingerprints(&plan)
+}
+
 /// Render labeled fingerprints in the golden-file format: one
 /// `label\tfingerprint-hex` line per run.
 pub fn render_fingerprints(rows: &[(String, u64)]) -> String {

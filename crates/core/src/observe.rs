@@ -120,6 +120,48 @@ impl FaultCli {
     }
 }
 
+/// The parallel-execution flag of a figure binary:
+///
+/// - `--parallel=<n>` — run every multi-chip machine with `n` lane
+///   worker threads (the conservative quantum-stepped engine from
+///   `piranha-parsim`). Results are bit-identical to serial at any
+///   `n`; only wall-clock changes. Single-chip machines always run the
+///   classic serial loop. The harness divides its sweep thread budget
+///   by `n` so `sweep threads × lane workers` stays within budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelCli {
+    /// The requested lane-worker count, if given.
+    pub workers: Option<usize>,
+}
+
+impl ParallelCli {
+    /// Parse `--parallel=` out of the process arguments.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse the flag from an explicit argument list; unrelated
+    /// arguments are ignored, as is a malformed or zero count.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = ParallelCli::default();
+        for a in args {
+            if let Some(v) = a.strip_prefix("--parallel=") {
+                cli.workers = v.trim().parse::<usize>().ok().filter(|&n| n >= 1);
+            }
+        }
+        cli
+    }
+
+    /// Apply the flag to the process-wide harness setting
+    /// ([`piranha_harness::set_node_workers`]); a no-op when the flag
+    /// was absent.
+    pub fn apply(&self) {
+        if let Some(w) = self.workers {
+            piranha_harness::set_node_workers(w);
+        }
+    }
+}
+
 /// The configuration the probed exemplar run simulates: a two-chip
 /// machine of 4-CPU Piranha chips, so protocol-engine and interconnect
 /// activity shows up in the trace alongside cpu/cache/mem spans.
@@ -207,6 +249,20 @@ mod tests {
     fn exemplar_is_multichip() {
         let cfg = exemplar_config();
         assert!(cfg.nodes >= 2, "protocol/net spans need >1 chip");
+    }
+
+    #[test]
+    fn parallel_flag_parses_and_rejects_nonsense() {
+        assert_eq!(ParallelCli::parse(args(&["--quick"])).workers, None);
+        assert_eq!(
+            ParallelCli::parse(args(&["--parallel=4", "--quick"])).workers,
+            Some(4)
+        );
+        assert_eq!(ParallelCli::parse(args(&["--parallel=0"])).workers, None);
+        assert_eq!(
+            ParallelCli::parse(args(&["--parallel=bogus"])).workers,
+            None
+        );
     }
 
     #[test]

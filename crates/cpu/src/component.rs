@@ -69,6 +69,9 @@ pub struct CpuCtx<'a> {
     pub l1s: &'a mut L1Set,
     /// Global store-version allocator.
     pub versions: &'a mut u64,
+    /// Per-store increment for the allocator (see
+    /// [`CoreCtx::version_stride`](crate::CoreCtx)).
+    pub version_stride: u64,
     /// Whether the system controller has this CPU enabled.
     pub enabled: bool,
     /// For [`CpuEvent::Fill`]: the core-local cycle corresponding to
@@ -177,6 +180,7 @@ impl Component for CpuCluster {
                     l1i,
                     l1d,
                     versions: ctx.versions,
+                    version_stride: ctx.version_stride,
                 };
                 let status = self.cores[cpu].advance(
                     self.streams[cpu].as_mut(),

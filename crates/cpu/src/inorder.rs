@@ -283,7 +283,7 @@ impl CoreModel for InOrderCore {
                         // Coalesce with the in-flight entry.
                         self.cycle += 1;
                     } else if ctx.l1d.state(line).writable() {
-                        *ctx.versions += 1;
+                        *ctx.versions += ctx.version_stride;
                         let v = *ctx.versions;
                         let out = ctx.l1d.store(line, v);
                         debug_assert_eq!(out, piranha_cache::StoreOutcome::Hit);
@@ -308,7 +308,7 @@ impl CoreModel for InOrderCore {
                         if !present {
                             self.stats.l1d_misses += 1;
                         }
-                        *ctx.versions += 1;
+                        *ctx.versions += ctx.version_stride;
                         let v = *ctx.versions;
                         self.sb.push_back(SbEntry {
                             line,
@@ -398,6 +398,7 @@ mod tests {
             l1i,
             l1d,
             versions: v,
+            version_stride: 1,
         }
     }
 

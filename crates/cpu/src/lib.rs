@@ -73,6 +73,11 @@ pub struct CoreCtx<'a> {
     pub l1d: &'a mut L1Cache,
     /// Chip-global monotone version counter stamped by stores.
     pub versions: &'a mut u64,
+    /// Increment applied per store: 1 on a single-lane machine (globally
+    /// sequential versions, the legacy numbering), or the lane count on a
+    /// partitioned machine, where each lane strides its own residue class
+    /// so version stamps stay globally unique without a shared counter.
+    pub version_stride: u64,
 }
 
 impl std::fmt::Debug for CoreCtx<'_> {
@@ -84,7 +89,10 @@ impl std::fmt::Debug for CoreCtx<'_> {
 }
 
 /// Common interface of the two core timing models.
-pub trait CoreModel {
+///
+/// `Send` so cores can move onto a lane worker thread under the
+/// parallel-in-space engine (`piranha-parsim`).
+pub trait CoreModel: Send {
     /// Advance until the core blocks, retires `budget` instructions, or
     /// the stream ends. Issued memory requests are appended to `reqs`
     /// with the local cycle at which they left the core.

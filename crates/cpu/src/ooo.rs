@@ -430,7 +430,7 @@ impl CoreModel for OooCore {
                     let full_line = matches!(op.kind, OpKind::WriteHint { .. });
                     let writable = ctx.l1d.state(line).writable();
                     if writable {
-                        *ctx.versions += 1;
+                        *ctx.versions += ctx.version_stride;
                         let v = *ctx.versions;
                         let _ = ctx.l1d.store(line, v);
                         self.stats.l1_hits += 1;
@@ -457,7 +457,7 @@ impl CoreModel for OooCore {
                         if !present {
                             self.stats.l1d_misses += 1;
                         }
-                        *ctx.versions += 1;
+                        *ctx.versions += ctx.version_stride;
                         let v = *ctx.versions;
                         let id = self.fresh_id();
                         self.stores_outstanding += 1;
@@ -615,6 +615,7 @@ mod tests {
             l1i,
             l1d,
             versions: v,
+            version_stride: 1,
         };
         core.advance(&mut s, &mut ctx, 1_000_000, &mut reqs);
         reqs
@@ -665,6 +666,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         let st = core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked);
@@ -681,6 +683,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         assert_eq!(
             core.advance(&mut s, &mut ctx, 100, &mut reqs),
@@ -721,6 +724,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(reqs.len(), 1, "second load must wait for the first's data");
@@ -730,6 +734,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(reqs.len(), 2, "second load issues after the first fills");
@@ -739,6 +744,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         assert_eq!(
             core.advance(&mut s, &mut ctx, 100, &mut reqs),
@@ -763,6 +769,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         let st = core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked, "store transaction outstanding");
@@ -795,6 +802,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(reqs.len(), 2, "third load waits for an MSHR");
@@ -814,6 +822,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         let st = core.advance(&mut s, &mut ctx, 100, &mut reqs);
         assert_eq!(st, CoreStatus::Blocked);
@@ -825,6 +834,7 @@ mod tests {
             l1i: &mut l1i,
             l1d: &mut l1d,
             versions: &mut v,
+            version_stride: 1,
         };
         assert_eq!(
             core.advance(&mut s, &mut ctx, 100, &mut reqs),
@@ -853,6 +863,7 @@ mod tests {
             l1i: &mut l1i2,
             l1d: &mut l1d2,
             versions: &mut v2,
+            version_stride: 1,
         };
         ino.advance(&mut s, &mut ctx, 1_000_000, &mut reqs);
         let ino_cycles = ino.now_cycle();

@@ -65,7 +65,10 @@ pub struct StreamOp {
 }
 
 /// A source of instructions for a core.
-pub trait InstrStream {
+///
+/// `Send` so a node's streams can move onto a lane worker thread under
+/// the parallel-in-space engine (`piranha-parsim`).
+pub trait InstrStream: Send {
     /// The next instruction, or `None` when the stream ends.
     fn next_op(&mut self) -> Option<StreamOp>;
 
@@ -79,7 +82,7 @@ pub trait InstrStream {
     }
 }
 
-impl<F: FnMut() -> Option<StreamOp>> InstrStream for F {
+impl<F: FnMut() -> Option<StreamOp> + Send> InstrStream for F {
     fn next_op(&mut self) -> Option<StreamOp> {
         self()
     }

@@ -93,6 +93,27 @@ impl FaultPlane {
         }
     }
 
+    /// Build the plane for one lane (node) of a partitioned machine.
+    ///
+    /// Lane 0's plane is bit-identical to [`FaultPlane::new`], including
+    /// the scripted schedule — scripted events fire exactly once
+    /// machine-wide, and lane 0 owns them. Other lanes mix the node
+    /// index into the machine seed (so their random streams are
+    /// independent of lane 0's and of each other's) and carry no script.
+    /// Each lane consults only its own plane, which is what keeps fault
+    /// draws deterministic when lanes run on separate worker threads.
+    pub fn for_node(cfg: FaultConfig, machine_seed: u64, node: usize) -> Self {
+        if node == 0 {
+            return Self::new(cfg, machine_seed);
+        }
+        let mut plane = Self::new(
+            cfg,
+            machine_seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        plane.schedule = FaultSchedule::default();
+        plane
+    }
+
     /// The configuration this plane was built from.
     pub fn cfg(&self) -> &FaultConfig {
         &self.cfg

@@ -50,6 +50,23 @@ impl AvailabilityReport {
         self.injected > 0
     }
 
+    /// Fold another ledger into this one (counts add, per-kind maps
+    /// union). Used to aggregate per-lane ledgers of a partitioned
+    /// machine into one machine-wide report; merging consistent reports
+    /// yields a consistent report. `slowdown` is a run-level ratio, not
+    /// a count — it stays whatever the caller set (lane ledgers never
+    /// carry one).
+    pub fn merge(&mut self, other: &AvailabilityReport) {
+        self.injected += other.injected;
+        self.corrected += other.corrected;
+        self.escalated += other.escalated;
+        self.retransmits += other.retransmits;
+        self.recovery_cycles += other.recovery_cycles;
+        for (&kind, &count) in &other.by_kind {
+            *self.by_kind.entry(kind).or_insert(0) += count;
+        }
+    }
+
     /// A stable digest string folded into `RunResult::fingerprint` —
     /// identical reports (including the all-zero disabled one) digest
     /// identically.
@@ -111,6 +128,39 @@ mod tests {
         assert!(r.is_consistent());
         r.corrected = 3;
         assert!(!r.is_consistent(), "double-resolved fault detected");
+    }
+
+    #[test]
+    fn merge_sums_counts_and_unions_kinds() {
+        let mut a = AvailabilityReport {
+            injected: 2,
+            corrected: 2,
+            retransmits: 1,
+            recovery_cycles: 10,
+            ..Default::default()
+        };
+        a.by_kind.insert(FaultKind::LinkFlap, 2);
+        let mut b = AvailabilityReport {
+            injected: 3,
+            corrected: 2,
+            escalated: 1,
+            recovery_cycles: 30,
+            ..Default::default()
+        };
+        b.by_kind.insert(FaultKind::LinkFlap, 1);
+        b.by_kind.insert(FaultKind::MemFlipDouble, 2);
+        a.merge(&b);
+        assert_eq!(a.injected, 5);
+        assert_eq!(a.corrected, 4);
+        assert_eq!(a.escalated, 1);
+        assert_eq!(a.retransmits, 1);
+        assert_eq!(a.recovery_cycles, 40);
+        assert_eq!(a.by_kind[&FaultKind::LinkFlap], 3);
+        assert_eq!(a.by_kind[&FaultKind::MemFlipDouble], 2);
+        assert!(
+            a.is_consistent(),
+            "merging consistent reports stays consistent"
+        );
     }
 
     #[test]

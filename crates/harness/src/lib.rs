@@ -99,8 +99,11 @@ impl RunScale {
 
 /// Drive a built machine for `scale`: either a warmup+measure window or
 /// a run to stream completion. Shared by [`run_config`] and
-/// [`run_config_probed`] so the two paths cannot drift apart.
+/// [`run_config_probed`] so the two paths cannot drift apart. Applies
+/// the process-wide [`node_workers`] setting, which changes wall-clock
+/// only — multi-chip results are bit-identical at every worker count.
 fn drive(m: &mut Machine, scale: RunScale) -> RunResult {
+    m.set_parallel_workers(node_workers());
     if scale.to_completion {
         m.run_to_completion()
     } else {
@@ -108,11 +111,47 @@ fn drive(m: &mut Machine, scale: RunScale) -> RunResult {
     }
 }
 
-/// Run one configuration against one workload, serially, on the calling
-/// thread. This is the primitive everything else schedules.
+/// Run one configuration against one workload on the calling thread
+/// (multi-chip machines additionally use [`node_workers`] lane threads
+/// inside the run). This is the primitive everything else schedules.
 pub fn run_config(cfg: SystemConfig, w: &Workload, scale: RunScale) -> RunResult {
     let mut m = Machine::new(cfg, w);
     drive(&mut m, scale)
+}
+
+/// Like [`run_config`] with an explicit per-machine lane-worker count,
+/// bypassing the process-wide [`node_workers`] setting. Bit-identical
+/// to `run_config` of the same tuple at any `workers` value.
+pub fn run_config_parallel(
+    cfg: SystemConfig,
+    w: &Workload,
+    scale: RunScale,
+    workers: usize,
+) -> RunResult {
+    let mut m = Machine::new(cfg, w);
+    m.set_parallel_workers(workers);
+    if scale.to_completion {
+        m.run_to_completion()
+    } else {
+        m.run(scale.warmup, scale.measure)
+    }
+}
+
+/// The process-wide lane-worker count applied to every machine the
+/// harness drives (1 = serial within each simulation, the default).
+static NODE_WORKERS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the per-machine lane-worker count (`--parallel=<n>` in the
+/// figure binaries). Clamped to ≥ 1. The harness divides its sweep
+/// thread budget by this so `sweep threads × lane workers` stays within
+/// the configured parallelism (see [`Harness::execute`]).
+pub fn set_node_workers(workers: usize) {
+    NODE_WORKERS.store(workers.max(1), Ordering::Relaxed);
+}
+
+/// The current per-machine lane-worker count.
+pub fn node_workers() -> usize {
+    NODE_WORKERS.load(Ordering::Relaxed).max(1)
 }
 
 /// Like [`run_config`], but with an observability probe attached per
@@ -311,7 +350,10 @@ impl Harness {
         if todo.is_empty() {
             return;
         }
-        let workers = self.threads.min(todo.len());
+        // Nested-parallelism budget: each simulation may itself spin up
+        // `node_workers()` lane threads, so the sweep gets its share of
+        // the thread budget (at least one worker either way).
+        let workers = piranha_parsim::sweep_share(self.threads, node_workers()).min(todo.len());
         if workers <= 1 {
             for req in todo {
                 let r = Arc::new(run_config(req.cfg.clone(), &req.workload, req.scale));
@@ -452,6 +494,16 @@ mod tests {
         assert!(r.total_instrs() >= 10_000);
         assert_eq!(h.unique_runs(), 1);
         assert_eq!(h.cache_hits(), 0);
+    }
+
+    #[test]
+    fn lane_workers_do_not_change_multichip_results() {
+        let cfg = tiny_cfg("MC", 2).scaled_to_chips(2);
+        let serial = run_config_parallel(cfg.clone(), &synth(), RunScale::tiny(), 1);
+        let threaded = run_config_parallel(cfg, &synth(), RunScale::tiny(), 2);
+        assert_eq!(serial.fingerprint(), threaded.fingerprint());
+        assert_eq!(serial.window, threaded.window);
+        assert_eq!(serial.total_instrs(), threaded.total_instrs());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`Scheduler`] — per-node sub-queues over [`EventQueue`] with a
 //!   deterministic global merge, the seam between the system wiring and
 //!   the component adapters;
+//! * [`Partition`] / [`QuantumBarrier`] — partition-local event lists and
+//!   the conservative lookahead bound for parallel-in-space execution
+//!   (one lane per worker thread, merged at quantum barriers);
 //! * [`Component`] / [`Port`] — the typed module abstraction every
 //!   subsystem crate adapts itself to (see the ping/pong example on
 //!   [`Component`]);
@@ -34,6 +37,7 @@
 
 pub mod component;
 pub mod event;
+pub mod partition;
 pub mod rng;
 pub mod sched;
 pub mod server;
@@ -41,6 +45,7 @@ pub mod stats;
 
 pub use component::{Component, Port};
 pub use event::EventQueue;
+pub use partition::{Partition, QuantumBarrier};
 pub use rng::Prng;
 pub use sched::Scheduler;
 pub use server::{MultiServer, Pipe, Server};

@@ -85,6 +85,14 @@ impl<P> Fabric<P> {
     pub fn topology(&self) -> &Topology {
         self.net.topology()
     }
+
+    /// The conservative lookahead bound of this fabric's links: no
+    /// cross-node delivery can complete in less than this (see
+    /// [`crate::NetworkConfig::min_delivery_latency`]). The system layer
+    /// uses it as the quantum for parallel-in-space execution.
+    pub fn min_delivery_latency(&self) -> piranha_types::Duration {
+        self.net.config().min_delivery_latency()
+    }
 }
 
 impl<P> Component for Fabric<P> {

@@ -216,6 +216,19 @@ impl NetworkConfig {
             max_deflect_age: 8,
         }
     }
+
+    /// The minimum latency any cross-node delivery can have: one
+    /// shortest-packet wire serialization plus one hop of fall-through —
+    /// the first hop of [`Network::send`] with an idle link, which every
+    /// routed packet pays at least once. This is the conservative
+    /// lookahead bound (per-link quantum) for parallel-in-space
+    /// execution: no event a node emits at `t` can be observable at
+    /// another node before `t + min_delivery_latency()`. 20 ns with the
+    /// paper defaults (16 B at 4 GB/s = 4 ns, + 16 ns hop).
+    pub fn min_delivery_latency(&self) -> Duration {
+        Pipe::from_gb_per_s(self.link_gb_s).transfer_time(crate::PacketKind::Short.bytes())
+            + self.hop_latency
+    }
 }
 
 impl Default for NetworkConfig {
@@ -399,6 +412,11 @@ impl<P> Network<P> {
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
+
+    /// The link configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +484,18 @@ mod tests {
         assert_eq!(p.age, 1);
         // 16 bytes at 4 GB/s = 4ns + 16ns hop = 20ns.
         assert_eq!(t.as_ns(), 20);
+    }
+
+    #[test]
+    fn min_delivery_latency_is_the_paper_quantum() {
+        // The conservative lookahead bound equals the best-case direct
+        // delivery above: short serialization (4 ns) + one hop (16 ns).
+        let cfg = NetworkConfig::paper_default();
+        assert_eq!(cfg.min_delivery_latency(), Duration::from_ns(20));
+        // And it really is a lower bound for an idle direct link.
+        let mut net: Network<u32> = Network::new(Topology::fully_connected(4), cfg);
+        let (t, _) = net.send(SimTime::ZERO, pkt(0, 1));
+        assert!(t.since(SimTime::ZERO) >= cfg.min_delivery_latency());
     }
 
     #[test]

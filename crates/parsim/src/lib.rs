@@ -1,0 +1,432 @@
+//! Conservative parallel-in-space execution with deterministic quantum
+//! barriers (the parti-gem5 / ScaleSimulator recipe adapted to Piranha).
+//!
+//! The model: a simulation is split into *lanes* (one simulated node —
+//! chip plus its memory/protocol/router adapters — per lane). Every lane
+//! advances independently through the events of one *quantum* — the
+//! window `[t_min, t_min + quantum)` where `quantum` is the minimum
+//! cross-lane delivery latency — and then all lanes meet at a barrier.
+//! Cross-lane events generated inside the quantum are buffered in each
+//! lane's [`Outbox`] and merged at the barrier in a deterministic order
+//! keyed by `(time, source lane, intra-quantum seq)`. Because no buffered
+//! event can be due before the barrier (the quantum is a conservative
+//! lookahead bound), the parallel schedule is *race-free by
+//! construction*: every lane sees exactly the event order a serial
+//! execution of the same engine would produce, so fingerprints are
+//! bit-identical for any worker count, including one.
+//!
+//! The crate is deliberately ignorant of what a lane *is*: the system
+//! crate supplies the lane type and the advance/control closures;
+//! everything here is scheduling glue — a spin barrier, the outbox
+//! buffers, the deterministic merge, and the round driver
+//! [`parallel_rounds`].
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use piranha_types::SimTime;
+
+/// A hybrid spin/block barrier for tightly coupled quantum loops.
+///
+/// Quantum barriers fire every few tens of simulated nanoseconds — many
+/// thousands of times per wall-clock second — so rendezvous latency is
+/// on the critical path. When the host has a core per party, waiters
+/// spin briefly on the generation word (the common case: lanes finish a
+/// quantum within microseconds of each other) before blocking. On an
+/// *oversubscribed* host spinning is skipped entirely and waiters go
+/// straight to a [`Condvar`]: a spinning or `yield_now`-ing waiter on a
+/// shared core steals exactly the timeslices the straggler needs (CFS
+/// `sched_yield` readily reschedules the yielder), turning every
+/// rendezvous into milliseconds — a real sleep keeps the penalty at a
+/// futex round-trip instead.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    /// Spin iterations before blocking; 0 when oversubscribed.
+    spin: u32,
+    /// Arrival count of the current generation, guarded for the condvar.
+    count: Mutex<usize>,
+    cv: Condvar,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    /// A barrier releasing once `parties` threads have called
+    /// [`wait`](SpinBarrier::wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        SpinBarrier {
+            parties,
+            spin: if parties <= cores { 1 << 12 } else { 0 },
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until all parties have arrived.
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        {
+            let mut count = self.count.lock().unwrap();
+            *count += 1;
+            if *count == self.parties {
+                // Last arriver resets the count for the next round, then
+                // releases everyone: the generation advances under the
+                // lock (so a blocked waiter cannot miss it) and spinners
+                // see the atomic store without touching the lock.
+                *count = 0;
+                self.generation.fetch_add(1, Ordering::Release);
+                drop(count);
+                self.cv.notify_all();
+                return;
+            }
+        }
+        for _ in 0..self.spin {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut count = self.count.lock().unwrap();
+        while self.generation.load(Ordering::Acquire) == gen {
+            count = self.cv.wait(count).unwrap();
+        }
+    }
+}
+
+/// A cross-lane event buffered inside a quantum: send time plus the
+/// intra-quantum sequence number that makes the barrier merge total.
+#[derive(Debug, Clone)]
+pub struct Outbound<T> {
+    /// When the source lane emitted the event.
+    pub time: SimTime,
+    /// Position in the source lane's send order (monotone per lane).
+    pub seq: u64,
+    /// The buffered payload.
+    pub payload: T,
+}
+
+/// Per-lane buffer of cross-lane events awaiting the next barrier.
+///
+/// Events are pushed in the source lane's execution order, which is
+/// nondecreasing in time, so each outbox is already sorted by
+/// `(time, seq)`; the barrier merge only interleaves sources.
+#[derive(Debug)]
+pub struct Outbox<T> {
+    entries: Vec<Outbound<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for Outbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Outbox<T> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Buffer `payload`, emitted at `time`, stamping the next sequence
+    /// number. The sequence space is per-lane and never resets, so an
+    /// entry's `(time, source, seq)` key is unique for a whole run.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.time <= time),
+            "outbox pushes must be nondecreasing in time"
+        );
+        self.entries.push(Outbound {
+            time,
+            seq: self.next_seq,
+            payload,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Take every buffered event, leaving the outbox empty (sequence
+    /// numbering continues where it left off).
+    pub fn drain(&mut self) -> Vec<Outbound<T>> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// A buffered event tagged with its source lane, ready for delivery.
+#[derive(Debug, Clone)]
+pub struct Merged<T> {
+    /// When the source lane emitted the event.
+    pub time: SimTime,
+    /// The lane that emitted it.
+    pub source: usize,
+    /// The source lane's intra-quantum sequence number.
+    pub seq: u64,
+    /// The payload to deliver.
+    pub payload: T,
+}
+
+/// Merge per-source outbox drains into the canonical barrier order:
+/// ascending `(time, source, seq)`. This single total order is what makes
+/// a parallel quantum bit-identical to a serial one — the interleaving of
+/// cross-lane traffic is a pure function of the simulation, never of
+/// thread scheduling.
+pub fn merge_outboxes<T>(
+    per_source: impl IntoIterator<Item = (usize, Vec<Outbound<T>>)>,
+) -> Vec<Merged<T>> {
+    let mut merged: Vec<Merged<T>> = per_source
+        .into_iter()
+        .flat_map(|(source, entries)| {
+            entries.into_iter().map(move |e| Merged {
+                time: e.time,
+                source,
+                seq: e.seq,
+                payload: e.payload,
+            })
+        })
+        .collect();
+    // (source, seq) is unique, so the key is total and an unstable sort
+    // is deterministic.
+    merged.sort_unstable_by_key(|m| (m.time, m.source, m.seq));
+    merged
+}
+
+/// How many sweep-level threads a harness should use when each run may
+/// itself spawn `per_run` lane workers: the two levels multiply, so they
+/// share one budget rather than both claiming all of it.
+pub fn sweep_share(total_threads: usize, per_run: usize) -> usize {
+    (total_threads / per_run.max(1)).max(1)
+}
+
+/// Drive lanes through quantum rounds until `control` stops the run.
+///
+/// Each round: `control` runs on the coordinating thread with exclusive
+/// access to every lane (merge the previous round's outboxes, check stop
+/// conditions, pick the next horizon); if it returns a horizon, every
+/// lane is advanced to it — in parallel across `workers` threads when
+/// `workers > 1`, inline otherwise — and the cycle repeats. Returning
+/// `None` ends the run *after* the previous round's traffic has been
+/// merged, so no buffered event is ever lost.
+///
+/// Lanes are distributed to workers round-robin by index; each lane is
+/// touched by exactly one worker per round, and the barrier pair
+/// (`start`/`done`) orders every worker's lane mutations before the next
+/// `control` call. The worker count therefore cannot change *what* a
+/// lane computes, only *when* — determinism is structural.
+///
+/// # Panics
+///
+/// Propagates panics from `advance` (a lane assertion failing on a
+/// worker thread resurfaces on the coordinator).
+pub fn parallel_rounds<L: Send>(
+    workers: usize,
+    cells: &mut [Mutex<L>],
+    advance: impl Fn(&mut L, SimTime) + Sync,
+    mut control: impl FnMut(&[Mutex<L>]) -> Option<SimTime>,
+) {
+    let workers = workers.min(cells.len()).max(1);
+    if workers == 1 {
+        while let Some(horizon) = control(cells) {
+            for cell in cells.iter_mut() {
+                advance(cell.get_mut().unwrap(), horizon);
+            }
+        }
+        return;
+    }
+    let start = SpinBarrier::new(workers + 1);
+    let done = SpinBarrier::new(workers + 1);
+    let horizon_ps = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let panicked = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (start, done) = (&start, &done);
+            let (horizon_ps, stop, panicked) = (&horizon_ps, &stop, &panicked);
+            let (advance, cells) = (&advance, &*cells);
+            s.spawn(move || loop {
+                start.wait();
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let horizon = SimTime(horizon_ps.load(Ordering::Acquire));
+                // Keep hitting the `done` barrier even if a lane
+                // panics, or the coordinator would wait forever.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    for cell in cells.iter().skip(w).step_by(workers) {
+                        advance(&mut cell.lock().unwrap(), horizon);
+                    }
+                }));
+                if outcome.is_err() {
+                    panicked.store(true, Ordering::Release);
+                }
+                done.wait();
+            });
+        }
+        loop {
+            let next = if panicked.load(Ordering::Acquire) {
+                None
+            } else {
+                control(cells)
+            };
+            match next {
+                Some(horizon) => {
+                    horizon_ps.store(horizon.as_ps(), Ordering::Release);
+                    start.wait();
+                    done.wait();
+                }
+                None => {
+                    stop.store(true, Ordering::Release);
+                    start.wait();
+                    break;
+                }
+            }
+        }
+    });
+    assert!(
+        !panicked.load(Ordering::Acquire),
+        "a lane worker panicked during a quantum"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy lane: consumes "events" (just times) up to the horizon and
+    /// records the order.
+    struct Toy {
+        pending: Vec<u64>,
+        log: Vec<u64>,
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        let b = SpinBarrier::new(4);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                });
+            }
+            b.wait();
+            assert_eq!(hits.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn outbox_merge_is_keyed_by_time_source_seq() {
+        let mut a = Outbox::new();
+        let mut b = Outbox::new();
+        a.push(SimTime(30), "a0");
+        a.push(SimTime(30), "a1");
+        b.push(SimTime(10), "b0");
+        b.push(SimTime(30), "b1");
+        let merged = merge_outboxes([(1usize, a.drain()), (0usize, b.drain())]);
+        let order: Vec<&str> = merged.iter().map(|m| m.payload).collect();
+        // time first, then source, then per-source seq.
+        assert_eq!(order, ["b0", "b1", "a0", "a1"]);
+        // Seq numbering continues across drains.
+        a.push(SimTime(40), "a2");
+        assert_eq!(a.drain()[0].seq, 2);
+    }
+
+    #[test]
+    fn sweep_share_divides_the_budget() {
+        assert_eq!(sweep_share(8, 2), 4);
+        assert_eq!(sweep_share(8, 1), 8);
+        assert_eq!(sweep_share(2, 8), 1);
+        assert_eq!(sweep_share(8, 0), 8);
+    }
+
+    fn drive(workers: usize) -> Vec<Vec<u64>> {
+        let mut cells: Vec<Mutex<Toy>> = (0..5)
+            .map(|i| {
+                Mutex::new(Toy {
+                    pending: (0..20).map(|k| (k * 7 + i as u64) % 50).collect(),
+                    log: Vec::new(),
+                })
+            })
+            .collect();
+        let mut horizon = 0u64;
+        parallel_rounds(
+            workers,
+            &mut cells,
+            |lane, h| {
+                let mut due: Vec<u64> = lane
+                    .pending
+                    .iter()
+                    .copied()
+                    .filter(|&t| t < h.as_ps())
+                    .collect();
+                due.sort_unstable();
+                lane.pending.retain(|&t| t >= h.as_ps());
+                lane.log.extend(due);
+            },
+            |cells| {
+                let busy = cells.iter().any(|c| !c.lock().unwrap().pending.is_empty());
+                if !busy {
+                    return None;
+                }
+                horizon += 13;
+                Some(SimTime(horizon))
+            },
+        );
+        cells
+            .into_iter()
+            .map(|c| c.into_inner().unwrap().log)
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_lane_outcomes() {
+        let serial = drive(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(drive(workers), serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut cells = vec![Mutex::new(0u32), Mutex::new(1u32)];
+            let mut rounds = 0;
+            parallel_rounds(
+                2,
+                &mut cells,
+                |lane, _| {
+                    if *lane == 1 {
+                        panic!("boom");
+                    }
+                },
+                |_| {
+                    rounds += 1;
+                    (rounds <= 2).then_some(SimTime(1))
+                },
+            );
+        });
+        assert!(caught.is_err(), "the lane panic must resurface");
+    }
+}

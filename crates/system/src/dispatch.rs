@@ -1,34 +1,44 @@
 //! Event dispatch: routing between the component adapters.
 //!
 //! This is the only layer that knows the machine's topology of
-//! components. Each arm of [`Machine::dispatch`] hands the event to the
+//! components. Each arm of [`NodeLane::dispatch`] hands the event to the
 //! owning adapter's `Component::handle` and routes the actions that come
 //! back out of its port — it contains **no subsystem logic** of its own.
 //! The two cross-cutting concerns the paper treats as system-level —
 //! fault injection/recovery (§2.7) and observability — are applied here,
 //! uniformly at the port boundary, so no subsystem crate knows they
 //! exist.
+//!
+//! Dispatch is written against one `NodeLane` at a time so nodes can
+//! advance on independent worker threads: everything a handler touches
+//! lives on the lane, and the single cross-node path (a protocol
+//! engine's `Send`) buffers into the lane's outbox instead of touching
+//! another node's queue. The buffered departures are routed through the
+//! shared fabric at the next quantum barrier by [`NetPath::route`],
+//! which also enforces the conservative-lookahead invariant every
+//! cross-node delivery must respect.
 
 use std::collections::VecDeque;
 
 use piranha_cache::{BankAction, BankEvent, CacheEvent, Mesi, Slot};
 use piranha_cpu::{CpuAction, CpuCtx, CpuEvent};
-use piranha_faults::FaultKind;
+use piranha_faults::{FaultKind, FaultPlane};
 use piranha_ics::TransferSize;
-use piranha_kernel::Component;
+use piranha_kernel::{Component, Port};
 use piranha_mem::{MemEvent, Scrub};
-use piranha_net::{crc32, flip_bit, Depart, Packet, PacketKind};
-use piranha_probe::TraceLevel;
+use piranha_net::{crc32, flip_bit, Arrive, Depart, Fabric, Packet, PacketKind};
+use piranha_probe::{Probe, TraceLevel};
 use piranha_protocol::coherence::occupancy_cycles;
 use piranha_protocol::{EngineAction, EngineEvent, HomeIn, ProtoMsg, RemoteIn};
-use piranha_types::{CpuId, Duration, Lane, LineAddr, NodeId, SimTime};
+use piranha_types::{CpuId, Duration, FillSource, Lane, LineAddr, NodeId, SimTime};
 
-use crate::machine::Machine;
-use crate::node::{Node, NodeDirs};
+use crate::config::SystemConfig;
+use crate::machine::PAGE_LINES;
+use crate::node::{Node, NodeDirs, NodeLane};
 use crate::wiring::{track_base, TRACK_BANK, TRACK_HOME, TRACK_MEM, TRACK_NET, TRACK_REMOTE};
 
-/// An event on the machine's scheduler. The handling node is the
-/// scheduler's own dimension, so events name only the in-node target.
+/// An event on a lane's partition. The handling node is the partition's
+/// own dimension, so events name only the in-node target.
 #[derive(Debug, Clone)]
 pub(crate) enum Ev {
     /// An event for the node's CPU cluster (step or fill).
@@ -47,32 +57,93 @@ pub(crate) enum Item {
     Eng(EngineAction),
 }
 
-impl Machine {
-    pub(crate) fn dispatch(&mut self, t: SimTime, node: usize, ev: Ev) {
+/// Convert a CPU cycle number to simulated time under `cfg`'s clock.
+pub(crate) fn cycle_to_time(cfg: &SystemConfig, cycle: u64) -> SimTime {
+    SimTime::ZERO + cfg.cpu_clock.cycles_dur(cycle)
+}
+
+/// Convert simulated time to a CPU cycle number under `cfg`'s clock.
+pub(crate) fn time_to_cycle(cfg: &SystemConfig, t: SimTime) -> u64 {
+    cfg.cpu_clock.cycles(t.since(SimTime::ZERO))
+}
+
+/// The read-only machine facts every lane needs while it advances:
+/// the configuration and the line-interleaving geometry. Shared by all
+/// worker threads inside a quantum (it is never written during one).
+pub(crate) struct LaneShared<'a> {
+    pub(crate) cfg: &'a SystemConfig,
+    /// Total lane (node) count, for home interleaving.
+    pub(crate) lanes: usize,
+}
+
+impl<'a> LaneShared<'a> {
+    pub(crate) fn new(cfg: &'a SystemConfig, lanes: usize) -> Self {
+        LaneShared { cfg, lanes }
+    }
+
+    /// The home node of a line (8 KB pages interleaved round-robin).
+    pub(crate) fn home_of(&self, line: LineAddr) -> usize {
+        ((line.0 / PAGE_LINES) % self.lanes as u64) as usize
+    }
+
+    pub(crate) fn cycle_to_time(&self, cycle: u64) -> SimTime {
+        cycle_to_time(self.cfg, cycle)
+    }
+
+    pub(crate) fn time_to_cycle(&self, t: SimTime) -> u64 {
+        time_to_cycle(self.cfg, t)
+    }
+
+    /// Reply latency from bank to CPU by service point.
+    pub(crate) fn reply_latency(&self, source: FillSource) -> Duration {
+        match source {
+            FillSource::L2Fwd => self.cfg.lat.reply + self.cfg.lat.fwd_probe,
+            _ => self.cfg.lat.reply,
+        }
+    }
+}
+
+impl NodeLane {
+    /// Drain and dispatch every lane event strictly before `horizon`.
+    /// This is the per-worker body of a quantum: the conservative bound
+    /// guarantees no other lane can schedule into `[now, horizon)`, so
+    /// the lane advances with no synchronization at all.
+    pub(crate) fn advance(&mut self, sh: &LaneShared<'_>, horizon: SimTime) {
+        while self.events.peek_time().is_some_and(|t| t < horizon) {
+            let (t, ev) = self.events.pop().expect("peeked event");
+            self.dispatch(sh, t, ev);
+        }
+    }
+
+    pub(crate) fn bank_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.node.caches.bank_count() as u64) as usize
+    }
+
+    pub(crate) fn dispatch(&mut self, sh: &LaneShared<'_>, t: SimTime, ev: Ev) {
         match ev {
-            Ev::Cpu(ev) => self.cpu_event(t, node, ev),
+            Ev::Cpu(ev) => self.cpu_event(sh, t, ev),
             Ev::Bank(ce) => {
                 self.probe.span(
                     TraceLevel::Spans,
                     "cache",
                     "bank.lookup",
-                    track_base(node) + TRACK_BANK + ce.bank as u32,
+                    track_base(self.index) + TRACK_BANK + ce.bank as u32,
                     t.as_ps(),
-                    self.cfg.lat.bank.as_ps(),
+                    sh.cfg.lat.bank.as_ps(),
                     0,
                 );
                 let mut port = std::mem::take(&mut self.bank_port);
-                self.nodes[node].caches.handle(t, ce, (), &mut port);
+                self.node.caches.handle(t, ce, (), &mut port);
                 let items: Vec<Item> = port.drain().map(|(_, a)| Item::Bank(a)).collect();
                 self.bank_port = port;
-                self.apply(t, node, items);
+                self.apply(sh, t, items);
             }
             Ev::MemRead(me) => {
                 self.probe.instant(
                     TraceLevel::Spans,
                     "mem",
                     "dram.read",
-                    track_base(node) + TRACK_MEM + me.bank as u32,
+                    track_base(self.index) + TRACK_MEM + me.bank as u32,
                     t.as_ps(),
                     me.line.0,
                 );
@@ -80,10 +151,10 @@ impl Machine {
                 // time, so intervening writes are observed; its MemData
                 // goes straight back to the requesting bank.
                 let mut mport = std::mem::take(&mut self.mem_port);
-                self.nodes[node].mem.handle(t, me, (), &mut mport);
+                self.node.mem.handle(t, me, (), &mut mport);
                 let mut bport = std::mem::take(&mut self.bank_port);
                 for (_, d) in mport.drain() {
-                    self.nodes[node].caches.handle(
+                    self.node.caches.handle(
                         t,
                         CacheEvent {
                             bank: d.bank,
@@ -100,7 +171,7 @@ impl Machine {
                 self.mem_port = mport;
                 let items: Vec<Item> = bport.drain().map(|(_, a)| Item::Bank(a)).collect();
                 self.bank_port = bport;
-                self.apply(t, node, items);
+                self.apply(sh, t, items);
             }
             Ev::NetMsg { from, msg } => {
                 let line = msg.line();
@@ -112,41 +183,42 @@ impl Machine {
                     ProtoMsg::InvalAck { .. } | ProtoMsg::WbAck { .. } => "ack",
                     _ => "wb",
                 };
-                let is_home = self.home_of(line) == node;
+                let is_home = sh.home_of(line) == self.index;
                 let mut pe_cycles = occupancy_cycles(kind);
                 if self.faults.enabled() {
-                    let cyc = self.time_to_cycle(t);
+                    let cyc = sh.time_to_cycle(t);
                     if let Some(h) = self.faults.engine_hiccup(cyc) {
                         // The engine's watchdog expires and the handler
                         // replays from its TSRF-recorded inputs: extra
                         // occupancy, same architectural outcome (the
                         // state machine only commits at completion).
-                        let extra = self.nodes[node].engines.replay(kind);
+                        let extra = self.node.engines.replay(kind);
                         pe_cycles += extra;
                         self.faults.note_recovery(h.kind, true, extra, 0);
                         self.probe.instant(
                             TraceLevel::Spans,
                             "faults",
                             "engine.replay",
-                            track_base(node) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
+                            track_base(self.index)
+                                + if is_home { TRACK_HOME } else { TRACK_REMOTE },
                             t.as_ps(),
                             extra,
                         );
                     }
                 }
-                let occ = self.cfg.lat.pe_instr.times(pe_cycles);
+                let occ = sh.cfg.lat.pe_instr.times(pe_cycles);
                 self.probe.span(
                     TraceLevel::Spans,
                     "protocol",
                     if is_home { "home" } else { "remote" },
-                    track_base(node) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
+                    track_base(self.index) + if is_home { TRACK_HOME } else { TRACK_REMOTE },
                     t.as_ps(),
                     occ.as_ps(),
                     line.0,
                 );
                 let mut port = std::mem::take(&mut self.eng_port);
                 {
-                    let nd = &mut self.nodes[node];
+                    let nd = &mut self.node;
                     nd.engines.acquire(is_home, t, occ);
                     let Node { engines, mem, .. } = nd;
                     let mut dirs = NodeDirs {
@@ -161,16 +233,16 @@ impl Machine {
                 }
                 let items: Vec<Item> = port.drain().map(|(_, a)| Item::Eng(a)).collect();
                 self.eng_port = port;
-                self.apply(t, node, items);
+                self.apply(sh, t, items);
             }
         }
     }
 
     /// Deliver one event to the node's CPU cluster and route the
     /// resulting actions: memory requests toward the L2 (via the ICS and
-    /// the bank occupancy server), reschedules onto the scheduler, and
+    /// the bank occupancy server), reschedules onto the partition, and
     /// completions into the run loop's `unfinished` count.
-    fn cpu_event(&mut self, t: SimTime, node: usize, ev: CpuEvent) {
+    fn cpu_event(&mut self, sh: &LaneShared<'_>, t: SimTime, ev: CpuEvent) {
         let (cpu, is_step) = match ev {
             CpuEvent::Step { cpu } => (cpu, true),
             CpuEvent::Fill { cpu, id, .. } => {
@@ -178,27 +250,31 @@ impl Machine {
                     TraceLevel::Verbose,
                     "cpu",
                     "fill",
-                    track_base(node) + cpu as u32,
+                    track_base(self.index) + cpu as u32,
                     t.as_ps(),
                     id,
                 );
                 (cpu, false)
             }
         };
-        let fill_cycle = self.time_to_cycle(t);
+        let fill_cycle = sh.time_to_cycle(t);
         let mut port = std::mem::take(&mut self.cpu_port);
         let (retired, cyc_delta) = {
-            let Machine {
-                nodes, versions, ..
+            let NodeLane {
+                node,
+                versions,
+                version_stride,
+                ..
             } = self;
             let Node {
                 cpus, caches, sc, ..
-            } = &mut nodes[node];
+            } = node;
             let before = cpus.core(cpu).stats().instrs;
             let cyc_before = cpus.core(cpu).now_cycle();
             let ctx = CpuCtx {
                 l1s: caches.l1s_mut(),
                 versions,
+                version_stride: *version_stride,
                 enabled: sc.cpu_enabled(CpuId(cpu as u8)),
                 fill_cycle,
             };
@@ -214,36 +290,33 @@ impl Machine {
                 TraceLevel::Spans,
                 "cpu",
                 "step",
-                track_base(node) + cpu as u32,
+                track_base(self.index) + cpu as u32,
                 t.as_ps(),
-                self.cfg.cpu_clock.cycles_dur(cyc_delta).as_ps(),
+                sh.cfg.cpu_clock.cycles_dur(cyc_delta).as_ps(),
                 retired,
             );
         }
         for (_, act) in port.drain() {
             match act {
                 CpuAction::Issue { cpu, at_cycle, req } => {
-                    let issue = self.cycle_to_time(at_cycle).max(t);
+                    let issue = sh.cycle_to_time(at_cycle).max(t);
                     // Request message over the ICS (header) + path latency.
-                    let tics =
-                        self.nodes[node]
-                            .ics
-                            .transfer(issue, TransferSize::Header, Lane::Low);
-                    let arrive = (issue + self.cfg.lat.req).max(tics);
-                    let bank = self.bank_of(node, req.line);
-                    let exec = self.nodes[node]
-                        .caches
-                        .acquire(bank, arrive, self.cfg.lat.bank);
+                    let tics = self
+                        .node
+                        .ics
+                        .transfer(issue, TransferSize::Header, Lane::Low);
+                    let arrive = (issue + sh.cfg.lat.req).max(tics);
+                    let bank = self.bank_of(req.line);
+                    let exec = self.node.caches.acquire(bank, arrive, sh.cfg.lat.bank);
                     let slot = Slot::new(CpuId(cpu as u8), req.kind);
-                    let prev = self.outstanding.insert((node, slot, req.line), req.id);
+                    let prev = self.outstanding.insert((slot, req.line), req.id);
                     assert!(
                         prev.is_none(),
                         "duplicate outstanding request for {slot} {}",
                         req.line
                     );
-                    let home_local = self.home_of(req.line) == node;
+                    let home_local = sh.home_of(req.line) == self.index;
                     self.events.schedule(
-                        node,
                         exec.max(t),
                         Ev::Bank(CacheEvent {
                             bank,
@@ -258,9 +331,8 @@ impl Machine {
                     );
                 }
                 CpuAction::Wake { cpu, at_cycle } => {
-                    let next = self.cycle_to_time(at_cycle).max(t);
-                    self.events
-                        .schedule(node, next, Ev::Cpu(CpuEvent::Step { cpu }));
+                    let next = sh.cycle_to_time(at_cycle).max(t);
+                    self.events.schedule(next, Ev::Cpu(CpuEvent::Step { cpu }));
                 }
                 CpuAction::Finished { .. } => self.unfinished -= 1,
             }
@@ -270,38 +342,38 @@ impl Machine {
 
     /// Run `ev` through the node's engine complex (threading the
     /// directory view in) and queue the resulting actions.
-    fn engine(&mut self, t: SimTime, n: usize, ev: EngineEvent, q: &mut VecDeque<(usize, Item)>) {
+    fn engine(&mut self, t: SimTime, ev: EngineEvent, q: &mut VecDeque<Item>) {
         let mut port = std::mem::take(&mut self.eng_port);
         {
-            let Node { engines, mem, .. } = &mut self.nodes[n];
+            let Node { engines, mem, .. } = &mut self.node;
             let mut dirs = NodeDirs {
                 banks: mem.banks_mut(),
             };
             engines.handle(t, ev, &mut dirs, &mut port);
         }
-        q.extend(port.drain().map(|(_, a)| (n, Item::Eng(a))));
+        q.extend(port.drain().map(|(_, a)| Item::Eng(a)));
         self.eng_port = port;
     }
 
     /// Run `ev` through one of the node's L2 banks and queue the
     /// resulting actions.
-    fn bank(&mut self, t: SimTime, n: usize, ev: CacheEvent, q: &mut VecDeque<(usize, Item)>) {
+    fn bank(&mut self, t: SimTime, ev: CacheEvent, q: &mut VecDeque<Item>) {
         let mut port = std::mem::take(&mut self.bank_port);
-        self.nodes[n].caches.handle(t, ev, (), &mut port);
-        q.extend(port.drain().map(|(_, a)| (n, Item::Bank(a))));
+        self.node.caches.handle(t, ev, (), &mut port);
+        q.extend(port.drain().map(|(_, a)| Item::Bank(a)));
         self.bank_port = port;
     }
 
-    /// Apply a work-list of bank/engine actions at time `t` on `node`.
+    /// Apply a work-list of bank/engine actions at time `t`.
     /// The work queue's allocation is reused across dispatches.
-    pub(crate) fn apply(&mut self, t: SimTime, origin: usize, items: Vec<Item>) {
+    pub(crate) fn apply(&mut self, sh: &LaneShared<'_>, t: SimTime, items: Vec<Item>) {
         let mut q = std::mem::take(&mut self.work);
         debug_assert!(q.is_empty());
-        q.extend(items.into_iter().map(|i| (origin, i)));
-        while let Some((n, item)) = q.pop_front() {
+        q.extend(items);
+        while let Some(item) = q.pop_front() {
             match item {
-                Item::Bank(a) => self.apply_bank_action(t, n, a, &mut q),
-                Item::Eng(a) => self.apply_engine_action(t, n, a, &mut q),
+                Item::Bank(a) => self.apply_bank_action(sh, t, a, &mut q),
+                Item::Eng(a) => self.apply_engine_action(sh, t, a, &mut q),
             }
         }
         self.work = q;
@@ -309,10 +381,10 @@ impl Machine {
 
     fn apply_bank_action(
         &mut self,
+        sh: &LaneShared<'_>,
         t: SimTime,
-        n: usize,
         a: BankAction,
-        q: &mut VecDeque<(usize, Item)>,
+        q: &mut VecDeque<Item>,
     ) {
         match a {
             BankAction::Grant {
@@ -325,7 +397,7 @@ impl Machine {
             } => {
                 let id = self
                     .outstanding
-                    .remove(&(n, slot, line))
+                    .remove(&(slot, line))
                     .unwrap_or_else(|| panic!("grant without outstanding request: {slot} {line}"));
                 // Data fills occupy an ICS datapath; upgrades are
                 // header-only.
@@ -334,10 +406,9 @@ impl Machine {
                 } else {
                     TransferSize::Line
                 };
-                self.nodes[n].ics.transfer(t, size, Lane::High);
-                let wake = t + self.reply_latency(source);
+                self.node.ics.transfer(t, size, Lane::High);
+                let wake = t + sh.reply_latency(source);
                 self.events.schedule(
-                    n,
                     wake,
                     Ev::Cpu(CpuEvent::Fill {
                         cpu: slot.cpu().index(),
@@ -347,9 +418,7 @@ impl Machine {
                 );
             }
             BankAction::Inval { .. } | BankAction::Downgrade { .. } => {
-                self.nodes[n]
-                    .ics
-                    .transfer(t, TransferSize::Header, Lane::High);
+                self.node.ics.transfer(t, TransferSize::Header, Lane::High);
             }
             BankAction::VictimDisplaced {
                 slot,
@@ -363,11 +432,10 @@ impl Machine {
                 } else {
                     TransferSize::Header
                 };
-                self.nodes[n].ics.transfer(t, size, Lane::Low);
-                let bank = self.bank_of(n, line);
+                self.node.ics.transfer(t, size, Lane::Low);
+                let bank = self.bank_of(line);
                 self.bank(
                     t,
-                    n,
                     CacheEvent {
                         bank,
                         ev: BankEvent::Victim {
@@ -381,38 +449,36 @@ impl Machine {
                 );
             }
             BankAction::ReadMem { line } => {
-                let bank = self.bank_of(n, line);
-                let acc = self.nodes[n].mem.access(bank, t, line);
-                let mut ready = (acc.critical + self.cfg.lat.mc_overhead).max(t);
+                let bank = self.bank_of(line);
+                let acc = self.node.mem.access(bank, t, line);
+                let mut ready = (acc.critical + sh.cfg.lat.mc_overhead).max(t);
                 if self.faults.enabled() {
-                    let cyc = self.time_to_cycle(t);
+                    let cyc = sh.time_to_cycle(t);
                     if let Some(f) = self.faults.mem_fault(cyc) {
-                        ready += self.scrub_line(t, n, bank, line, f);
+                        ready += self.scrub_line(sh, t, bank, line, f);
                     }
                 }
                 self.events
-                    .schedule(n, ready, Ev::MemRead(MemEvent { bank, line }));
+                    .schedule(ready, Ev::MemRead(MemEvent { bank, line }));
             }
             BankAction::WriteMem { line, version } => {
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
+                let bank = self.bank_of(line);
+                let nd = &mut self.node;
                 nd.mem.write(bank, t, line, version);
                 nd.ras.on_home_write(line, version);
             }
             BankAction::RemoteReq { slot: _, line, req } => {
-                let home = NodeId(self.home_of(line) as u16);
+                let home = NodeId(sh.home_of(line) as u16);
                 self.engine(
                     t,
-                    n,
                     EngineEvent::Remote(RemoteIn::LocalReq { line, req, home }),
                     q,
                 );
             }
             BankAction::RemoteWb { line, version } => {
-                let home = NodeId(self.home_of(line) as u16);
+                let home = NodeId(sh.home_of(line) as u16);
                 self.engine(
                     t,
-                    n,
                     EngineEvent::Remote(RemoteIn::LocalWb {
                         line,
                         version,
@@ -422,20 +488,10 @@ impl Machine {
                 );
             }
             BankAction::HomeInvalRemote { line } => {
-                self.engine(
-                    t,
-                    n,
-                    EngineEvent::Home(HomeIn::LocalInvalRemotes { line }),
-                    q,
-                );
+                self.engine(t, EngineEvent::Home(HomeIn::LocalInvalRemotes { line }), q);
             }
             BankAction::HomeRecall { slot: _, line, req } => {
-                self.engine(
-                    t,
-                    n,
-                    EngineEvent::Home(HomeIn::LocalRecall { line, req }),
-                    q,
-                );
+                self.engine(t, EngineEvent::Home(HomeIn::LocalRecall { line, req }), q);
             }
             BankAction::ExportReply {
                 line,
@@ -443,7 +499,7 @@ impl Machine {
                 dirty,
                 cached,
             } => {
-                let ev = if self.home_of(line) == n {
+                let ev = if sh.home_of(line) == self.index {
                     EngineEvent::Home(HomeIn::ExportReply {
                         line,
                         version,
@@ -458,91 +514,57 @@ impl Machine {
                         cached,
                     })
                 };
-                self.engine(t, n, ev, q);
+                self.engine(t, ev, q);
             }
         }
     }
 
     fn apply_engine_action(
         &mut self,
+        _sh: &LaneShared<'_>,
         t: SimTime,
-        n: usize,
         a: EngineAction,
-        q: &mut VecDeque<(usize, Item)>,
+        q: &mut VecDeque<Item>,
     ) {
         match a {
             EngineAction::Send { to, msg } => {
+                // Satellite hardening: a same-node "cross-node" message
+                // would deliver with zero network latency and break the
+                // conservative lookahead; the engines always short-cut
+                // local traffic through the bank path instead, so this
+                // firing means a protocol bug.
+                assert_ne!(
+                    to.index(),
+                    self.index,
+                    "protocol engine on node {} sent itself a network message; \
+                     zero-latency self-sends violate the lookahead bound",
+                    self.index
+                );
                 let kind = if msg.is_long() {
                     PacketKind::Long
                 } else {
                     PacketKind::Short
                 };
                 let lane = msg.lane();
-                let mut port = std::mem::take(&mut self.net_port);
-                self.net.handle(
+                // Buffered, not routed: the departure is held in the
+                // lane's outbox until the quantum barrier, where all
+                // lanes' traffic is merged in deterministic
+                // (time, source, seq) order and routed together.
+                self.outbox.push(
                     t,
                     Depart {
-                        from: NodeId(n as u16),
+                        from: NodeId(self.index as u16),
                         to,
                         lane,
                         kind,
                         payload: msg,
                     },
-                    (),
-                    &mut port,
-                );
-                let (first, arr) = {
-                    let mut it = port.drain();
-                    it.next().expect("one arrival per departure")
-                };
-                debug_assert!(port.is_empty());
-                self.net_port = port;
-                self.probe.span(
-                    TraceLevel::Spans,
-                    "net",
-                    "send",
-                    track_base(n) + TRACK_NET,
-                    t.as_ps(),
-                    first.since(t).as_ps(),
-                    arr.payload.line().0,
-                );
-                let mut arrive = first;
-                let mut payload = arr.payload;
-                if self.faults.enabled() {
-                    let cyc = self.time_to_cycle(t);
-                    if let Some(f) = self.faults.packet_fault(cyc) {
-                        payload = self.retransmit(t, n, to, lane, kind, payload, f, &mut arrive);
-                    }
-                    if let Some(stall) = self.faults.router_stall(cyc) {
-                        // A transient queue stall: the hop completes late
-                        // but nothing is lost.
-                        arrive += self.cfg.cpu_clock.cycles_dur(stall);
-                        self.faults
-                            .note_recovery(FaultKind::RouterStall, true, stall, 0);
-                        self.probe.instant(
-                            TraceLevel::Spans,
-                            "faults",
-                            "router.stall",
-                            track_base(n) + TRACK_NET,
-                            t.as_ps(),
-                            stall,
-                        );
-                    }
-                }
-                self.events.schedule(
-                    to.index(),
-                    arrive,
-                    Ev::NetMsg {
-                        from: NodeId(n as u16),
-                        msg: payload,
-                    },
                 );
             }
             EngineAction::Export { line, excl } => {
-                let bank = self.bank_of(n, line);
+                let bank = self.bank_of(line);
                 self.bank(
                     t,
-                    n,
                     CacheEvent {
                         bank,
                         ev: BankEvent::Export { line, excl },
@@ -556,11 +578,10 @@ impl Machine {
                 version,
                 source,
             } => {
-                let bank = self.bank_of(n, line);
+                let bank = self.bank_of(line);
                 let grant = if excl { Mesi::Exclusive } else { Mesi::Shared };
                 self.bank(
                     t,
-                    n,
                     CacheEvent {
                         bank,
                         ev: BankEvent::RemoteFill {
@@ -574,10 +595,9 @@ impl Machine {
                 );
             }
             EngineAction::Purge { line } => {
-                let bank = self.bank_of(n, line);
+                let bank = self.bank_of(line);
                 self.bank(
                     t,
-                    n,
                     CacheEvent {
                         bank,
                         ev: BankEvent::InvalAll { line },
@@ -586,12 +606,135 @@ impl Machine {
                 );
             }
             EngineAction::MemWrite { line, version } => {
-                let bank = self.bank_of(n, line);
-                let nd = &mut self.nodes[n];
+                let bank = self.bank_of(line);
+                let nd = &mut self.node;
                 nd.mem.write(bank, t, line, version);
                 nd.ras.on_home_write(line, version);
             }
         }
+    }
+
+    /// Apply an injected memory bit-flip and run the SEC-DED scrub
+    /// (paper §2.7: memory protected by ECC, mirroring for what ECC
+    /// cannot fix). Single-bit errors correct in place; double-bit
+    /// errors escalate to a mirror-log restore when one exists. Returns
+    /// the repair latency to add to the read's data-return time.
+    fn scrub_line(
+        &mut self,
+        sh: &LaneShared<'_>,
+        t: SimTime,
+        bank: usize,
+        line: LineAddr,
+        f: piranha_faults::MemFault,
+    ) -> Duration {
+        let double = f.kind == FaultKind::MemFlipDouble;
+        let bits: &[u32] = if double {
+            &[f.bit_a, f.bit_b]
+        } else {
+            &[f.bit_a]
+        };
+        let outcome = self.node.mem.inject_and_scrub(bank, line, bits);
+        let (corrected, penalty) = match outcome {
+            Scrub::Clean(_) | Scrub::Corrected(_) => (true, self.faults.cfg().scrub_cycles),
+            Scrub::Uncorrectable => {
+                // SEC-DED gives up; restore from the mirror when one
+                // exists. Either way the fault escalated past the
+                // first-line ECC defence.
+                let nd = &mut self.node;
+                if let Some(v) = nd.ras.mirror_copy(line) {
+                    nd.mem.set_version(bank, line, v);
+                }
+                (false, self.faults.cfg().failover_cycles)
+            }
+        };
+        self.faults.note_recovery(f.kind, corrected, penalty, 0);
+        self.probe.instant(
+            TraceLevel::Spans,
+            "faults",
+            "mem.scrub",
+            track_base(self.index) + TRACK_MEM + bank as u32,
+            t.as_ps(),
+            line.0,
+        );
+        sh.cfg.cpu_clock.cycles_dur(penalty)
+    }
+}
+
+/// The machine-side half of cross-node delivery, used only at quantum
+/// barriers (and between every serial event batch, where the barrier
+/// degenerates to "immediately"): the shared fabric, its port, and the
+/// lookahead bound the deliveries must respect. Routing happens on the
+/// coordinator with all lanes parked, so ordinary `&mut` access is
+/// enough — the fabric itself needs no locks.
+pub(crate) struct NetPath<'a> {
+    pub(crate) cfg: &'a SystemConfig,
+    pub(crate) net: &'a mut Fabric<ProtoMsg>,
+    pub(crate) port: &'a mut Port<Arrive<ProtoMsg>>,
+    pub(crate) probe: &'a Probe,
+    /// The conservative lookahead (minimum cross-node delivery
+    /// latency); every routed delivery is checked against it.
+    pub(crate) quantum: Duration,
+}
+
+impl NetPath<'_> {
+    /// Route one buffered departure through the fabric, applying the
+    /// *source* lane's link-fault hooks; returns the final delivery
+    /// time, the source, and the (possibly retransmitted) payload.
+    pub(crate) fn route(
+        &mut self,
+        faults: &mut FaultPlane,
+        t: SimTime,
+        d: Depart<ProtoMsg>,
+    ) -> (SimTime, NodeId, ProtoMsg) {
+        let (from, to, lane, kind) = (d.from, d.to, d.lane, d.kind);
+        self.net.handle(t, d, (), self.port);
+        let (first, arr) = {
+            let mut it = self.port.drain();
+            it.next().expect("one arrival per departure")
+        };
+        debug_assert!(self.port.is_empty());
+        // Satellite hardening: the whole parallel scheme rests on no
+        // cross-node event landing closer than the lookahead bound. The
+        // fabric charges at least serialization + one hop, so equality
+        // is the worst legal case.
+        debug_assert!(
+            first.since(t) >= self.quantum,
+            "cross-node delivery {from}->{to} took {:?} < lookahead quantum {:?}",
+            first.since(t),
+            self.quantum
+        );
+        self.probe.span(
+            TraceLevel::Spans,
+            "net",
+            "send",
+            track_base(from.index()) + TRACK_NET,
+            t.as_ps(),
+            first.since(t).as_ps(),
+            arr.payload.line().0,
+        );
+        let mut arrive = first;
+        let mut payload = arr.payload;
+        if faults.enabled() {
+            let cyc = time_to_cycle(self.cfg, t);
+            if let Some(f) = faults.packet_fault(cyc) {
+                payload = self.retransmit(faults, t, from, to, lane, kind, payload, f, &mut arrive);
+            }
+            if let Some(stall) = faults.router_stall(cyc) {
+                // A transient queue stall: the hop completes late
+                // but nothing is lost.
+                arrive += self.cfg.cpu_clock.cycles_dur(stall);
+                faults.note_recovery(FaultKind::RouterStall, true, stall, 0);
+                self.probe.instant(
+                    TraceLevel::Spans,
+                    "faults",
+                    "router.stall",
+                    track_base(from.index()) + TRACK_NET,
+                    t.as_ps(),
+                    stall,
+                );
+            }
+        }
+        (arrive, from, payload)
     }
 
     /// Drive link-level recovery of one faulted packet send (paper
@@ -604,8 +747,9 @@ impl Machine {
     #[allow(clippy::too_many_arguments)]
     fn retransmit(
         &mut self,
+        faults: &mut FaultPlane,
         t: SimTime,
-        n: usize,
+        from: NodeId,
         to: NodeId,
         lane: Lane,
         kind: PacketKind,
@@ -613,8 +757,8 @@ impl Machine {
         f: piranha_faults::PacketFault,
         arrive: &mut SimTime,
     ) -> ProtoMsg {
-        let first_cycle = self.time_to_cycle(t);
-        let attempts = f.failed_attempts.min(self.faults.cfg().retry_budget + 1);
+        let first_cycle = time_to_cycle(self.cfg, t);
+        let attempts = f.failed_attempts.min(faults.cfg().retry_budget + 1);
         if f.kind == FaultKind::PacketCorrupt {
             // Genuine detection, not assumption: corrupt the encoded
             // payload and check the link CRC actually flags it.
@@ -631,71 +775,25 @@ impl Machine {
             }
         }
         for attempt in 1..=attempts {
-            let delay = self.faults.cfg().retransmit_delay_cycles(attempt);
+            let delay = faults.cfg().retransmit_delay_cycles(attempt);
             let at = *arrive + self.cfg.cpu_clock.cycles_dur(delay);
             let (t2, p2) = self
                 .net
-                .resend(at, Packet::new(NodeId(n as u16), to, lane, kind, payload));
+                .resend(at, Packet::new(from, to, lane, kind, payload));
             *arrive = t2.max(at);
             payload = p2.payload;
         }
-        let corrected = f.failed_attempts <= self.faults.cfg().retry_budget;
-        let mttr = self.time_to_cycle(*arrive).saturating_sub(first_cycle);
-        self.faults
-            .note_recovery(f.kind, corrected, mttr, attempts as u64);
+        let corrected = f.failed_attempts <= faults.cfg().retry_budget;
+        let mttr = time_to_cycle(self.cfg, *arrive).saturating_sub(first_cycle);
+        faults.note_recovery(f.kind, corrected, mttr, attempts as u64);
         self.probe.instant(
             TraceLevel::Spans,
             "faults",
             "packet.retransmit",
-            track_base(n) + TRACK_NET,
+            track_base(from.index()) + TRACK_NET,
             t.as_ps(),
             attempts as u64,
         );
         payload
-    }
-
-    /// Apply an injected memory bit-flip and run the SEC-DED scrub
-    /// (paper §2.7: memory protected by ECC, mirroring for what ECC
-    /// cannot fix). Single-bit errors correct in place; double-bit
-    /// errors escalate to a mirror-log restore when one exists. Returns
-    /// the repair latency to add to the read's data-return time.
-    fn scrub_line(
-        &mut self,
-        t: SimTime,
-        n: usize,
-        bank: usize,
-        line: LineAddr,
-        f: piranha_faults::MemFault,
-    ) -> Duration {
-        let double = f.kind == FaultKind::MemFlipDouble;
-        let bits: &[u32] = if double {
-            &[f.bit_a, f.bit_b]
-        } else {
-            &[f.bit_a]
-        };
-        let outcome = self.nodes[n].mem.inject_and_scrub(bank, line, bits);
-        let (corrected, penalty) = match outcome {
-            Scrub::Clean(_) | Scrub::Corrected(_) => (true, self.faults.cfg().scrub_cycles),
-            Scrub::Uncorrectable => {
-                // SEC-DED gives up; restore from the mirror when one
-                // exists. Either way the fault escalated past the
-                // first-line ECC defence.
-                let nd = &mut self.nodes[n];
-                if let Some(v) = nd.ras.mirror_copy(line) {
-                    nd.mem.set_version(bank, line, v);
-                }
-                (false, self.faults.cfg().failover_cycles)
-            }
-        };
-        self.faults.note_recovery(f.kind, corrected, penalty, 0);
-        self.probe.instant(
-            TraceLevel::Spans,
-            "faults",
-            "mem.scrub",
-            track_base(n) + TRACK_MEM + bank as u32,
-            t.as_ps(),
-            line.0,
-        );
-        self.cfg.cpu_clock.cycles_dur(penalty)
     }
 }

@@ -4,37 +4,51 @@
 //! subsystem crates export:
 //!
 //! * `node` — per-chip composition (CPU cluster, cache complex,
-//!   memory array, engine complex, ICS, system controller, RAS);
+//!   memory array, engine complex, ICS, system controller, RAS),
+//!   wrapped per chip in a `NodeLane` that carries everything the
+//!   dispatch layer needs to advance that chip independently;
 //! * `dispatch` — event routing between adapters, with fault
 //!   injection and probe spans applied at the port boundary;
 //! * `wiring` — construction, topology, and observability plumbing.
 //!
-//! This module keeps only the run loop, the per-node scheduler, and the
-//! externally visible system API (RAS operations, hot CPU start/stop,
-//! coherence audit).
+//! This module keeps only the run loops and the externally visible
+//! system API (RAS operations, hot CPU start/stop, coherence audit).
+//!
+//! # Execution engines
+//!
+//! A single-chip machine runs the classic serial loop: pop, dispatch,
+//! repeat. A multi-chip machine runs the conservative parallel-in-space
+//! engine from `piranha-parsim` regardless of the worker count: each
+//! chip's lane advances independently to a barrier at `t_min + quantum`
+//! (quantum = the fabric's minimum cross-node delivery latency), where
+//! the lanes' buffered cross-node sends are merged in deterministic
+//! `(time, source, seq)` order and routed through the shared fabric.
+//! Because the worker threads only change *which thread* advances a
+//! lane — never the order of events within a lane or the merge order at
+//! barriers — results are bit-identical for every worker count,
+//! including 1. Pick the worker count with
+//! [`Machine::set_parallel_workers`] or run with [`Machine::run_parallel`].
 
-use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
 
-use piranha_cache::{BankAction, Slot};
-use piranha_cpu::CpuAction;
+use piranha_cache::Slot;
 use piranha_faults::{AvailabilityReport, FaultPlane};
-use piranha_kernel::{Port, Scheduler};
-use piranha_mem::MemData;
+use piranha_kernel::{Port, QuantumBarrier};
 use piranha_net::{Arrive, Fabric};
 use piranha_probe::Probe;
-use piranha_protocol::{EngineAction, LineRange, ProtoMsg, RasPolicy};
-use piranha_types::{CpuId, Duration, FillSource, LineAddr, SimTime};
+use piranha_protocol::{LineRange, ProtoMsg, RasPolicy};
+use piranha_types::{CpuId, Duration, LineAddr, SimTime};
 use piranha_workloads::Workload;
 
 use crate::config::SystemConfig;
-use crate::dispatch::{Ev, Item};
-use crate::node::Node;
+use crate::dispatch::{Ev, LaneShared, NetPath};
+use crate::node::NodeLane;
 use crate::result::RunResult;
 
 /// Lines per OS page (8 KB pages interleave homes across nodes).
 pub(crate) const PAGE_LINES: u64 = 128;
 
-/// The whole simulated system: nodes, interconnect, event scheduler.
+/// The whole simulated system: node lanes, interconnect, quantum barrier.
 ///
 /// # Examples
 ///
@@ -48,44 +62,34 @@ pub(crate) const PAGE_LINES: u64 = 128;
 /// ```
 pub struct Machine {
     pub(crate) cfg: SystemConfig,
-    /// Per-node event sub-queues with a deterministic global merge.
-    pub(crate) events: Scheduler<Ev>,
-    pub(crate) nodes: Vec<Node>,
-    /// The machine-wide interconnect fabric.
+    /// One lane per chip: the node plus its event partition, outbox,
+    /// fault plane, and dispatch scratch state.
+    pub(crate) lanes: Vec<NodeLane>,
+    /// The machine-wide interconnect fabric (touched only at barriers).
     pub(crate) net: Fabric<ProtoMsg>,
-    pub(crate) versions: u64,
-    /// Outstanding CPU requests: (node, slot, line) → request id.
-    pub(crate) outstanding: HashMap<(usize, Slot, LineAddr), u64>,
     /// Observability handle; `Probe::disabled()` (the default) makes
     /// every recording call a no-op. The simulation never reads it, so
     /// attaching a probe cannot change simulated results.
     pub(crate) probe: Probe,
-    /// Running total of retired instructions, maintained incrementally so
-    /// the run loop does not rescan every core.
-    pub(crate) instrs_retired: u64,
-    /// CPUs that are enabled and not yet done; `run_until_total` stops
-    /// when this hits zero instead of scanning nodes × cores.
-    pub(crate) unfinished: usize,
-    /// Reusable work queue for `apply`.
-    pub(crate) work: VecDeque<(usize, Item)>,
-    /// Reusable output ports, one per action type, drained by dispatch.
-    pub(crate) cpu_port: Port<CpuAction>,
-    pub(crate) bank_port: Port<BankAction>,
-    pub(crate) mem_port: Port<MemData>,
-    pub(crate) eng_port: Port<EngineAction>,
+    /// Reusable port for fabric arrivals at barrier-time routing.
     pub(crate) net_port: Port<Arrive<ProtoMsg>>,
-    /// The fault-injection oracle and availability ledger. Disabled by
-    /// default: every consult is a branch on a cached bool, zero PRNG
-    /// draws, zero latency — a fault-free run is bit-identical to one
-    /// built before this field existed.
-    pub(crate) faults: FaultPlane,
+    /// The quantum barrier: lookahead derived from the fabric's minimum
+    /// cross-node delivery latency, asserted strictly positive at
+    /// wiring time.
+    pub(crate) barrier: QuantumBarrier,
+    /// Worker threads for the multi-chip engine (1 = in-line, still
+    /// quantum-stepped). Not part of `SystemConfig`: the thread count
+    /// must never affect results, cache keys, or fingerprints.
+    pub(crate) workers: usize,
+    /// Global simulated time: the furthest any lane has advanced.
+    pub(crate) clock: SimTime,
 }
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
             .field("config", &self.cfg.name)
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.lanes.len())
             .finish_non_exhaustive()
     }
 }
@@ -102,27 +106,11 @@ impl Machine {
 
     /// The home node of a line (8 KB pages interleaved round-robin).
     pub(crate) fn home_of(&self, line: LineAddr) -> usize {
-        ((line.0 / PAGE_LINES) % self.nodes.len() as u64) as usize
+        ((line.0 / PAGE_LINES) % self.lanes.len() as u64) as usize
     }
 
     pub(crate) fn bank_of(&self, node: usize, line: LineAddr) -> usize {
-        (line.0 % self.nodes[node].caches.bank_count() as u64) as usize
-    }
-
-    pub(crate) fn cycle_to_time(&self, cycle: u64) -> SimTime {
-        SimTime::ZERO + self.cfg.cpu_clock.cycles_dur(cycle)
-    }
-
-    pub(crate) fn time_to_cycle(&self, t: SimTime) -> u64 {
-        self.cfg.cpu_clock.cycles(t.since(SimTime::ZERO))
-    }
-
-    /// Reply latency from bank to CPU by service point.
-    pub(crate) fn reply_latency(&self, source: FillSource) -> Duration {
-        match source {
-            FillSource::L2Fwd => self.cfg.lat.reply + self.cfg.lat.fwd_probe,
-            _ => self.cfg.lat.reply,
-        }
+        (line.0 % self.lanes[node].node.caches.bank_count() as u64) as usize
     }
 
     /// The configuration.
@@ -138,20 +126,20 @@ impl Machine {
 
     /// Per-CPU statistics snapshots (cloned), node-major order.
     pub fn cpu_stats(&self) -> Vec<piranha_cpu::CoreStats> {
-        self.nodes
+        self.lanes
             .iter()
-            .flat_map(|n| n.cpus.cores().map(|c| c.stats().clone()))
+            .flat_map(|l| l.node.cpus.cores().map(|c| c.stats().clone()))
             .collect()
     }
 
     /// Total instructions retired so far across all CPUs.
     pub fn total_instrs(&self) -> u64 {
-        self.nodes.iter().map(|n| n.cpus.instrs()).sum()
+        self.lanes.iter().map(|l| l.node.cpus.instrs()).sum()
     }
 
-    /// Current simulated time.
+    /// Current simulated time: how far the furthest lane has advanced.
     pub fn now(&self) -> SimTime {
-        self.events.now()
+        self.clock
     }
 
     /// The interconnect fabric (for delivery/deflection statistics).
@@ -159,12 +147,32 @@ impl Machine {
         &self.net
     }
 
+    /// The conservative lookahead the multi-chip engine steps by: the
+    /// fabric's minimum cross-node delivery latency.
+    pub fn quantum(&self) -> Duration {
+        self.barrier.quantum()
+    }
+
+    /// Set the worker-thread count for multi-chip runs (clamped to
+    /// `[1, nodes]` at run time; single-chip machines always run the
+    /// serial loop). The count changes wall-clock only — results are
+    /// bit-identical for every value, which is why it lives here and
+    /// not in [`SystemConfig`].
+    pub fn set_parallel_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn parallel_workers(&self) -> usize {
+        self.workers
+    }
+
     /// Mean RDRAM open-page hit rate across all memory banks.
     pub fn mem_page_hit_rate(&self) -> f64 {
         let mut hits = 0.0;
         let mut n = 0.0;
-        for node in &self.nodes {
-            for m in node.mem.banks() {
+        for lane in &self.lanes {
+            for m in lane.node.mem.banks() {
                 let a = m.rdram().accesses() as f64;
                 hits += m.rdram().page_hit_rate() * a;
                 n += a;
@@ -184,11 +192,11 @@ impl Machine {
         let mut rm = 0;
         let mut hw = 0;
         let mut rw = 0;
-        for n in &self.nodes {
-            hm += n.engines.home().msgs_handled();
-            rm += n.engines.remote().msgs_handled();
-            hw = hw.max(n.engines.home().tsrf_high_water());
-            rw = rw.max(n.engines.remote().tsrf_high_water());
+        for l in &self.lanes {
+            hm += l.node.engines.home().msgs_handled();
+            rm += l.node.engines.remote().msgs_handled();
+            hw = hw.max(l.node.engines.home().tsrf_high_water());
+            rw = rw.max(l.node.engines.remote().tsrf_high_water());
         }
         (hm, rm, hw, rw)
     }
@@ -200,6 +208,14 @@ impl Machine {
         let ncpus = self.cfg.total_cpus() as u64;
         self.run_until_total(self.total_instrs() + warmup * ncpus);
         self.run_window(measure * ncpus)
+    }
+
+    /// [`Machine::run`] with `workers` lane threads (multi-chip only;
+    /// a single-chip machine runs serially regardless). Bit-identical
+    /// to `run` at any worker count.
+    pub fn run_parallel(&mut self, warmup: u64, measure: u64, workers: usize) -> RunResult {
+        self.set_parallel_workers(workers);
+        self.run(warmup, measure)
     }
 
     /// Run until every CPU's stream ends. Only meaningful for bounded
@@ -238,7 +254,7 @@ impl Machine {
     /// metrics stay outside the fingerprint; availability and committed
     /// work are folded in).
     fn finish_result(&mut self, r: &mut RunResult) {
-        r.availability = self.faults.report().clone();
+        r.availability = self.availability();
         assert!(
             r.availability.is_consistent(),
             "availability ledger violated corrected + escalated == injected"
@@ -255,8 +271,8 @@ impl Machine {
     pub fn committed_txns(&self) -> Option<u64> {
         let mut total = 0u64;
         let mut any = false;
-        for node in &self.nodes {
-            for s in node.cpus.streams() {
+        for lane in &self.lanes {
+            for s in lane.node.cpus.streams() {
                 if let Some(c) = s.txns_committed() {
                     total += c;
                     any = true;
@@ -266,20 +282,29 @@ impl Machine {
         any.then_some(total)
     }
 
-    /// The availability ledger accumulated so far.
-    pub fn availability(&self) -> &AvailabilityReport {
-        self.faults.report()
+    /// The availability ledger accumulated so far, aggregated over the
+    /// per-lane fault planes (merging consistent lane ledgers yields a
+    /// consistent machine ledger).
+    pub fn availability(&self) -> AvailabilityReport {
+        let mut r = AvailabilityReport::default();
+        for lane in &self.lanes {
+            r.merge(lane.faults.report());
+        }
+        r
     }
 
-    /// The fault-injection plane (configuration, unfired script events).
+    /// The fault-injection plane of node 0, which owns the scripted
+    /// fault schedule (configuration, unfired script events). Random
+    /// background faults draw from every lane's own plane; see
+    /// [`Machine::availability`] for the machine-wide ledger.
     pub fn fault_plane(&self) -> &FaultPlane {
-        &self.faults
+        &self.lanes[0].faults
     }
 
     /// The RAS policy of `node` (persistence journal, mirror log,
     /// capability faults).
     pub fn ras(&self, node: usize) -> &RasPolicy {
-        &self.nodes[node].ras
+        &self.lanes[node].node.ras
     }
 
     /// Register `range` as persistent on `node`, returning the write
@@ -289,13 +314,13 @@ impl Machine {
         node: usize,
         range: LineRange,
     ) -> piranha_protocol::Capability {
-        self.nodes[node].ras.register_persistent(range)
+        self.lanes[node].node.ras.register_persistent(range)
     }
 
     /// Register `range` as mirrored on `node`: subsequent home-memory
     /// writes of its lines are duplicated into the mirror log.
     pub fn ras_register_mirrored(&mut self, node: usize, range: LineRange) {
-        self.nodes[node].ras.register_mirrored(range);
+        self.lanes[node].node.ras.register_mirrored(range);
     }
 
     /// Execute a persistent-memory barrier on `node` for `range`: every
@@ -305,8 +330,8 @@ impl Machine {
     /// many lines were forced.
     pub fn ras_persist_barrier(&mut self, node: usize, range: LineRange) -> usize {
         let mut cached: Vec<(LineAddr, u64)> = Vec::new();
-        for nd in &self.nodes {
-            for (_slot, l1) in nd.caches.l1s().iter() {
+        for lane in &self.lanes {
+            for (_slot, l1) in lane.node.caches.l1s().iter() {
                 for (line, _state, v) in l1.resident() {
                     if range.contains(line) && self.home_of(line) == node {
                         cached.push((line, v));
@@ -314,13 +339,14 @@ impl Machine {
                 }
             }
         }
-        let dirty = self.nodes[node]
+        let dirty = self.lanes[node]
+            .node
             .ras
             .persist_barrier(range, cached.into_iter());
-        let t = self.events.now();
+        let t = self.clock;
         for &(line, v) in &dirty {
             let bank = self.bank_of(node, line);
-            let nd = &mut self.nodes[node];
+            let nd = &mut self.lanes[node].node;
             nd.mem.write(bank, t, line, v);
             nd.ras.on_home_write(line, v);
         }
@@ -336,7 +362,8 @@ impl Machine {
     ///
     /// Panics naming the first divergent line.
     pub fn check_ras(&self) {
-        for (n, node) in self.nodes.iter().enumerate() {
+        for (n, lane) in self.lanes.iter().enumerate() {
+            let node = &lane.node;
             for (line, v) in node.ras.mirror_entries() {
                 let bank = (line.0 % node.mem.bank_count() as u64) as usize;
                 let mem_v = node.mem.version(bank, line);
@@ -351,71 +378,198 @@ impl Machine {
     /// Run until the total retired instruction count reaches `target` (or
     /// every CPU is done).
     ///
-    /// The hot loop is pure event dispatch: both the instruction total
-    /// and the all-CPUs-done condition are tracked incrementally
-    /// (`instrs_retired`, `unfinished`) rather than rescanned from the
-    /// per-core statistics every iteration.
+    /// A single-chip machine runs the classic serial loop; a multi-chip
+    /// machine runs the quantum-stepped engine at the configured worker
+    /// count (see [`Machine::set_parallel_workers`]), with bit-identical
+    /// results at every count.
     ///
     /// # Panics
     ///
-    /// Panics if the event queue drains while CPUs are unfinished or the
+    /// Panics if the event queues drain while CPUs are unfinished or the
     /// event budget is exhausted — both indicate a protocol deadlock bug.
     pub fn run_until_total(&mut self, target: u64) {
-        debug_assert_eq!(self.instrs_retired, self.total_instrs());
-        while self.instrs_retired < target {
-            if self.unfinished == 0 {
-                return;
+        debug_assert_eq!(
+            self.lanes.iter().map(|l| l.instrs_retired).sum::<u64>(),
+            self.total_instrs()
+        );
+        if self.lanes.len() == 1 {
+            self.run_serial(target);
+        } else {
+            self.run_quanta(target);
+        }
+    }
+
+    /// The classic single-chip loop: pop, dispatch, re-check the stop
+    /// conditions every 64 events. Both the instruction total and the
+    /// all-CPUs-done condition are tracked incrementally
+    /// (`instrs_retired`, `unfinished`) rather than rescanned from the
+    /// per-core statistics every iteration.
+    fn run_serial(&mut self, target: u64) {
+        let sh = LaneShared::new(&self.cfg, 1);
+        let lane = &mut self.lanes[0];
+        'outer: while lane.instrs_retired < target {
+            if lane.unfinished == 0 {
+                break;
             }
             for _ in 0..64 {
-                let Some((t, node, ev)) = self.events.pop() else {
+                let Some((t, ev)) = lane.events.pop() else {
                     assert!(
-                        self.unfinished == 0,
+                        lane.unfinished == 0,
                         "event queue drained with unfinished CPUs: deadlock"
                     );
-                    return;
+                    break 'outer;
                 };
                 assert!(
-                    self.events.popped() < 2_000_000_000,
+                    lane.events.popped() < 2_000_000_000,
                     "event budget exhausted: runaway simulation"
                 );
-                self.dispatch(t, node, ev);
+                lane.dispatch(&sh, t, ev);
+                debug_assert!(
+                    lane.outbox.is_empty(),
+                    "a single-chip machine generated cross-node traffic"
+                );
             }
         }
+        self.clock = self.clock.max(self.lanes[0].events.now());
+    }
+
+    /// The multi-chip engine: conservative parallel-in-space execution
+    /// with deterministic quantum barriers (`piranha-parsim`).
+    ///
+    /// Every round, all lanes advance independently — one per worker
+    /// thread — to the barrier at `t_min + quantum`. The lookahead
+    /// guarantee (no cross-node delivery lands in under `quantum`) means
+    /// no lane can receive an event inside the window it is executing,
+    /// so the rounds need no locking. At the barrier the coordinator
+    /// merges every lane's buffered departures in `(time, source, seq)`
+    /// order and routes them through the shared fabric; both that order
+    /// and each lane's own event order are independent of the worker
+    /// count, which is the determinism argument in one sentence.
+    fn run_quanta(&mut self, target: u64) {
+        let workers = self.workers.clamp(1, self.lanes.len());
+        let Machine {
+            cfg,
+            lanes,
+            net,
+            probe,
+            net_port,
+            barrier,
+            clock,
+            ..
+        } = self;
+        let cfg: &SystemConfig = cfg;
+        let sh = LaneShared::new(cfg, lanes.len());
+        let quantum = barrier.quantum();
+        let mut cells: Vec<Mutex<NodeLane>> =
+            std::mem::take(lanes).into_iter().map(Mutex::new).collect();
+        piranha_parsim::parallel_rounds(
+            workers,
+            &mut cells,
+            |lane, horizon| lane.advance(&sh, horizon),
+            |cells| {
+                // Merge the previous round's cross-node traffic in
+                // deterministic (time, source, seq) order and route it
+                // through the shared fabric, charging the *source*
+                // lane's link-fault hooks.
+                let merged = piranha_parsim::merge_outboxes(
+                    cells
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| (i, c.lock().unwrap().outbox.drain())),
+                );
+                let mut path = NetPath {
+                    cfg,
+                    net,
+                    port: net_port,
+                    probe,
+                    quantum,
+                };
+                for m in merged {
+                    let dest = m.payload.to.index();
+                    let (arrive, from, msg) = {
+                        let mut src = cells[m.source].lock().unwrap();
+                        path.route(&mut src.faults, m.time, m.payload)
+                    };
+                    cells[dest]
+                        .lock()
+                        .unwrap()
+                        .events
+                        .schedule(arrive, Ev::NetMsg { from, msg });
+                }
+                // Stop checks, then the next window's base time.
+                let mut retired = 0u64;
+                let mut unfinished = 0usize;
+                let mut popped = 0u64;
+                let mut t_min: Option<SimTime> = None;
+                for c in cells.iter() {
+                    let lane = c.lock().unwrap();
+                    retired += lane.instrs_retired;
+                    unfinished += lane.unfinished;
+                    popped += lane.events.popped();
+                    *clock = (*clock).max(lane.events.now());
+                    if let Some(t) = lane.events.peek_time() {
+                        t_min = Some(match t_min {
+                            Some(m) => m.min(t),
+                            None => t,
+                        });
+                    }
+                }
+                assert!(
+                    popped < 2_000_000_000,
+                    "event budget exhausted: runaway simulation"
+                );
+                if retired >= target || unfinished == 0 {
+                    return None;
+                }
+                let Some(base) = t_min else {
+                    panic!("event queues drained with unfinished CPUs: deadlock");
+                };
+                barrier.note_round();
+                Some(barrier.horizon(base))
+            },
+        );
+        *lanes = cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("lane mutex poisoned"))
+            .collect();
     }
 
     /// Stop a CPU through the node's system controller (paper §2.6: the
     /// SC can start/stop individual Alpha cores). In-flight transactions
     /// complete; the core simply stops being scheduled.
     pub fn stop_cpu(&mut self, node: usize, cpu: usize) {
-        let nd = &mut self.nodes[node];
+        let lane = &mut self.lanes[node];
+        let nd = &mut lane.node;
         let was_running = nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.cpus.is_done(cpu);
         nd.sc.handle(crate::sysctl::CtrlPacket::StopCpu {
             cpu: CpuId(cpu as u8),
         });
         if was_running && !nd.sc.cpu_enabled(CpuId(cpu as u8)) {
-            self.unfinished -= 1;
+            lane.unfinished -= 1;
         }
     }
 
     /// Restart a stopped CPU; it resumes its stream where it left off.
     pub fn start_cpu(&mut self, node: usize, cpu: usize) {
-        let nd = &mut self.nodes[node];
+        let t = self.clock;
+        let lane = &mut self.lanes[node];
+        let nd = &mut lane.node;
         let was_stopped = !nd.sc.cpu_enabled(CpuId(cpu as u8));
         nd.sc.handle(crate::sysctl::CtrlPacket::StartCpu {
             cpu: CpuId(cpu as u8),
         });
         if was_stopped && nd.sc.cpu_enabled(CpuId(cpu as u8)) && !nd.cpus.is_done(cpu) {
-            self.unfinished += 1;
+            lane.unfinished += 1;
         }
-        let t = self.events.now();
-        self.events
-            .schedule(node, t, Ev::Cpu(piranha_cpu::CpuEvent::Step { cpu }));
+        let at = t.max(lane.events.now());
+        lane.events
+            .schedule(at, Ev::Cpu(piranha_cpu::CpuEvent::Step { cpu }));
     }
 
     /// The system controller of `node` (configuration, interrupts,
     /// performance monitoring).
     pub fn system_controller(&self, node: usize) -> &crate::sysctl::SystemController {
-        &self.nodes[node].sc
+        &self.lanes[node].node.sc
     }
 
     /// Verify system-wide coherence invariants; used by integration and
@@ -438,7 +592,8 @@ impl Machine {
         use std::collections::HashMap as Map;
         let mut writable: Map<LineAddr, (usize, Slot)> = Map::new();
         let mut per_node: Map<(usize, LineAddr), (u32, u32)> = Map::new(); // (copies, writable)
-        for (n, node) in self.nodes.iter().enumerate() {
+        for (n, lane) in self.lanes.iter().enumerate() {
+            let node = &lane.node;
             for (slot, l1) in node.caches.l1s().iter() {
                 for (line, state, _v) in l1.resident() {
                     let e = per_node.entry((n, line)).or_insert((0, 0));

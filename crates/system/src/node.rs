@@ -9,15 +9,23 @@
 //! lives in a subsystem crate's [`Component`](piranha_kernel::Component)
 //! adapter; the dispatch layer routes events between them.
 
-use piranha_cache::{CacheComplex, L1Set, L2Bank};
-use piranha_cpu::{CoreModel, CpuCluster, InOrderCore, InstrStream, OooCore};
+use std::collections::{HashMap, VecDeque};
+
+use piranha_cache::{BankAction, CacheComplex, L1Set, L2Bank, Slot};
+use piranha_cpu::{CoreModel, CpuAction, CpuCluster, InOrderCore, InstrStream, OooCore};
+use piranha_faults::FaultPlane;
 use piranha_ics::Ics;
-use piranha_mem::{DirEntry, MemArray, MemBank};
+use piranha_kernel::{Partition, Port};
+use piranha_mem::{DirEntry, MemArray, MemBank, MemData};
+use piranha_net::Depart;
+use piranha_parsim::Outbox;
+use piranha_probe::Probe;
 use piranha_protocol::coherence::DirStore;
-use piranha_protocol::{EngineComplex, LineRange, RasPolicy};
+use piranha_protocol::{EngineAction, EngineComplex, LineRange, ProtoMsg, RasPolicy};
 use piranha_types::{LineAddr, NodeId};
 
 use crate::config::{CoreKind, SystemConfig};
+use crate::dispatch::{Ev, Item};
 use crate::sysctl::SystemController;
 
 /// One node (chip) of the machine.
@@ -98,6 +106,84 @@ impl Node {
             sc,
             ras,
         }
+    }
+}
+
+/// One node plus everything the dispatch layer needs to advance it
+/// independently of the other nodes: its own event partition, fault
+/// plane, version counter, outstanding-request table, reusable ports,
+/// and the outbox that buffers cross-node departures until the next
+/// quantum barrier.
+///
+/// A lane is the unit of parallel-in-space execution: inside a quantum
+/// a worker thread owns one lane exclusively and touches nothing else,
+/// so lanes only need `Send` (they migrate between rounds), never
+/// `Sync`. All cross-lane traffic flows through [`Outbox`] and is
+/// merged deterministically at the barrier.
+pub(crate) struct NodeLane {
+    /// This lane's node index (also its partition index).
+    pub(crate) index: usize,
+    /// The chip itself.
+    pub(crate) node: Node,
+    /// The lane-local event partition.
+    pub(crate) events: Partition<Ev>,
+    /// Cross-node departures buffered inside the current quantum.
+    pub(crate) outbox: Outbox<Depart<ProtoMsg>>,
+    /// The lane's fault oracle (node 0 owns the scripted schedule; the
+    /// rest draw from node-decorrelated random streams).
+    pub(crate) faults: FaultPlane,
+    /// Clone of the machine probe (no-op when disabled).
+    pub(crate) probe: Probe,
+    /// Lane-local version counter; strides by `version_stride` so
+    /// stamps stay globally unique without a shared counter.
+    pub(crate) versions: u64,
+    /// 1 on a single-lane machine (the legacy global numbering), else
+    /// the lane count.
+    pub(crate) version_stride: u64,
+    /// Outstanding CPU requests of this node: (slot, line) → request id.
+    pub(crate) outstanding: HashMap<(Slot, LineAddr), u64>,
+    /// Instructions retired by this node's CPUs, tracked incrementally.
+    pub(crate) instrs_retired: u64,
+    /// This node's CPUs that are enabled and not yet done.
+    pub(crate) unfinished: usize,
+    /// Reusable work queue for `apply`.
+    pub(crate) work: VecDeque<Item>,
+    /// Reusable output ports, one per action type.
+    pub(crate) cpu_port: Port<CpuAction>,
+    pub(crate) bank_port: Port<BankAction>,
+    pub(crate) mem_port: Port<MemData>,
+    pub(crate) eng_port: Port<EngineAction>,
+}
+
+impl NodeLane {
+    /// Wrap `node` as lane `index` of a `lanes`-wide machine.
+    pub(crate) fn new(index: usize, lanes: usize, node: Node, faults: FaultPlane) -> Self {
+        NodeLane {
+            index,
+            node,
+            events: Partition::new(),
+            outbox: Outbox::default(),
+            faults,
+            probe: Probe::disabled(),
+            versions: index as u64,
+            version_stride: lanes as u64,
+            outstanding: HashMap::new(),
+            instrs_retired: 0,
+            unfinished: 0,
+            work: VecDeque::new(),
+            cpu_port: Port::new(),
+            bank_port: Port::new(),
+            mem_port: Port::new(),
+            eng_port: Port::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeLane")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
     }
 }
 

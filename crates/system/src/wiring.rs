@@ -1,7 +1,7 @@
 //! Machine assembly: topology, node construction, and observability
 //! wiring (track naming, metric sampling, utilization reports).
 
-use piranha_kernel::{Port, Scheduler};
+use piranha_kernel::{Port, QuantumBarrier};
 use piranha_net::{Fabric, Network, Topology};
 use piranha_probe::Probe;
 use piranha_types::{NodeId, SimTime};
@@ -10,7 +10,7 @@ use piranha_workloads::{SynthConfig, SynthStream};
 use crate::config::SystemConfig;
 use crate::dispatch::Ev;
 use crate::machine::Machine;
-use crate::node::Node;
+use crate::node::{Node, NodeLane};
 
 /// Chrome-trace track layout: each node owns a stride of 64 track ids —
 /// CPUs at `base + cpu`, L2 banks at `base + TRACK_BANK + bank`, memory
@@ -74,7 +74,10 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the number of streams does not match the CPU count.
+    /// Panics if the number of streams does not match the CPU count, or
+    /// if the network configuration yields a zero minimum delivery
+    /// latency (the conservative engine's lookahead must be strictly
+    /// positive, which any real link serialization + hop time is).
     pub fn with_streams(
         cfg: SystemConfig,
         mut streams: Vec<Box<dyn piranha_cpu::InstrStream>>,
@@ -87,7 +90,12 @@ impl Machine {
         let total_nodes = cfg.nodes + cfg.io_nodes;
         let topo = build_topology(cfg.nodes, cfg.io_nodes);
         let net = Fabric::new(Network::new(topo, cfg.net));
-        let mut nodes = Vec::with_capacity(total_nodes);
+        // The quantum is the fabric's minimum cross-node delivery
+        // latency (Table 1: short-packet serialization + one hop).
+        // `QuantumBarrier::new` asserts it is strictly positive — the
+        // conservative engine has no lookahead otherwise.
+        let barrier = QuantumBarrier::new(net.min_delivery_latency());
+        let mut lanes = Vec::with_capacity(total_nodes);
         for n in 0..total_nodes {
             let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if n >= cfg.nodes {
                 // The I/O chip's CPU runs device-driver/DMA traffic,
@@ -101,37 +109,30 @@ impl Machine {
             } else {
                 streams.drain(..cfg.cpus_per_node).collect()
             };
-            nodes.push(Node::new(&cfg, n, total_nodes, node_streams));
-        }
-        let mut events = Scheduler::new(total_nodes);
-        for (n, node) in nodes.iter().enumerate() {
-            for c in 0..node.cpus.len() {
-                events.schedule(
-                    n,
+            let node = Node::new(&cfg, n, total_nodes, node_streams);
+            // Node 0's plane owns the scripted fault schedule; the
+            // other lanes draw decorrelated random streams (a shared
+            // PRNG would serialize the lanes).
+            let faults = piranha_faults::FaultPlane::for_node(cfg.faults.clone(), cfg.seed, n);
+            let mut lane = NodeLane::new(n, total_nodes, node, faults);
+            for c in 0..lane.node.cpus.len() {
+                lane.events.schedule(
                     SimTime::ZERO,
                     Ev::Cpu(piranha_cpu::CpuEvent::Step { cpu: c }),
                 );
             }
+            lane.unfinished = lane.node.cpus.len();
+            lanes.push(lane);
         }
-        let unfinished = nodes.iter().map(|n| n.cpus.len()).sum();
-        let faults = piranha_faults::FaultPlane::new(cfg.faults.clone(), cfg.seed);
         Machine {
             cfg,
-            events,
-            nodes,
+            lanes,
             net,
-            versions: 0,
-            outstanding: std::collections::HashMap::new(),
             probe: Probe::disabled(),
-            instrs_retired: 0,
-            unfinished,
-            work: std::collections::VecDeque::new(),
-            cpu_port: Port::new(),
-            bank_port: Port::new(),
-            mem_port: Port::new(),
-            eng_port: Port::new(),
             net_port: Port::new(),
-            faults,
+            barrier,
+            workers: 1,
+            clock: SimTime::ZERO,
         }
     }
 
@@ -139,10 +140,14 @@ impl Machine {
     /// the Chrome-trace exporter. Pass [`Probe::disabled`] to detach.
     pub fn set_probe(&mut self, probe: Probe) {
         self.probe = probe;
+        for lane in &mut self.lanes {
+            lane.probe = self.probe.clone();
+        }
         if !self.probe.is_enabled() {
             return;
         }
-        for (n, node) in self.nodes.iter().enumerate() {
+        for (n, lane) in self.lanes.iter().enumerate() {
+            let node = &lane.node;
             let base = track_base(n);
             for c in 0..node.cpus.len() {
                 self.probe
@@ -172,22 +177,30 @@ impl Machine {
             return;
         }
         let p = &self.probe;
-        p.publish_counter("kernel.events.scheduled", self.events.scheduled());
-        p.publish_counter("kernel.events.popped", self.events.popped());
-        p.publish_counter("kernel.events.migrated", self.events.migrated());
+        let (scheduled, popped, migrated) = self.lanes.iter().fold((0, 0, 0), |(s, o, m), l| {
+            (
+                s + l.events.scheduled(),
+                o + l.events.popped(),
+                m + l.events.migrated(),
+            )
+        });
+        p.publish_counter("kernel.events.scheduled", scheduled);
+        p.publish_counter("kernel.events.popped", popped);
+        p.publish_counter("kernel.events.migrated", migrated);
         p.publish_counter("machine.instrs", self.total_instrs());
         p.publish_gauge("mem.page_hit_rate", self.mem_page_hit_rate());
         p.publish_counter("net.delivered", self.net.delivered());
         p.publish_counter("net.deflections", self.net.deflections());
         p.publish_counter("net.retransmits", self.net.retransmits());
         p.publish_gauge("net.mean_hops", self.net.mean_hops());
-        let av = self.faults.report();
+        let av = self.availability();
         p.publish_counter("faults.injected", av.injected);
         p.publish_counter("faults.corrected", av.corrected);
         p.publish_counter("faults.escalated", av.escalated);
         p.publish_counter("faults.retransmits", av.retransmits);
         p.publish_counter("faults.recovery_cycles", av.recovery_cycles);
-        for (n, node) in self.nodes.iter().enumerate() {
+        for (n, lane) in self.lanes.iter().enumerate() {
+            let node = &lane.node;
             for (c, core) in node.cpus.cores().enumerate() {
                 let s = core.stats();
                 let k = format!("cpu.node{n}.core{c}");
@@ -206,7 +219,7 @@ impl Machine {
             p.publish_counter(&format!("ics.node{n}.words"), node.ics.words_moved());
             p.publish_gauge(
                 &format!("ics.node{n}.utilization"),
-                node.ics.utilization(self.events.now()),
+                node.ics.utilization(self.now()),
             );
             p.publish_counter(
                 &format!("mem.node{n}.accesses"),
@@ -236,9 +249,10 @@ impl Machine {
     /// controller's performance-monitoring role, §2).
     pub fn report(&self) -> crate::report::MachineReport {
         let nodes = self
-            .nodes
+            .lanes
             .iter()
-            .map(|n| {
+            .map(|lane| {
+                let n = &lane.node;
                 let mem_accesses: u64 = n.mem.banks().iter().map(|m| m.rdram().accesses()).sum();
                 let hits: f64 = n
                     .mem
@@ -248,7 +262,7 @@ impl Machine {
                     .sum();
                 crate::report::NodeReport {
                     ics_words: n.ics.words_moved(),
-                    ics_utilization: n.ics.utilization(self.events.now()),
+                    ics_utilization: n.ics.utilization(self.now()),
                     bank_lookups: n.caches.lookups(),
                     mem_accesses,
                     mem_page_hit_rate: if mem_accesses == 0 {
@@ -269,7 +283,7 @@ impl Machine {
             })
             .collect();
         crate::report::MachineReport {
-            now: self.events.now(),
+            now: self.now(),
             nodes,
             net_delivered: self.net.delivered(),
             net_deflections: self.net.deflections(),

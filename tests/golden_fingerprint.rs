@@ -95,6 +95,96 @@ fn fig5_subset_is_a_prefix_of_the_golden_set() {
     }
 }
 
+/// Every multi-chip golden row must reproduce its serially-blessed
+/// fingerprint under the conservative parallel engine at 2 and 4 lane
+/// workers. The quantum engine is canonical for multi-chip machines at
+/// *any* worker count, so this holds by construction — the test guards
+/// the construction (barrier merge order, outbox sequencing, per-lane
+/// version striding) against regressions.
+///
+/// Skipped on single-core machines, where oversubscribed lane threads
+/// would only slow CI down without changing coverage (the tiny-scale
+/// proptest below still runs); set `PIRANHA_GOLDEN_PARALLEL=1` to force.
+#[test]
+fn golden_multichip_rows_match_under_parallel_workers() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 && std::env::var_os("PIRANHA_GOLDEN_PARALLEL").is_none() {
+        eprintln!("skipping parallel golden check: {cores} core(s); set PIRANHA_GOLDEN_PARALLEL=1 to force");
+        return;
+    }
+    let golden: std::collections::HashMap<&str, &str> =
+        GOLDEN.lines().filter_map(|l| l.split_once('\t')).collect();
+    let plan = golden_plan(RunScale::quick());
+    let mut checked = 0;
+    for req in plan.requests() {
+        if req.cfg.nodes + req.cfg.io_nodes < 2 {
+            continue;
+        }
+        let label = piranha::experiments::golden_label(req);
+        let want = golden
+            .get(label.as_str())
+            .unwrap_or_else(|| panic!("golden file has no row for {label}"));
+        for workers in [2usize, 4] {
+            let r = piranha::harness::run_config_parallel(
+                req.cfg.clone(),
+                &req.workload,
+                req.scale,
+                workers,
+            );
+            assert_eq!(
+                &format!("{:016x}", r.fingerprint()),
+                want,
+                "{label} diverged from its serially-blessed fingerprint \
+                 at {workers} lane workers"
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "golden plan should contain multi-chip rows (found {checked})"
+    );
+}
+
+mod parallel_props {
+    use super::*;
+    use piranha::experiments::{dss, oltp};
+    use piranha::harness::run_config_parallel;
+    use piranha::SystemConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+        /// Serial == parallel for *random* multi-chip configurations,
+        /// not just the blessed figure configs: chip count, CPUs per
+        /// chip, seed, workload, and worker count all vary. Tiny scale
+        /// keeps each case cheap enough to run everywhere (including
+        /// single-core CI).
+        #[test]
+        fn random_multichip_configs_are_parallel_deterministic(
+            chips in 2usize..5,
+            cpus in 1usize..5,
+            seed in 0u64..1_000_000,
+            workers in 2usize..5,
+            use_dss in proptest::bool::ANY,
+        ) {
+            let mut cfg = SystemConfig::piranha_pn(cpus).scaled_to_chips(chips);
+            cfg.seed = seed;
+            let w = if use_dss { dss() } else { oltp() };
+            let scale = RunScale::tiny();
+            let serial = run_config_parallel(cfg.clone(), &w, scale, 1);
+            let parallel = run_config_parallel(cfg.clone(), &w, scale, workers);
+            prop_assert_eq!(
+                serial.fingerprint(),
+                parallel.fingerprint(),
+                "{} chips={} cpus={} seed={} workers={} dss={}",
+                cfg.name, chips, cpus, seed, workers, use_dss
+            );
+        }
+    }
+}
+
 /// Regenerates both golden files. Ignored by default; run explicitly
 /// when an intentional change to event ordering is being made.
 #[test]
