@@ -2,14 +2,19 @@
 //! (`piranha-parsim`) on a fig8-style multi-chip run: a 4-chip machine
 //! of 4-CPU Piranha chips at quick scale, executed serially (1 lane
 //! worker) and with 2 and 4 lane workers. The runs are bit-identical by
-//! construction — the bench asserts the fingerprints match before it
-//! trusts any timing — so the only thing that changes is wall-clock.
+//! construction — the bench asserts the fingerprints *and* the
+//! engine-structure counters (rounds, windows, merged events) match
+//! before it trusts any timing — so the only thing that changes is
+//! wall-clock.
 //!
-//! Writes the measurements to `BENCH_parsim.json` at the repo root. On
-//! a machine with ≥ 4 cores the 2-worker run must be ≥ 1.4× faster than
-//! serial (the ISSUE acceptance bar); on smaller machines the speedup
-//! is reported but not asserted, since oversubscribed lane threads
-//! cannot beat the serial loop.
+//! Writes the measurements to `BENCH_parsim.json` at the repo root,
+//! including the coordination-cost profile CI keeps a ceiling on:
+//! `rounds_per_us` (barrier rendezvous per simulated microsecond),
+//! windows, the empty-window fraction, and mean events per window. On a
+//! machine with ≥ 4 cores the 2-worker run must be ≥ 1.4× faster than
+//! serial and the 4-worker run ≥ 2.0× (the ISSUE acceptance bar); on
+//! smaller machines the speedups are reported but not asserted, since
+//! oversubscribed lane threads cannot beat the serial loop.
 //!
 //! Not a Criterion target on purpose: one quick-scale multi-chip run is
 //! seconds, not microseconds, so a single timed run per worker count is
@@ -18,8 +23,8 @@
 use std::time::Instant;
 
 use piranha::experiments::{self, RunScale};
-use piranha::harness::run_config_parallel;
-use piranha::SystemConfig;
+use piranha::harness::run_config_parallel_machine;
+use piranha::{ParsimStats, SystemConfig};
 
 fn main() {
     let cfg = SystemConfig::piranha_pn(4).scaled_to_chips(4);
@@ -32,22 +37,47 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let serial = run_config_parallel(cfg.clone(), &w, scale, 1);
+    let (serial, m) = run_config_parallel_machine(cfg.clone(), &w, scale, 1);
     let serial_s = t0.elapsed().as_secs_f64();
+    let stats: ParsimStats = m.parsim_stats();
+    let sim_us = m.now().as_ns() as f64 / 1000.0;
+    let rounds_per_us = stats.rounds as f64 / sim_us;
+    let empty_fraction = stats.empty_windows as f64 / stats.windows.max(1) as f64;
+    let events_per_window = stats.events as f64 / stats.windows.max(1) as f64;
     println!(
         "  workers=1  {serial_s:>7.2}s  fp {:#018x}",
         serial.fingerprint()
+    );
+    println!(
+        "  engine: {} rounds / {} windows over {sim_us:.0} simulated µs \
+         ({rounds_per_us:.2} rounds/µs, {:.1}% windows empty, {events_per_window:.1} events/window)",
+        stats.rounds,
+        stats.windows,
+        empty_fraction * 100.0
+    );
+    assert!(
+        stats.rounds * 5 <= stats.windows,
+        "train batching must cut rendezvous ≥ 5x below the per-window count \
+         ({} rounds for {} windows)",
+        stats.rounds,
+        stats.windows
     );
 
     let mut rows = Vec::new();
     for workers in [2usize, 4] {
         let t0 = Instant::now();
-        let r = run_config_parallel(cfg.clone(), &w, scale, workers);
+        let (r, m) = run_config_parallel_machine(cfg.clone(), &w, scale, workers);
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(
             r.fingerprint(),
             serial.fingerprint(),
             "parallel run at {workers} workers is not bit-identical to serial"
+        );
+        assert_eq!(
+            m.parsim_stats(),
+            stats,
+            "engine counters diverged at {workers} workers — they must be a \
+             function of the simulation, not the thread schedule"
         );
         let speedup = serial_s / secs;
         println!("  workers={workers}  {secs:>7.2}s  speedup {speedup:.2}x (bit-identical)");
@@ -55,14 +85,17 @@ fn main() {
     }
 
     let asserted = cores >= 4;
-    let two_worker_speedup = rows[0].2;
     if asserted {
-        assert!(
-            two_worker_speedup >= 1.4,
-            "2-worker speedup {two_worker_speedup:.2}x < 1.4x on a {cores}-core machine"
-        );
+        let bars = [(2usize, 1.4f64), (4, 2.0)];
+        for ((workers, _, speedup), (w2, bar)) in rows.iter().zip(bars) {
+            assert_eq!(*workers, w2);
+            assert!(
+                *speedup >= bar,
+                "{workers}-worker speedup {speedup:.2}x < {bar}x on a {cores}-core machine"
+            );
+        }
     } else {
-        println!("  (speedup bar not asserted: {cores} core(s) < 4)");
+        println!("  (speedup bars not asserted: {cores} core(s) < 4)");
     }
 
     let worker_rows: Vec<String> = rows
@@ -74,9 +107,17 @@ fn main() {
     let json = format!(
         "{{\"bench\":\"parsim_speedup\",\"config\":\"{}\",\"workload\":\"oltp\",\
          \"scale\":\"quick\",\"cores\":{cores},\"serial_seconds\":{serial_s:.3},\
+         \"rounds\":{},\"windows\":{},\"merged_events\":{},\"events\":{},\
+         \"simulated_us\":{sim_us:.3},\"rounds_per_us\":{rounds_per_us:.3},\
+         \"empty_window_fraction\":{empty_fraction:.4},\
+         \"events_per_window\":{events_per_window:.2},\
          \"bit_identical\":true,\"speedup_asserted\":{asserted},\
-         \"min_required_speedup\":1.4,\"runs\":[{}]}}\n",
+         \"min_required_speedup\":{{\"2\":1.4,\"4\":2.0}},\"runs\":[{}]}}\n",
         cfg.name,
+        stats.rounds,
+        stats.windows,
+        stats.merged_events,
+        stats.events,
         worker_rows.join(",")
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parsim.json");

@@ -42,8 +42,8 @@
 #![warn(missing_docs)]
 
 pub use piranha_system::{
-    AvailabilityReport, CoreKind, CpuBreakdown, FaultConfig, FaultKind, Machine, PathLatencies,
-    Probe, ProbeConfig, RunResult, SystemConfig, TraceLevel,
+    AvailabilityReport, CoreKind, CpuBreakdown, FaultConfig, FaultKind, Machine, ParsimStats,
+    PathLatencies, Probe, ProbeConfig, RunResult, SystemConfig, TraceLevel,
 };
 
 /// Shared architectural types (re-export of `piranha-types`).
@@ -77,6 +77,10 @@ pub mod mem {
 /// Interconnect (re-export of `piranha-net`).
 pub mod net {
     pub use piranha_net::*;
+}
+/// Parallel-in-space execution engine (re-export of `piranha-parsim`).
+pub mod parsim {
+    pub use piranha_parsim::*;
 }
 /// Protocol engines (re-export of `piranha-protocol`).
 pub mod protocol {

@@ -128,13 +128,28 @@ pub fn run_config_parallel(
     scale: RunScale,
     workers: usize,
 ) -> RunResult {
+    run_config_parallel_machine(cfg, w, scale, workers).0
+}
+
+/// [`run_config_parallel`] returning the machine too, for callers that
+/// need lifetime state the measured-window [`RunResult`] cannot carry —
+/// the final simulated time, the parallel-engine counters
+/// (`Machine::parsim_stats`), the lookahead matrix. Used by the
+/// `parsim_speedup` bench to report rounds per simulated microsecond.
+pub fn run_config_parallel_machine(
+    cfg: SystemConfig,
+    w: &Workload,
+    scale: RunScale,
+    workers: usize,
+) -> (RunResult, Machine) {
     let mut m = Machine::new(cfg, w);
     m.set_parallel_workers(workers);
-    if scale.to_completion {
+    let r = if scale.to_completion {
         m.run_to_completion()
     } else {
         m.run(scale.warmup, scale.measure)
-    }
+    };
+    (r, m)
 }
 
 /// The process-wide lane-worker count applied to every machine the

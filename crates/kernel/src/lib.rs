@@ -6,9 +6,9 @@
 //! * [`Scheduler`] — per-node sub-queues over [`EventQueue`] with a
 //!   deterministic global merge, the seam between the system wiring and
 //!   the component adapters;
-//! * [`Partition`] / [`QuantumBarrier`] — partition-local event lists and
-//!   the conservative lookahead bound for parallel-in-space execution
-//!   (one lane per worker thread, merged at quantum barriers);
+//! * [`Partition`] / [`Lookahead`] — partition-local event lists and
+//!   the conservative per-pair lookahead bounds for parallel-in-space
+//!   execution (one lane per worker thread, merged at window barriers);
 //! * [`Component`] / [`Port`] — the typed module abstraction every
 //!   subsystem crate adapts itself to (see the ping/pong example on
 //!   [`Component`]);
@@ -45,7 +45,7 @@ pub mod stats;
 
 pub use component::{Component, Port};
 pub use event::EventQueue;
-pub use partition::{Partition, QuantumBarrier};
+pub use partition::{Lookahead, Partition};
 pub use rng::Prng;
 pub use sched::Scheduler;
 pub use server::{MultiServer, Pipe, Server};

@@ -93,6 +93,14 @@ impl<P> Fabric<P> {
     pub fn min_delivery_latency(&self) -> piranha_types::Duration {
         self.net.config().min_delivery_latency()
     }
+
+    /// Per-pair conservative delivery bounds (see
+    /// [`crate::Network::pair_bounds`]): `bounds[src][dst]` = topology
+    /// hop distance × the per-hop minimum. Feeds the system layer's
+    /// per-pair lookahead matrix at wiring time.
+    pub fn pair_bounds(&self) -> Vec<Vec<piranha_types::Duration>> {
+        self.net.pair_bounds()
+    }
 }
 
 impl<P> Component for Fabric<P> {

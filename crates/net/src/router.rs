@@ -162,6 +162,31 @@ impl Topology {
         seen.into_iter().all(|s| s)
     }
 
+    /// All-pairs shortest-path hop counts via BFS: `distances[src][dst]`
+    /// = minimum hops from `src` to `dst` (0 on the diagonal). The
+    /// topology is connected by construction, so every entry is finite.
+    pub fn distances(&self) -> Vec<Vec<usize>> {
+        let n = self.adj.len();
+        let mut table = vec![vec![0usize; n]; n];
+        for src in 0..n {
+            let dist = &mut table[src];
+            let mut seen = vec![false; n];
+            seen[src] = true;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        dist[v.index()] = dist[u] + 1;
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+        }
+        table
+    }
+
     /// All-pairs next-hop table via BFS: `table[src][dst]` = neighbour to
     /// take (self for src == dst).
     fn next_hops(&self) -> Vec<Vec<NodeId>> {
@@ -413,6 +438,27 @@ impl<P> Network<P> {
         &self.topo
     }
 
+    /// The per-pair conservative delivery bounds:
+    /// `bounds[src][dst] = shortest_hops(src, dst) × min_delivery_latency`
+    /// (zero on the diagonal). This is a true lower bound on any
+    /// delivery the network can perform: [`Network::send`] charges at
+    /// least one short-packet serialization plus one hop fall-through
+    /// per hop taken, longer packets serialize slower, and hot-potato
+    /// deflection only ever *lengthens* the path — a deflected packet
+    /// still pays every hop it takes, and it can never take fewer hops
+    /// than the BFS distance. On a fully connected topology (the
+    /// paper's glueless 4-chip configuration) every off-diagonal entry
+    /// degenerates to the global quantum
+    /// [`NetworkConfig::min_delivery_latency`].
+    pub fn pair_bounds(&self) -> Vec<Vec<Duration>> {
+        let per_hop = self.cfg.min_delivery_latency();
+        self.topo
+            .distances()
+            .into_iter()
+            .map(|row| row.into_iter().map(|h| per_hop.times(h as u64)).collect())
+            .collect()
+    }
+
     /// The link configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.cfg
@@ -561,6 +607,102 @@ mod tests {
             }
         }
         assert!(net.retransmits() > 0 && net.delivered() > net.retransmits());
+    }
+
+    #[test]
+    fn distances_are_symmetric_shortest_hops() {
+        let t = Topology::ring(6);
+        let d = t.distances();
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, hops) in row.iter().enumerate() {
+                assert_eq!(*hops, d[j][i], "ring distances are symmetric");
+            }
+        }
+        assert_eq!(d[0][3], 3, "opposite side of a 6-ring");
+        assert_eq!(d[0][5], 1, "wraps the short way");
+    }
+
+    #[test]
+    fn pair_bounds_degenerate_to_the_global_quantum_on_table1_config() {
+        // The paper's glueless 4-chip configuration is fully connected:
+        // every pair is one hop, so the whole lookahead matrix collapses
+        // to the single 20 ns quantum the fixed-quantum engine used.
+        let net: Network<u32> =
+            Network::new(Topology::fully_connected(4), NetworkConfig::paper_default());
+        let bounds = net.pair_bounds();
+        let q = net.config().min_delivery_latency();
+        assert_eq!(q, Duration::from_ns(20));
+        for (s, row) in bounds.iter().enumerate() {
+            for (d, &b) in row.iter().enumerate() {
+                if s == d {
+                    assert_eq!(b, Duration::ZERO);
+                } else {
+                    assert_eq!(b, q, "{s}->{d} is a single hop on a full mesh");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_bounds_scale_with_topology_distance() {
+        let net: Network<u32> = Network::new(Topology::ring(8), NetworkConfig::paper_default());
+        let bounds = net.pair_bounds();
+        let q = net.config().min_delivery_latency();
+        assert_eq!(bounds[0][1], q);
+        assert_eq!(bounds[0][4], q.times(4), "4 hops across an 8-ring");
+    }
+
+    mod bound_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_topology(shape: usize, a: usize, b: usize) -> Topology {
+            match shape {
+                0 => Topology::ring(a + b),           // 4..10 nodes
+                1 => Topology::fully_connected(a),    // 2..=5 nodes
+                _ => Topology::mesh(a - 1, b.max(2)), // (1..5) x (2..5)
+            }
+        }
+
+        proptest! {
+            /// Every delivery the network performs — including under
+            /// heavy contention, where hot-potato deflection reroutes
+            /// packets along longer paths — takes at least the pair's
+            /// computed bound. This is the property the parallel
+            /// engine's per-pair `debug_assert` relies on.
+            #[test]
+            fn every_delivery_respects_its_pair_bound(
+                shape in 0usize..3,
+                a in 2usize..6,
+                b in 2usize..5,
+                sends in proptest::collection::vec(
+                    (0usize..64, 0usize..64, 0u64..500, proptest::bool::ANY),
+                    1..120,
+                ),
+            ) {
+                let topo = arb_topology(shape, a, b);
+                let mut net: Network<u32> = Network::new(topo, NetworkConfig::paper_default());
+                let bounds = net.pair_bounds();
+                let n = bounds.len();
+                for (s, d, at, long) in sends {
+                    let (s, d) = (s % n, d % n);
+                    if s == d {
+                        continue;
+                    }
+                    let kind = if long { PacketKind::Long } else { PacketKind::Short };
+                    let t = SimTime::from_ns(at);
+                    let p = Packet::new(NodeId(s as u16), NodeId(d as u16), Lane::Low, kind, 0);
+                    let (arrive, _) = net.send(t, p);
+                    prop_assert!(
+                        arrive.since(t) >= bounds[s][d],
+                        "{s}->{d} delivered in {:?}, bound {:?}",
+                        arrive.since(t),
+                        bounds[s][d]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

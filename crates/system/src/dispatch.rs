@@ -671,9 +671,11 @@ pub(crate) struct NetPath<'a> {
     pub(crate) net: &'a mut Fabric<ProtoMsg>,
     pub(crate) port: &'a mut Port<Arrive<ProtoMsg>>,
     pub(crate) probe: &'a Probe,
-    /// The conservative lookahead (minimum cross-node delivery
-    /// latency); every routed delivery is checked against it.
-    pub(crate) quantum: Duration,
+    /// The per-pair lookahead matrix; every routed delivery is checked
+    /// against its own pair's bound (hop distance × minimum per-hop
+    /// latency), a strictly stronger check than the global quantum for
+    /// any pair more than one hop apart.
+    pub(crate) lookahead: &'a piranha_kernel::Lookahead,
 }
 
 impl NetPath<'_> {
@@ -693,15 +695,16 @@ impl NetPath<'_> {
             it.next().expect("one arrival per departure")
         };
         debug_assert!(self.port.is_empty());
-        // Satellite hardening: the whole parallel scheme rests on no
-        // cross-node event landing closer than the lookahead bound. The
-        // fabric charges at least serialization + one hop, so equality
-        // is the worst legal case.
+        // The whole parallel scheme rests on no cross-node event
+        // landing closer than the lookahead bound. The fabric charges
+        // at least serialization + one hop *per hop of the shortest
+        // path*, so the pair's bound — not just the fabric-wide minimum
+        // — holds, with equality as the worst legal case.
         debug_assert!(
-            first.since(t) >= self.quantum,
-            "cross-node delivery {from}->{to} took {:?} < lookahead quantum {:?}",
+            first.since(t) >= self.lookahead.bound(from.index(), to.index()),
+            "cross-node delivery {from}->{to} took {:?} < its pair lookahead bound {:?}",
             first.since(t),
-            self.quantum
+            self.lookahead.bound(from.index(), to.index())
         );
         self.probe.span(
             TraceLevel::Spans,

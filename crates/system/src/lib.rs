@@ -34,7 +34,7 @@ pub(crate) mod wiring;
 mod tests;
 
 pub use config::{CoreKind, PathLatencies, SystemConfig};
-pub use machine::Machine;
+pub use machine::{Machine, ParsimStats};
 pub use piranha_faults::{AvailabilityReport, FaultConfig, FaultKind};
 pub use piranha_probe::{Probe, ProbeConfig, TraceLevel};
 pub use report::{MachineReport, NodeReport};

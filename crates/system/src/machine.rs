@@ -19,21 +19,28 @@
 //! A single-chip machine runs the classic serial loop: pop, dispatch,
 //! repeat. A multi-chip machine runs the conservative parallel-in-space
 //! engine from `piranha-parsim` regardless of the worker count: each
-//! chip's lane advances independently to a barrier at `t_min + quantum`
-//! (quantum = the fabric's minimum cross-node delivery latency), where
-//! the lanes' buffered cross-node sends are merged in deterministic
-//! `(time, source, seq)` order and routed through the shared fabric.
+//! chip's lane advances independently through one *window* — the span
+//! `[t_min, t_min + quantum)`, where `quantum` is the machine's
+//! [`Lookahead`] bound (the fabric's minimum cross-node delivery
+//! latency) and `t_min` the earliest pending event anywhere — and the
+//! lanes' buffered cross-node sends are merged at the window barrier in
+//! deterministic `(time, source, seq)` order and routed through the
+//! shared fabric. Basing every window on the global minimum *pending*
+//! time means an idle stretch (all chips waiting on a distant event)
+//! costs one window, not `gap / quantum` of them. Windows ride the
+//! parsim crate's *train* protocol: lock-free gate handoffs per window,
+//! a real barrier rendezvous only every [`piranha_parsim::TRAIN_WINDOWS`]
+//! windows (the [`ParsimStats::rounds`] count).
+//!
 //! Because the worker threads only change *which thread* advances a
 //! lane — never the order of events within a lane or the merge order at
 //! barriers — results are bit-identical for every worker count,
 //! including 1. Pick the worker count with
 //! [`Machine::set_parallel_workers`] or run with [`Machine::run_parallel`].
 
-use std::sync::Mutex;
-
 use piranha_cache::Slot;
 use piranha_faults::{AvailabilityReport, FaultPlane};
-use piranha_kernel::{Port, QuantumBarrier};
+use piranha_kernel::{Lookahead, Port};
 use piranha_net::{Arrive, Fabric};
 use piranha_probe::Probe;
 use piranha_protocol::{LineRange, ProtoMsg, RasPolicy};
@@ -48,7 +55,29 @@ use crate::result::RunResult;
 /// Lines per OS page (8 KB pages interleave homes across nodes).
 pub(crate) const PAGE_LINES: u64 = 128;
 
-/// The whole simulated system: node lanes, interconnect, quantum barrier.
+/// Cumulative parallel-engine execution counters (multi-chip machines
+/// only; a single-chip machine's serial loop leaves them at zero except
+/// [`ParsimStats::events`]). Deterministic: every field is a function of
+/// the simulation, never of the worker count or thread schedule, so the
+/// counters are safe to assert on in tests and benches.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ParsimStats {
+    /// Barrier rendezvous executed (one per
+    /// [`piranha_parsim::TRAIN_WINDOWS`] windows) — the engine's real
+    /// synchronization count.
+    pub rounds: u64,
+    /// Logical lookahead windows executed.
+    pub windows: u64,
+    /// Barrier passes that found no cross-node traffic to merge.
+    pub empty_windows: u64,
+    /// Cross-node events merged and routed at barriers.
+    pub merged_events: u64,
+    /// Total events popped across all lanes (the work the windows
+    /// carried; `merged_events / windows` is the cross-node fraction).
+    pub events: u64,
+}
+
+/// The whole simulated system: node lanes, interconnect, lookahead.
 ///
 /// # Examples
 ///
@@ -73,10 +102,13 @@ pub struct Machine {
     pub(crate) probe: Probe,
     /// Reusable port for fabric arrivals at barrier-time routing.
     pub(crate) net_port: Port<Arrive<ProtoMsg>>,
-    /// The quantum barrier: lookahead derived from the fabric's minimum
-    /// cross-node delivery latency, asserted strictly positive at
-    /// wiring time.
-    pub(crate) barrier: QuantumBarrier,
+    /// The per-pair lookahead matrix, derived at wiring time from the
+    /// fabric's topology distances; its global minimum (asserted
+    /// strictly positive) is the window quantum, the per-pair bounds
+    /// back the delivery assertions.
+    pub(crate) lookahead: Lookahead,
+    /// Cumulative parallel-engine counters (see [`ParsimStats`]).
+    pub(crate) parsim: ParsimStats,
     /// Worker threads for the multi-chip engine (1 = in-line, still
     /// quantum-stepped). Not part of `SystemConfig`: the thread count
     /// must never affect results, cache keys, or fingerprints.
@@ -148,9 +180,24 @@ impl Machine {
     }
 
     /// The conservative lookahead the multi-chip engine steps by: the
-    /// fabric's minimum cross-node delivery latency.
+    /// fabric's minimum cross-node delivery latency (the minimum of the
+    /// per-pair bound matrix, see [`Machine::lookahead`]).
     pub fn quantum(&self) -> Duration {
-        self.barrier.quantum()
+        self.lookahead.quantum()
+    }
+
+    /// The per-node-pair lookahead matrix computed at wiring time from
+    /// the fabric topology: `bound(s, d)` = hop distance × minimum
+    /// per-hop latency, the floor on any `s → d` delivery.
+    pub fn lookahead(&self) -> &Lookahead {
+        &self.lookahead
+    }
+
+    /// Cumulative parallel-engine counters: rounds, windows, merged
+    /// cross-node events (see [`ParsimStats`]). Identical for every
+    /// worker count.
+    pub fn parsim_stats(&self) -> ParsimStats {
+        self.parsim
     }
 
     /// Set the worker-thread count for multi-chip runs (clamped to
@@ -431,20 +478,24 @@ impl Machine {
             }
         }
         self.clock = self.clock.max(self.lanes[0].events.now());
+        self.parsim.events = self.lanes[0].events.popped();
     }
 
     /// The multi-chip engine: conservative parallel-in-space execution
-    /// with deterministic quantum barriers (`piranha-parsim`).
+    /// with deterministic lookahead windows (`piranha-parsim`).
     ///
-    /// Every round, all lanes advance independently — one per worker
-    /// thread — to the barrier at `t_min + quantum`. The lookahead
+    /// Every window, all lanes advance independently — one per worker
+    /// thread — to the horizon at `t_min + quantum`. The lookahead
     /// guarantee (no cross-node delivery lands in under `quantum`) means
     /// no lane can receive an event inside the window it is executing,
-    /// so the rounds need no locking. At the barrier the coordinator
-    /// merges every lane's buffered departures in `(time, source, seq)`
-    /// order and routes them through the shared fabric; both that order
-    /// and each lane's own event order are independent of the worker
-    /// count, which is the determinism argument in one sentence.
+    /// so the windows need no locking. At the barrier the coordinator —
+    /// with every worker provably parked, so the lanes are plain `&mut`,
+    /// no per-lane mutexes — merges every lane's buffered departures in
+    /// `(time, source, seq)` order into one reused buffer and routes
+    /// them through the shared fabric; both that order and each lane's
+    /// own event order are independent of the worker count, which is the
+    /// determinism argument in one sentence. A window with no traffic
+    /// skips the merge entirely (`empty_windows`).
     fn run_quanta(&mut self, target: u64) {
         let workers = self.workers.clamp(1, self.lanes.len());
         let Machine {
@@ -453,56 +504,68 @@ impl Machine {
             net,
             probe,
             net_port,
-            barrier,
+            lookahead,
+            parsim,
             clock,
             ..
         } = self;
         let cfg: &SystemConfig = cfg;
+        let lookahead: &Lookahead = lookahead;
         let sh = LaneShared::new(cfg, lanes.len());
-        let quantum = barrier.quantum();
-        let mut cells: Vec<Mutex<NodeLane>> =
-            std::mem::take(lanes).into_iter().map(Mutex::new).collect();
-        piranha_parsim::parallel_rounds(
+        let nlanes = lanes.len();
+        // Per-lane barrier-stall histograms (noop handles when the probe
+        // is disabled): worker w's gate-wait time is charged to every
+        // lane it owns, making stragglers visible per simulated chip.
+        let wait_hists: Vec<piranha_probe::HistogramHandle> = (0..nlanes)
+            .map(|n| probe.histogram(&format!("parsim.node{n}.barrier_wait_ns")))
+            .collect();
+        let mut record_waits = |w: usize, ns: u64| {
+            for h in wait_hists.iter().skip(w).step_by(workers) {
+                h.record(ns);
+            }
+        };
+        let mut merged: Vec<piranha_parsim::Merged<piranha_net::Depart<ProtoMsg>>> = Vec::new();
+        let mut popped_total = 0u64;
+        let stats = piranha_parsim::run_windows(
             workers,
-            &mut cells,
+            lanes,
             |lane, horizon| lane.advance(&sh, horizon),
-            |cells| {
-                // Merge the previous round's cross-node traffic in
+            |lanes, stats| {
+                // Merge the previous window's cross-node traffic in
                 // deterministic (time, source, seq) order and route it
                 // through the shared fabric, charging the *source*
                 // lane's link-fault hooks.
-                let merged = piranha_parsim::merge_outboxes(
-                    cells
-                        .iter()
-                        .enumerate()
-                        .map(|(i, c)| (i, c.lock().unwrap().outbox.drain())),
-                );
-                let mut path = NetPath {
-                    cfg,
-                    net,
-                    port: net_port,
-                    probe,
-                    quantum,
-                };
-                for m in merged {
-                    let dest = m.payload.to.index();
-                    let (arrive, from, msg) = {
-                        let mut src = cells[m.source].lock().unwrap();
-                        path.route(&mut src.faults, m.time, m.payload)
+                merged.clear();
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    lane.outbox.drain_into(i, &mut merged);
+                }
+                if merged.is_empty() {
+                    stats.empty_windows += 1;
+                } else {
+                    piranha_parsim::sort_merged(&mut merged);
+                    stats.merged_events += merged.len() as u64;
+                    let mut path = NetPath {
+                        cfg,
+                        net,
+                        port: net_port,
+                        probe,
+                        lookahead,
                     };
-                    cells[dest]
-                        .lock()
-                        .unwrap()
-                        .events
-                        .schedule(arrive, Ev::NetMsg { from, msg });
+                    for m in merged.drain(..) {
+                        let dest = m.payload.to.index();
+                        let (arrive, from, msg) =
+                            path.route(&mut lanes[m.source].faults, m.time, m.payload);
+                        lanes[dest]
+                            .events
+                            .schedule(arrive, Ev::NetMsg { from, msg });
+                    }
                 }
                 // Stop checks, then the next window's base time.
                 let mut retired = 0u64;
                 let mut unfinished = 0usize;
                 let mut popped = 0u64;
                 let mut t_min: Option<SimTime> = None;
-                for c in cells.iter() {
-                    let lane = c.lock().unwrap();
+                for lane in lanes.iter() {
                     retired += lane.instrs_retired;
                     unfinished += lane.unfinished;
                     popped += lane.events.popped();
@@ -518,20 +581,22 @@ impl Machine {
                     popped < 2_000_000_000,
                     "event budget exhausted: runaway simulation"
                 );
+                popped_total = popped;
                 if retired >= target || unfinished == 0 {
                     return None;
                 }
                 let Some(base) = t_min else {
                     panic!("event queues drained with unfinished CPUs: deadlock");
                 };
-                barrier.note_round();
-                Some(barrier.horizon(base))
+                Some(lookahead.horizon(base))
             },
+            Some(&mut record_waits),
         );
-        *lanes = cells
-            .into_iter()
-            .map(|c| c.into_inner().expect("lane mutex poisoned"))
-            .collect();
+        parsim.rounds += stats.rounds;
+        parsim.windows += stats.windows;
+        parsim.empty_windows += stats.empty_windows;
+        parsim.merged_events += stats.merged_events;
+        parsim.events = popped_total;
     }
 
     /// Stop a CPU through the node's system controller (paper §2.6: the

@@ -5,6 +5,8 @@ use std::fmt;
 
 use piranha_types::SimTime;
 
+use crate::machine::ParsimStats;
+
 /// A utilization snapshot of one node.
 #[derive(Debug, Clone)]
 pub struct NodeReport {
@@ -47,6 +49,9 @@ pub struct MachineReport {
     pub net_mean_hops: f64,
     /// Total instructions retired.
     pub instrs: u64,
+    /// Parallel-engine counters (zero except `events` on single-chip
+    /// machines, which run the serial loop).
+    pub parsim: ParsimStats,
 }
 
 impl MachineReport {
@@ -70,6 +75,17 @@ impl MachineReport {
                 "protocol.mean_occupancy".into(),
                 V::Value(self.mean_engine_occupancy()),
             ),
+            ("parsim.rounds".into(), V::Count(self.parsim.rounds)),
+            ("parsim.windows".into(), V::Count(self.parsim.windows)),
+            (
+                "parsim.empty_windows".into(),
+                V::Count(self.parsim.empty_windows),
+            ),
+            (
+                "parsim.merged_events".into(),
+                V::Count(self.parsim.merged_events),
+            ),
+            ("parsim.events".into(), V::Count(self.parsim.events)),
         ];
         for (n, node) in self.nodes.iter().enumerate() {
             rows.push((format!("ics.node{n}.words"), V::Count(node.ics_words)));
@@ -130,6 +146,16 @@ impl fmt::Display for MachineReport {
             self.protocol_msgs(),
             self.mean_engine_occupancy()
         )?;
+        if self.parsim.windows > 0 {
+            writeln!(
+                f,
+                "  parallel engine: {} rounds over {} windows ({} empty), {} merged events",
+                self.parsim.rounds,
+                self.parsim.windows,
+                self.parsim.empty_windows,
+                self.parsim.merged_events
+            )?;
+        }
         for (i, n) in self.nodes.iter().enumerate() {
             writeln!(
                 f,
@@ -172,6 +198,13 @@ mod tests {
             net_deflections: 1,
             net_mean_hops: 1.4,
             instrs: 12345,
+            parsim: ParsimStats {
+                rounds: 3,
+                windows: 17,
+                empty_windows: 2,
+                merged_events: 9,
+                events: 400,
+            },
         }
     }
 
@@ -191,6 +224,7 @@ mod tests {
             "ICS 500 words",
             "TSRF hw 2/3",
             "SC 11 pkts",
+            "3 rounds over 17 windows (2 empty)",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -1,7 +1,7 @@
 //! Machine assembly: topology, node construction, and observability
 //! wiring (track naming, metric sampling, utilization reports).
 
-use piranha_kernel::{Port, QuantumBarrier};
+use piranha_kernel::{Lookahead, Port};
 use piranha_net::{Fabric, Network, Topology};
 use piranha_probe::Probe;
 use piranha_types::{NodeId, SimTime};
@@ -90,11 +90,14 @@ impl Machine {
         let total_nodes = cfg.nodes + cfg.io_nodes;
         let topo = build_topology(cfg.nodes, cfg.io_nodes);
         let net = Fabric::new(Network::new(topo, cfg.net));
-        // The quantum is the fabric's minimum cross-node delivery
-        // latency (Table 1: short-packet serialization + one hop).
-        // `QuantumBarrier::new` asserts it is strictly positive — the
-        // conservative engine has no lookahead otherwise.
-        let barrier = QuantumBarrier::new(net.min_delivery_latency());
+        // The lookahead matrix is computed from the actual topology:
+        // `bound(s, d)` = hop distance × the per-hop minimum (Table 1:
+        // short-packet serialization + one hop). Its global minimum is
+        // the window quantum; `Lookahead::from_bounds` asserts it is
+        // strictly positive — the conservative engine has no lookahead
+        // otherwise. On the paper's glueless fully connected configs
+        // the matrix degenerates to the uniform fabric-wide minimum.
+        let lookahead = Lookahead::from_bounds(net.pair_bounds());
         let mut lanes = Vec::with_capacity(total_nodes);
         for n in 0..total_nodes {
             let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if n >= cfg.nodes {
@@ -130,7 +133,8 @@ impl Machine {
             net,
             probe: Probe::disabled(),
             net_port: Port::new(),
-            barrier,
+            lookahead,
+            parsim: crate::machine::ParsimStats::default(),
             workers: 1,
             clock: SimTime::ZERO,
         }
@@ -193,6 +197,12 @@ impl Machine {
         p.publish_counter("net.deflections", self.net.deflections());
         p.publish_counter("net.retransmits", self.net.retransmits());
         p.publish_gauge("net.mean_hops", self.net.mean_hops());
+        let ps = self.parsim_stats();
+        p.publish_counter("parsim.rounds", ps.rounds);
+        p.publish_counter("parsim.windows", ps.windows);
+        p.publish_counter("parsim.empty_windows", ps.empty_windows);
+        p.publish_counter("parsim.merged_events", ps.merged_events);
+        p.publish_counter("parsim.events", ps.events);
         let av = self.availability();
         p.publish_counter("faults.injected", av.injected);
         p.publish_counter("faults.corrected", av.corrected);
@@ -289,6 +299,7 @@ impl Machine {
             net_deflections: self.net.deflections(),
             net_mean_hops: self.net.mean_hops(),
             instrs: self.total_instrs(),
+            parsim: self.parsim_stats(),
         }
     }
 }
