@@ -96,6 +96,18 @@ fn main() {
         }
     } else {
         println!("  (speedup bars not asserted: {cores} core(s) < 4)");
+        // Unasserted is not the same as fine: a sub-1.0 "speedup" means
+        // the parallel engine *lost* to the serial loop, and silence
+        // here would let that rot unnoticed on small CI machines.
+        for (workers, _, speedup) in &rows {
+            if *speedup < 1.0 {
+                eprintln!(
+                    "WARN: parsim {workers}-worker run was SLOWER than serial \
+                     ({speedup:.2}x) on this {cores}-core host — unasserted, \
+                     but investigate before trusting parallel-run timings"
+                );
+            }
+        }
     }
 
     let worker_rows: Vec<String> = rows
@@ -106,7 +118,8 @@ fn main() {
         .collect();
     let json = format!(
         "{{\"bench\":\"parsim_speedup\",\"config\":\"{}\",\"workload\":\"oltp\",\
-         \"scale\":\"quick\",\"cores\":{cores},\"serial_seconds\":{serial_s:.3},\
+         \"scale\":\"quick\",\"cores\":{cores},\"host_cores\":{cores},\
+         \"serial_seconds\":{serial_s:.3},\
          \"rounds\":{},\"windows\":{},\"merged_events\":{},\"events\":{},\
          \"simulated_us\":{sim_us:.3},\"rounds_per_us\":{rounds_per_us:.3},\
          \"empty_window_fraction\":{empty_fraction:.4},\

@@ -14,7 +14,7 @@
 //! consolidated per-line record, which is behaviourally equivalent to the
 //! separate hardware structures and much easier to audit.
 
-use std::collections::HashMap;
+use piranha_types::FastMap;
 
 use piranha_types::{CacheKind, CpuId, LineAddr};
 
@@ -188,7 +188,7 @@ impl DupEntry {
 /// (paper §2.3).
 #[derive(Debug, Default)]
 pub struct DupTags {
-    lines: HashMap<LineAddr, DupEntry>,
+    lines: FastMap<LineAddr, DupEntry>,
 }
 
 impl DupTags {

@@ -32,7 +32,8 @@
 //! *timing* consequences (ICS transfers, memory accesses, protocol-engine
 //! work) for the chip simulator to schedule.
 
-use std::collections::{HashMap, VecDeque};
+use piranha_types::FastMap;
+use std::collections::VecDeque;
 
 use piranha_types::{FillSource, LineAddr, RemoteSummary, ReqType};
 
@@ -355,7 +356,7 @@ impl L2Array {
 pub struct L2Bank {
     dup: DupTags,
     array: L2Array,
-    pending: HashMap<LineAddr, Pending>,
+    pending: FastMap<LineAddr, Pending>,
     bank_id: u64,
     bank_count: u64,
 }
@@ -376,7 +377,7 @@ impl L2Bank {
         L2Bank {
             dup: DupTags::new(),
             array: L2Array::new(cfg),
-            pending: HashMap::new(),
+            pending: FastMap::default(),
             bank_id,
             bank_count,
         }
@@ -400,6 +401,20 @@ impl L2Bank {
     /// Whether the bank's own storage holds `line` (for tests).
     pub fn in_array(&self, line: LineAddr) -> bool {
         self.array.contains(line)
+    }
+
+    /// Every line resident in the bank's own storage, sorted — the
+    /// array's occupancy irrespective of load stamps, for
+    /// warming-fidelity checks.
+    pub fn resident_lines(&self) -> Vec<LineAddr> {
+        let mut lines: Vec<LineAddr> = self
+            .array
+            .sets
+            .iter()
+            .flat_map(|s| s.iter().flatten().map(|&(t, _)| LineAddr(t)))
+            .collect();
+        lines.sort_unstable();
+        lines
     }
 
     /// Feed one event through the bank, applying coherence state changes

@@ -109,6 +109,18 @@ impl Tlb {
         false
     }
 
+    /// The currently-mapped page numbers, sorted — the TLB's occupancy
+    /// irrespective of recency stamps, for warming-fidelity checks.
+    pub fn resident_pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .sets
+            .iter()
+            .flat_map(|s| s.iter().map(|(p, _)| *p))
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
     /// Miss penalty in CPU cycles.
     pub fn miss_penalty(&self) -> u64 {
         self.cfg.miss_penalty

@@ -9,9 +9,12 @@
 //! bit-identical to serial; fig5's machines are all single-chip so the
 //! flag only matters for the probed exemplar),
 //! `--trace=<path>` (Chrome-trace JSON of a probed exemplar run),
-//! `--metrics=<path>` (flat metric dump).
+//! `--metrics=<path>` (flat metric dump),
+//! `--sample=<period>/<window>` (run every configuration under
+//! SMARTS-style statistical sampling and print CPI / stall estimates
+//! with 95% confidence intervals instead of the normalized figures).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli, SampleCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
@@ -21,6 +24,27 @@ fn main() {
             "{}",
             experiments::render_fingerprints(&experiments::fig5_fingerprints(scale))
         );
+        return;
+    }
+    if let Some(sample) = SampleCli::from_env_args().sample_config() {
+        for (title, w) in [
+            (
+                "Figure 5 — OLTP, sampled (estimate ± 95% CI)",
+                experiments::oltp(),
+            ),
+            (
+                "Figure 5 — DSS, sampled (estimate ± 95% CI)",
+                experiments::dss(),
+            ),
+        ] {
+            println!(
+                "{}",
+                experiments::render_sampled_bars(
+                    title,
+                    &experiments::fig5_sampled(&w, scale, &sample)
+                )
+            );
+        }
         return;
     }
     println!(

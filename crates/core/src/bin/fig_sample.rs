@@ -1,0 +1,72 @@
+//! Validates SMARTS-style statistical sampling against full detail:
+//! runs a bounded OLTP workload to completion on P8 in detailed mode,
+//! then once per sampling schedule with functional warming between
+//! detailed windows, and reports CPI error, 95%-CI coverage, detailed
+//! share, and host wall-clock speedup.
+//!
+//! Flags:
+//!
+//! - `--quick` — CI scale (fewer transactions per CPU);
+//! - `--metrics=<path>` — write the sweep as JSON (this is what the CI
+//!   `sample-smoke` step validates);
+//! - `--parallel=<n>` — run detailed windows with `n` lane workers
+//!   (single-chip P8 always runs serially; the flag is accepted for
+//!   symmetry with the other figure binaries).
+use piranha::experiments::{self, SampleReport};
+use piranha::observe::{ParallelCli, ProbeCli};
+
+fn main() {
+    ParallelCli::from_env_args().apply();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rep = experiments::fig_sample(quick);
+    print!("{}", experiments::render_sample_report(&rep));
+
+    let cli = ProbeCli::from_env_args();
+    if let Some(path) = &cli.metrics {
+        if let Err(e) = std::fs::write(path, report_json(&rep)) {
+            eprintln!("writing {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("sampling report -> {}", path.display());
+    }
+}
+
+/// The JSON report the CI `sample-smoke` step validates.
+fn report_json(rep: &SampleReport) -> String {
+    let rows: Vec<String> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"period\":{},\"window\":{},\"windows\":{},\
+                 \"cpi_mean\":{},\"cpi_ci95\":{},\"stall_mean\":{},\
+                 \"detailed_fraction\":{},\"detailed_instrs\":{},\
+                 \"warmed_instrs\":{},\"cpi_error\":{},\"within_ci\":{},\
+                 \"speedup\":{},\"host_secs\":{}}}",
+                r.period,
+                r.window,
+                r.estimate.windows,
+                r.estimate.cpi_mean,
+                r.estimate.cpi_ci95,
+                r.estimate.stall_mean,
+                r.estimate.detailed_fraction,
+                r.estimate.detailed_instrs,
+                r.estimate.warmed_instrs,
+                r.cpi_error,
+                r.within_ci,
+                r.speedup,
+                r.host_secs
+            )
+        })
+        .collect();
+    format!(
+        "{{\"config\":\"{}\",\"txns_per_cpu\":{},\"ref_cpi\":{},\
+         \"ref_committed\":{},\"host_secs_detailed\":{},\"rows\":[{}]}}\n",
+        rep.config,
+        rep.txns_per_cpu,
+        rep.ref_cpi,
+        rep.ref_committed,
+        rep.host_secs_detailed,
+        rows.join(",")
+    )
+}

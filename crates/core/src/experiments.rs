@@ -192,6 +192,56 @@ pub fn fig5(w: &Workload, scale: RunScale) -> Vec<Bar> {
     fig5_with(&mut h, w, scale)
 }
 
+/// **Figure 5 under sampling** (the `--sample=<period>/<window>` flag):
+/// each configuration runs once under SMARTS-style sampling instead of
+/// full detail, so rows carry a CPI / stall-fraction estimate with 95%
+/// confidence intervals rather than exact normalized figure numbers
+/// (golden fingerprints only apply with the flag absent).
+pub fn fig5_sampled(
+    w: &Workload,
+    scale: RunScale,
+    sample: &piranha_system::SampleConfig,
+) -> Vec<(String, piranha_system::SampleEstimate)> {
+    [
+        SystemConfig::piranha_p1(),
+        SystemConfig::ooo(),
+        SystemConfig::ino(),
+        SystemConfig::piranha_p8(),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        let name = cfg.name.clone();
+        let r = piranha_harness::run_config_sampled(cfg, w, scale, sample);
+        let est = r.sample.expect("sampled run carries an estimate");
+        (name, est)
+    })
+    .collect()
+}
+
+/// Render sampled-run rows ([`fig5_sampled`]) as a text table.
+pub fn render_sampled_bars(
+    title: &str,
+    rows: &[(String, piranha_system::SampleEstimate)],
+) -> String {
+    let mut out = format!(
+        "{title}\n{:<8} {:>8} {:>14} {:>14} {:>8}\n",
+        "Config", "Windows", "CPI±CI95", "Stall±CI95", "Detail%"
+    );
+    for (name, e) in rows {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>8.3}±{:.3} {:>8.3}±{:.3} {:>7.1}%\n",
+            name,
+            e.windows,
+            e.cpi_mean,
+            e.cpi_ci95,
+            e.stall_mean,
+            e.stall_ci,
+            e.detailed_fraction * 100.0,
+        ));
+    }
+    out
+}
+
 /// **Figure 6(a)**: OLTP speedup of an n-CPU Piranha chip over P1, for
 /// n in {1, 2, 4, 8}, plus the OOO point for reference, assembled from
 /// `h`'s cache. Returns `(name, speedup_vs_p1)` pairs.
@@ -475,6 +525,165 @@ pub fn render_fault_rows(title: &str, rows: &[FaultRow]) -> String {
             r.availability.mttr_cycles(),
             r.committed,
             r.slowdown,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Statistical sampling (SMARTS-style): the fig_sample sweep.
+// ---------------------------------------------------------------------
+
+/// The `(period, window)` pairs `fig_sample` sweeps, in instructions
+/// per CPU: denser and sparser detailed-window schedules around the
+/// ~10% detailed share SMARTS-style sampling targets. The pairs are
+/// sized to the workload (`quick` streams are ~82k instructions per
+/// CPU, full ones ~825k) so the windows span the whole stream rather
+/// than clustering in its prologue.
+pub fn sample_specs(quick: bool) -> [(u64, u64); 3] {
+    if quick {
+        [(2_500, 400), (4_000, 400), (8_000, 400)]
+    } else {
+        [(12_500, 1_000), (25_000, 1_000), (50_000, 1_000)]
+    }
+}
+
+/// Aggregate CPI of a detailed run: wall cycles × CPUs over total
+/// instructions — the same cycles-over-instructions quantity a sampled
+/// run estimates per window.
+pub fn aggregate_cpi(r: &RunResult) -> f64 {
+    let cycles = r.clock.cycles(r.window) as f64 * r.cpus.len() as f64;
+    cycles / r.total_instrs().max(1) as f64
+}
+
+/// One row of the sampling-period sweep.
+#[derive(Debug, Clone)]
+pub struct SampleRow {
+    /// Sampling period (instructions per CPU between window starts).
+    pub period: u64,
+    /// Detailed-window length (instructions per CPU).
+    pub window: u64,
+    /// The sampled run's estimate.
+    pub estimate: piranha_system::SampleEstimate,
+    /// Relative CPI error versus the detailed reference.
+    pub cpi_error: f64,
+    /// Whether the reference CPI falls inside the estimate's 95% CI.
+    pub within_ci: bool,
+    /// Host wall-clock speedup of the sampled run over full detail.
+    pub speedup: f64,
+    /// Host seconds the sampled run took.
+    pub host_secs: f64,
+}
+
+/// The `fig_sample` sweep: the detailed reference plus one row per
+/// sampling schedule.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// Configuration name.
+    pub config: String,
+    /// Transactions per CPU of the bounded OLTP workload.
+    pub txns_per_cpu: u64,
+    /// Aggregate CPI of the full-detail reference run.
+    pub ref_cpi: f64,
+    /// Transactions the reference committed.
+    pub ref_committed: u64,
+    /// Host seconds of the full-detail reference run.
+    pub host_secs_detailed: f64,
+    /// One row per sampling schedule.
+    pub rows: Vec<SampleRow>,
+}
+
+/// **Sampling validation**: run a bounded OLTP workload to completion
+/// on P8 in full detail, then once per [`sample_specs`] schedule under
+/// SMARTS-style sampling, and report CPI error, CI coverage, and
+/// wall-clock speedup. `quick` shrinks the workload to CI scale.
+///
+/// # Panics
+///
+/// Panics if a sampled run commits different work than the detailed
+/// reference — functional warming executes the same instruction
+/// streams, so completed work must match exactly.
+pub fn fig_sample(quick: bool) -> SampleReport {
+    let cfg = SystemConfig::piranha_p8();
+    let txns = if quick { 200 } else { 2_000 };
+    let w = oltp_bounded(txns);
+    let scale = RunScale::completion();
+
+    let t0 = std::time::Instant::now();
+    let detailed = run_config(cfg.clone(), &w, scale);
+    let host_secs_detailed = t0.elapsed().as_secs_f64();
+    let ref_cpi = aggregate_cpi(&detailed);
+    let ref_committed = detailed
+        .committed_txns
+        .expect("bounded workload reports work");
+
+    let rows = sample_specs(quick)
+        .iter()
+        .map(|&(period, window)| {
+            let sample = piranha_system::SampleConfig::new(period, window);
+            let t = std::time::Instant::now();
+            let r = piranha_harness::run_config_sampled(cfg.clone(), &w, scale, &sample);
+            let host_secs = t.elapsed().as_secs_f64();
+            let est = r.sample.clone().expect("sampled run carries an estimate");
+            assert_eq!(
+                r.committed_txns,
+                Some(ref_committed),
+                "functional warming must complete the same work"
+            );
+            SampleRow {
+                period,
+                window,
+                cpi_error: (est.cpi_mean - ref_cpi).abs() / ref_cpi,
+                within_ci: est.covers_cpi(ref_cpi),
+                speedup: host_secs_detailed / host_secs.max(1e-9),
+                host_secs,
+                estimate: est,
+            }
+        })
+        .collect();
+
+    SampleReport {
+        config: cfg.name,
+        txns_per_cpu: txns,
+        ref_cpi,
+        ref_committed,
+        host_secs_detailed,
+        rows,
+    }
+}
+
+/// Render the sampling sweep as a text table.
+pub fn render_sample_report(rep: &SampleReport) -> String {
+    let mut out = format!(
+        "Sampling vs full detail — {} (bounded OLTP, {} txns/CPU, run to completion)\n\
+         reference CPI {:.4} ({} txns committed, {:.2}s host)\n\
+         {:<16} {:>8} {:>12} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+        rep.config,
+        rep.txns_per_cpu,
+        rep.ref_cpi,
+        rep.ref_committed,
+        rep.host_secs_detailed,
+        "Period/Window",
+        "Windows",
+        "CPI±CI95",
+        "Err%",
+        "InCI",
+        "Detail%",
+        "Speedup",
+        "Host(s)"
+    );
+    for r in &rep.rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>5.3}±{:.3} {:>7.2}% {:>9} {:>8.1}% {:>8.2}x {:>9.2}\n",
+            format!("{}/{}", r.period, r.window),
+            r.estimate.windows,
+            r.estimate.cpi_mean,
+            r.estimate.cpi_ci95,
+            r.cpi_error * 100.0,
+            if r.within_ci { "yes" } else { "NO" },
+            r.estimate.detailed_fraction * 100.0,
+            r.speedup,
+            r.host_secs,
         ));
     }
     out

@@ -43,7 +43,8 @@
 
 pub use piranha_system::{
     AvailabilityReport, CoreKind, CpuBreakdown, FaultConfig, FaultKind, Machine, ParsimStats,
-    PathLatencies, Probe, ProbeConfig, RunResult, SystemConfig, TraceLevel,
+    PathLatencies, Probe, ProbeConfig, RunResult, SampleConfig, SampleEstimate, SystemConfig,
+    TraceLevel,
 };
 
 /// Shared architectural types (re-export of `piranha-types`).

@@ -162,6 +162,59 @@ impl ParallelCli {
     }
 }
 
+/// The sampled-execution flag of a figure binary:
+///
+/// - `--sample=<period>/<window>` — run under SMARTS-style statistical
+///   sampling: functionally fast-forward (caches, TLBs, directories,
+///   and memory stay warm; no detailed timing) between detailed
+///   measurement windows of `window` instructions taken every `period`
+///   instructions per CPU. The result carries a
+///   [`piranha_system::SampleEstimate`] (CPI mean ± 95% CI) instead of
+///   exact figure numbers; golden fingerprints only apply with the
+///   flag absent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleCli {
+    /// The parsed `(period, window)` pair, if the flag was given and
+    /// well-formed.
+    pub spec: Option<(u64, u64)>,
+}
+
+impl SampleCli {
+    /// Parse `--sample=` out of the process arguments.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse the flag from an explicit argument list; unrelated
+    /// arguments are ignored, as is a malformed spec (zero values,
+    /// window ≥ period, missing `/`).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = SampleCli::default();
+        for a in args {
+            if let Some(v) = a.strip_prefix("--sample=") {
+                cli.spec = v.trim().split_once('/').and_then(|(p, w)| {
+                    let period = p.trim().parse::<u64>().ok()?;
+                    let window = w.trim().parse::<u64>().ok()?;
+                    (window >= 1 && period > window).then_some((period, window))
+                });
+            }
+        }
+        cli
+    }
+
+    /// Whether sampled execution was requested.
+    pub fn active(&self) -> bool {
+        self.spec.is_some()
+    }
+
+    /// Resolve the flag into a [`piranha_system::SampleConfig`], if
+    /// given.
+    pub fn sample_config(&self) -> Option<piranha_system::SampleConfig> {
+        self.spec
+            .map(|(period, window)| piranha_system::SampleConfig::new(period, window))
+    }
+}
+
 /// The configuration the probed exemplar run simulates: a two-chip
 /// machine of 4-CPU Piranha chips, so protocol-engine and interconnect
 /// activity shows up in the trace alongside cpu/cache/mem spans.
@@ -263,6 +316,25 @@ mod tests {
             ParallelCli::parse(args(&["--parallel=bogus"])).workers,
             None
         );
+    }
+
+    #[test]
+    fn sample_flag_parses_and_rejects_nonsense() {
+        assert_eq!(SampleCli::parse(args(&["--quick"])).spec, None);
+        let ok = SampleCli::parse(args(&["--sample=10000/1000", "--quick"]));
+        assert_eq!(ok.spec, Some((10_000, 1_000)));
+        assert!(ok.active());
+        let cfg = ok.sample_config().unwrap();
+        assert_eq!((cfg.period, cfg.window), (10_000, 1_000));
+        // Malformed specs are ignored, not half-parsed.
+        assert_eq!(SampleCli::parse(args(&["--sample=1000"])).spec, None);
+        assert_eq!(SampleCli::parse(args(&["--sample=0/0"])).spec, None);
+        assert_eq!(
+            SampleCli::parse(args(&["--sample=500/1000"])).spec,
+            None,
+            "window must be smaller than the period"
+        );
+        assert_eq!(SampleCli::parse(args(&["--sample=a/b"])).spec, None);
     }
 
     #[test]

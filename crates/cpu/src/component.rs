@@ -21,6 +21,14 @@ pub enum CpuEvent {
         /// Node-local CPU index.
         cpu: usize,
     },
+    /// Like `Step`, but through the core's functional-warming path
+    /// ([`CoreModel::warm_advance`]): architectural state evolves,
+    /// timing is fixed at one cycle per instruction. Only the sampled
+    /// execution driver sends this.
+    WarmStep {
+        /// Node-local CPU index.
+        cpu: usize,
+    },
     /// Deliver the completion of outstanding request `id`.
     Fill {
         /// Node-local CPU index.
@@ -168,8 +176,9 @@ impl Component for CpuCluster {
         ctx: CpuCtx<'_>,
         out: &mut Port<CpuAction>,
     ) {
+        let warm = matches!(event, CpuEvent::WarmStep { .. });
         match event {
-            CpuEvent::Step { cpu } => {
+            CpuEvent::Step { cpu } | CpuEvent::WarmStep { cpu } => {
                 if self.done[cpu] || !ctx.enabled {
                     return;
                 }
@@ -182,12 +191,21 @@ impl Component for CpuCluster {
                     versions: ctx.versions,
                     version_stride: ctx.version_stride,
                 };
-                let status = self.cores[cpu].advance(
-                    self.streams[cpu].as_mut(),
-                    &mut core_ctx,
-                    self.quantum,
-                    &mut reqs,
-                );
+                let status = if warm {
+                    self.cores[cpu].warm_advance(
+                        self.streams[cpu].as_mut(),
+                        &mut core_ctx,
+                        self.quantum,
+                        &mut reqs,
+                    )
+                } else {
+                    self.cores[cpu].advance(
+                        self.streams[cpu].as_mut(),
+                        &mut core_ctx,
+                        self.quantum,
+                        &mut reqs,
+                    )
+                };
                 for (at_cycle, req) in reqs.drain(..) {
                     out.emit(now, CpuAction::Issue { cpu, at_cycle, req });
                 }

@@ -155,10 +155,14 @@ impl InOrderCore {
     fn sb_holds(&self, line: LineAddr) -> bool {
         self.sb.iter().any(|e| e.line == line)
     }
-}
 
-impl CoreModel for InOrderCore {
-    fn advance(
+    /// Shared detailed/functional execution loop. `WARM` compiles the
+    /// timing model out: every retired instruction costs exactly one
+    /// cycle, and mispredict / TLB-miss / idle charges vanish, while
+    /// the architectural side effects (L1 accesses, TLB and BTB
+    /// updates, store-buffer state, version allocation, miss issue)
+    /// stay byte-for-byte the code of the detailed path.
+    fn advance_impl<const WARM: bool>(
         &mut self,
         stream: &mut dyn InstrStream,
         ctx: &mut CoreCtx<'_>,
@@ -196,7 +200,7 @@ impl CoreModel for InOrderCore {
             // Instruction fetch: one iL1 lookup per line transition.
             let iline = op.pc.line();
             if self.last_ifetch_line != Some(iline) {
-                if !self.itlb.access(op.pc) {
+                if !self.itlb.access(op.pc) && !WARM {
                     self.cycle += self.itlb.miss_penalty();
                     self.stats.tlb_miss_cycles += self.itlb.miss_penalty();
                 }
@@ -230,20 +234,20 @@ impl CoreModel for InOrderCore {
                     self.cycle += 1;
                 }
                 OpKind::Idle { cycles } => {
-                    self.cycle += cycles as u64;
+                    self.cycle += if WARM { 1 } else { cycles as u64 };
                 }
                 OpKind::Branch { taken, mispredict } => {
                     self.cycle += 1;
                     let mp =
                         mispredict.unwrap_or_else(|| self.btb.predict_and_update(op.pc, taken));
-                    if mp {
+                    if mp && !WARM {
                         self.cycle += self.cfg.mispredict_penalty;
                         self.stats.branch_penalty_cycles += self.cfg.mispredict_penalty;
                     }
                 }
                 OpKind::Load { addr, .. } => {
                     let line = addr.line();
-                    if !self.dtlb.access(addr) {
+                    if !self.dtlb.access(addr) && !WARM {
                         self.cycle += self.dtlb.miss_penalty();
                         self.stats.tlb_miss_cycles += self.dtlb.miss_penalty();
                     }
@@ -274,7 +278,7 @@ impl CoreModel for InOrderCore {
                 }
                 OpKind::Store { addr } | OpKind::WriteHint { addr } => {
                     let line = addr.line();
-                    if !self.dtlb.access(addr) {
+                    if !self.dtlb.access(addr) && !WARM {
                         self.cycle += self.dtlb.miss_penalty();
                         self.stats.tlb_miss_cycles += self.dtlb.miss_penalty();
                     }
@@ -325,6 +329,28 @@ impl CoreModel for InOrderCore {
             left -= 1;
         }
     }
+}
+
+impl CoreModel for InOrderCore {
+    fn advance(
+        &mut self,
+        stream: &mut dyn InstrStream,
+        ctx: &mut CoreCtx<'_>,
+        budget: u64,
+        reqs: &mut Vec<(u64, MemReq)>,
+    ) -> CoreStatus {
+        self.advance_impl::<false>(stream, ctx, budget, reqs)
+    }
+
+    fn warm_advance(
+        &mut self,
+        stream: &mut dyn InstrStream,
+        ctx: &mut CoreCtx<'_>,
+        budget: u64,
+        reqs: &mut Vec<(u64, MemReq)>,
+    ) -> CoreStatus {
+        self.advance_impl::<true>(stream, ctx, budget, reqs)
+    }
 
     fn fill(&mut self, id: u64, at_cycle: u64, source: FillSource) {
         if let Blocked::Mem { id: bid, since } = self.blocked {
@@ -370,6 +396,10 @@ impl CoreModel for InOrderCore {
 
     fn tlb_misses(&self) -> u64 {
         self.itlb.misses() + self.dtlb.misses()
+    }
+
+    fn tlb_residency(&self) -> (Vec<u64>, Vec<u64>) {
+        (self.itlb.resident_pages(), self.dtlb.resident_pages())
     }
 
     fn has_outstanding(&self) -> bool {

@@ -104,6 +104,25 @@ pub trait CoreModel: Send {
         reqs: &mut Vec<(u64, MemReq)>,
     ) -> CoreStatus;
 
+    /// Advance in functional-warming mode: retire instructions at a
+    /// fixed one-per-cycle rate while touching every piece of
+    /// *architectural* state the detailed model would touch — L1 tags,
+    /// TLB entries, BTB entries, store-buffer contents, store versions
+    /// — but charging none of the timing (no mispredict penalties, no
+    /// TLB-miss stalls, no idle time). The default simply runs the
+    /// detailed [`CoreModel::advance`], which is always correct (the
+    /// sampling machinery treats timing during warming as meaningless)
+    /// — cores override it when a cheaper functional path exists.
+    fn warm_advance(
+        &mut self,
+        stream: &mut dyn InstrStream,
+        ctx: &mut CoreCtx<'_>,
+        budget: u64,
+        reqs: &mut Vec<(u64, MemReq)>,
+    ) -> CoreStatus {
+        self.advance(stream, ctx, budget, reqs)
+    }
+
     /// Deliver the fill for request `id` at local cycle `at_cycle` (the
     /// line is already installed in the L1 by the L2 bank).
     fn fill(&mut self, id: u64, at_cycle: u64, source: FillSource);
@@ -117,6 +136,13 @@ pub trait CoreModel: Send {
     /// Total TLB misses (instruction + data), read from the TLBs
     /// themselves — the authoritative count.
     fn tlb_misses(&self) -> u64;
+
+    /// The resident page numbers of the instruction and data TLBs,
+    /// each sorted — TLB occupancy for warming-fidelity checks. Cores
+    /// without TLBs report empty.
+    fn tlb_residency(&self) -> (Vec<u64>, Vec<u64>) {
+        (Vec::new(), Vec::new())
+    }
 
     /// Whether the core has outstanding memory requests.
     fn has_outstanding(&self) -> bool;

@@ -560,6 +560,10 @@ impl CoreModel for OooCore {
         self.itlb.misses() + self.dtlb.misses()
     }
 
+    fn tlb_residency(&self) -> (Vec<u64>, Vec<u64>) {
+        (self.itlb.resident_pages(), self.dtlb.resident_pages())
+    }
+
     fn has_outstanding(&self) -> bool {
         self.loads_outstanding > 0 || self.stores_outstanding > 0
     }

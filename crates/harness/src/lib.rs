@@ -95,6 +95,17 @@ impl RunScale {
             to_completion: true,
         }
     }
+
+    /// Huge runs, a tier beyond [`RunScale::full`] — affordable only
+    /// under sampled execution ([`run_config_sampled`]), where the
+    /// detailed model covers a small fraction of the instructions.
+    pub fn huge() -> Self {
+        RunScale {
+            warmup: 2_000_000,
+            measure: 8_000_000,
+            to_completion: false,
+        }
+    }
 }
 
 /// Drive a built machine for `scale`: either a warmup+measure window or
@@ -187,6 +198,32 @@ pub fn run_config_probed(
     m.set_probe(probe.clone());
     let r = drive(&mut m, scale);
     (r, probe)
+}
+
+/// Like [`run_config`], but under SMARTS-style sampled execution: the
+/// machine functionally fast-forwards between detailed measurement
+/// windows per `sample`, and the returned result carries a
+/// [`piranha_system::SampleEstimate`] in `RunResult::sample`.
+///
+/// The scale maps as in [`run_config`]: `to_completion` runs every
+/// stream to its end (sampling handles `scale.warmup` implicitly via
+/// `sample.warmup`, so only the budget is taken from the scale);
+/// otherwise the run is bounded at `warmup + measure` instructions per
+/// CPU.
+pub fn run_config_sampled(
+    cfg: SystemConfig,
+    w: &Workload,
+    scale: RunScale,
+    sample: &piranha_system::SampleConfig,
+) -> RunResult {
+    let mut m = Machine::new(cfg, w);
+    m.set_parallel_workers(node_workers());
+    let budget = if scale.to_completion {
+        None
+    } else {
+        Some(scale.warmup + scale.measure)
+    };
+    m.run_sampled(sample, budget)
 }
 
 /// One simulation a figure needs.
@@ -519,6 +556,31 @@ mod tests {
         assert_eq!(serial.fingerprint(), threaded.fingerprint());
         assert_eq!(serial.window, threaded.window);
         assert_eq!(serial.total_instrs(), threaded.total_instrs());
+    }
+
+    #[test]
+    fn sampled_run_carries_estimate_and_respects_budget() {
+        let sample = piranha_system::SampleConfig {
+            warmup: 1_000,
+            period: 5_000,
+            detail_warmup: 100,
+            window: 500,
+            min_windows: 3,
+            max_windows: 8,
+            target_rel_ci: None,
+        };
+        let scale = RunScale {
+            warmup: 5_000,
+            measure: 20_000,
+            to_completion: false,
+        };
+        let r = run_config_sampled(tiny_cfg("S", 2), &synth(), scale, &sample);
+        let est = r.sample.as_ref().expect("sampled run carries estimate");
+        assert!(est.windows >= 3);
+        assert!(est.cpi_mean > 0.0);
+        // The budget is per-CPU: warming plus detailed windows must
+        // together cover scale.warmup + scale.measure on both CPUs.
+        assert!(est.detailed_instrs + est.warmed_instrs >= 2 * 25_000);
     }
 
     #[test]

@@ -167,6 +167,36 @@ impl Histogram {
         self.max_ns
     }
 
+    /// Fold another histogram into this one, bucket by bucket, so
+    /// per-window histograms combine into a whole-run estimate without
+    /// rescanning the samples. The sum saturates like
+    /// [`Histogram::record`], and every derived quantity (count, mean,
+    /// max, quantiles) afterwards reflects the union of both sample
+    /// sets.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use piranha_kernel::Histogram;
+    /// use piranha_types::Duration;
+    /// let mut a = Histogram::new();
+    /// a.record(Duration::from_ns(10));
+    /// let mut b = Histogram::new();
+    /// b.record(Duration::from_ns(30));
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert!((a.mean_ns() - 20.0).abs() < 1e-9);
+    /// ```
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Median sample (bucket-resolved), nanoseconds.
     pub fn p50_ns(&self) -> u64 {
         self.percentile_ns(50.0)
@@ -303,6 +333,61 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.max_ns(), big);
         assert_eq!(h.percentile_ns(99.0), (1u64 << 39).min(big));
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_quantiles() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for ns in 1..=500u64 {
+            a.record(Duration::from_ns(ns));
+            whole.record(Duration::from_ns(ns));
+        }
+        for ns in 501..=1000u64 {
+            b.record(Duration::from_ns(ns));
+            whole.record(Duration::from_ns(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum_ns(), whole.sum_ns());
+        assert_eq!(a.max_ns(), whole.max_ns());
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                a.percentile_ns(p),
+                whole.percentile_ns(p),
+                "p{p} of merged vs whole"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        for ns in [10u64, 20, 30] {
+            a.record(Duration::from_ns(ns));
+        }
+        let before = (a.count(), a.sum_ns(), a.max_ns(), a.p50_ns());
+        a.merge(&Histogram::new());
+        assert_eq!(before, (a.count(), a.sum_ns(), a.max_ns(), a.p50_ns()));
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.count(), a.count());
+        assert_eq!(e.mean_ns(), a.mean_ns());
+    }
+
+    #[test]
+    fn merge_saturates_like_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let big = 1u64 << 50;
+        for _ in 0..10_000 {
+            a.record(Duration::from_ns(big));
+            b.record(Duration::from_ns(big));
+        }
+        a.merge(&b);
+        assert_eq!(a.sum_ns(), u64::MAX, "merged sum saturates");
+        assert_eq!(a.count(), 20_000);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! write, each of which also touches the directory bits (they live in the
 //! same ECC words).
 
-use std::collections::HashMap;
+use piranha_types::FastMap;
 
 use piranha_types::{LineAddr, SimTime};
 
@@ -43,8 +43,8 @@ pub struct MemBankConfig {
 #[derive(Debug)]
 pub struct MemBank {
     rdram: Rdram,
-    versions: HashMap<LineAddr, u64>,
-    directory: HashMap<LineAddr, DirEntry>,
+    versions: FastMap<LineAddr, u64>,
+    directory: FastMap<LineAddr, DirEntry>,
 }
 
 impl MemBank {
@@ -52,8 +52,8 @@ impl MemBank {
     pub fn new(cfg: MemBankConfig) -> Self {
         MemBank {
             rdram: Rdram::new(cfg.rdram),
-            versions: HashMap::new(),
-            directory: HashMap::new(),
+            versions: FastMap::default(),
+            directory: FastMap::default(),
         }
     }
 
@@ -100,6 +100,27 @@ impl MemBank {
         self.versions.insert(line, version);
         self.directory.insert(line, dir);
         acc
+    }
+
+    /// Every line with a non-default version, sorted — the bank's data
+    /// state for warming-fidelity checks.
+    pub fn written_lines(&self) -> Vec<(LineAddr, u64)> {
+        let mut rows: Vec<(LineAddr, u64)> = self.versions.iter().map(|(l, v)| (*l, *v)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Every line with a directory entry, sorted, with the entry in its
+    /// ECC-word encoding — the directory's occupancy for
+    /// warming-fidelity checks.
+    pub fn directory_lines(&self) -> Vec<(LineAddr, u64)> {
+        let mut rows: Vec<(LineAddr, u64)> = self
+            .directory
+            .iter()
+            .map(|(l, d)| (*l, d.encode()))
+            .collect();
+        rows.sort_unstable();
+        rows
     }
 
     /// Peek the directory without timing (for protocol-engine state

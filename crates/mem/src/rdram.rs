@@ -1,6 +1,6 @@
 //! Direct Rambus DRAM channel timing with open-page tracking (paper §2.4).
 
-use std::collections::HashMap;
+use piranha_types::FastMap;
 
 use piranha_kernel::{MultiServer, Pipe, Ratio};
 use piranha_types::{Addr, Duration, LineAddr, SimTime};
@@ -100,7 +100,7 @@ pub struct MemAccess {
 #[derive(Debug)]
 pub struct Rdram {
     cfg: RdramConfig,
-    open_pages: HashMap<u64, SimTime>, // page -> last access time
+    open_pages: FastMap<u64, SimTime>, // page -> last access time
     channel: Pipe,
     bank_busy: MultiServer,
     page_hits: Ratio,
@@ -111,7 +111,7 @@ impl Rdram {
     pub fn new(cfg: RdramConfig) -> Self {
         Rdram {
             cfg,
-            open_pages: HashMap::new(),
+            open_pages: FastMap::default(),
             channel: Pipe::from_gb_per_s(cfg.channel_gb_s),
             bank_busy: MultiServer::new(cfg.device_banks),
             page_hits: Ratio::new(),
@@ -137,7 +137,7 @@ impl Rdram {
             self.open_pages.retain(|_, last| now.since(*last) <= hold);
             if self.open_pages.len() >= self.cfg.max_open_pages {
                 // Close the least recently used page.
-                if let Some((&lru, _)) = self.open_pages.iter().min_by_key(|(_, t)| **t) {
+                if let Some((&lru, _)) = self.open_pages.iter().min_by_key(|(&p, &t)| (t, p)) {
                     self.open_pages.remove(&lru);
                 }
             }

@@ -141,6 +141,19 @@ impl HistogramCore {
         self.max
     }
 
+    /// Fold `other`'s samples into this histogram: bucket-wise sum, so
+    /// the merge of two histograms reports exactly what one histogram
+    /// fed both sample streams would have. Per-window and per-lane
+    /// distributions aggregate into run totals this way.
+    pub fn merge(&mut self, other: &HistogramCore) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Approximate percentile (0..=100), resolved to bucket upper bounds
     /// and clamped to the observed maximum; 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -486,6 +499,48 @@ mod tests {
         assert_eq!(snap.get("lat.max"), Some(&MetricValue::Count(100)));
         let p99 = snap.get("lat.p99").unwrap().as_count().unwrap();
         assert!(p99 <= 100, "percentile clamped to max: {p99}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let reg = MetricRegistry::new();
+        let a = reg.register_histogram("a");
+        let b = reg.register_histogram("b");
+        let both = reg.register_histogram("both");
+        for v in [1u64, 7, 130] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 9, 4096] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.core();
+        merged.merge(&b.core());
+        let reference = both.core();
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.max(), reference.max());
+        assert!((merged.mean() - reference.mean()).abs() < 1e-12);
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(merged.percentile(p), reference.percentile(p));
+        }
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let reg = MetricRegistry::new();
+        let h = reg.register_histogram("h");
+        for v in [3u64, 5, 8] {
+            h.record(v);
+        }
+        let mut merged = h.core();
+        merged.merge(&HistogramCore::default());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.max(), 8);
+        let mut empty = HistogramCore::default();
+        empty.merge(&h.core());
+        assert_eq!(empty.count(), 3);
+        assert!((empty.mean() - h.core().mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -245,6 +245,9 @@ impl NodeLane {
     fn cpu_event(&mut self, sh: &LaneShared<'_>, t: SimTime, ev: CpuEvent) {
         let (cpu, is_step) = match ev {
             CpuEvent::Step { cpu } => (cpu, true),
+            // Warm steps are synchronous-only: the sampled-execution
+            // driver resolves them outside the calendar.
+            CpuEvent::WarmStep { .. } => unreachable!("WarmStep on the detailed calendar"),
             CpuEvent::Fill { cpu, id, .. } => {
                 self.probe.instant(
                     TraceLevel::Verbose,

@@ -28,6 +28,7 @@ pub(crate) mod node;
 pub mod report;
 pub mod result;
 pub mod sysctl;
+pub(crate) mod warm;
 pub(crate) mod wiring;
 
 #[cfg(test)]
@@ -37,6 +38,8 @@ pub use config::{CoreKind, PathLatencies, SystemConfig};
 pub use machine::{Machine, ParsimStats};
 pub use piranha_faults::{AvailabilityReport, FaultConfig, FaultKind};
 pub use piranha_probe::{Probe, ProbeConfig, TraceLevel};
+pub use piranha_sample::{Estimator, SampleConfig, SampleEstimate};
 pub use report::{MachineReport, NodeReport};
 pub use result::{CpuBreakdown, RunResult};
 pub use sysctl::{CtrlPacket, CtrlReply, SystemController};
+pub use warm::SampleTally;

@@ -109,6 +109,10 @@ pub struct Machine {
     pub(crate) lookahead: Lookahead,
     /// Cumulative parallel-engine counters (see [`ParsimStats`]).
     pub(crate) parsim: ParsimStats,
+    /// Cumulative sampled-execution counters (see
+    /// [`SampleTally`](crate::warm::SampleTally)); all-zero unless
+    /// [`Machine::run_sampled`] ran.
+    pub(crate) tally: crate::warm::SampleTally,
     /// Worker threads for the multi-chip engine (1 = in-line, still
     /// quantum-stepped). Not part of `SystemConfig`: the thread count
     /// must never affect results, cache keys, or fingerprints.
@@ -300,7 +304,7 @@ impl Machine {
     /// result, audit RAS mirror consistency, and snapshot metrics (the
     /// metrics stay outside the fingerprint; availability and committed
     /// work are folded in).
-    fn finish_result(&mut self, r: &mut RunResult) {
+    pub(crate) fn finish_result(&mut self, r: &mut RunResult) {
         r.availability = self.availability();
         assert!(
             r.availability.is_consistent(),

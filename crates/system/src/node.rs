@@ -9,7 +9,8 @@
 //! lives in a subsystem crate's [`Component`](piranha_kernel::Component)
 //! adapter; the dispatch layer routes events between them.
 
-use std::collections::{HashMap, VecDeque};
+use piranha_types::FastMap;
+use std::collections::VecDeque;
 
 use piranha_cache::{BankAction, CacheComplex, L1Set, L2Bank, Slot};
 use piranha_cpu::{CoreModel, CpuAction, CpuCluster, InOrderCore, InstrStream, OooCore};
@@ -141,7 +142,7 @@ pub(crate) struct NodeLane {
     /// the lane count.
     pub(crate) version_stride: u64,
     /// Outstanding CPU requests of this node: (slot, line) → request id.
-    pub(crate) outstanding: HashMap<(Slot, LineAddr), u64>,
+    pub(crate) outstanding: FastMap<(Slot, LineAddr), u64>,
     /// Instructions retired by this node's CPUs, tracked incrementally.
     pub(crate) instrs_retired: u64,
     /// This node's CPUs that are enabled and not yet done.
@@ -167,7 +168,7 @@ impl NodeLane {
             probe: Probe::disabled(),
             versions: index as u64,
             version_stride: lanes as u64,
-            outstanding: HashMap::new(),
+            outstanding: FastMap::default(),
             instrs_retired: 0,
             unfinished: 0,
             work: VecDeque::new(),

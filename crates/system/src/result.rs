@@ -4,6 +4,7 @@
 use piranha_cpu::CoreStats;
 use piranha_faults::AvailabilityReport;
 use piranha_probe::{MetricsSnapshot, StallTable};
+use piranha_sample::SampleEstimate;
 use piranha_types::time::Clock;
 use piranha_types::Duration;
 
@@ -46,6 +47,12 @@ pub struct RunResult {
     /// completion); `None` for fixed-instruction-window runs. Part of
     /// the fingerprint.
     pub committed_txns: Option<u64>,
+    /// The statistical estimate of a sampled run
+    /// (`Machine::run_sampled`); `None` for full-detail runs.
+    /// Deliberately excluded from [`RunResult::fingerprint`]: an
+    /// estimate carries measurement error by construction, and the
+    /// golden fingerprints certify the exact detailed model only.
+    pub sample: Option<SampleEstimate>,
 }
 
 impl RunResult {
@@ -60,6 +67,7 @@ impl RunResult {
             metrics: MetricsSnapshot::default(),
             availability: AvailabilityReport::default(),
             committed_txns: None,
+            sample: None,
         }
     }
 
@@ -271,6 +279,27 @@ mod tests {
         );
         let c = mk("x", 1001, 2_000);
         assert_ne!(a.fingerprint(), c.fingerprint(), "simulated change shows");
+    }
+
+    #[test]
+    fn fingerprint_ignores_sample_estimate() {
+        let a = mk("x", 1000, 2_000);
+        let mut b = mk("x", 1000, 2_000);
+        b.sample = Some(piranha_sample::SampleEstimate {
+            cpi_mean: 2.0,
+            cpi_ci95: 0.1,
+            stall_mean: 0.3,
+            stall_ci: 0.02,
+            windows: 8,
+            detailed_fraction: 0.1,
+            detailed_instrs: 1000,
+            warmed_instrs: 9000,
+        });
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "a sampling estimate must not affect the simulated fingerprint"
+        );
     }
 
     #[test]

@@ -172,3 +172,87 @@ fn sc_stops_and_restarts_cores() {
     assert!(m.cpu_stats()[1].instrs > after, "restarted CPU resumes");
     assert!(m.system_controller(0).packets_handled() > 0);
 }
+
+/// A sampled single-chip run: the machine alternates regimes, reaches
+/// the budget, and reports an estimate with the detailed share small.
+#[test]
+fn sampled_run_single_chip_smoke() {
+    let mut cfg = SystemConfig::piranha_p8();
+    cfg.cpu_quantum = 500;
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+    let sample = piranha_sample::SampleConfig {
+        warmup: 2_000,
+        period: 10_000,
+        detail_warmup: 200,
+        window: 1_000,
+        min_windows: 4,
+        max_windows: 16,
+        target_rel_ci: None,
+    };
+    let r = m.run_sampled(&sample, Some(60_000));
+    let est = r.sample.as_ref().expect("sampled run carries an estimate");
+    // Fixed mode samples every period across the whole budget: 2k
+    // warmup, then one window per 10k-instruction period within the
+    // 60k-per-CPU budget.
+    assert_eq!(est.windows, 6);
+    assert!(est.cpi_mean > 0.5, "CPI estimate sane: {}", est.cpi_mean);
+    assert!(
+        est.detailed_fraction < 0.25,
+        "detailed share stays small: {}",
+        est.detailed_fraction
+    );
+    assert!(m.total_instrs() >= 8 * 60_000);
+    let tally = m.sample_tally();
+    assert_eq!(tally.windows, 6);
+    // In-order cores warm at exactly one cycle per instruction, so the
+    // warming-cycle tally equals the warmed instruction count.
+    assert_eq!(tally.warming_cycles, est.warmed_instrs);
+    assert!(tally.detailed_cycles > 0);
+    m.check_coherence();
+}
+
+/// Multi-chip sampled run keeps coherence across the regime switches
+/// and sees remote traffic during both regimes.
+#[test]
+fn sampled_run_multichip_smoke() {
+    let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+    cfg.cpu_quantum = 500;
+    let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+    let sample = piranha_sample::SampleConfig {
+        warmup: 1_000,
+        period: 5_000,
+        detail_warmup: 100,
+        window: 500,
+        min_windows: 3,
+        max_windows: 8,
+        target_rel_ci: None,
+    };
+    let r = m.run_sampled(&sample, Some(25_000));
+    let est = r.sample.as_ref().unwrap();
+    assert!(est.windows >= 3);
+    let merged = r.merged();
+    assert!(
+        merged.fills[3] + merged.fills[4] > 0,
+        "measured windows see remote fills"
+    );
+    m.check_coherence();
+}
+
+/// Two sampled runs with the same seed are bit-identical, estimate
+/// included.
+#[test]
+fn sampled_run_is_deterministic() {
+    let run = || {
+        let mut cfg = SystemConfig::piranha_pn(2);
+        cfg.cpu_quantum = 500;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let sample = piranha_sample::SampleConfig::new(10_000, 1_000);
+        let r = m.run_sampled(&sample, Some(100_000));
+        (
+            r.sample.as_ref().unwrap().digest(),
+            r.fingerprint(),
+            m.now(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -135,6 +135,7 @@ impl Machine {
             net_port: Port::new(),
             lookahead,
             parsim: crate::machine::ParsimStats::default(),
+            tally: crate::warm::SampleTally::default(),
             workers: 1,
             clock: SimTime::ZERO,
         }
@@ -203,6 +204,10 @@ impl Machine {
         p.publish_counter("parsim.empty_windows", ps.empty_windows);
         p.publish_counter("parsim.merged_events", ps.merged_events);
         p.publish_counter("parsim.events", ps.events);
+        let st = self.sample_tally();
+        p.publish_counter("sample.windows", st.windows);
+        p.publish_counter("sample.detailed_cycles", st.detailed_cycles);
+        p.publish_counter("sample.warming_cycles", st.warming_cycles);
         let av = self.availability();
         p.publish_counter("faults.injected", av.injected);
         p.publish_counter("faults.corrected", av.corrected);

@@ -20,9 +20,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fastmap;
 pub mod ids;
 pub mod time;
 
+pub use fastmap::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use ids::{BankId, CacheKind, ChipCpuId, CpuId, NodeId};
 pub use time::{Duration, SimTime};
 
