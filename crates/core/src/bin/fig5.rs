@@ -12,9 +12,12 @@
 //! `--metrics=<path>` (flat metric dump),
 //! `--sample=<period>/<window>` (run every configuration under
 //! SMARTS-style statistical sampling and print CPI / stall estimates
-//! with 95% confidence intervals instead of the normalized figures).
+//! with 95% confidence intervals instead of the normalized figures),
+//! `--traffic=<rate|curve>` (run the two-chip exemplar under open-loop
+//! arrivals and print its tail-latency summary; see
+//! `piranha::observe::TrafficCli` for the spec grammar).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli, SampleCli};
+use piranha::observe::{self, ParallelCli, ProbeCli, SampleCli, TrafficCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
@@ -62,6 +65,21 @@ fn main() {
         )
     );
     run_probe_exports(scale);
+    run_traffic_exemplar();
+}
+
+fn run_traffic_exemplar() {
+    let cli = TrafficCli::from_env_args();
+    if !cli.active() {
+        return;
+    }
+    match observe::run_traffic_exemplar(&cli, 20) {
+        Ok(summary) => print!("{summary}"),
+        Err(e) => {
+            eprintln!("traffic exemplar failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn scale_from_args() -> RunScale {

@@ -5,9 +5,12 @@
 //! machine with `n` lane workers — bit-identical to serial),
 //! `--fingerprints` (print one `label\tfingerprint` line per run and
 //! nothing else), `--trace=<path>` (Chrome-trace JSON of a probed
-//! exemplar run), `--metrics=<path>` (flat metric dump).
+//! exemplar run), `--metrics=<path>` (flat metric dump),
+//! `--traffic=<rate|curve>` (run the two-chip exemplar under open-loop
+//! arrivals and print its tail-latency summary; see
+//! `piranha::observe::TrafficCli` for the spec grammar).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli, TrafficCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
@@ -34,6 +37,16 @@ fn main() {
             Ok(summary) => print!("{summary}"),
             Err(e) => {
                 eprintln!("probe export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let traffic = TrafficCli::from_env_args();
+    if traffic.active() {
+        match observe::run_traffic_exemplar(&traffic, 20) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("traffic exemplar failed: {e}");
                 std::process::exit(1);
             }
         }

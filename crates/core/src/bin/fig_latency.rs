@@ -1,0 +1,98 @@
+//! Tail latency versus offered load under open-loop traffic: calibrates
+//! the closed-loop service rate of the two-chip P4 exemplar on a bounded
+//! OLTP workload, then sweeps Poisson arrivals across fractions of that
+//! rate and reports p50/p95/p99 transaction latency, drop rate, and the
+//! saturation knee (the classic open-loop hockey-stick).
+//!
+//! Flags:
+//!
+//! - `--quick` — CI scale (fewer transactions per CPU);
+//! - `--check` — exit nonzero unless p99 is monotone non-decreasing
+//!   across the sweep (10% tolerance for sampling noise) and a knee was
+//!   detected (this is what the CI `latency-smoke` step runs);
+//! - `--metrics=<path>` — write the sweep as JSON;
+//! - `--parallel=<n>` — run the multi-chip machines with `n` lane
+//!   workers (bit-identical to serial; only wall-clock changes).
+use piranha::experiments::{self, LatencyReport};
+use piranha::observe::{ParallelCli, ProbeCli};
+
+fn main() {
+    ParallelCli::from_env_args().apply();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rep = experiments::fig_latency(quick);
+    print!("{}", experiments::render_latency_report(&rep));
+
+    let cli = ProbeCli::from_env_args();
+    if let Some(path) = &cli.metrics {
+        if let Err(e) = std::fs::write(path, report_json(&rep)) {
+            eprintln!("writing {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("latency report -> {}", path.display());
+    }
+
+    if std::env::args().any(|a| a == "--check") {
+        check(&rep);
+        println!("latency-smoke checks passed");
+    }
+}
+
+/// The CI assertions: the hockey-stick must be monotone (within a 10%
+/// sampling-noise tolerance between adjacent points) and must reach its
+/// knee inside the swept range.
+fn check(rep: &LatencyReport) {
+    for pair in rep.rows.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        assert!(
+            hi.p99_ns as f64 >= lo.p99_ns as f64 * 0.9,
+            "p99 regressed with load: {} ns @ {:.2}x -> {} ns @ {:.2}x",
+            lo.p99_ns,
+            lo.fraction,
+            hi.p99_ns,
+            hi.fraction
+        );
+    }
+    assert!(
+        rep.knee.is_some(),
+        "no saturation knee detected within the swept range"
+    );
+}
+
+/// The JSON report the CI `latency-smoke` step uploads.
+fn report_json(rep: &LatencyReport) -> String {
+    let rows: Vec<String> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"fraction\":{},\"rate_tpmc\":{},\"p50_ns\":{},\
+                 \"p95_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\
+                 \"drop_rate\":{},\"generated\":{},\"accepted\":{},\
+                 \"dropped\":{},\"deferred\":{},\"completed\":{},\
+                 \"fingerprint\":{}}}",
+                r.fraction,
+                r.rate_tpmc,
+                r.p50_ns,
+                r.p95_ns,
+                r.p99_ns,
+                r.mean_ns,
+                r.drop_rate,
+                r.ledger.generated,
+                r.ledger.accepted,
+                r.ledger.dropped,
+                r.ledger.deferred,
+                r.ledger.completed,
+                r.fingerprint
+            )
+        })
+        .collect();
+    format!(
+        "{{\"config\":\"{}\",\"txns_per_cpu\":{},\"service_tpmc\":{},\
+         \"knee\":{},\"rows\":[{}]}}\n",
+        rep.config,
+        rep.txns_per_cpu,
+        rep.service_tpmc,
+        rep.knee.map_or("null".into(), |k| k.to_string()),
+        rows.join(",")
+    )
+}

@@ -20,7 +20,7 @@
 //! deterministic, its output is bit-identical to the serial
 //! [`all_figures_serial`] path.
 
-use piranha_system::{FaultConfig, RunResult, SystemConfig};
+use piranha_system::{FaultConfig, RunResult, SystemConfig, TrafficConfig, TrafficLedger};
 use piranha_workloads::{DssConfig, OltpConfig, Workload};
 
 pub use piranha_harness::{cache_key, default_threads, Harness, RunPlan, RunRequest, RunScale};
@@ -685,6 +685,178 @@ pub fn render_sample_report(rep: &SampleReport) -> String {
             r.speedup,
             r.host_secs,
         ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Open-loop traffic (piranha-traffic): the fig_latency sweep.
+// ---------------------------------------------------------------------
+
+/// The offered-load fractions of the measured closed-loop service rate
+/// that `fig_latency` sweeps: well below, approaching, and past the
+/// saturation knee. The open-loop hockey-stick — tail latency flat at
+/// low load, super-linear past the knee — only shows up because the
+/// arrival process keeps offering work whether or not the cores are
+/// ready.
+pub const LOAD_FRACTIONS: [f64; 5] = [0.2, 0.5, 0.8, 1.1, 1.5];
+
+/// The configuration `fig_latency` loads: the two-chip P4 exemplar, so
+/// the sweep exercises arrival admission across the quantum-stepped
+/// multi-chip engine (worker-invariance is guarded by
+/// `tests/traffic_determinism.rs`).
+pub fn fig_latency_config() -> SystemConfig {
+    SystemConfig::piranha_pn(4).scaled_to_chips(2)
+}
+
+/// One offered-load point of the latency sweep.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Offered load as a fraction of the calibrated service rate.
+    pub fraction: f64,
+    /// Offered load in transactions per million cycles per core.
+    pub rate_tpmc: f64,
+    /// Median transaction latency (birth → commit), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile transaction latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile transaction latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Mean transaction latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Fraction of generated transactions shed at the admission gate.
+    pub drop_rate: f64,
+    /// The full generated/accepted/dropped/deferred/completed ledger.
+    pub ledger: TrafficLedger,
+    /// The run's deterministic fingerprint.
+    pub fingerprint: u64,
+}
+
+/// The `fig_latency` sweep: calibration plus one row per load fraction.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// Configuration name.
+    pub config: String,
+    /// Transactions per CPU of the bounded OLTP workload.
+    pub txns_per_cpu: u64,
+    /// Calibrated closed-loop service rate, transactions per million
+    /// cycles per core (the `1.0` point of [`LOAD_FRACTIONS`]).
+    pub service_tpmc: f64,
+    /// One row per offered-load fraction, in sweep order.
+    pub rows: Vec<LatencyRow>,
+    /// Index of the first row past the knee (p99 more than 3× the
+    /// lowest-load row, or any drops), if the sweep reached it.
+    pub knee: Option<usize>,
+}
+
+/// **Tail latency vs offered load**: calibrate the closed-loop service
+/// rate of [`fig_latency_config`] on a bounded OLTP workload, then
+/// sweep open-loop Poisson arrivals across [`LOAD_FRACTIONS`] of that
+/// rate and report p50/p95/p99 transaction latency and drop rate at
+/// each point. `quick` shrinks the workload to CI scale.
+///
+/// Every run is deterministic, so the whole report (fingerprints
+/// included) is reproducible bit-for-bit at any `--parallel` worker
+/// count.
+///
+/// # Panics
+///
+/// Panics if a loaded run's traffic ledger does not conserve
+/// (`accepted + dropped + deferred == generated`) — a structural
+/// guarantee of the admission gate.
+pub fn fig_latency(quick: bool) -> LatencyReport {
+    let cfg = fig_latency_config();
+    let txns = if quick { 12 } else { 60 };
+    let w = oltp_bounded(txns);
+
+    // Closed-loop calibration: with no arrival gating the machine runs
+    // at 100% utilization, so committed work over wall cycles is the
+    // per-core service rate the load fractions are anchored to.
+    let base = run_config(cfg.clone(), &w, RunScale::completion());
+    let committed = base.committed_txns.expect("bounded workload reports work") as f64;
+    let cycles = base.clock.cycles(base.window).max(1) as f64;
+    let service_tpmc = committed / base.cpus.len() as f64 / cycles * 1e6;
+
+    let rows: Vec<LatencyRow> = LOAD_FRACTIONS
+        .iter()
+        .map(|&fraction| {
+            let rate_tpmc = fraction * service_tpmc;
+            let traffic = TrafficConfig::poisson(rate_tpmc);
+            let r = piranha_harness::run_config_traffic(
+                cfg.clone(),
+                &w,
+                RunScale::completion(),
+                traffic,
+            );
+            let t = r.traffic.clone().expect("traffic was enabled");
+            assert!(
+                t.ledger.conserved(),
+                "{} @ {fraction}: ledger must conserve, got {:?}",
+                cfg.name,
+                t.ledger
+            );
+            LatencyRow {
+                fraction,
+                rate_tpmc,
+                p50_ns: t.p50_ns(),
+                p95_ns: t.p95_ns(),
+                p99_ns: t.p99_ns(),
+                mean_ns: t.latency.mean_ns(),
+                drop_rate: t.ledger.drop_rate(),
+                ledger: t.ledger,
+                fingerprint: r.fingerprint(),
+            }
+        })
+        .collect();
+
+    let knee = rows
+        .iter()
+        .position(|r| r.drop_rate > 0.0 || r.p99_ns > rows[0].p99_ns.saturating_mul(3));
+
+    LatencyReport {
+        config: cfg.name,
+        txns_per_cpu: txns,
+        service_tpmc,
+        rows,
+        knee,
+    }
+}
+
+/// Render the latency sweep as a text table.
+pub fn render_latency_report(rep: &LatencyReport) -> String {
+    let mut out = format!(
+        "Tail latency vs offered load — {} (bounded OLTP, {} txns/CPU, open-loop Poisson)\n\
+         calibrated service rate {:.2} txns per million cycles per core\n\
+         {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}\n",
+        rep.config,
+        rep.txns_per_cpu,
+        rep.service_tpmc,
+        "Load",
+        "Rate",
+        "p50(ns)",
+        "p95(ns)",
+        "p99(ns)",
+        "mean(ns)",
+        "Drop%",
+        "Offered"
+    );
+    for (i, r) in rep.rows.iter().enumerate() {
+        let marker = if rep.knee == Some(i) { "  <- knee" } else { "" };
+        out.push_str(&format!(
+            "{:<10} {:>10.2} {:>10} {:>10} {:>10} {:>10.0} {:>7.2}% {:>8}{}\n",
+            format!("{:.2}x", r.fraction),
+            r.rate_tpmc,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.drop_rate * 100.0,
+            r.ledger.generated,
+            marker
+        ));
+    }
+    if rep.knee.is_none() {
+        out.push_str("(no knee within the swept range)\n");
     }
     out
 }

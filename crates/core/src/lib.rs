@@ -42,9 +42,10 @@
 #![warn(missing_docs)]
 
 pub use piranha_system::{
-    AvailabilityReport, CoreKind, CpuBreakdown, FaultConfig, FaultKind, Machine, ParsimStats,
-    PathLatencies, Probe, ProbeConfig, RunResult, SampleConfig, SampleEstimate, SystemConfig,
-    TraceLevel,
+    ArrivalKind, AvailabilityReport, CoreKind, CpuBreakdown, DiurnalCurve, FaultConfig, FaultKind,
+    Machine, OverflowPolicy, ParsimStats, PathLatencies, Probe, ProbeConfig, RunResult,
+    SampleConfig, SampleEstimate, SystemConfig, TraceLevel, TrafficConfig, TrafficLedger,
+    TrafficSummary,
 };
 
 /// Shared architectural types (re-export of `piranha-types`).

@@ -21,7 +21,9 @@ use std::path::{Path, PathBuf};
 
 use piranha_harness::{run_config_probed, RunScale};
 use piranha_probe::{chrome, ProbeConfig, TraceLevel};
-use piranha_system::{FaultConfig, SystemConfig};
+use piranha_system::{
+    ArrivalKind, DiurnalCurve, FaultConfig, OverflowPolicy, SystemConfig, TrafficConfig,
+};
 use piranha_workloads::Workload;
 
 /// The observability flags of a figure binary.
@@ -215,6 +217,168 @@ impl SampleCli {
     }
 }
 
+/// The open-loop traffic flags of a figure binary (the `piranha-traffic`
+/// subsystem):
+///
+/// - `--traffic=<spec>` — attach an open-loop arrival process to an
+///   exemplar run. The spec is one of:
+///   - `<rate>` — steady Poisson arrivals at `rate` transactions per
+///     million CPU cycles per core (`--traffic=200`);
+///   - `<rate>@<amplitude>/<period>` — the same rate modulated by a
+///     sinusoidal diurnal curve, swinging ±`amplitude` (fraction) over
+///     `period` cycles (`--traffic=200@0.5/2000000`);
+///   - `ln<sigma>:<rate>[@<amplitude>/<period>]` — log-normal
+///     (burstier) inter-arrivals with shape `sigma` at the same mean
+///     rate (`--traffic=ln0.7:200`);
+/// - `--traffic-depth=<n>` — bounded run-queue depth per core
+///   (default 16);
+/// - `--traffic-defer` — park overflowing arrivals on an unbounded
+///   queue (counted `deferred`) instead of shedding them (`dropped`).
+#[derive(Debug, Clone, Default)]
+pub struct TrafficCli {
+    /// The raw `--traffic=` value, if given.
+    pub traffic: Option<String>,
+    /// The `--traffic-depth=` value, if given and well-formed.
+    pub depth: Option<usize>,
+    /// Whether `--traffic-defer` was given.
+    pub defer: bool,
+}
+
+impl TrafficCli {
+    /// Parse the traffic flags out of the process arguments.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse the flags from an explicit argument list; unrelated
+    /// arguments are ignored.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = TrafficCli::default();
+        for a in args {
+            if let Some(v) = a.strip_prefix("--traffic=") {
+                cli.traffic = Some(v.to_string());
+            } else if let Some(v) = a.strip_prefix("--traffic-depth=") {
+                cli.depth = v.trim().parse().ok().filter(|&n| n >= 1);
+            } else if a == "--traffic-defer" {
+                cli.defer = true;
+            }
+        }
+        cli
+    }
+
+    /// Whether open-loop traffic was requested.
+    pub fn active(&self) -> bool {
+        self.traffic.is_some()
+    }
+
+    /// Resolve the flags into a [`TrafficConfig`]. No `--traffic=` flag
+    /// → the disabled default (closed-loop execution, golden
+    /// fingerprints intact).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of a malformed spec.
+    pub fn traffic_config(&self) -> Result<TrafficConfig, String> {
+        let Some(spec) = &self.traffic else {
+            return Ok(TrafficConfig::default());
+        };
+        let spec = spec.trim();
+        let (process, rest) = if let Some(r) = spec.strip_prefix("ln") {
+            let (sigma, rest) = r
+                .split_once(':')
+                .ok_or_else(|| format!("--traffic=ln… needs ln<sigma>:<rate>, got {spec:?}"))?;
+            let sigma: f64 = sigma
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad log-normal sigma in --traffic={spec:?}"))?;
+            (ArrivalKind::LogNormal { sigma }, rest)
+        } else {
+            (ArrivalKind::Poisson, spec)
+        };
+        let (rate_str, curve) = match rest.split_once('@') {
+            None => (rest, None),
+            Some((r, c)) => {
+                let (amp, period) = c.split_once('/').ok_or_else(|| {
+                    format!("--traffic curve needs <rate>@<amplitude>/<period>, got {spec:?}")
+                })?;
+                let amplitude: f64 = amp
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad curve amplitude in --traffic={spec:?}"))?;
+                let period_cycles: u64 = period
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad curve period in --traffic={spec:?}"))?;
+                if period_cycles == 0 {
+                    return Err(format!("curve period must be ≥ 1 in --traffic={spec:?}"));
+                }
+                (
+                    r,
+                    Some(DiurnalCurve {
+                        amplitude,
+                        period_cycles,
+                    }),
+                )
+            }
+        };
+        let rate_tpmc: f64 = rate_str
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rate in --traffic={spec:?}"))?;
+        if rate_tpmc.is_nan() || rate_tpmc <= 0.0 {
+            return Err(format!("--traffic rate must be > 0, got {spec:?}"));
+        }
+        let mut cfg = TrafficConfig {
+            rate_tpmc,
+            process,
+            curve,
+            ..TrafficConfig::default()
+        };
+        if let Some(d) = self.depth {
+            cfg.queue_depth = d;
+        }
+        if self.defer {
+            cfg.overflow = OverflowPolicy::Defer;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Run the traffic-loaded exemplar (the two-chip [`exemplar_config`]
+/// under a bounded OLTP workload, run to completion) and render its
+/// tail-latency summary for the binary to print.
+///
+/// # Errors
+///
+/// Returns the parse error of a malformed `--traffic=` spec.
+pub fn run_traffic_exemplar(cli: &TrafficCli, txns_per_cpu: u64) -> Result<String, String> {
+    let traffic = cli.traffic_config()?;
+    let cfg = exemplar_config();
+    let name = cfg.name.clone();
+    let w = Workload::Oltp(piranha_workloads::OltpConfig {
+        txn_limit: txns_per_cpu,
+        ..piranha_workloads::OltpConfig::paper_default()
+    });
+    let r = piranha_harness::run_config_traffic(cfg, &w, RunScale::completion(), traffic.clone());
+    let t = r.traffic.as_ref().expect("traffic was enabled");
+    Ok(format!(
+        "Open-loop exemplar: {name} @ {} tpmc ({:?})\n\
+         txn latency p50 {} ns, p95 {} ns, p99 {} ns\n\
+         offered {}, accepted {}, completed {}, dropped {} ({:.2}% drop), deferred {}\n",
+        traffic.rate_tpmc,
+        traffic.process,
+        t.p50_ns(),
+        t.p95_ns(),
+        t.p99_ns(),
+        t.ledger.generated,
+        t.ledger.accepted,
+        t.ledger.completed,
+        t.ledger.dropped,
+        t.ledger.drop_rate() * 100.0,
+        t.ledger.deferred,
+    ))
+}
+
 /// The configuration the probed exemplar run simulates: a two-chip
 /// machine of 4-CPU Piranha chips, so protocol-engine and interconnect
 /// activity shows up in the trace alongside cpu/cache/mem spans.
@@ -335,6 +499,61 @@ mod tests {
             "window must be smaller than the period"
         );
         assert_eq!(SampleCli::parse(args(&["--sample=a/b"])).spec, None);
+    }
+
+    #[test]
+    fn traffic_flags_resolve_to_configs() {
+        // No flags: traffic stays disabled and fingerprints intact.
+        let off = TrafficCli::parse(args(&["--quick"]));
+        assert!(!off.active());
+        assert!(!off.traffic_config().unwrap().enabled());
+        // A bare rate is steady Poisson.
+        let p = TrafficCli::parse(args(&["--traffic=200"]));
+        let cfg = p.traffic_config().unwrap();
+        assert!(cfg.enabled());
+        assert!((cfg.rate_tpmc - 200.0).abs() < 1e-12);
+        assert_eq!(cfg.process, ArrivalKind::Poisson);
+        assert!(cfg.curve.is_none());
+        // rate@amplitude/period adds a diurnal curve.
+        let c = TrafficCli::parse(args(&["--traffic=150@0.5/2000000"]));
+        let cfg = c.traffic_config().unwrap();
+        assert_eq!(
+            cfg.curve,
+            Some(DiurnalCurve {
+                amplitude: 0.5,
+                period_cycles: 2_000_000
+            })
+        );
+        // ln<sigma>:<rate> selects log-normal inter-arrivals.
+        let ln = TrafficCli::parse(args(&["--traffic=ln0.7:300"]));
+        let cfg = ln.traffic_config().unwrap();
+        assert_eq!(cfg.process, ArrivalKind::LogNormal { sigma: 0.7 });
+        assert!((cfg.rate_tpmc - 300.0).abs() < 1e-12);
+        // Depth and overflow-policy riders apply.
+        let full = TrafficCli::parse(args(&[
+            "--traffic=100",
+            "--traffic-depth=4",
+            "--traffic-defer",
+        ]));
+        let cfg = full.traffic_config().unwrap();
+        assert_eq!(cfg.queue_depth, 4);
+        assert_eq!(cfg.overflow, OverflowPolicy::Defer);
+        // Malformed specs are reported, not swallowed.
+        for bad in [
+            "--traffic=bogus",
+            "--traffic=0",
+            "--traffic=-5",
+            "--traffic=ln:100",
+            "--traffic=ln0.7",
+            "--traffic=100@0.5",
+            "--traffic=100@x/10",
+            "--traffic=100@0.5/0",
+        ] {
+            assert!(
+                TrafficCli::parse(args(&[bad])).traffic_config().is_err(),
+                "{bad} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -143,6 +143,23 @@ impl CpuCluster {
         self.cores[cpu].as_ref()
     }
 
+    /// Mutable access to the core model of `cpu` (traffic dispatch
+    /// realigns a parked core's local clock at admission).
+    pub fn core_mut(&mut self, cpu: usize) -> &mut dyn CoreModel {
+        self.cores[cpu].as_mut()
+    }
+
+    /// The instruction stream of `cpu`.
+    pub fn stream(&self, cpu: usize) -> &dyn InstrStream {
+        self.streams[cpu].as_ref()
+    }
+
+    /// Mutable access to the instruction stream of `cpu` (traffic
+    /// dispatch drains completions and admits transactions).
+    pub fn stream_mut(&mut self, cpu: usize) -> &mut dyn InstrStream {
+        self.streams[cpu].as_mut()
+    }
+
     /// Iterate the cores in index order.
     pub fn cores(&self) -> impl Iterator<Item = &dyn CoreModel> {
         self.cores.iter().map(|c| c.as_ref())

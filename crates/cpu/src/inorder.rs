@@ -178,6 +178,13 @@ impl InOrderCore {
             if left == 0 {
                 return CoreStatus::Runnable;
             }
+            // Open-loop gating: a parked stream yields between
+            // transactions instead of fetching. The commit stamp lands
+            // here, after every op of the transaction has executed.
+            if self.pending_op.is_none() && !self.stream_done && stream.parked() {
+                stream.mark_quiescent(self.cycle);
+                return CoreStatus::Runnable;
+            }
             let Some(op) = self.pending_op.take().or_else(|| {
                 if self.stream_done {
                     None
@@ -388,6 +395,10 @@ impl CoreModel for InOrderCore {
 
     fn now_cycle(&self) -> u64 {
         self.cycle
+    }
+
+    fn align_cycle(&mut self, cycle: u64) {
+        self.cycle = self.cycle.max(cycle);
     }
 
     fn stats(&self) -> &CoreStats {

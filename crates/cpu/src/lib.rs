@@ -130,6 +130,13 @@ pub trait CoreModel: Send {
     /// The core's current local cycle.
     fn now_cycle(&self) -> u64;
 
+    /// Jump the core's local clock forward to at least `cycle` (never
+    /// backward). The traffic dispatcher calls this when admitting a
+    /// transaction to a core that has been parked: the core's frozen
+    /// local clock must catch up to the admission cycle so execution
+    /// resumes in present simulated time rather than replaying the past.
+    fn align_cycle(&mut self, _cycle: u64) {}
+
     /// Accumulated statistics.
     fn stats(&self) -> &CoreStats;
 

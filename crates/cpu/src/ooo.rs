@@ -240,6 +240,24 @@ impl CoreModel for OooCore {
             if left == 0 {
                 return CoreStatus::Runnable;
             }
+            // Open-loop gating: a parked stream yields between
+            // transactions. Stamp the commit only once every window
+            // entry has completed, so in-flight misses of the ending
+            // transaction count toward its latency.
+            if self.pending_op.is_none() && !self.stream_done && stream.parked() {
+                if self.window.iter().all(|s| s.done_q.is_some()) {
+                    self.drain_retires();
+                    stream.mark_quiescent(self.now_cycle());
+                    return CoreStatus::Runnable;
+                }
+                if self.stalled == Stalled::No
+                    && self.window.front().is_some_and(|h| h.done_q.is_none())
+                {
+                    self.stalled = Stalled::WindowHead;
+                    self.stalled_since_q = self.retire_q;
+                }
+                return CoreStatus::Blocked;
+            }
             let Some(op) = self.pending_op.take().or_else(|| {
                 if self.stream_done {
                     None
@@ -550,6 +568,12 @@ impl CoreModel for OooCore {
 
     fn now_cycle(&self) -> u64 {
         (self.retire_q / 4).max(self.fetch_q / 4)
+    }
+
+    fn align_cycle(&mut self, cycle: u64) {
+        let q = cycle * 4;
+        self.fetch_q = self.fetch_q.max(q);
+        self.retire_q = self.retire_q.max(q);
     }
 
     fn stats(&self) -> &CoreStats {

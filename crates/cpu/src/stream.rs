@@ -80,6 +80,49 @@ pub trait InstrStream: Send {
     fn txns_committed(&self) -> Option<u64> {
         None
     }
+
+    /// Units of work completed for reporting (per-core throughput).
+    /// Unlike [`InstrStream::txns_committed`] — which feeds
+    /// `RunResult::fingerprint()` and must keep its exact legacy
+    /// semantics — this may be overridden by streams whose unit of work
+    /// is not a transaction (e.g. web queries).
+    fn units_completed(&self) -> Option<u64> {
+        self.txns_committed()
+    }
+
+    /// Open-loop gating (`piranha-traffic`): whether the stream is
+    /// parked at a transaction boundary awaiting admission. Closed-loop
+    /// streams never park, so cores skip all gating work.
+    fn parked(&self) -> bool {
+        false
+    }
+
+    /// Whether a detected transaction boundary has not yet been fully
+    /// processed (commit cycle unstamped, or stamped but not collected).
+    /// The dispatcher only consults the traffic plane once this clears.
+    fn boundary_pending(&self) -> bool {
+        false
+    }
+
+    /// Whether no further ops can ever be produced (the wrapped stream
+    /// ended). The dispatcher unparks such a stream without admission so
+    /// the core can observe `Done`.
+    fn exhausted(&self) -> bool {
+        false
+    }
+
+    /// Called by the core when it quiesces at a parked boundary: stamps
+    /// the transaction's commit cycle (first call per boundary wins).
+    fn mark_quiescent(&mut self, _cycle: u64) {}
+
+    /// Collect a stamped commit cycle, if any (dispatcher side).
+    fn take_completion(&mut self) -> Option<u64> {
+        None
+    }
+
+    /// Admit the next transaction on a parked stream, charging
+    /// `_extra_idle_cycles` of service-time pad before its first op.
+    fn admit(&mut self, _extra_idle_cycles: u32) {}
 }
 
 impl<F: FnMut() -> Option<StreamOp> + Send> InstrStream for F {

@@ -169,8 +169,9 @@ static NODE_WORKERS: AtomicUsize = AtomicUsize::new(1);
 
 /// Set the per-machine lane-worker count (`--parallel=<n>` in the
 /// figure binaries). Clamped to ≥ 1. The harness divides its sweep
-/// thread budget by this so `sweep threads × lane workers` stays within
-/// the configured parallelism (see [`Harness::execute`]).
+/// thread budget by the widest [`effective_lane_width`] in a batch so
+/// `sweep threads × lane workers` stays within the configured
+/// parallelism (see [`Harness::execute`]).
 pub fn set_node_workers(workers: usize) {
     NODE_WORKERS.store(workers.max(1), Ordering::Relaxed);
 }
@@ -224,6 +225,42 @@ pub fn run_config_sampled(
         Some(scale.warmup + scale.measure)
     };
     m.run_sampled(sample, budget)
+}
+
+/// Like [`run_config`], but with an open-loop traffic plane attached:
+/// `traffic` replaces `cfg.traffic` before the run, so transactions are
+/// admitted by the arrival process instead of back-to-back, and the
+/// returned result carries a [`piranha_system::TrafficSummary`] in
+/// `RunResult::traffic` (offered/accepted/dropped ledger plus the
+/// transaction-latency histogram).
+///
+/// Because `TrafficConfig` is part of [`SystemConfig`], the memoizing
+/// harness distinguishes runs at different offered loads automatically —
+/// [`cache_key`] covers every traffic field.
+pub fn run_config_traffic(
+    mut cfg: SystemConfig,
+    w: &Workload,
+    scale: RunScale,
+    traffic: piranha_system::TrafficConfig,
+) -> RunResult {
+    cfg.traffic = traffic;
+    run_config(cfg, w, scale)
+}
+
+/// The lane-worker threads one request will *actually* spawn, as opposed
+/// to the process-wide [`node_workers`] setting: single-chip machines run
+/// the serial engine regardless of the setting, and multi-chip machines
+/// clamp it to their lane count (`nodes + io_nodes`). The harness sizes
+/// its sweep-level thread pool against the widest request in a batch, so
+/// a sweep of single-chip configs is not throttled by a `--parallel=8`
+/// flag that none of its machines can use.
+pub fn effective_lane_width(cfg: &SystemConfig, node_workers: usize) -> usize {
+    let lanes = cfg.nodes + cfg.io_nodes;
+    if lanes > 1 {
+        node_workers.clamp(1, lanes)
+    } else {
+        1
+    }
 }
 
 /// One simulation a figure needs.
@@ -403,9 +440,18 @@ impl Harness {
             return;
         }
         // Nested-parallelism budget: each simulation may itself spin up
-        // `node_workers()` lane threads, so the sweep gets its share of
-        // the thread budget (at least one worker either way).
-        let workers = piranha_parsim::sweep_share(self.threads, node_workers()).min(todo.len());
+        // lane threads, so the sweep gets its share of the thread budget
+        // (at least one worker either way). Divide by what the batch's
+        // machines will actually use — single-chip runs are serial no
+        // matter the `node_workers()` setting, and multi-chip runs clamp
+        // it to their lane count — not by the raw setting, which would
+        // starve sweeps of small configs under a wide `--parallel` flag.
+        let per_run = todo
+            .iter()
+            .map(|r| effective_lane_width(&r.cfg, node_workers()))
+            .max()
+            .unwrap_or(1);
+        let workers = piranha_parsim::sweep_share(self.threads, per_run).min(todo.len());
         if workers <= 1 {
             for req in todo {
                 let r = Arc::new(run_config(req.cfg.clone(), &req.workload, req.scale));
@@ -581,6 +627,42 @@ mod tests {
         // The budget is per-CPU: warming plus detailed windows must
         // together cover scale.warmup + scale.measure on both CPUs.
         assert!(est.detailed_instrs + est.warmed_instrs >= 2 * 25_000);
+    }
+
+    #[test]
+    fn traffic_run_carries_summary_and_is_memoized_separately() {
+        let cfg = tiny_cfg("T", 2);
+        let oltp = piranha_workloads::OltpConfig {
+            txn_limit: 10,
+            ..piranha_workloads::OltpConfig::paper_default()
+        };
+        let w = Workload::Oltp(oltp);
+        let traffic = piranha_system::TrafficConfig::poisson(200.0);
+        let r = run_config_traffic(cfg.clone(), &w, RunScale::completion(), traffic.clone());
+        let t = r.traffic.as_ref().expect("traffic summary present");
+        assert!(t.ledger.conserved(), "ledger: {:?}", t.ledger);
+        assert_eq!(t.ledger.completed, 20, "both cores drained their limit");
+        // The traffic config is part of the cache key, so loaded and
+        // unloaded runs of the same (cfg, workload, scale) never collide.
+        let mut loaded = cfg.clone();
+        loaded.traffic = traffic;
+        assert_ne!(
+            cache_key(&cfg, &w, RunScale::completion()),
+            cache_key(&loaded, &w, RunScale::completion())
+        );
+    }
+
+    #[test]
+    fn lane_width_reflects_actual_threads_not_the_setting() {
+        // A single-chip machine runs the serial engine: its width is 1
+        // no matter how wide --parallel is set.
+        assert_eq!(effective_lane_width(&tiny_cfg("A", 2), 8), 1);
+        // Multi-chip machines clamp the setting to their lane count.
+        let multi = tiny_cfg("A", 2).scaled_to_chips(2);
+        assert_eq!(effective_lane_width(&multi, 8), 2);
+        assert_eq!(effective_lane_width(&multi, 1), 1);
+        let wide = tiny_cfg("A", 2).scaled_to_chips(4);
+        assert_eq!(effective_lane_width(&wide, 3), 3);
     }
 
     #[test]

@@ -146,25 +146,61 @@ impl Histogram {
         self.sum_ns
     }
 
-    /// An approximate percentile (0..=100) in nanoseconds, resolved to
-    /// bucket upper bounds and clamped to the observed maximum so a
-    /// single-bucket histogram never reports a quantile above its
-    /// largest sample. Returns 0 for an empty histogram.
+    /// An approximate percentile (0..=100) in nanoseconds, linearly
+    /// interpolated within the containing bucket (samples assumed
+    /// uniform across the bucket's range) and clamped to the observed
+    /// maximum so a single-bucket histogram never reports a quantile
+    /// above its largest sample. Returns 0 for an empty histogram.
+    ///
+    /// Power-of-two buckets alone resolve a quantile only to a factor
+    /// of 2; interpolation recovers most of that resolution — 1000
+    /// uniform samples put the median near 500, not at the 1024 bucket
+    /// edge — which is what makes latency-vs-load knees visible instead
+    /// of stair-stepped.
     pub fn percentile_ns(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
         let target = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                let upper = if i == 0 { 1 } else { 1u64 << i };
-                return upper.min(self.max_ns);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
             }
+            if seen + b >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (target - seen) as f64 / b as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v as u64).min(self.max_ns);
+            }
+            seen += b;
         }
         self.max_ns
+    }
+
+    /// Dump the non-empty buckets as a JSON object:
+    /// `{"count":..,"sum_ns":..,"max_ns":..,"buckets":[{"lo_ns":..,"hi_ns":..,"count":..},..]}`.
+    /// Bucket bounds are the nominal power-of-two ranges (half-open).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"buckets\":[",
+            self.count, self.sum_ns, self.max_ns
+        );
+        let mut first = true;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (lo, hi) = bucket_bounds(i);
+            out.push_str(&format!("{{\"lo_ns\":{lo},\"hi_ns\":{hi},\"count\":{b}}}"));
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Fold another histogram into this one, bucket by bucket, so
@@ -219,6 +255,16 @@ impl Default for Histogram {
     }
 }
 
+/// The nominal half-open range `[lo, hi)` of bucket `i`: bucket 0 holds
+/// sub-nanosecond samples, bucket `i >= 1` holds `[2^(i-1), 2^i)` ns.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), 1u64 << i)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,7 +308,24 @@ mod tests {
         let p50 = h.percentile_ns(50.0);
         let p99 = h.percentile_ns(99.0);
         assert!(p50 <= p99);
-        assert!((256..=1024).contains(&p50), "p50 bucket bound was {p50}");
+        // Interpolation puts the median of 1..=1000 near 500, not at the
+        // 1024 bucket edge.
+        assert!((450..=550).contains(&p50), "interpolated p50 was {p50}");
+        assert!((950..=1000).contains(&p99), "interpolated p99 was {p99}");
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        let mut h = Histogram::new();
+        // 100 samples spread across the [64, 128) bucket.
+        for i in 0..100u64 {
+            h.record(Duration::from_ns(64 + (i * 64) / 100));
+        }
+        let p25 = h.percentile_ns(25.0);
+        let p75 = h.percentile_ns(75.0);
+        assert!(p25 < p75, "quantiles resolve inside one bucket");
+        assert!((70..=90).contains(&p25), "p25 was {p25}");
+        assert!((100..=120).contains(&p75), "p75 was {p75}");
     }
 
     #[test]
@@ -289,15 +352,19 @@ mod tests {
     #[test]
     fn single_bucket_quantiles_clamp_to_max() {
         let mut h = Histogram::new();
-        // All samples land in the 64..128 ns bucket; every quantile must
-        // report a value a sample could actually have taken.
+        // All samples land in the 64..128 ns bucket; interpolated quantiles
+        // stay within the bucket and never exceed the observed maximum.
         for _ in 0..10 {
             h.record(Duration::from_ns(100));
         }
+        let mut prev = 0;
         for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
-            assert_eq!(h.percentile_ns(p), 100, "p{p} of a single bucket");
+            let v = h.percentile_ns(p);
+            assert!((64..=100).contains(&v), "p{p} of a single bucket was {v}");
+            assert!(v >= prev, "quantiles are monotone");
+            prev = v;
         }
-        assert_eq!(h.p50_ns(), h.p99_ns());
+        assert_eq!(h.percentile_ns(100.0), 100, "p100 clamps to the max");
     }
 
     #[test]
@@ -388,6 +455,25 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.sum_ns(), u64::MAX, "merged sum saturates");
         assert_eq!(a.count(), 20_000);
+    }
+
+    #[test]
+    fn to_json_dumps_only_populated_buckets() {
+        let empty = Histogram::new();
+        assert_eq!(
+            empty.to_json(),
+            "{\"count\":0,\"sum_ns\":0,\"max_ns\":0,\"buckets\":[]}"
+        );
+        let mut h = Histogram::new();
+        h.record(Duration::from_ns(100)); // bucket [64, 128)
+        h.record(Duration::from_ns(100));
+        h.record(Duration::from_ns(3)); // bucket [2, 4)
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":3,\"sum_ns\":203,\"max_ns\":100,\"buckets\":[\
+             {\"lo_ns\":2,\"hi_ns\":4,\"count\":1},\
+             {\"lo_ns\":64,\"hi_ns\":128,\"count\":2}]}"
+        );
     }
 
     #[test]

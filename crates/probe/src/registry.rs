@@ -154,23 +154,64 @@ impl HistogramCore {
         self.max = self.max.max(other.max);
     }
 
-    /// Approximate percentile (0..=100), resolved to bucket upper bounds
-    /// and clamped to the observed maximum; 0 for an empty histogram.
+    /// Approximate percentile (0..=100), linearly interpolated within
+    /// the containing power-of-two bucket (samples assumed uniform over
+    /// the bucket's range) and clamped to the observed maximum; 0 for an
+    /// empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                let upper = if i == 0 { 0 } else { 1u64 << i };
-                return upper.min(self.max);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
             }
+            if seen + b >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (target - seen) as f64 / b as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v as u64).min(self.max);
+            }
+            seen += b;
         }
         self.max
+    }
+
+    /// Dump the non-empty buckets as a JSON object:
+    /// `{"count":..,"sum":..,"max":..,"buckets":[{"lo":..,"hi":..,"count":..},..]}`.
+    /// Bucket bounds are the nominal power-of-two ranges (half-open).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+            self.count, self.sum, self.max
+        );
+        let mut first = true;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (lo, hi) = bucket_bounds(i);
+            out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{b}}}"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The nominal half-open range `[lo, hi)` of bucket `i`: bucket 0 holds
+/// zero-valued samples, bucket `i >= 1` holds `[2^(i-1), 2^i)`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), 1u64 << i)
     }
 }
 
@@ -524,6 +565,40 @@ mod tests {
         for p in [50.0, 95.0, 99.0] {
             assert_eq!(merged.percentile(p), reference.percentile(p));
         }
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates_within_bucket() {
+        let mut core = HistogramCore::default();
+        // 1000 uniform samples; the median resolves near 500, not at
+        // the 1024 bucket edge.
+        for v in 1..=1000u64 {
+            core.record(v);
+        }
+        let p50 = core.percentile(50.0);
+        assert!((450..=550).contains(&p50), "interpolated p50 was {p50}");
+        let p99 = core.percentile(99.0);
+        assert!((950..=1000).contains(&p99), "interpolated p99 was {p99}");
+        assert_eq!(core.percentile(100.0), 1000, "p100 clamps to max");
+    }
+
+    #[test]
+    fn histogram_to_json_dumps_populated_buckets() {
+        let empty = HistogramCore::default();
+        assert_eq!(
+            empty.to_json(),
+            "{\"count\":0,\"sum\":0,\"max\":0,\"buckets\":[]}"
+        );
+        let mut core = HistogramCore::default();
+        core.record(3); // bucket [2, 4)
+        core.record(100); // bucket [64, 128)
+        core.record(100);
+        assert_eq!(
+            core.to_json(),
+            "{\"count\":3,\"sum\":203,\"max\":100,\"buckets\":[\
+             {\"lo\":2,\"hi\":4,\"count\":1},\
+             {\"lo\":64,\"hi\":128,\"count\":2}]}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use piranha_faults::FaultConfig;
 use piranha_ics::IcsConfig;
 use piranha_mem::MemBankConfig;
 use piranha_net::NetworkConfig;
+use piranha_traffic::TrafficConfig;
 use piranha_types::time::Clock;
 use piranha_types::Duration;
 
@@ -131,6 +132,10 @@ pub struct SystemConfig {
     /// Fault injection (paper §2.7 recovery exercise); the default is
     /// fully disabled and bit-identical to a fault-free machine.
     pub faults: FaultConfig,
+    /// Open-loop traffic generation (arrival processes, bounded run
+    /// queues, latency stamps); the default is fully disabled and
+    /// bit-identical to a closed-loop machine.
+    pub traffic: TrafficConfig,
 }
 
 impl SystemConfig {
@@ -157,6 +162,7 @@ impl SystemConfig {
             cmi_routes: 4,
             io_nodes: 0,
             faults: FaultConfig::default(),
+            traffic: TrafficConfig::default(),
         }
     }
 
@@ -220,6 +226,7 @@ impl SystemConfig {
             cmi_routes: 4,
             io_nodes: 0,
             faults: FaultConfig::default(),
+            traffic: TrafficConfig::default(),
         }
     }
 

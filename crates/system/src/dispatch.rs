@@ -288,6 +288,19 @@ impl NodeLane {
             )
         };
         self.instrs_retired += retired;
+        // Open-loop traffic: the park check inside the core's advance
+        // stamps a transaction's commit cycle; drain it here — before the
+        // action loop below can poll the plane for the next admission —
+        // and close the birth→commit latency ledger.
+        if self.traffic.enabled() {
+            if let Some(commit) = self.node.cpus.stream_mut(cpu).take_completion() {
+                if let Some(ns) = self.traffic.complete(cpu, commit) {
+                    if let Some(h) = self.traffic_hists.get(cpu) {
+                        h.record(ns);
+                    }
+                }
+            }
+        }
         if is_step && cyc_delta > 0 {
             self.probe.span(
                 TraceLevel::Spans,
@@ -335,6 +348,43 @@ impl NodeLane {
                 }
                 CpuAction::Wake { cpu, at_cycle } => {
                     let next = sh.cycle_to_time(at_cycle).max(t);
+                    // Open-loop traffic: a parked stream's wake is an
+                    // admission request, not a step. Once the boundary is
+                    // fully drained (commit stamped and collected above),
+                    // consult the plane instead of stepping blindly.
+                    if self.traffic.enabled() {
+                        let stream = self.node.cpus.stream(cpu);
+                        if stream.parked() && !stream.boundary_pending() {
+                            if stream.exhausted() {
+                                // Let the core observe end-of-stream and
+                                // finish; no plane poll for a dead stream.
+                                self.node.cpus.stream_mut(cpu).admit(0);
+                                self.events.schedule(next, Ev::Cpu(CpuEvent::Step { cpu }));
+                            } else {
+                                let now_cyc = sh.time_to_cycle(next);
+                                match self.traffic.poll(cpu, now_cyc) {
+                                    piranha_traffic::Admission::Admit { extra_idle } => {
+                                        self.node.cpus.stream_mut(cpu).admit(extra_idle);
+                                        // The parked core's local clock froze
+                                        // at the last commit; pull it forward
+                                        // so the new transaction is costed
+                                        // from its admission cycle.
+                                        self.node.cpus.core_mut(cpu).align_cycle(now_cyc);
+                                        self.events.schedule(next, Ev::Cpu(CpuEvent::Step { cpu }));
+                                    }
+                                    piranha_traffic::Admission::WaitUntil(c) => {
+                                        // Idle until the next arrival. The
+                                        // future Step keeps the event queue
+                                        // non-empty, so the run loop's
+                                        // deadlock check stays quiet.
+                                        let at = sh.cycle_to_time(c).max(next);
+                                        self.events.schedule(at, Ev::Cpu(CpuEvent::Step { cpu }));
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     self.events.schedule(next, Ev::Cpu(CpuEvent::Step { cpu }));
                 }
                 CpuAction::Finished { .. } => self.unfinished -= 1,

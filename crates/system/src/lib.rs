@@ -39,6 +39,9 @@ pub use machine::{Machine, ParsimStats};
 pub use piranha_faults::{AvailabilityReport, FaultConfig, FaultKind};
 pub use piranha_probe::{Probe, ProbeConfig, TraceLevel};
 pub use piranha_sample::{Estimator, SampleConfig, SampleEstimate};
+pub use piranha_traffic::{
+    ArrivalKind, DiurnalCurve, OverflowPolicy, TrafficConfig, TrafficLedger, TrafficSummary,
+};
 pub use report::{MachineReport, NodeReport};
 pub use result::{CpuBreakdown, RunResult};
 pub use sysctl::{CtrlPacket, CtrlReply, SystemController};

@@ -311,6 +311,7 @@ impl Machine {
             "availability ledger violated corrected + escalated == injected"
         );
         r.committed_txns = self.committed_txns();
+        r.traffic = self.traffic_summary();
         self.check_ras();
         self.sample_metrics();
         r.metrics = self.probe.metrics().unwrap_or_default();
@@ -331,6 +332,25 @@ impl Machine {
             }
         }
         any.then_some(total)
+    }
+
+    /// Merged open-loop traffic results across all lanes (conservation
+    /// ledger + birth→commit latency histogram); `None` when traffic is
+    /// off.
+    pub fn traffic_summary(&self) -> Option<piranha_traffic::TrafficSummary> {
+        if !self.cfg.traffic.enabled() {
+            return None;
+        }
+        let mut ledger = piranha_traffic::TrafficLedger::default();
+        let mut latency = piranha_kernel::Histogram::new();
+        for lane in &self.lanes {
+            if lane.traffic.enabled() {
+                let s = lane.traffic.summary();
+                ledger.merge(&s.ledger);
+                latency.merge(&s.latency);
+            }
+        }
+        Some(piranha_traffic::TrafficSummary { ledger, latency })
     }
 
     /// The availability ledger accumulated so far, aggregated over the

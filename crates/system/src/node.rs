@@ -23,6 +23,7 @@ use piranha_parsim::Outbox;
 use piranha_probe::Probe;
 use piranha_protocol::coherence::DirStore;
 use piranha_protocol::{EngineAction, EngineComplex, LineRange, ProtoMsg, RasPolicy};
+use piranha_traffic::TrafficPlane;
 use piranha_types::{LineAddr, NodeId};
 
 use crate::config::{CoreKind, SystemConfig};
@@ -133,6 +134,12 @@ pub(crate) struct NodeLane {
     /// The lane's fault oracle (node 0 owns the scripted schedule; the
     /// rest draw from node-decorrelated random streams).
     pub(crate) faults: FaultPlane,
+    /// The lane's open-loop traffic plane (disabled — and PRNG-free —
+    /// unless the config enables traffic).
+    pub(crate) traffic: TrafficPlane,
+    /// Per-core `traffic.nodeN.coreM.txn_latency_ns` histogram handles
+    /// (populated by `set_probe` only when traffic is on).
+    pub(crate) traffic_hists: Vec<piranha_probe::HistogramHandle>,
     /// Clone of the machine probe (no-op when disabled).
     pub(crate) probe: Probe,
     /// Lane-local version counter; strides by `version_stride` so
@@ -158,13 +165,21 @@ pub(crate) struct NodeLane {
 
 impl NodeLane {
     /// Wrap `node` as lane `index` of a `lanes`-wide machine.
-    pub(crate) fn new(index: usize, lanes: usize, node: Node, faults: FaultPlane) -> Self {
+    pub(crate) fn new(
+        index: usize,
+        lanes: usize,
+        node: Node,
+        faults: FaultPlane,
+        traffic: TrafficPlane,
+    ) -> Self {
         NodeLane {
             index,
             node,
             events: Partition::new(),
             outbox: Outbox::default(),
             faults,
+            traffic,
+            traffic_hists: Vec::new(),
             probe: Probe::disabled(),
             versions: index as u64,
             version_stride: lanes as u64,

@@ -32,6 +32,9 @@ pub struct NodeReport {
     pub tsrf_high_water: (usize, usize),
     /// Control packets the system controller interpreted.
     pub sc_packets: u64,
+    /// Work units committed per core (transactions, queries, scan
+    /// lines), in core order; zero for streams that track none.
+    pub core_units: Vec<u64>,
 }
 
 /// A machine-wide utilization report.
@@ -52,6 +55,8 @@ pub struct MachineReport {
     /// Parallel-engine counters (zero except `events` on single-chip
     /// machines, which run the serial loop).
     pub parsim: ParsimStats,
+    /// Open-loop traffic results; `None` when traffic is off.
+    pub traffic: Option<piranha_traffic::TrafficSummary>,
 }
 
 impl MachineReport {
@@ -111,8 +116,33 @@ impl MachineReport {
                 V::Count(node.remote_msgs),
             ));
             rows.push((format!("sc.node{n}.packets"), V::Count(node.sc_packets)));
+            for (c, units) in node.core_units.iter().enumerate() {
+                rows.push((format!("cpu.node{n}.core{c}.units"), V::Count(*units)));
+            }
+        }
+        if let Some(t) = &self.traffic {
+            rows.push(("traffic.generated".into(), V::Count(t.ledger.generated)));
+            rows.push(("traffic.accepted".into(), V::Count(t.ledger.accepted)));
+            rows.push(("traffic.dropped".into(), V::Count(t.ledger.dropped)));
+            rows.push(("traffic.deferred".into(), V::Count(t.ledger.deferred)));
+            rows.push(("traffic.completed".into(), V::Count(t.ledger.completed)));
+            rows.push(("traffic.txn_latency_ns.p50".into(), V::Count(t.p50_ns())));
+            rows.push(("traffic.txn_latency_ns.p95".into(), V::Count(t.p95_ns())));
+            rows.push(("traffic.txn_latency_ns.p99".into(), V::Count(t.p99_ns())));
+            rows.push(("traffic.drop_rate".into(), V::Value(t.drop_rate())));
         }
         piranha_probe::MetricsSnapshot::from_entries(rows)
+    }
+
+    /// Committed-work throughput of one core in transactions per
+    /// simulated millisecond (0 before any time elapses).
+    pub fn core_txn_per_ms(&self, units: u64) -> f64 {
+        let ns = self.now.since(piranha_types::SimTime::ZERO).as_ns();
+        if ns == 0 {
+            0.0
+        } else {
+            units as f64 * 1.0e6 / ns as f64
+        }
     }
 
     /// Mean protocol-engine occupancy in microinstructions per handled
@@ -169,6 +199,28 @@ impl fmt::Display for MachineReport {
                 n.tsrf_high_water.1,
                 n.sc_packets
             )?;
+            if n.core_units.iter().any(|&u| u > 0) {
+                let rates: Vec<String> = n
+                    .core_units
+                    .iter()
+                    .map(|&u| format!("{u} ({:.2}/ms)", self.core_txn_per_ms(u)))
+                    .collect();
+                writeln!(f, "    committed txns per core: {}", rates.join(", "))?;
+            }
+        }
+        if let Some(t) = &self.traffic {
+            writeln!(
+                f,
+                "  traffic: p50 {} ns, p95 {} ns, p99 {} ns | offered {}, accepted {}, completed {}, dropped {} ({:.2}% drop)",
+                t.p50_ns(),
+                t.p95_ns(),
+                t.p99_ns(),
+                t.ledger.generated,
+                t.ledger.accepted,
+                t.ledger.completed,
+                t.ledger.dropped,
+                t.drop_rate() * 100.0
+            )?;
         }
         Ok(())
     }
@@ -193,6 +245,7 @@ mod tests {
                 remote_instrs: 20,
                 tsrf_high_water: (2, 3),
                 sc_packets: 11,
+                core_units: vec![500, 0],
             }],
             net_delivered: 9,
             net_deflections: 1,
@@ -205,6 +258,7 @@ mod tests {
                 merged_events: 9,
                 events: 400,
             },
+            traffic: None,
         }
     }
 
@@ -225,8 +279,41 @@ mod tests {
             "TSRF hw 2/3",
             "SC 11 pkts",
             "3 rounds over 17 windows (2 empty)",
+            // 500 txns in 1000 ns = 500_000/ms.
+            "committed txns per core: 500 (500000.00/ms), 0 (0.00/ms)",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        assert!(
+            !text.contains("traffic:"),
+            "no traffic block when traffic is off:\n{text}"
+        );
+    }
+
+    #[test]
+    fn display_shows_traffic_when_on() {
+        let mut r = sample();
+        let mut latency = piranha_kernel::Histogram::new();
+        for ns in [100u64, 200, 400, 10_000] {
+            latency.record(piranha_types::Duration::from_ns(ns));
+        }
+        r.traffic = Some(piranha_traffic::TrafficSummary {
+            ledger: piranha_traffic::TrafficLedger {
+                generated: 20,
+                accepted: 16,
+                dropped: 4,
+                deferred: 0,
+                completed: 16,
+            },
+            latency,
+        });
+        let text = r.to_string();
+        for needle in ["traffic: p50 ", "p99 ", "offered 20", "(20.00% drop)"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let m = r.to_metrics();
+        assert!(m.get("traffic.generated").is_some());
+        assert!(m.get("traffic.txn_latency_ns.p99").is_some());
+        assert!(m.get("cpu.node0.core0.units").is_some());
     }
 }

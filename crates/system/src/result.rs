@@ -5,6 +5,7 @@ use piranha_cpu::CoreStats;
 use piranha_faults::AvailabilityReport;
 use piranha_probe::{MetricsSnapshot, StallTable};
 use piranha_sample::SampleEstimate;
+use piranha_traffic::TrafficSummary;
 use piranha_types::time::Clock;
 use piranha_types::Duration;
 
@@ -53,6 +54,13 @@ pub struct RunResult {
     /// estimate carries measurement error by construction, and the
     /// golden fingerprints certify the exact detailed model only.
     pub sample: Option<SampleEstimate>,
+    /// Open-loop traffic results (conservation ledger + birth→commit
+    /// latency histogram); `None` when traffic is off. Deliberately
+    /// excluded from [`RunResult::fingerprint`]: latency percentiles are
+    /// derived observations like the sample estimate, and with traffic
+    /// off the field is `None`, so the goldens certify the closed-loop
+    /// model untouched.
+    pub traffic: Option<TrafficSummary>,
 }
 
 impl RunResult {
@@ -68,6 +76,7 @@ impl RunResult {
             availability: AvailabilityReport::default(),
             committed_txns: None,
             sample: None,
+            traffic: None,
         }
     }
 
@@ -299,6 +308,29 @@ mod tests {
             a.fingerprint(),
             b.fingerprint(),
             "a sampling estimate must not affect the simulated fingerprint"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_traffic_summary() {
+        let a = mk("x", 1000, 2_000);
+        let mut b = mk("x", 1000, 2_000);
+        let mut latency = piranha_kernel::Histogram::new();
+        latency.record(Duration::from_ns(1234));
+        b.traffic = Some(TrafficSummary {
+            ledger: piranha_traffic::TrafficLedger {
+                generated: 10,
+                accepted: 8,
+                dropped: 2,
+                deferred: 0,
+                completed: 8,
+            },
+            latency,
+        });
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "traffic observations must not affect the simulated fingerprint"
         );
     }
 

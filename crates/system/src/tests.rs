@@ -238,6 +238,83 @@ fn sampled_run_multichip_smoke() {
     m.check_coherence();
 }
 
+/// Open-loop traffic end to end on one chip: bounded OLTP streams run
+/// to completion under plane admission, the conservation ledger holds,
+/// and every committed transaction has a recorded latency.
+#[test]
+fn open_loop_traffic_single_chip_smoke() {
+    let mut cfg = SystemConfig::piranha_pn(2);
+    cfg.cpu_quantum = 500;
+    cfg.traffic = piranha_traffic::TrafficConfig::poisson(200.0);
+    let oltp = piranha_workloads::OltpConfig {
+        txn_limit: 20,
+        ..piranha_workloads::OltpConfig::paper_default()
+    };
+    let mut m = Machine::new(cfg, &Workload::Oltp(oltp));
+    let r = m.run_to_completion();
+    assert_eq!(r.committed_txns, Some(40), "both streams ran to the limit");
+    let t = r.traffic.as_ref().expect("traffic summary present");
+    assert!(t.ledger.conserved(), "ledger: {:?}", t.ledger);
+    assert_eq!(t.ledger.completed, 40, "one completion per admitted txn");
+    assert!(t.ledger.generated >= t.ledger.completed);
+    assert_eq!(t.latency.count(), 40, "every commit has a latency sample");
+    assert!(t.p99_ns() >= t.p50_ns());
+    assert!(t.p50_ns() > 0);
+    m.check_coherence();
+    let report = m.report();
+    assert!(report.traffic.is_some());
+    assert!(report.to_string().contains("traffic: p50"));
+}
+
+/// The same open-loop protocol across the multi-chip quantum engine:
+/// idle-until-arrival events cross window barriers without deadlocking,
+/// and results stay bit-identical at any worker count.
+#[test]
+fn open_loop_traffic_multichip_is_worker_invariant() {
+    let run = |workers: usize| {
+        let mut cfg = SystemConfig::piranha_pn(2).scaled_to_chips(2);
+        cfg.cpu_quantum = 500;
+        cfg.traffic = piranha_traffic::TrafficConfig::poisson(400.0);
+        let oltp = piranha_workloads::OltpConfig {
+            txn_limit: 8,
+            ..piranha_workloads::OltpConfig::paper_default()
+        };
+        let mut m = Machine::new(cfg, &Workload::Oltp(oltp));
+        m.set_parallel_workers(workers);
+        let r = m.run_to_completion();
+        let t = r.traffic.clone().expect("traffic summary");
+        assert!(t.ledger.conserved());
+        (r.fingerprint(), t.ledger, t.p99_ns(), m.now())
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a, b, "traffic schedules are worker-count invariant");
+    assert_eq!(a.1.completed, 32, "8 txns x 4 cores");
+}
+
+/// A zero-rate traffic config must leave the machine bit-identical to
+/// one built with traffic entirely absent (the golden-fingerprint
+/// guarantee): no stream wrapped, no PRNG drawn, no event rescheduled.
+#[test]
+fn zero_rate_traffic_is_bit_identical_to_disabled() {
+    let run = |traffic: piranha_traffic::TrafficConfig| {
+        let mut cfg = SystemConfig::piranha_pn(2);
+        cfg.cpu_quantum = 500;
+        cfg.traffic = traffic;
+        let mut m = Machine::new(cfg, &Workload::Synth(SynthConfig::heavy()));
+        let r = m.run(1_000, 5_000);
+        assert!(r.traffic.is_none(), "no summary when traffic is off");
+        r.fingerprint()
+    };
+    let off = run(piranha_traffic::TrafficConfig::default());
+    let zero = run(piranha_traffic::TrafficConfig {
+        seed: 0xDEAD,
+        queue_depth: 2,
+        ..piranha_traffic::TrafficConfig::default()
+    });
+    assert_eq!(off, zero, "a zero-rate plane draws nothing, costs nothing");
+}
+
 /// Two sampled runs with the same seed are bit-identical, estimate
 /// included.
 #[test]

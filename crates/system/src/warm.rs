@@ -699,6 +699,11 @@ impl Machine {
             !self.cfg.faults.enabled(),
             "sampled execution does not support fault injection"
         );
+        assert!(
+            !self.cfg.traffic.enabled(),
+            "sampled execution does not support open-loop traffic \
+             (warm fast-forward skips the admission-gate points)"
+        );
         let ncpus = self.cfg.total_cpus() as u64;
         let limit = budget.map(|b| self.total_instrs().saturating_add(b.saturating_mul(ncpus)));
         let n_cores = self.cpu_stats().len();

@@ -102,7 +102,9 @@ impl Machine {
         for n in 0..total_nodes {
             let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if n >= cfg.nodes {
                 // The I/O chip's CPU runs device-driver/DMA traffic,
-                // fully coherent with the rest of the system.
+                // fully coherent with the rest of the system. It stays
+                // closed-loop even in traffic mode — devices are not
+                // user transactions.
                 vec![Box::new(SynthStream::new(
                     SynthConfig::dma(),
                     n - cfg.nodes,
@@ -110,14 +112,35 @@ impl Machine {
                     cfg.seed ^ 0x10,
                 ))]
             } else {
-                streams.drain(..cfg.cpus_per_node).collect()
+                // Traffic mode wraps each workload stream in an
+                // open-loop admission gate; disabled traffic passes the
+                // streams through untouched (bit-identical goldens).
+                piranha_traffic::wrap_streams(
+                    &cfg.traffic,
+                    streams.drain(..cfg.cpus_per_node).collect(),
+                )
             };
+            let n_node_cpus = node_streams.len();
             let node = Node::new(&cfg, n, total_nodes, node_streams);
             // Node 0's plane owns the scripted fault schedule; the
             // other lanes draw decorrelated random streams (a shared
             // PRNG would serialize the lanes).
             let faults = piranha_faults::FaultPlane::for_node(cfg.faults.clone(), cfg.seed, n);
-            let mut lane = NodeLane::new(n, total_nodes, node, faults);
+            // Same discipline for traffic: per-node decorrelated arrival
+            // schedules, disabled (and PRNG-free) at zero rate. I/O
+            // nodes always get a disabled plane.
+            let traffic = if n < cfg.nodes {
+                piranha_traffic::TrafficPlane::for_node(
+                    cfg.traffic.clone(),
+                    cfg.seed,
+                    n,
+                    n_node_cpus,
+                    cfg.cpu_clock,
+                )
+            } else {
+                piranha_traffic::TrafficPlane::disabled()
+            };
+            let mut lane = NodeLane::new(n, total_nodes, node, faults, traffic);
             for c in 0..lane.node.cpus.len() {
                 lane.events.schedule(
                     SimTime::ZERO,
@@ -147,6 +170,15 @@ impl Machine {
         self.probe = probe;
         for lane in &mut self.lanes {
             lane.probe = self.probe.clone();
+            if lane.traffic.enabled() {
+                let n = lane.index;
+                lane.traffic_hists = (0..lane.node.cpus.len())
+                    .map(|c| {
+                        lane.probe
+                            .histogram(&format!("traffic.node{n}.core{c}.txn_latency_ns"))
+                    })
+                    .collect();
+            }
         }
         if !self.probe.is_enabled() {
             return;
@@ -214,6 +246,15 @@ impl Machine {
         p.publish_counter("faults.escalated", av.escalated);
         p.publish_counter("faults.retransmits", av.retransmits);
         p.publish_counter("faults.recovery_cycles", av.recovery_cycles);
+        if let Some(ts) = self.traffic_summary() {
+            // Offered vs. accepted load, machine-wide: the open-loop
+            // generator's output against what the bounded queues took.
+            p.publish_counter("traffic.generated", ts.ledger.generated);
+            p.publish_counter("traffic.accepted", ts.ledger.accepted);
+            p.publish_counter("traffic.dropped", ts.ledger.dropped);
+            p.publish_counter("traffic.deferred", ts.ledger.deferred);
+            p.publish_counter("traffic.completed", ts.ledger.completed);
+        }
         for (n, lane) in self.lanes.iter().enumerate() {
             let node = &lane.node;
             for (c, core) in node.cpus.cores().enumerate() {
@@ -250,6 +291,14 @@ impl Machine {
             );
             p.publish_counter(&format!("protocol.node{n}.replays"), node.engines.replays());
             p.publish_counter(&format!("ras.node{n}.cap_faults"), node.ras.faults());
+            if lane.traffic.enabled() {
+                let l = lane.traffic.ledger();
+                p.publish_counter(&format!("traffic.node{n}.generated"), l.generated);
+                p.publish_counter(&format!("traffic.node{n}.accepted"), l.accepted);
+                p.publish_counter(&format!("traffic.node{n}.dropped"), l.dropped);
+                p.publish_counter(&format!("traffic.node{n}.deferred"), l.deferred);
+                p.publish_counter(&format!("traffic.node{n}.completed"), l.completed);
+            }
             p.publish_gauge(
                 &format!("protocol.node{n}.tsrf_high_water"),
                 node.engines
@@ -294,6 +343,15 @@ impl Machine {
                         n.engines.remote().tsrf_high_water(),
                     ),
                     sc_packets: n.sc.packets_handled(),
+                    core_units: n
+                        .cpus
+                        .streams()
+                        .map(|s| {
+                            s.units_completed()
+                                .or_else(|| s.txns_committed())
+                                .unwrap_or(0)
+                        })
+                        .collect(),
                 }
             })
             .collect();
@@ -305,6 +363,7 @@ impl Machine {
             net_mean_hops: self.net.mean_hops(),
             instrs: self.total_instrs(),
             parsim: self.parsim_stats(),
+            traffic: self.traffic_summary(),
         }
     }
 }

@@ -1,0 +1,184 @@
+//! Inter-arrival processes and the diurnal load curve.
+
+use piranha_kernel::Prng;
+
+/// Which inter-arrival distribution to use (config-level selector for
+/// the [`ArrivalProcess`] implementations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Exponential inter-arrival gaps (memoryless Poisson arrivals).
+    Poisson,
+    /// Log-normal inter-arrival gaps with the given sigma: same mean as
+    /// the Poisson process but burstier, with a heavier tail.
+    LogNormal {
+        /// Shape parameter of the log-normal (sigma of the underlying
+        /// normal).
+        sigma: f64,
+    },
+}
+
+impl ArrivalKind {
+    /// Build the matching generator.
+    pub fn build(self) -> Box<dyn ArrivalProcess + Send> {
+        match self {
+            ArrivalKind::Poisson => Box::new(PoissonArrivals),
+            ArrivalKind::LogNormal { sigma } => Box::new(LogNormalArrivals::new(sigma)),
+        }
+    }
+}
+
+/// A deterministic, seeded source of inter-arrival (or service-time)
+/// gaps. All randomness comes from the supplied [`Prng`], so two
+/// processes driven by identically-seeded PRNGs produce identical
+/// schedules.
+pub trait ArrivalProcess {
+    /// The next gap in cycles, targeting the given mean. Never zero, so
+    /// arrival cursors always advance.
+    fn next_gap(&mut self, mean_cycles: f64, rng: &mut Prng) -> u64;
+}
+
+/// Memoryless arrivals: exponentially distributed gaps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoissonArrivals;
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_gap(&mut self, mean_cycles: f64, rng: &mut Prng) -> u64 {
+        let u = rng.unit_f64();
+        // Inverse-CDF of the exponential; 1-u keeps the log argument in
+        // (0, 1].
+        let gap = -mean_cycles * (1.0 - u).ln();
+        (gap.round() as u64).max(1)
+    }
+}
+
+/// Bursty arrivals: log-normally distributed gaps. The location
+/// parameter is chosen so the distribution's *mean* equals the requested
+/// mean (`mu = ln(mean) - sigma^2 / 2`), making Poisson and log-normal
+/// sweeps directly comparable at equal offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormalArrivals {
+    sigma: f64,
+}
+
+impl LogNormalArrivals {
+    /// A log-normal gap generator with the given shape parameter.
+    pub fn new(sigma: f64) -> Self {
+        LogNormalArrivals {
+            sigma: sigma.max(1e-6),
+        }
+    }
+}
+
+impl ArrivalProcess for LogNormalArrivals {
+    fn next_gap(&mut self, mean_cycles: f64, rng: &mut Prng) -> u64 {
+        let mu = mean_cycles.ln() - self.sigma * self.sigma / 2.0;
+        let z = standard_normal(rng);
+        let gap = (mu + self.sigma * z).exp();
+        (gap.round() as u64).max(1)
+    }
+}
+
+/// One standard-normal draw via Box–Muller (two uniform draws per
+/// sample; the second variate is discarded to keep the draw count per
+/// gap fixed, which keeps schedules stable under reordering of cores).
+fn standard_normal(rng: &mut Prng) -> f64 {
+    let u1 = (1.0 - rng.unit_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.unit_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A sinusoidal load multiplier: offered rate swings by `amplitude`
+/// around its base over one `period_cycles`, modelling the day/night
+/// cycle of real serving load (compressed to simulation scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalCurve {
+    /// Peak deviation from the base rate, as a fraction (0.5 = ±50%).
+    pub amplitude: f64,
+    /// Cycles per full sine period.
+    pub period_cycles: u64,
+}
+
+impl DiurnalCurve {
+    /// The rate multiplier at an absolute cycle, floored at 5% so the
+    /// arrival cursor always advances.
+    pub fn multiplier(&self, cycle: u64) -> f64 {
+        let phase = (cycle % self.period_cycles.max(1)) as f64 / self.period_cycles.max(1) as f64;
+        (1.0 + self.amplitude * (std::f64::consts::TAU * phase).sin()).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_hit_the_mean() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut p = PoissonArrivals;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(1000.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 1000.0).abs() < 25.0,
+            "exponential mean ≈ 1000, got {mean}"
+        );
+    }
+
+    #[test]
+    fn lognormal_gaps_hit_the_mean_and_are_burstier() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut p = LogNormalArrivals::new(1.0);
+        let n = 40_000;
+        let gaps: Vec<u64> = (0..n).map(|_| p.next_gap(1000.0, &mut rng)).collect();
+        let mean = gaps.iter().sum::<u64>() as f64 / n as f64;
+        assert!(
+            (mean - 1000.0).abs() < 60.0,
+            "log-normal mean ≈ 1000, got {mean}"
+        );
+        // Heavier tail than exponential: max draw far above the mean.
+        let max = *gaps.iter().max().unwrap();
+        assert!(max > 5_000, "bursty tail expected, max gap {max}");
+    }
+
+    #[test]
+    fn gaps_are_deterministic_per_seed() {
+        for kind in [ArrivalKind::Poisson, ArrivalKind::LogNormal { sigma: 0.7 }] {
+            let mut a = kind.build();
+            let mut b = kind.build();
+            let mut ra = Prng::seed_from_u64(42);
+            let mut rb = Prng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_gap(500.0, &mut ra), b.next_gap(500.0, &mut rb));
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_are_never_zero() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut p = PoissonArrivals;
+        for _ in 0..1000 {
+            assert!(p.next_gap(0.001, &mut rng) >= 1);
+        }
+        let mut l = LogNormalArrivals::new(2.0);
+        for _ in 0..1000 {
+            assert!(l.next_gap(0.001, &mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn diurnal_curve_swings_and_floors() {
+        let c = DiurnalCurve {
+            amplitude: 0.5,
+            period_cycles: 1000,
+        };
+        assert!((c.multiplier(0) - 1.0).abs() < 1e-9);
+        assert!(c.multiplier(250) > 1.45, "peak near quarter period");
+        assert!(c.multiplier(750) < 0.55, "trough near three quarters");
+        let deep = DiurnalCurve {
+            amplitude: 10.0,
+            period_cycles: 1000,
+        };
+        assert!(deep.multiplier(750) >= 0.05, "floored multiplier");
+    }
+}

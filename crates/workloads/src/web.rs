@@ -197,6 +197,13 @@ impl InstrStream for WebStream {
         }
         self.queue.pop_front()
     }
+
+    /// Queries are this stream's unit of work. Deliberately *not*
+    /// `txns_committed` — that feeds `fingerprint()` and must stay
+    /// `None` for web streams.
+    fn units_completed(&self) -> Option<u64> {
+        Some(self.queries_served)
+    }
 }
 
 #[cfg(test)]
