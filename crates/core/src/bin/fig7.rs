@@ -8,9 +8,11 @@
 //! exemplar run), `--metrics=<path>` (flat metric dump),
 //! `--traffic=<rate|curve>` (run the two-chip exemplar under open-loop
 //! arrivals and print its tail-latency summary; see
-//! `piranha::observe::TrafficCli` for the spec grammar).
+//! `piranha::observe::TrafficCli` for the spec grammar),
+//! `--topology=`/`--queue=` (run the exemplar on an overridden fabric
+//! and print its fabric counters; see `piranha::observe::FabricCli`).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli, TrafficCli};
+use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli, TrafficCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
@@ -47,6 +49,16 @@ fn main() {
             Ok(summary) => print!("{summary}"),
             Err(e) => {
                 eprintln!("traffic exemplar failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let fabric = FabricCli::from_env_args();
+    if fabric.active() {
+        match observe::run_fabric_exemplar(&fabric, 20) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("fabric exemplar failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -7,9 +7,11 @@
 //! nothing else; includes the Figure 7 multi-chip rows so the CI
 //! parsim smoke exercises the quantum engine), `--trace=<path>`
 //! (Chrome-trace JSON of a probed exemplar run), `--metrics=<path>`
-//! (flat metric dump).
+//! (flat metric dump), `--topology=`/`--queue=` (run the two-chip
+//! exemplar on an overridden fabric and print its fabric counters; see
+//! `piranha::observe::FabricCli`).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli};
+use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
@@ -45,6 +47,16 @@ fn main() {
             Ok(summary) => print!("{summary}"),
             Err(e) => {
                 eprintln!("probe export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let fabric = FabricCli::from_env_args();
+    if fabric.active() {
+        match observe::run_fabric_exemplar(&fabric, 20) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("fabric exemplar failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -12,14 +12,23 @@
 //!   detected (this is what the CI `latency-smoke` step runs);
 //! - `--metrics=<path>` — write the sweep as JSON;
 //! - `--parallel=<n>` — run the multi-chip machines with `n` lane
-//!   workers (bit-identical to serial; only wall-clock changes).
+//!   workers (bit-identical to serial; only wall-clock changes);
+//! - `--topology=<ring|mesh|torus|fattree>` / `--queue=<droptail|lossy|pfc>`
+//!   — sweep the same load fractions over an overridden fabric
+//!   (calibration reruns on the overridden machine, so the load
+//!   fractions stay anchored to *its* service rate).
 use piranha::experiments::{self, LatencyReport};
-use piranha::observe::{ParallelCli, ProbeCli};
+use piranha::observe::{FabricCli, ParallelCli, ProbeCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
     let quick = std::env::args().any(|a| a == "--quick");
-    let rep = experiments::fig_latency(quick);
+    let mut cfg = experiments::fig_latency_config();
+    if let Err(e) = FabricCli::from_env_args().apply(&mut cfg) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let rep = experiments::fig_latency_on(cfg, quick);
     print!("{}", experiments::render_latency_report(&rep));
 
     let cli = ProbeCli::from_env_args();

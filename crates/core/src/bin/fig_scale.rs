@@ -1,0 +1,117 @@
+//! Fabric congestion at scale: bounded OLTP to completion on machines
+//! of 16/32/64 single-CPU chips over every explicit topology
+//! (mesh/torus/fat-tree) × queue discipline (drop-tail/lossy-NACK/PFC)
+//! combination of the pluggable interconnect, reporting throughput,
+//! deflection/drop/pause rates, and link occupancy.
+//!
+//! Flags:
+//!
+//! - `--quick` — CI scale (fewer transactions per CPU);
+//! - `--topology=<mesh|torus|fattree>` — narrow the sweep to one shape;
+//! - `--queue=<droptail|lossy|pfc>` — narrow the sweep to one
+//!   discipline;
+//! - `--check` — exit nonzero unless some swept point shows measurable
+//!   congestion (nonzero drops or pause stalls — this is what the CI
+//!   `scale-smoke` step runs; the per-row packet-ledger conservation is
+//!   asserted unconditionally inside the sweep);
+//! - `--metrics=<path>` — write the sweep as JSON;
+//! - `--parallel=<n>` — run every machine with `n` lane workers
+//!   (bit-identical to serial; only wall-clock changes).
+use piranha::experiments::{self, ScaleReport};
+use piranha::observe::{FabricCli, ParallelCli, ProbeCli};
+
+fn main() {
+    ParallelCli::from_env_args().apply();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let fabric = FabricCli::from_env_args();
+    let (topology, queue) = match fabric.resolve() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let rep = experiments::fig_scale(quick, topology, queue);
+    print!("{}", experiments::render_scale_report(&rep));
+
+    let cli = ProbeCli::from_env_args();
+    if let Some(path) = &cli.metrics {
+        if let Err(e) = std::fs::write(path, report_json(&rep)) {
+            eprintln!("writing {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("scale report -> {}", path.display());
+    }
+
+    if std::env::args().any(|a| a == "--check") {
+        check(&rep);
+        println!("scale-smoke checks passed");
+    }
+}
+
+/// The CI assertion: finite port buffers must actually bite somewhere
+/// in the sweep — at least one row with drops (drop-tail/lossy) and at
+/// least one with pause stalls (PFC). The packet-ledger conservation of
+/// every row is already asserted inside `fig_scale` itself.
+fn check(rep: &ScaleReport) {
+    assert!(!rep.rows.is_empty(), "sweep produced no rows");
+    assert!(
+        rep.rows.iter().any(|r| r.fabric.drops > 0),
+        "no swept point dropped a packet — port capacity never bit"
+    );
+    assert!(
+        rep.rows
+            .iter()
+            .any(|r| r.fabric.pauses > 0 && r.fabric.drops == 0),
+        "no PFC point paused without dropping"
+    );
+    for r in &rep.rows {
+        assert!(
+            r.fabric.delivered > 0 && r.committed > 0,
+            "{}x{}x{}: degenerate row",
+            r.nodes,
+            r.topology,
+            r.queue
+        );
+    }
+}
+
+/// The JSON report the CI `scale-smoke` step uploads.
+fn report_json(rep: &ScaleReport) -> String {
+    let rows: Vec<String> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"nodes\":{},\"topology\":\"{}\",\"queue\":\"{}\",\
+                 \"committed\":{},\"tpmc\":{},\"sim_us\":{},\
+                 \"delivered\":{},\"walks\":{},\"retransmits\":{},\
+                 \"deflections\":{},\"drops\":{},\"pauses\":{},\
+                 \"pause_ns\":{},\"mean_hops\":{},\"links\":{},\
+                 \"occupancy\":{},\"fingerprint\":{}}}",
+                r.nodes,
+                r.topology,
+                r.queue,
+                r.committed,
+                r.tpmc,
+                r.sim_us,
+                r.fabric.delivered,
+                r.fabric.walks,
+                r.fabric.retransmits,
+                r.fabric.deflections,
+                r.fabric.drops,
+                r.fabric.pauses,
+                r.fabric.pause_time.as_ns(),
+                r.fabric.mean_hops,
+                r.fabric.links,
+                r.occupancy,
+                r.fingerprint
+            )
+        })
+        .collect();
+    format!(
+        "{{\"txns_per_cpu\":{},\"rows\":[{}]}}\n",
+        rep.txns_per_cpu,
+        rows.join(",")
+    )
+}

@@ -20,7 +20,10 @@
 //! deterministic, its output is bit-identical to the serial
 //! [`all_figures_serial`] path.
 
-use piranha_system::{FaultConfig, RunResult, SystemConfig, TrafficConfig, TrafficLedger};
+use piranha_system::{
+    FabricStats, FaultConfig, QueueDiscipline, RunResult, SystemConfig, TopologyKind,
+    TrafficConfig, TrafficLedger,
+};
 use piranha_workloads::{DssConfig, OltpConfig, Workload};
 
 pub use piranha_harness::{cache_key, default_threads, Harness, RunPlan, RunRequest, RunScale};
@@ -765,7 +768,18 @@ pub struct LatencyReport {
 /// (`accepted + dropped + deferred == generated`) — a structural
 /// guarantee of the admission gate.
 pub fn fig_latency(quick: bool) -> LatencyReport {
-    let cfg = fig_latency_config();
+    fig_latency_on(fig_latency_config(), quick)
+}
+
+/// [`fig_latency`] on an explicit configuration — the
+/// `--topology=`/`--queue=` rider of the latency binary sweeps the same
+/// load fractions over an overridden fabric.
+///
+/// # Panics
+///
+/// Panics as [`fig_latency`] does when a traffic ledger fails to
+/// conserve.
+pub fn fig_latency_on(cfg: SystemConfig, quick: bool) -> LatencyReport {
     let txns = if quick { 12 } else { 60 };
     let w = oltp_bounded(txns);
 
@@ -857,6 +871,198 @@ pub fn render_latency_report(rep: &LatencyReport) -> String {
     }
     if rep.knee.is_none() {
         out.push_str("(no knee within the swept range)\n");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fabric congestion at scale: the fig_scale sweep (16–64 nodes ×
+// topology × queue discipline over the pluggable interconnect).
+// ---------------------------------------------------------------------
+
+/// The machine sizes (single-CPU chips) the scale sweep covers.
+pub const SCALE_NODES: [usize; 3] = [16, 32, 64];
+
+/// The explicit fabric shapes the scale sweep covers. `Auto` and `Ring`
+/// are omitted: auto is the paper layout the other figures already
+/// measure, and a 64-node ring is pathological enough to drown the
+/// comparison.
+pub const SCALE_TOPOLOGIES: [TopologyKind; 3] = [
+    TopologyKind::Mesh,
+    TopologyKind::Torus,
+    TopologyKind::FatTree,
+];
+
+/// The queue disciplines the scale sweep covers, each bounded at the
+/// congested port capacity
+/// ([`piranha_net::CONGESTED_CAPACITY_NS`]) so finite buffering
+/// actually bites.
+pub fn scale_queues() -> [QueueDiscipline; 3] {
+    let capacity = piranha_types::Duration::from_ns(piranha_net::CONGESTED_CAPACITY_NS);
+    [
+        QueueDiscipline::DropTail { capacity },
+        QueueDiscipline::LossyNack { capacity },
+        QueueDiscipline::Pfc { capacity },
+    ]
+}
+
+/// One `nodes × topology × queue` point of the scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Processing-node count (single-CPU chips).
+    pub nodes: usize,
+    /// Fabric shape label (`mesh`/`torus`/`fattree`).
+    pub topology: &'static str,
+    /// Queue-discipline label (`droptail`/`lossy`/`pfc`).
+    pub queue: &'static str,
+    /// Transactions committed (identical across queue disciplines of
+    /// one size — the fabric delays work, never loses it).
+    pub committed: u64,
+    /// Closed-loop throughput, transactions per million cycles per
+    /// core.
+    pub tpmc: f64,
+    /// Final simulated time, microseconds.
+    pub sim_us: f64,
+    /// The fabric counters of the run (delivery ledger, deflections,
+    /// drops, pauses, link occupancy aggregates).
+    pub fabric: FabricStats,
+    /// Mean link utilization over the run.
+    pub occupancy: f64,
+    /// The run's deterministic fingerprint.
+    pub fingerprint: u64,
+}
+
+/// The `fig_scale` sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Transactions per CPU of the bounded OLTP workload.
+    pub txns_per_cpu: u64,
+    /// One row per `nodes × topology × queue` combination, nodes
+    /// outermost.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// **Fabric congestion at scale**: run bounded OLTP to completion on
+/// machines of 16/32/64 single-CPU chips over every
+/// [`SCALE_TOPOLOGIES`] × [`scale_queues`] combination, and report
+/// throughput, deflection/drop/pause rates, and link occupancy.
+/// Optional filters narrow the sweep to one shape or discipline (the
+/// `--topology=`/`--queue=` riders). `quick` shrinks the workload to CI
+/// scale.
+///
+/// Every run is deterministic, so the whole report (fingerprints
+/// included) is reproducible bit-for-bit at any `--parallel` worker
+/// count.
+///
+/// # Panics
+///
+/// Panics if any row violates the packet ledger — a structural
+/// guarantee of the fabric: every walk either delivers or retransmits
+/// (`delivered + retransmits == walks`), bounded-queue refusals are
+/// exactly the non-fault retransmits (`drops == retransmits`, since the
+/// sweep injects no link faults), and PFC pauses instead of dropping
+/// (`drops == 0`).
+pub fn fig_scale(
+    quick: bool,
+    topology: Option<TopologyKind>,
+    queue: Option<QueueDiscipline>,
+) -> ScaleReport {
+    let txns = if quick { 2 } else { 6 };
+    let w = oltp_bounded(txns);
+    let workers = piranha_harness::node_workers();
+    let mut rows = Vec::new();
+    for nodes in SCALE_NODES {
+        for topo in SCALE_TOPOLOGIES {
+            if topology.is_some_and(|t| t != topo) {
+                continue;
+            }
+            for q in scale_queues() {
+                if queue.is_some_and(|f| f.label() != q.label()) {
+                    continue;
+                }
+                let mut cfg = SystemConfig::piranha_pn(1).scaled_to_chips(nodes);
+                cfg.topology = topo;
+                cfg.net.queue = q;
+                let (r, m) = piranha_harness::run_config_parallel_machine(
+                    cfg,
+                    &w,
+                    RunScale::completion(),
+                    workers,
+                );
+                let fs = m.fabric_stats();
+                assert_eq!(
+                    fs.delivered + fs.retransmits,
+                    fs.walks,
+                    "{nodes}x{}x{}: every walk must deliver or retransmit",
+                    topo.label(),
+                    q.label()
+                );
+                assert_eq!(
+                    fs.drops,
+                    fs.retransmits,
+                    "{nodes}x{}x{}: faultless runs retransmit only on drops",
+                    topo.label(),
+                    q.label()
+                );
+                if matches!(q, QueueDiscipline::Pfc { .. }) {
+                    assert_eq!(fs.drops, 0, "PFC pauses instead of dropping");
+                }
+                let committed = r.committed_txns.expect("bounded workload reports work");
+                let cycles = r.clock.cycles(r.window).max(1) as f64;
+                let elapsed = m.now().since(piranha_types::SimTime::ZERO);
+                rows.push(ScaleRow {
+                    nodes,
+                    topology: topo.label(),
+                    queue: q.label(),
+                    committed,
+                    tpmc: committed as f64 / r.cpus.len() as f64 / cycles * 1e6,
+                    sim_us: elapsed.as_ps() as f64 / 1e6,
+                    occupancy: fs.occupancy(elapsed),
+                    fabric: fs,
+                    fingerprint: r.fingerprint(),
+                });
+            }
+        }
+    }
+    ScaleReport {
+        txns_per_cpu: txns,
+        rows,
+    }
+}
+
+/// Render the scale sweep as a text table.
+pub fn render_scale_report(rep: &ScaleReport) -> String {
+    let mut out = format!(
+        "Fabric congestion at scale — bounded OLTP ({} txns/CPU) on single-CPU chips\n\
+         {:<6} {:<8} {:<9} {:>8} {:>7} {:>10} {:>9} {:>7} {:>7} {:>8} {:>6}\n",
+        rep.txns_per_cpu,
+        "Nodes",
+        "Fabric",
+        "Queue",
+        "Txns",
+        "tpmc",
+        "Delivered",
+        "Deflect",
+        "Drops",
+        "Pauses",
+        "MeanHop",
+        "Occ%"
+    );
+    for r in &rep.rows {
+        out.push_str(&format!(
+            "{:<6} {:<8} {:<9} {:>8} {:>7.2} {:>10} {:>9} {:>7} {:>7} {:>8.2} {:>5.1}%\n",
+            r.nodes,
+            r.topology,
+            r.queue,
+            r.committed,
+            r.tpmc,
+            r.fabric.delivered,
+            r.fabric.deflections,
+            r.fabric.drops,
+            r.fabric.pauses,
+            r.fabric.mean_hops,
+            r.occupancy * 100.0
+        ));
     }
     out
 }

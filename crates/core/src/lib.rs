@@ -42,10 +42,10 @@
 #![warn(missing_docs)]
 
 pub use piranha_system::{
-    ArrivalKind, AvailabilityReport, CoreKind, CpuBreakdown, DiurnalCurve, FaultConfig, FaultKind,
-    Machine, OverflowPolicy, ParsimStats, PathLatencies, Probe, ProbeConfig, RunResult,
-    SampleConfig, SampleEstimate, SystemConfig, TraceLevel, TrafficConfig, TrafficLedger,
-    TrafficSummary,
+    ArrivalKind, AvailabilityReport, CoreKind, CpuBreakdown, DiurnalCurve, FabricStats,
+    FaultConfig, FaultKind, Machine, OverflowPolicy, ParsimStats, PathLatencies, Probe,
+    ProbeConfig, QueueDiscipline, RoutePolicy, RunResult, SampleConfig, SampleEstimate,
+    SystemConfig, TopologyKind, TraceLevel, TrafficConfig, TrafficLedger, TrafficSummary,
 };
 
 /// Shared architectural types (re-export of `piranha-types`).

@@ -19,10 +19,11 @@
 
 use std::path::{Path, PathBuf};
 
-use piranha_harness::{run_config_probed, RunScale};
+use piranha_harness::{run_config_parallel_machine, run_config_probed, RunScale};
 use piranha_probe::{chrome, ProbeConfig, TraceLevel};
 use piranha_system::{
-    ArrivalKind, DiurnalCurve, FaultConfig, OverflowPolicy, SystemConfig, TrafficConfig,
+    ArrivalKind, DiurnalCurve, FaultConfig, OverflowPolicy, QueueDiscipline, SystemConfig,
+    TopologyKind, TrafficConfig,
 };
 use piranha_workloads::Workload;
 
@@ -379,6 +380,131 @@ pub fn run_traffic_exemplar(cli: &TrafficCli, txns_per_cpu: u64) -> Result<Strin
     ))
 }
 
+/// The fabric-override flags of a figure binary (the pluggable
+/// interconnect of `piranha-net`):
+///
+/// - `--topology=<ring|mesh|torus|fattree>` — replace the automatic
+///   paper layout with an explicit fabric shape;
+/// - `--queue=<droptail|lossy|pfc>` — bound every output port at the
+///   congested capacity
+///   ([`piranha_net::CONGESTED_CAPACITY_NS`]) and select its overflow
+///   behaviour (the default fabric is lossless unbounded drop-tail).
+///
+/// Golden fingerprints only apply with both flags absent. In
+/// `fig_scale` the flags *narrow the sweep* to the named shape and
+/// discipline instead of overriding a single configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FabricCli {
+    /// The raw `--topology=` value, if given.
+    pub topology: Option<String>,
+    /// The raw `--queue=` value, if given.
+    pub queue: Option<String>,
+}
+
+impl FabricCli {
+    /// Parse `--topology=`/`--queue=` out of the process arguments.
+    pub fn from_env_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse the flags from an explicit argument list; unrelated
+    /// arguments are ignored.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = FabricCli::default();
+        for a in args {
+            if let Some(v) = a.strip_prefix("--topology=") {
+                cli.topology = Some(v.to_string());
+            } else if let Some(v) = a.strip_prefix("--queue=") {
+                cli.queue = Some(v.to_string());
+            }
+        }
+        cli
+    }
+
+    /// Whether any fabric override was requested.
+    pub fn active(&self) -> bool {
+        self.topology.is_some() || self.queue.is_some()
+    }
+
+    /// Resolve the raw flag values.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unrecognized topology or queue spelling instead of
+    /// silently falling back to the defaults.
+    pub fn resolve(&self) -> Result<(Option<TopologyKind>, Option<QueueDiscipline>), String> {
+        let topo = match &self.topology {
+            None => None,
+            Some(s) => Some(TopologyKind::parse(s).ok_or_else(|| {
+                format!("unknown topology {s:?} (expected ring|mesh|torus|fattree)")
+            })?),
+        };
+        let queue = match &self.queue {
+            None => None,
+            Some(s) => Some(QueueDiscipline::parse(s).ok_or_else(|| {
+                format!("unknown queue discipline {s:?} (expected droptail|lossy|pfc)")
+            })?),
+        };
+        Ok((topo, queue))
+    }
+
+    /// Apply the overrides to a system configuration (a no-op for
+    /// absent flags).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FabricCli::resolve`] errors.
+    pub fn apply(&self, cfg: &mut SystemConfig) -> Result<(), String> {
+        let (topo, queue) = self.resolve()?;
+        if let Some(t) = topo {
+            cfg.topology = t;
+        }
+        if let Some(q) = queue {
+            cfg.net.queue = q;
+        }
+        Ok(())
+    }
+}
+
+/// Run the two-chip exemplar under the fabric overrides of `cli` on a
+/// bounded OLTP workload and summarize its fabric counters — the
+/// `--topology=`/`--queue=` rider of `fig7`/`fig8`.
+///
+/// # Errors
+///
+/// Propagates [`FabricCli::resolve`] errors.
+pub fn run_fabric_exemplar(cli: &FabricCli, txns_per_cpu: u64) -> Result<String, String> {
+    let mut cfg = exemplar_config();
+    cli.apply(&mut cfg)?;
+    let name = cfg.name.clone();
+    let (topo, queue) = (cfg.topology, cfg.net.queue);
+    let w = Workload::Oltp(piranha_workloads::OltpConfig {
+        txn_limit: txns_per_cpu,
+        ..piranha_workloads::OltpConfig::paper_default()
+    });
+    let workers = piranha_harness::node_workers();
+    let (r, m) = run_config_parallel_machine(cfg, &w, RunScale::completion(), workers);
+    let fs = m.fabric_stats();
+    let elapsed = m.now().since(piranha_types::SimTime::ZERO);
+    Ok(format!(
+        "Fabric exemplar: {name} on {} ({} queue)\n\
+         committed {} txns; fabric delivered {} pkts (mean {:.2} hops), \
+         {} deflections, {} drops, {} pauses, {} retransmits\n\
+         {} links at {:.2}% mean occupancy\n",
+        topo.label(),
+        queue.label(),
+        r.committed_txns.unwrap_or(0),
+        fs.delivered,
+        fs.mean_hops,
+        fs.deflections,
+        fs.drops,
+        fs.pauses,
+        fs.retransmits,
+        fs.links,
+        fs.occupancy(elapsed) * 100.0,
+    ))
+}
+
 /// The configuration the probed exemplar run simulates: a two-chip
 /// machine of 4-CPU Piranha chips, so protocol-engine and interconnect
 /// activity shows up in the trace alongside cpu/cache/mem spans.
@@ -554,6 +680,31 @@ mod tests {
                 "{bad} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn fabric_flags_resolve_to_overrides() {
+        // No flags: the config keeps its (golden) defaults.
+        let off = FabricCli::parse(args(&["--quick"]));
+        assert!(!off.active());
+        let mut cfg = exemplar_config();
+        off.apply(&mut cfg).unwrap();
+        assert_eq!(cfg.topology, TopologyKind::Auto);
+        assert_eq!(cfg.net.queue, QueueDiscipline::unbounded());
+        // Both riders apply; the queue comes back bounded.
+        let cli = FabricCli::parse(args(&["--topology=torus", "--queue=pfc", "--quick"]));
+        assert!(cli.active());
+        cli.apply(&mut cfg).unwrap();
+        assert_eq!(cfg.topology, TopologyKind::Torus);
+        assert_eq!(cfg.net.queue.label(), "pfc");
+        assert!(cfg.net.queue.capacity() < QueueDiscipline::unbounded().capacity());
+        // Malformed values are reported, not swallowed.
+        assert!(FabricCli::parse(args(&["--topology=hypercube"]))
+            .resolve()
+            .is_err());
+        assert!(FabricCli::parse(args(&["--queue=wormhole"]))
+            .resolve()
+            .is_err());
     }
 
     #[test]

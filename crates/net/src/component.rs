@@ -76,6 +76,27 @@ impl<P> Fabric<P> {
         self.net.deflections()
     }
 
+    /// Deflections charged to each node's router (indexed by node).
+    pub fn node_deflections(&self) -> &[u64] {
+        self.net.node_deflections()
+    }
+
+    /// Packets refused by a full output port (bounded disciplines).
+    pub fn drops(&self) -> u64 {
+        self.net.drops()
+    }
+
+    /// PFC pause events (credit-based back-pressure stalls).
+    pub fn pauses(&self) -> u64 {
+        self.net.pauses()
+    }
+
+    /// A full occupancy/loss counter snapshot (see
+    /// [`crate::FabricStats`]).
+    pub fn stats(&self) -> crate::FabricStats {
+        self.net.stats()
+    }
+
     /// Mean hops per delivered packet.
     pub fn mean_hops(&self) -> f64 {
         self.net.mean_hops()
@@ -100,6 +121,13 @@ impl<P> Fabric<P> {
     /// per-pair lookahead matrix at wiring time.
     pub fn pair_bounds(&self) -> Vec<Vec<piranha_types::Duration>> {
         self.net.pair_bounds()
+    }
+
+    /// [`Fabric::pair_bounds`] restricted to host (lane) nodes — what
+    /// the system layer's lookahead actually needs on topologies with
+    /// phantom switch nodes (see [`crate::Network::host_pair_bounds`]).
+    pub fn host_pair_bounds(&self) -> Vec<Vec<piranha_types::Duration>> {
+        self.net.host_pair_bounds()
     }
 }
 

@@ -32,10 +32,15 @@ pub mod packet;
 pub mod queues;
 pub mod recovery;
 pub mod router;
+pub mod topology;
 
 pub use component::{Arrive, Depart, Fabric};
 pub use encoding::{decode22, encode22, CodecError};
 pub use packet::{Packet, PacketKind, PRIORITIES};
 pub use queues::{InQueue, OutQueue};
 pub use recovery::{crc32, flip_bit};
-pub use router::{Network, NetworkConfig, Topology};
+pub use router::{
+    FabricStats, Network, NetworkConfig, QueueDiscipline, RoutePolicy, CONGESTED_CAPACITY_NS,
+    MAX_CHANNELS,
+};
+pub use topology::{Topology, TopologyKind};

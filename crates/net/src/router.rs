@@ -8,212 +8,148 @@
 //!
 //! [`Network`] holds the topology, per-link bandwidth pipes, and
 //! shortest-path next-hop tables, and walks a packet hop by hop at
-//! injection time: at each node the preferred (shortest-path) output is
-//! used unless its queue is backed up beyond a patience threshold, in
-//! which case the packet deflects to the least-loaded alternative link
-//! and its age/priority rise — old packets stop deflecting, which
-//! guarantees delivery.
+//! injection time. Two orthogonal policies govern the walk:
+//!
+//! * [`RoutePolicy`] picks the output port: the default adaptive
+//!   hot-potato scheme uses the preferred (shortest-path) output unless
+//!   its queue is backed up beyond a patience threshold, in which case
+//!   the packet deflects to the least-loaded alternative link and its
+//!   age/priority rise — old packets stop deflecting, which guarantees
+//!   delivery. The deterministic dimension-order alternative never
+//!   deflects.
+//! * [`QueueDiscipline`] decides what happens when the chosen output
+//!   port's backlog exceeds its buffer capacity: drop-tail (drop, the
+//!   sender times out and re-walks), lossy-NACK (drop, an explicit NACK
+//!   returns to the sender, which re-walks after exponential backoff —
+//!   the link-level CRC/retransmit machinery of [`crate::recovery`]),
+//!   or PFC-style credit pause (never drop; the packet stalls until the
+//!   port drains below capacity). The default drop-tail capacity is
+//!   effectively unbounded, reproducing the paper's lossless fabric
+//!   bit-for-bit.
+//!
+//! Every discipline only ever *adds* latency over the ideal walk, and
+//! every policy takes at least the BFS hop count, so the conservative
+//! per-pair bounds of [`Network::pair_bounds`] hold under all of them.
 
 use piranha_kernel::{Counter, Histogram, Pipe};
 use piranha_types::{Duration, NodeId, SimTime};
 
 use crate::packet::Packet;
+use crate::topology::Topology;
 
 /// Maximum links per processing node (paper §2.6.1).
 pub const MAX_CHANNELS: usize = 4;
 
-/// A system topology: which nodes connect to which.
-#[derive(Debug, Clone)]
-pub struct Topology {
-    /// adjacency[i] = neighbours of node i.
-    adj: Vec<Vec<NodeId>>,
+/// How the router picks an output port at each hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// The paper's S-Connect adaptive scheme: shortest path unless the
+    /// preferred port is backed up past `deflect_patience`, then
+    /// deflect to the least-loaded alternative (age caps deflection).
+    AdaptiveHotPotato,
+    /// Deterministic dimension-order (X then Y) routing on grid
+    /// topologies, falling back to the BFS next-hop table elsewhere;
+    /// never deflects. Path length always equals the BFS distance.
+    DimensionOrder,
 }
 
-impl Topology {
-    /// A topology from an explicit neighbour list.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the adjacency is asymmetric, contains self-loops or
-    /// out-of-range nodes, or is not connected.
-    pub fn custom(adj: Vec<Vec<NodeId>>) -> Self {
-        let n = adj.len();
-        for (i, nbrs) in adj.iter().enumerate() {
-            for &m in nbrs {
-                assert!((m.index()) < n, "neighbour {m} out of range");
-                assert_ne!(m.index(), i, "self-loop at node {i}");
-                assert!(
-                    adj[m.index()].contains(&NodeId(i as u16)),
-                    "asymmetric link {i} -> {m}"
-                );
-            }
+impl RoutePolicy {
+    /// The flag spelling (stable, lowercase; used in report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutePolicy::AdaptiveHotPotato => "hotpotato",
+            RoutePolicy::DimensionOrder => "dimorder",
         }
-        let t = Topology { adj };
-        assert!(t.is_connected(), "topology must be connected");
-        t
     }
+}
 
-    /// A bidirectional ring of `n` nodes (2 channels per node).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2`.
-    pub fn ring(n: usize) -> Self {
-        assert!(n >= 2, "ring needs at least 2 nodes");
-        let adj = (0..n)
-            .map(|i| {
-                let prev = NodeId(((i + n - 1) % n) as u16);
-                let next = NodeId(((i + 1) % n) as u16);
-                if prev == next {
-                    vec![next] // n == 2
-                } else {
-                    vec![prev, next]
-                }
-            })
-            .collect();
-        Topology { adj }
-    }
+/// What a switch does when the chosen output port's backlog exceeds its
+/// buffer capacity. Capacity is expressed as backlog *time* on the
+/// port's wire (bytes queued ÷ link bandwidth): a port whose pipe is
+/// busy more than `capacity` past the packet's arrival refuses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// Drop the packet silently; the sender's loss timer expires and it
+    /// re-walks the packet from the source (counted as a retransmit).
+    DropTail {
+        /// Maximum tolerated backlog at any output port.
+        capacity: Duration,
+    },
+    /// Drop the packet and return an explicit NACK to the sender over
+    /// the hops already taken; the sender re-walks after exponential
+    /// backoff — the same CRC/NACK/retransmit machinery the link-fault
+    /// recovery path uses ([`Network::resend`]).
+    LossyNack {
+        /// Maximum tolerated backlog at any output port.
+        capacity: Duration,
+    },
+    /// Credit-based (PFC-style) pause: the packet is never dropped; it
+    /// stalls at the switch until the port drains back below capacity.
+    Pfc {
+        /// Backlog at which the port asserts back-pressure.
+        capacity: Duration,
+    },
+}
 
-    /// A fully-connected topology (possible gluelessly up to 5 processing
-    /// nodes with 4 channels each); used for the paper's 4-chip scaling
-    /// study.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2` or `n > MAX_CHANNELS + 1`.
-    pub fn fully_connected(n: usize) -> Self {
-        assert!(
-            (2..=MAX_CHANNELS + 1).contains(&n),
-            "full mesh limited by 4 channels/node"
-        );
-        let adj = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| j != i)
-                    .map(|j| NodeId(j as u16))
-                    .collect()
-            })
-            .collect();
-        Topology { adj }
-    }
+/// The default bounded buffer of the congested disciplines: eight
+/// long-packet serializations at paper bandwidth (8 × 20 ns).
+pub const CONGESTED_CAPACITY_NS: u64 = 160;
 
-    /// A 2-D mesh of `w x h` nodes (≤ 4 channels per node, the paper's
-    /// natural large-system topology).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either dimension is zero or the mesh is a single node.
-    pub fn mesh(w: usize, h: usize) -> Self {
-        assert!(w * h >= 2, "mesh needs at least 2 nodes");
-        let id = |x: usize, y: usize| NodeId((y * w + x) as u16);
-        let adj = (0..w * h)
-            .map(|i| {
-                let (x, y) = (i % w, i / w);
-                let mut nbrs = Vec::new();
-                if x > 0 {
-                    nbrs.push(id(x - 1, y));
-                }
-                if x + 1 < w {
-                    nbrs.push(id(x + 1, y));
-                }
-                if y > 0 {
-                    nbrs.push(id(x, y - 1));
-                }
-                if y + 1 < h {
-                    nbrs.push(id(x, y + 1));
-                }
-                nbrs
-            })
-            .collect();
-        Topology { adj }
-    }
-
-    /// Number of nodes.
-    pub fn nodes(&self) -> usize {
-        self.adj.len()
-    }
-
-    /// Neighbours of `n`.
-    pub fn neighbours(&self, n: NodeId) -> &[NodeId] {
-        &self.adj[n.index()]
-    }
-
-    /// Maximum degree (must be ≤ 4 for processing nodes).
-    pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
-    }
-
-    fn is_connected(&self) -> bool {
-        let n = self.adj.len();
-        if n == 0 {
-            return false;
+impl QueueDiscipline {
+    /// The default discipline: drop-tail with an unbounded buffer —
+    /// nothing is ever dropped or paused, matching the paper's lossless
+    /// fabric (and the golden runs) exactly.
+    pub fn unbounded() -> Self {
+        // ~13 simulated days of backlog: unreachable by construction
+        // (total wire time of a run is orders of magnitude smaller).
+        QueueDiscipline::DropTail {
+            capacity: Duration::from_ns(1 << 50),
         }
-        let mut seen = vec![false; n];
-        let mut stack = vec![0usize];
-        seen[0] = true;
-        while let Some(i) = stack.pop() {
-            for &m in &self.adj[i] {
-                if !seen[m.index()] {
-                    seen[m.index()] = true;
-                    stack.push(m.index());
-                }
-            }
-        }
-        seen.into_iter().all(|s| s)
     }
 
-    /// All-pairs shortest-path hop counts via BFS: `distances[src][dst]`
-    /// = minimum hops from `src` to `dst` (0 on the diagonal). The
-    /// topology is connected by construction, so every entry is finite.
-    pub fn distances(&self) -> Vec<Vec<usize>> {
-        let n = self.adj.len();
-        let mut table = vec![vec![0usize; n]; n];
-        for src in 0..n {
-            let dist = &mut table[src];
-            let mut seen = vec![false; n];
-            seen[src] = true;
-            let mut queue = std::collections::VecDeque::new();
-            queue.push_back(src);
-            while let Some(u) = queue.pop_front() {
-                for &v in &self.adj[u] {
-                    if !seen[v.index()] {
-                        seen[v.index()] = true;
-                        dist[v.index()] = dist[u] + 1;
-                        queue.push_back(v.index());
-                    }
-                }
-            }
+    /// Parse a `--queue=` flag value into a *bounded* discipline with
+    /// the [`CONGESTED_CAPACITY_NS`] buffer.
+    pub fn parse(s: &str) -> Option<Self> {
+        let capacity = Duration::from_ns(CONGESTED_CAPACITY_NS);
+        match s.trim().to_ascii_lowercase().as_str() {
+            "droptail" | "drop-tail" => Some(QueueDiscipline::DropTail { capacity }),
+            "lossy" | "lossynack" | "lossy-nack" => Some(QueueDiscipline::LossyNack { capacity }),
+            "pfc" | "pause" => Some(QueueDiscipline::Pfc { capacity }),
+            _ => None,
         }
-        table
     }
 
-    /// All-pairs next-hop table via BFS: `table[src][dst]` = neighbour to
-    /// take (self for src == dst).
-    fn next_hops(&self) -> Vec<Vec<NodeId>> {
-        let n = self.adj.len();
-        let mut table = vec![vec![NodeId(0); n]; n];
-        for dst in 0..n {
-            // BFS backwards from dst.
-            let mut dist = vec![usize::MAX; n];
-            let mut next = vec![NodeId(dst as u16); n];
-            let mut queue = std::collections::VecDeque::new();
-            dist[dst] = 0;
-            queue.push_back(dst);
-            while let Some(u) = queue.pop_front() {
-                for &v in &self.adj[u] {
-                    if dist[v.index()] == usize::MAX {
-                        dist[v.index()] = dist[u] + 1;
-                        // First hop from v toward dst is u.
-                        next[v.index()] = NodeId(u as u16);
-                        queue.push_back(v.index());
-                    }
-                }
-            }
-            for src in 0..n {
-                table[src][dst] = next[src];
-            }
+    /// The flag spelling (stable, lowercase; used in report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueDiscipline::DropTail { .. } => "droptail",
+            QueueDiscipline::LossyNack { .. } => "lossy",
+            QueueDiscipline::Pfc { .. } => "pfc",
         }
-        table
+    }
+
+    /// The port buffer capacity.
+    pub fn capacity(self) -> Duration {
+        match self {
+            QueueDiscipline::DropTail { capacity }
+            | QueueDiscipline::LossyNack { capacity }
+            | QueueDiscipline::Pfc { capacity } => capacity,
+        }
+    }
+
+    /// Same discipline with a different port capacity.
+    pub fn with_capacity(self, capacity: Duration) -> Self {
+        match self {
+            QueueDiscipline::DropTail { .. } => QueueDiscipline::DropTail { capacity },
+            QueueDiscipline::LossyNack { .. } => QueueDiscipline::LossyNack { capacity },
+            QueueDiscipline::Pfc { .. } => QueueDiscipline::Pfc { capacity },
+        }
+    }
+}
+
+impl Default for QueueDiscipline {
+    fn default() -> Self {
+        Self::unbounded()
     }
 }
 
@@ -229,16 +165,23 @@ pub struct NetworkConfig {
     /// Age at which a packet stops deflecting and insists on the
     /// shortest path (guarantees delivery).
     pub max_deflect_age: u32,
+    /// Output-port selection policy.
+    pub route: RoutePolicy,
+    /// Output-port overflow behaviour.
+    pub queue: QueueDiscipline,
 }
 
 impl NetworkConfig {
-    /// Paper-derived defaults: 4 GB/s links, ~16 ns per hop.
+    /// Paper-derived defaults: 4 GB/s links, ~16 ns per hop, adaptive
+    /// hot-potato routing over lossless (unbounded drop-tail) ports.
     pub fn paper_default() -> Self {
         NetworkConfig {
             link_gb_s: 4,
             hop_latency: Duration::from_ns(16),
             deflect_patience: Duration::from_ns(30),
             max_deflect_age: 8,
+            route: RoutePolicy::AdaptiveHotPotato,
+            queue: QueueDiscipline::unbounded(),
         }
     }
 
@@ -259,6 +202,48 @@ impl NetworkConfig {
 impl Default for NetworkConfig {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// A snapshot of the fabric's occupancy and loss counters, for probe
+/// export and the `fig_scale` congestion sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Route walks attempted (`delivered + retransmits` — the packet
+    /// ledger the scale sweep asserts on every row).
+    pub walks: u64,
+    /// Re-walks: link-fault retransmissions *and* drop recoveries.
+    pub retransmits: u64,
+    /// Hot-potato deflections, fabric-wide.
+    pub deflections: u64,
+    /// Packets refused by a full output port (drop-tail + lossy-NACK).
+    pub drops: u64,
+    /// PFC pause events (a packet stalled at a full port).
+    pub pauses: u64,
+    /// Total time packets spent stalled in PFC pauses.
+    pub pause_time: Duration,
+    /// Mean hops per delivered packet.
+    pub mean_hops: f64,
+    /// Number of unidirectional links in the fabric.
+    pub links: usize,
+    /// Total wire (serialization) time charged across all links.
+    pub link_busy: Duration,
+    /// Wire time of the single busiest link.
+    pub max_link_busy: Duration,
+    /// Deflections charged to each node's router.
+    pub node_deflections: Vec<u64>,
+}
+
+impl FabricStats {
+    /// Mean link utilization over `elapsed` simulated time (0 when the
+    /// fabric has no links or no time has passed).
+    pub fn occupancy(&self, elapsed: Duration) -> f64 {
+        if self.links == 0 || elapsed == Duration::ZERO {
+            return 0.0;
+        }
+        self.link_busy.as_ps() as f64 / (self.links as f64 * elapsed.as_ps() as f64)
     }
 }
 
@@ -287,8 +272,12 @@ pub struct Network<P> {
     links: Vec<Vec<Pipe>>,
     hops: Histogram,
     deflections: Counter,
+    node_deflections: Vec<u64>,
     delivered: Counter,
     retransmits: Counter,
+    drops: Counter,
+    pauses: Counter,
+    pause_time: Duration,
     /// Every hop-by-hop walk ever performed (first transmissions plus
     /// retransmissions). The credit-conservation invariant is
     /// `delivered + retransmits == walks`: a corrupted or dropped flit
@@ -298,11 +287,17 @@ pub struct Network<P> {
     _marker: std::marker::PhantomData<P>,
 }
 
+/// One attempt ended at a full port: when, and after how many hops.
+struct PortFull {
+    t: SimTime,
+    hops_taken: u32,
+}
+
 impl<P> Network<P> {
     /// Build a network over `topo`.
     pub fn new(topo: Topology, cfg: NetworkConfig) -> Self {
         let next_hop = topo.next_hops();
-        let links = topo
+        let links: Vec<Vec<Pipe>> = topo
             .adj
             .iter()
             .map(|nbrs| {
@@ -311,6 +306,7 @@ impl<P> Network<P> {
                     .collect()
             })
             .collect();
+        let nodes = topo.nodes();
         Network {
             topo,
             cfg,
@@ -318,24 +314,33 @@ impl<P> Network<P> {
             links,
             hops: Histogram::new(),
             deflections: Counter::new(),
+            node_deflections: vec![0; nodes],
             delivered: Counter::new(),
             retransmits: Counter::new(),
+            drops: Counter::new(),
+            pauses: Counter::new(),
+            pause_time: Duration::ZERO,
             walks: 0,
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// One hop-by-hop traversal (shared by first transmissions and
-    /// retransmissions), charging link bandwidth at every hop.
-    fn walk(&mut self, now: SimTime, mut pkt: Packet<P>) -> (SimTime, Packet<P>) {
-        assert!(pkt.src.index() < self.topo.nodes(), "bad src {}", pkt.src);
-        assert!(pkt.dst.index() < self.topo.nodes(), "bad dst {}", pkt.dst);
-        self.walks += 1;
+    /// One hop-by-hop traversal attempt, charging link bandwidth at
+    /// every hop taken; ends either at the destination or at the first
+    /// output port whose discipline refuses the packet.
+    fn attempt(&mut self, now: SimTime, pkt: &mut Packet<P>) -> Result<SimTime, PortFull> {
         let mut at = pkt.src;
         let mut t = now;
         let bytes = pkt.kind.bytes();
+        let mut hops_taken = 0u32;
         while at != pkt.dst {
-            let preferred = self.next_hop[at.index()][pkt.dst.index()];
+            let preferred = match self.cfg.route {
+                RoutePolicy::AdaptiveHotPotato => self.next_hop[at.index()][pkt.dst.index()],
+                RoutePolicy::DimensionOrder => self
+                    .topo
+                    .dimension_next(at, pkt.dst)
+                    .unwrap_or(self.next_hop[at.index()][pkt.dst.index()]),
+            };
             let pref_k = self
                 .topo
                 .neighbours(at)
@@ -345,7 +350,10 @@ impl<P> Network<P> {
             let pref_free = self.links[at.index()][pref_k].busy_until();
             let mut chosen = pref_k;
             let mut deflected = false;
-            if pref_free > t + self.cfg.deflect_patience && pkt.age < self.cfg.max_deflect_age {
+            if self.cfg.route == RoutePolicy::AdaptiveHotPotato
+                && pref_free > t + self.cfg.deflect_patience
+                && pkt.age < self.cfg.max_deflect_age
+            {
                 // Hot potato: take the least-loaded other link if one is
                 // meaningfully freer.
                 if let Some((k, _)) = self.links[at.index()]
@@ -360,16 +368,87 @@ impl<P> Network<P> {
                         chosen = k;
                         deflected = true;
                         self.deflections.inc();
+                        self.node_deflections[at.index()] += 1;
                     }
                 }
+            }
+            // Queue-discipline admission at the chosen output port.
+            let free = self.links[at.index()][chosen].busy_until();
+            let backlog = free.since(t);
+            match self.cfg.queue {
+                QueueDiscipline::DropTail { capacity }
+                | QueueDiscipline::LossyNack { capacity }
+                    if backlog > capacity =>
+                {
+                    return Err(PortFull { t, hops_taken });
+                }
+                QueueDiscipline::Pfc { capacity } if backlog > capacity => {
+                    // Back-pressure: stall here until the port drains to
+                    // its credit limit, then transmit normally.
+                    let pause = backlog - capacity;
+                    self.pauses.inc();
+                    self.pause_time += pause;
+                    t += pause;
+                }
+                _ => {}
             }
             let next = self.topo.neighbours(at)[chosen];
             let sent = self.links[at.index()][chosen].acquire(t, bytes);
             t = sent + self.cfg.hop_latency;
             pkt.hop(deflected);
+            hops_taken += 1;
             at = next;
         }
-        (t, pkt)
+        Ok(t)
+    }
+
+    /// The recovery latency between a refused attempt and the sender's
+    /// re-walk. Strictly positive and growing with consecutive drops,
+    /// so retries always make forward progress in time — the refused
+    /// port's backlog is measured against a later `t`, and the links
+    /// keep draining, which guarantees eventual delivery.
+    fn recovery_delay(&self, hops_taken: u32, tries: u32) -> Duration {
+        let backoff = 1u64 << tries.min(10) as u64;
+        match self.cfg.queue {
+            // Silent drop: the sender's end-to-end loss timer (a few
+            // minimum round trips), doubling per consecutive loss.
+            QueueDiscipline::DropTail { .. } => {
+                self.cfg.min_delivery_latency().times(4).times(backoff)
+            }
+            // Explicit NACK: wire time for the NACK to walk back from
+            // the refusing switch, plus exponential backoff.
+            QueueDiscipline::LossyNack { .. } => {
+                self.cfg.hop_latency.times(hops_taken.max(1) as u64)
+                    + self.cfg.deflect_patience.times(backoff)
+            }
+            // PFC never refuses an attempt.
+            QueueDiscipline::Pfc { .. } => self.cfg.hop_latency,
+        }
+    }
+
+    /// One logical transmission (shared by first transmissions and
+    /// fault-path retransmissions): walk attempts until one delivers,
+    /// accounting each refused attempt as a drop plus a retransmission.
+    fn walk(&mut self, now: SimTime, mut pkt: Packet<P>) -> (SimTime, Packet<P>) {
+        assert!(pkt.src.index() < self.topo.nodes(), "bad src {}", pkt.src);
+        assert!(pkt.dst.index() < self.topo.nodes(), "bad dst {}", pkt.dst);
+        let mut t = now;
+        let mut tries = 0u32;
+        loop {
+            self.walks += 1;
+            match self.attempt(t, &mut pkt) {
+                Ok(done) => return (done, pkt),
+                Err(full) => {
+                    tries += 1;
+                    self.drops.inc();
+                    // The refused attempt is accounted as a
+                    // retransmission: its credits are returned and the
+                    // re-walk acquires fresh ones.
+                    self.retransmits.inc();
+                    t = full.t + self.recovery_delay(full.hops_taken, tries);
+                }
+            }
+        }
     }
 
     /// The credit-conservation audit: every walk ended as exactly one
@@ -418,7 +497,8 @@ impl<P> Network<P> {
         self.delivered.get()
     }
 
-    /// Number of retransmissions (fault-recovery re-walks).
+    /// Number of retransmissions: fault-recovery re-walks plus
+    /// drop-recovery re-walks.
     pub fn retransmits(&self) -> u64 {
         self.retransmits.get()
     }
@@ -428,9 +508,63 @@ impl<P> Network<P> {
         self.deflections.get()
     }
 
+    /// Deflections charged to each node's router (indexed by node).
+    pub fn node_deflections(&self) -> &[u64] {
+        &self.node_deflections
+    }
+
+    /// Packets refused by a full output port.
+    pub fn drops(&self) -> u64 {
+        self.drops.get()
+    }
+
+    /// PFC pause events.
+    pub fn pauses(&self) -> u64 {
+        self.pauses.get()
+    }
+
+    /// Total time packets spent stalled in PFC pauses.
+    pub fn pause_time(&self) -> Duration {
+        self.pause_time
+    }
+
+    /// Total hop-by-hop walks performed (deliveries + retransmissions;
+    /// exposed for the conservation tests).
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
     /// Mean hop count of delivered packets.
     pub fn mean_hops(&self) -> f64 {
         self.hops.mean_ns()
+    }
+
+    /// A snapshot of every occupancy/loss counter, including per-link
+    /// wire-time aggregates recomputed from the pipes.
+    pub fn stats(&self) -> FabricStats {
+        let mut links = 0usize;
+        let mut busy = Duration::ZERO;
+        let mut max_busy = Duration::ZERO;
+        for port in self.links.iter().flatten() {
+            links += 1;
+            let b = port.busy_time();
+            busy += b;
+            max_busy = max_busy.max(b);
+        }
+        FabricStats {
+            delivered: self.delivered.get(),
+            walks: self.walks,
+            retransmits: self.retransmits.get(),
+            deflections: self.deflections.get(),
+            drops: self.drops.get(),
+            pauses: self.pauses.get(),
+            pause_time: self.pause_time,
+            mean_hops: self.hops.mean_ns(),
+            links,
+            link_busy: busy,
+            max_link_busy: max_busy,
+            node_deflections: self.node_deflections.clone(),
+        }
     }
 
     /// The topology.
@@ -443,12 +577,14 @@ impl<P> Network<P> {
     /// (zero on the diagonal). This is a true lower bound on any
     /// delivery the network can perform: [`Network::send`] charges at
     /// least one short-packet serialization plus one hop fall-through
-    /// per hop taken, longer packets serialize slower, and hot-potato
-    /// deflection only ever *lengthens* the path — a deflected packet
+    /// per hop taken, longer packets serialize slower, hot-potato
+    /// deflection only ever *lengthens* the path (a deflected packet
     /// still pays every hop it takes, and it can never take fewer hops
-    /// than the BFS distance. On a fully connected topology (the
-    /// paper's glueless 4-chip configuration) every off-diagonal entry
-    /// degenerates to the global quantum
+    /// than the BFS distance), dimension-order paths are exactly the
+    /// BFS distance, and every queue discipline only *adds* waiting
+    /// (pause stalls) or whole extra walks (drop recovery). On a fully
+    /// connected topology (the paper's glueless 4-chip configuration)
+    /// every off-diagonal entry degenerates to the global quantum
     /// [`NetworkConfig::min_delivery_latency`].
     pub fn pair_bounds(&self) -> Vec<Vec<Duration>> {
         let per_hop = self.cfg.min_delivery_latency();
@@ -457,6 +593,25 @@ impl<P> Network<P> {
             .into_iter()
             .map(|row| row.into_iter().map(|h| per_hop.times(h as u64)).collect())
             .collect()
+    }
+
+    /// [`Network::pair_bounds`] restricted to the host nodes (the
+    /// machine's lanes): the submatrix the system layer feeds to its
+    /// lookahead. Phantom switch nodes never source or sink events, so
+    /// their rows/columns are irrelevant to the conservative engine —
+    /// and the bounds between hosts are computed on the *full* graph,
+    /// so routing through switches is already accounted for. At least a
+    /// 2×2 matrix is returned (the engine's lookahead needs two
+    /// parties), which is always available: every builder produces ≥ 2
+    /// nodes.
+    pub fn host_pair_bounds(&self) -> Vec<Vec<Duration>> {
+        let n = self.topo.hosts().max(2).min(self.topo.nodes());
+        let mut bounds = self.pair_bounds();
+        bounds.truncate(n);
+        for row in &mut bounds {
+            row.truncate(n);
+        }
+        bounds
     }
 
     /// The link configuration.
@@ -469,6 +624,7 @@ impl<P> Network<P> {
 mod tests {
     use super::*;
     use crate::packet::PacketKind;
+    use crate::topology::TopologyKind;
     use piranha_types::Lane;
 
     fn pkt(src: u16, dst: u16) -> Packet<u32> {
@@ -494,6 +650,74 @@ mod tests {
         let t = Topology::mesh(4, 4);
         assert_eq!(t.nodes(), 16);
         assert!(t.max_degree() <= MAX_CHANNELS);
+    }
+
+    #[test]
+    fn exact_mesh_has_no_phantom_nodes() {
+        // 7 nodes used to round up to a 3×3 mesh (9 nodes); mesh_of
+        // builds exactly 7, all reachable.
+        for n in 2..=20 {
+            let t = Topology::mesh_of(n);
+            assert_eq!(t.nodes(), n, "mesh_of({n}) must be exact");
+            assert_eq!(t.hosts(), n);
+            assert!(t.max_degree() <= MAX_CHANNELS);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn torus_wraps_and_dedups() {
+        let t = Topology::torus(4, 4);
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.max_degree(), 4);
+        // Corner-to-corner is 2 hops on a 4×4 torus (vs 6 on the mesh).
+        assert_eq!(t.distances()[0][15], 2);
+        // A 2-wide dimension wraps onto the same neighbour: deduped.
+        let narrow = Topology::torus(2, 3);
+        assert!(narrow.max_degree() <= 3);
+        assert!(narrow.is_connected());
+    }
+
+    #[test]
+    fn fat_tree_leaves_are_hosts_switches_are_phantom() {
+        let t = Topology::fat_tree(16);
+        assert_eq!(t.hosts(), 16);
+        assert_eq!(t.nodes(), 16 + 4 + 2, "4 edge switches + 2 roots");
+        // Every leaf has exactly one uplink; same-pod leaves are 2
+        // hops apart, cross-pod leaves 4.
+        assert_eq!(t.neighbours(NodeId(0)).len(), 1);
+        let d = t.distances();
+        assert_eq!(d[0][1], 2);
+        assert_eq!(d[0][15], 4);
+        // Small instance: one switch, no roots.
+        let small = Topology::fat_tree(3);
+        assert_eq!(small.nodes(), 4);
+        assert_eq!(small.hosts(), 3);
+    }
+
+    #[test]
+    fn topology_kind_parses_flag_spellings() {
+        for kind in [
+            TopologyKind::Auto,
+            TopologyKind::Ring,
+            TopologyKind::Mesh,
+            TopologyKind::Torus,
+            TopologyKind::FatTree,
+        ] {
+            assert_eq!(TopologyKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(TopologyKind::parse("fat-tree"), Some(TopologyKind::FatTree));
+        assert_eq!(TopologyKind::parse("hypercube"), None);
+    }
+
+    #[test]
+    fn queue_discipline_parses_flag_spellings() {
+        for q in ["droptail", "lossy", "pfc"] {
+            let d = QueueDiscipline::parse(q).expect("known discipline");
+            assert_eq!(d.label(), q);
+            assert_eq!(d.capacity(), Duration::from_ns(CONGESTED_CAPACITY_NS));
+        }
+        assert_eq!(QueueDiscipline::parse("red"), None);
     }
 
     #[test]
@@ -571,6 +795,106 @@ mod tests {
             net.deflections() > 0,
             "saturation must trigger hot-potato routing"
         );
+        // The new per-node counters decompose the global one.
+        assert_eq!(
+            net.node_deflections().iter().sum::<u64>(),
+            net.deflections()
+        );
+        assert!(net.node_deflections()[0] > 0, "deflections happen at 0");
+    }
+
+    #[test]
+    fn dimension_order_is_deterministic_and_never_deflects() {
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.route = RoutePolicy::DimensionOrder;
+        let mut net: Network<u32> = Network::new(Topology::torus(4, 4), cfg);
+        let bounds = net.pair_bounds();
+        for _ in 0..200 {
+            let long = Packet::new(NodeId(0), NodeId(10), Lane::High, PacketKind::Long, 0);
+            let (arrive, p) = net.send(SimTime::ZERO, long);
+            // X then Y on a torus: exactly the BFS distance (node 10 is
+            // (2,2) from (0,0): 2 X steps + 2 Y steps), every time.
+            assert_eq!(p.age, 4);
+            assert!(arrive.since(SimTime::ZERO) >= bounds[0][10]);
+        }
+        assert_eq!(net.deflections(), 0, "dimension-order never deflects");
+    }
+
+    #[test]
+    fn droptail_congestion_drops_then_delivers() {
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.queue = QueueDiscipline::DropTail {
+            capacity: Duration::from_ns(40),
+        };
+        let mut net: Network<u32> = Network::new(Topology::ring(8), cfg);
+        let sent = 300u64;
+        for _ in 0..sent {
+            let long = Packet::new(NodeId(0), NodeId(4), Lane::High, PacketKind::Long, 0);
+            let (_, p) = net.send(SimTime::ZERO, long);
+            assert_eq!(p.dst, NodeId(4), "drops recover; nothing is lost");
+        }
+        assert_eq!(net.delivered(), sent);
+        assert!(net.drops() > 0, "a 40ns buffer must overflow");
+        assert_eq!(net.pauses(), 0);
+        // Ledger: every walk is a delivery or a retransmission, and
+        // every drop caused exactly one retransmission here (no fault
+        // plane in this test).
+        assert_eq!(net.delivered() + net.retransmits(), net.walks());
+        assert_eq!(net.drops(), net.retransmits());
+    }
+
+    #[test]
+    fn lossy_nack_charges_return_latency() {
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.queue = QueueDiscipline::LossyNack {
+            capacity: Duration::from_ns(40),
+        };
+        let mut net: Network<u32> = Network::new(Topology::ring(8), cfg);
+        let mut last = SimTime::ZERO;
+        for _ in 0..300 {
+            let long = Packet::new(NodeId(0), NodeId(4), Lane::High, PacketKind::Long, 0);
+            let (t, _) = net.send(SimTime::ZERO, long);
+            last = last.max(t);
+        }
+        assert!(net.drops() > 0);
+        assert_eq!(net.delivered() + net.retransmits(), net.walks());
+        // A NACKed packet pays the return trip + backoff on top of its
+        // eventual full walk: later than any same-instant clean path.
+        let bounds = net.pair_bounds();
+        assert!(last.since(SimTime::ZERO) > bounds[0][4]);
+    }
+
+    #[test]
+    fn pfc_pauses_but_never_drops() {
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.queue = QueueDiscipline::Pfc {
+            capacity: Duration::from_ns(40),
+        };
+        let mut net: Network<u32> = Network::new(Topology::ring(8), cfg);
+        for _ in 0..300 {
+            let long = Packet::new(NodeId(0), NodeId(4), Lane::High, PacketKind::Long, 0);
+            net.send(SimTime::ZERO, long);
+        }
+        assert_eq!(net.drops(), 0, "PFC is lossless");
+        assert!(net.pauses() > 0, "a 40ns credit limit must assert pause");
+        assert!(net.pause_time() > Duration::ZERO);
+        assert_eq!(net.delivered() + net.retransmits(), net.walks());
+    }
+
+    #[test]
+    fn stats_snapshot_aggregates_links() {
+        let mut net: Network<u32> =
+            Network::new(Topology::mesh(3, 3), NetworkConfig::paper_default());
+        for i in 0..50u16 {
+            net.send(SimTime::ZERO, pkt(i % 9, (i * 7 + 1) % 9));
+        }
+        let s = net.stats();
+        assert_eq!(s.delivered, net.delivered());
+        assert!(s.links > 0);
+        assert!(s.link_busy > Duration::ZERO, "wire time was charged");
+        assert!(s.max_link_busy <= s.link_busy);
+        assert!(s.occupancy(Duration::from_ns(10_000)) > 0.0);
+        assert_eq!(s.node_deflections.len(), 9);
     }
 
     #[test]
@@ -653,6 +977,25 @@ mod tests {
         assert_eq!(bounds[0][4], q.times(4), "4 hops across an 8-ring");
     }
 
+    #[test]
+    fn host_pair_bounds_truncate_phantom_switches() {
+        let net: Network<u32> = Network::new(Topology::fat_tree(8), NetworkConfig::paper_default());
+        let full = net.pair_bounds();
+        let hosts = net.host_pair_bounds();
+        assert_eq!(full.len(), net.topology().nodes());
+        assert_eq!(hosts.len(), 8);
+        let q = net.config().min_delivery_latency();
+        // Leaf→leaf through the tree: 2 hops same pod, 4 cross-pod —
+        // strictly positive everywhere off the diagonal.
+        assert_eq!(hosts[0][1], q.times(2));
+        assert_eq!(hosts[0][7], q.times(4));
+        for (s, row) in hosts.iter().enumerate() {
+            for (d, &b) in row.iter().enumerate() {
+                assert_eq!(b == Duration::ZERO, s == d);
+            }
+        }
+    }
+
     mod bound_props {
         use super::*;
         use proptest::prelude::*;
@@ -661,30 +1004,53 @@ mod tests {
             match shape {
                 0 => Topology::ring(a + b),           // 4..10 nodes
                 1 => Topology::fully_connected(a),    // 2..=5 nodes
-                _ => Topology::mesh(a - 1, b.max(2)), // (1..5) x (2..5)
+                2 => Topology::mesh(a - 1, b.max(2)), // (1..5) x (2..5)
+                3 => Topology::torus(a.max(2), b),    // (2..6) x (2..5)
+                4 => Topology::fat_tree(a * b),       // 4..20 leaves
+                _ => Topology::mesh_of(a * b + 1),    // 5..21 nodes, exact
+            }
+        }
+
+        fn arb_queue(sel: usize) -> QueueDiscipline {
+            let capacity = Duration::from_ns(40);
+            match sel {
+                0 => QueueDiscipline::unbounded(),
+                1 => QueueDiscipline::DropTail { capacity },
+                2 => QueueDiscipline::LossyNack { capacity },
+                _ => QueueDiscipline::Pfc { capacity },
             }
         }
 
         proptest! {
             /// Every delivery the network performs — including under
             /// heavy contention, where hot-potato deflection reroutes
-            /// packets along longer paths — takes at least the pair's
-            /// computed bound. This is the property the parallel
-            /// engine's per-pair `debug_assert` relies on.
+            /// packets along longer paths, and under every queue
+            /// discipline and route policy, where drops/pauses delay
+            /// them further — takes at least the pair's computed bound.
+            /// This is the property the parallel engine's per-pair
+            /// `debug_assert` relies on, on every topology.
             #[test]
             fn every_delivery_respects_its_pair_bound(
-                shape in 0usize..3,
+                shape in 0usize..6,
                 a in 2usize..6,
                 b in 2usize..5,
+                queue_sel in 0usize..4,
+                dimorder in proptest::bool::ANY,
                 sends in proptest::collection::vec(
                     (0usize..64, 0usize..64, 0u64..500, proptest::bool::ANY),
                     1..120,
                 ),
             ) {
                 let topo = arb_topology(shape, a, b);
-                let mut net: Network<u32> = Network::new(topo, NetworkConfig::paper_default());
+                let mut cfg = NetworkConfig::paper_default();
+                cfg.queue = arb_queue(queue_sel);
+                if dimorder {
+                    cfg.route = RoutePolicy::DimensionOrder;
+                }
+                let mut net: Network<u32> = Network::new(topo, cfg);
                 let bounds = net.pair_bounds();
                 let n = bounds.len();
+                let mut sent = 0u64;
                 for (s, d, at, long) in sends {
                     let (s, d) = (s % n, d % n);
                     if s == d {
@@ -694,12 +1060,21 @@ mod tests {
                     let t = SimTime::from_ns(at);
                     let p = Packet::new(NodeId(s as u16), NodeId(d as u16), Lane::Low, kind, 0);
                     let (arrive, _) = net.send(t, p);
+                    sent += 1;
                     prop_assert!(
                         arrive.since(t) >= bounds[s][d],
                         "{s}->{d} delivered in {:?}, bound {:?}",
                         arrive.since(t),
                         bounds[s][d]
                     );
+                }
+                // Packet ledger: everything injected was delivered, and
+                // every walk is a delivery or a retransmission.
+                prop_assert_eq!(net.delivered(), sent);
+                prop_assert_eq!(net.delivered() + net.retransmits(), net.walks());
+                prop_assert_eq!(net.drops(), net.retransmits());
+                if matches!(cfg.queue, QueueDiscipline::Pfc { .. }) {
+                    prop_assert_eq!(net.drops(), 0);
                 }
             }
         }

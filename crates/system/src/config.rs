@@ -5,7 +5,7 @@ use piranha_cpu::{InOrderConfig, OooConfig};
 use piranha_faults::FaultConfig;
 use piranha_ics::IcsConfig;
 use piranha_mem::MemBankConfig;
-use piranha_net::NetworkConfig;
+use piranha_net::{NetworkConfig, TopologyKind};
 use piranha_traffic::TrafficConfig;
 use piranha_types::time::Clock;
 use piranha_types::Duration;
@@ -114,6 +114,10 @@ pub struct SystemConfig {
     pub mem: MemBankConfig,
     /// Inter-node network parameters.
     pub net: NetworkConfig,
+    /// Which fabric topology the wiring builds over the nodes
+    /// ([`TopologyKind::Auto`] reproduces the paper's glueless
+    /// clique/mesh layout; the others are the scaling-study fabrics).
+    pub topology: TopologyKind,
     /// Calibrated path latencies.
     pub lat: PathLatencies,
     /// Instructions per CPU scheduling quantum (simulation batching
@@ -156,6 +160,7 @@ impl SystemConfig {
                 rdram: piranha_mem::RdramConfig::with_banks(8),
             },
             net: NetworkConfig::paper_default(),
+            topology: TopologyKind::Auto,
             lat: PathLatencies::piranha_asic(),
             cpu_quantum: 2000,
             seed: 0xB10_CA5,
@@ -220,6 +225,7 @@ impl SystemConfig {
                 rdram: piranha_mem::RdramConfig::with_banks(2),
             },
             net: NetworkConfig::paper_default(),
+            topology: TopologyKind::Auto,
             lat: PathLatencies::ooo_chip(),
             cpu_quantum: 2000,
             seed: 0xB10_CA5,

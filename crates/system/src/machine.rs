@@ -183,6 +183,13 @@ impl Machine {
         &self.net
     }
 
+    /// A snapshot of the fabric's congestion counters: drops, PFC
+    /// pauses, per-link wire time, per-node deflections (the
+    /// `fig_scale` sweep's raw material).
+    pub fn fabric_stats(&self) -> piranha_net::FabricStats {
+        self.net.stats()
+    }
+
     /// The conservative lookahead the multi-chip engine steps by: the
     /// fabric's minimum cross-node delivery latency (the minimum of the
     /// per-pair bound matrix, see [`Machine::lookahead`]).

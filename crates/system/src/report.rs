@@ -50,6 +50,9 @@ pub struct MachineReport {
     pub net_deflections: u64,
     /// Mean hops per delivered packet.
     pub net_mean_hops: f64,
+    /// Fabric occupancy and loss counters (per-link wire time, drops,
+    /// PFC pauses, per-node deflection split).
+    pub net_fabric: piranha_net::FabricStats,
     /// Total instructions retired.
     pub instrs: u64,
     /// Parallel-engine counters (zero except `events` on single-chip
@@ -75,6 +78,21 @@ impl MachineReport {
             ("net.delivered".into(), V::Count(self.net_delivered)),
             ("net.deflections".into(), V::Count(self.net_deflections)),
             ("net.mean_hops".into(), V::Value(self.net_mean_hops)),
+            ("net.drops".into(), V::Count(self.net_fabric.drops)),
+            ("net.pauses".into(), V::Count(self.net_fabric.pauses)),
+            (
+                "net.pause_ns".into(),
+                V::Count(self.net_fabric.pause_time.as_ns()),
+            ),
+            ("net.links".into(), V::Count(self.net_fabric.links as u64)),
+            (
+                "net.link_busy_ns".into(),
+                V::Count(self.net_fabric.link_busy.as_ns()),
+            ),
+            (
+                "net.link_max_busy_ns".into(),
+                V::Count(self.net_fabric.max_link_busy.as_ns()),
+            ),
             ("protocol.msgs".into(), V::Count(self.protocol_msgs())),
             (
                 "protocol.mean_occupancy".into(),
@@ -167,8 +185,12 @@ impl fmt::Display for MachineReport {
         )?;
         writeln!(
             f,
-            "  interconnect: {} delivered, {} deflections, {:.2} mean hops",
-            self.net_delivered, self.net_deflections, self.net_mean_hops
+            "  interconnect: {} delivered, {} deflections, {:.2} mean hops, {} drops, {} pauses",
+            self.net_delivered,
+            self.net_deflections,
+            self.net_mean_hops,
+            self.net_fabric.drops,
+            self.net_fabric.pauses
         )?;
         writeln!(
             f,
@@ -250,6 +272,7 @@ mod tests {
             net_delivered: 9,
             net_deflections: 1,
             net_mean_hops: 1.4,
+            net_fabric: piranha_net::FabricStats::default(),
             instrs: 12345,
             parsim: ParsimStats {
                 rounds: 3,

@@ -140,7 +140,7 @@ fn io_node_is_a_coherence_citizen() {
 /// reachable and within the channel budget.
 #[test]
 fn io_topology_shape() {
-    let t = build_topology(4, 2);
+    let t = build_topology(piranha_net::TopologyKind::Auto, 4, 2);
     assert_eq!(t.nodes(), 6);
     assert!(
         t.max_degree() <= 5,
@@ -151,6 +151,57 @@ fn io_topology_shape() {
         2,
         "io nodes have two channels"
     );
+}
+
+/// Regression: the auto mesh is exact. `mesh(w, ceil(total/w))` used to
+/// round a 7-lane machine up to a 9-node 3×3 mesh — two phantom nodes
+/// the machine doesn't have, silently widening the lookahead matrix.
+#[test]
+fn auto_mesh_node_count_is_exact() {
+    use piranha_net::TopologyKind;
+    for total in 6..=16 {
+        let t = build_topology(TopologyKind::Auto, total, 0);
+        assert_eq!(t.nodes(), total, "{total} lanes must get {total} nodes");
+        assert_eq!(t.hosts(), total);
+    }
+}
+
+/// Every explicit topology kind wires every lane count it's offered:
+/// node counts are exact (fat tree aside, whose extra nodes are
+/// documented phantom switches) and host pair bounds stay strictly
+/// positive — the conservative engine's lookahead precondition.
+#[test]
+fn explicit_topologies_cover_sweep_sizes() {
+    use piranha_net::TopologyKind;
+    for kind in [
+        TopologyKind::Ring,
+        TopologyKind::Mesh,
+        TopologyKind::Torus,
+        TopologyKind::FatTree,
+    ] {
+        for total in [2usize, 7, 16, 32, 64] {
+            let t = build_topology(kind, total, 0);
+            assert_eq!(t.hosts(), total, "{kind:?} over {total} lanes");
+            if kind == TopologyKind::FatTree {
+                assert!(t.nodes() >= total);
+            } else {
+                assert_eq!(t.nodes(), total);
+            }
+            let net: piranha_net::Network<u32> =
+                piranha_net::Network::new(t, piranha_net::NetworkConfig::paper_default());
+            let bounds = net.host_pair_bounds();
+            assert_eq!(bounds.len(), total.max(2));
+            for (s, row) in bounds.iter().enumerate() {
+                for (d, b) in row.iter().enumerate() {
+                    assert_eq!(
+                        *b == piranha_types::Duration::ZERO,
+                        s == d,
+                        "{kind:?}/{total}: bound {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The system controller can stop and restart cores mid-run.

@@ -2,7 +2,7 @@
 //! wiring (track naming, metric sampling, utilization reports).
 
 use piranha_kernel::{Lookahead, Port};
-use piranha_net::{Fabric, Network, Topology};
+use piranha_net::{Fabric, Network, Topology, TopologyKind};
 use piranha_probe::Probe;
 use piranha_types::{NodeId, SimTime};
 use piranha_workloads::{SynthConfig, SynthStream};
@@ -27,45 +27,84 @@ pub(crate) fn track_base(node: usize) -> u32 {
     node as u32 * TRACK_STRIDE
 }
 
-/// Build the interconnect topology: processing nodes fully connected
-/// (gluelessly possible up to five with four channels each) or meshed,
-/// with each I/O node attached by its two channels to two processing
-/// nodes for redundancy (paper §2.6.1).
-pub(crate) fn build_topology(processing: usize, io: usize) -> Topology {
+/// Build the interconnect topology for `kind` over the machine's lanes
+/// (processing + I/O nodes).
+///
+/// [`TopologyKind::Auto`] reproduces the paper layout: processing nodes
+/// fully connected (gluelessly possible up to five with four channels
+/// each) or meshed, with each I/O node attached by its two channels to
+/// two processing nodes for redundancy (§2.6.1). The mesh case uses
+/// [`Topology::mesh_of`], which builds **exactly** `total` nodes — the
+/// earlier `mesh(w, ceil(total/w))` rounding could instantiate phantom
+/// topology nodes the machine doesn't have (e.g. 9 for a 7-lane
+/// system), silently widening the lookahead matrix.
+///
+/// The explicit kinds treat every lane — processing or I/O — as an
+/// equal fabric member (the scaling sweeps don't model the dual-homed
+/// I/O attachment). Only [`Topology::fat_tree`] creates nodes beyond
+/// the lanes: its interior switches are deliberate phantom nodes that
+/// route but never source or sink traffic, which is why the lookahead
+/// is built from [`Fabric::host_pair_bounds`] rather than the full
+/// matrix.
+pub(crate) fn build_topology(kind: TopologyKind, processing: usize, io: usize) -> Topology {
     let total = processing + io;
     if total == 1 {
         // A single node never routes; a trivial two-node ring keeps the
         // network object well-formed (and unused).
         return Topology::ring(2);
     }
-    if io == 0 {
-        return if total <= 5 {
-            Topology::fully_connected(total)
-        } else {
-            let w = (total as f64).sqrt().ceil() as usize;
-            Topology::mesh(w, total.div_ceil(w).max(2))
-        };
-    }
-    // Custom: processing clique + dual-homed I/O nodes.
-    let mut adj: Vec<Vec<NodeId>> = (0..total).map(|_| Vec::new()).collect();
-    for a in 0..processing {
-        for b in (a + 1)..processing {
-            adj[a].push(NodeId(b as u16));
-            adj[b].push(NodeId(a as u16));
+    match kind {
+        TopologyKind::Auto => {
+            if io == 0 {
+                return if total <= 5 {
+                    Topology::fully_connected(total)
+                } else {
+                    Topology::mesh_of(total)
+                };
+            }
+            // Custom: processing clique + dual-homed I/O nodes.
+            let mut adj: Vec<Vec<NodeId>> = (0..total).map(|_| Vec::new()).collect();
+            for a in 0..processing {
+                for b in (a + 1)..processing {
+                    adj[a].push(NodeId(b as u16));
+                    adj[b].push(NodeId(a as u16));
+                }
+            }
+            for i in 0..io {
+                let n = processing + i;
+                let first = i % processing;
+                adj[n].push(NodeId(first as u16));
+                adj[first].push(NodeId(n as u16));
+                if processing > 1 {
+                    let second = (i + 1) % processing;
+                    adj[n].push(NodeId(second as u16));
+                    adj[second].push(NodeId(n as u16));
+                }
+            }
+            Topology::custom(adj)
         }
-    }
-    for i in 0..io {
-        let n = processing + i;
-        let first = i % processing;
-        adj[n].push(NodeId(first as u16));
-        adj[first].push(NodeId(n as u16));
-        if processing > 1 {
-            let second = (i + 1) % processing;
-            adj[n].push(NodeId(second as u16));
-            adj[second].push(NodeId(n as u16));
+        TopologyKind::Ring => Topology::ring(total),
+        TopologyKind::Mesh => Topology::mesh_of(total),
+        TopologyKind::Torus => {
+            // The most-square factorization with both sides ≥ 2; a node
+            // count with none (primes, 2·prime oddities) degenerates to
+            // the ring, which is the 1-D torus.
+            let mut best = None;
+            let mut w = (total as f64).sqrt().floor() as usize;
+            while w >= 2 {
+                if total.is_multiple_of(w) && total / w >= 2 {
+                    best = Some((w, total / w));
+                    break;
+                }
+                w -= 1;
+            }
+            match best {
+                Some((w, h)) => Topology::torus(w, h),
+                None => Topology::ring(total),
+            }
         }
+        TopologyKind::FatTree => Topology::fat_tree(total),
     }
-    Topology::custom(adj)
 }
 
 impl Machine {
@@ -88,16 +127,20 @@ impl Machine {
             "one stream per processing CPU (I/O nodes drive themselves)"
         );
         let total_nodes = cfg.nodes + cfg.io_nodes;
-        let topo = build_topology(cfg.nodes, cfg.io_nodes);
+        let topo = build_topology(cfg.topology, cfg.nodes, cfg.io_nodes);
         let net = Fabric::new(Network::new(topo, cfg.net));
         // The lookahead matrix is computed from the actual topology:
         // `bound(s, d)` = hop distance × the per-hop minimum (Table 1:
         // short-packet serialization + one hop). Its global minimum is
         // the window quantum; `Lookahead::from_bounds` asserts it is
         // strictly positive — the conservative engine has no lookahead
-        // otherwise. On the paper's glueless fully connected configs
-        // the matrix degenerates to the uniform fabric-wide minimum.
-        let lookahead = Lookahead::from_bounds(net.pair_bounds());
+        // otherwise. Only the *host* submatrix matters: phantom switch
+        // nodes (fat-tree interior) never source or sink events, and
+        // host-to-host distances are computed on the full graph, so
+        // routing through switches is already priced in. On the paper's
+        // glueless fully connected configs the matrix degenerates to
+        // the uniform fabric-wide minimum.
+        let lookahead = Lookahead::from_bounds(net.host_pair_bounds());
         let mut lanes = Vec::with_capacity(total_nodes);
         for n in 0..total_nodes {
             let node_streams: Vec<Box<dyn piranha_cpu::InstrStream>> = if n >= cfg.nodes {
@@ -230,6 +273,27 @@ impl Machine {
         p.publish_counter("net.deflections", self.net.deflections());
         p.publish_counter("net.retransmits", self.net.retransmits());
         p.publish_gauge("net.mean_hops", self.net.mean_hops());
+        // Fabric congestion counters: queue-discipline losses/stalls,
+        // per-link wire-time occupancy, per-node deflection split.
+        let fs = self.net.stats();
+        p.publish_counter("net.drops", fs.drops);
+        p.publish_counter("net.pauses", fs.pauses);
+        p.publish_counter("net.pause_ns", fs.pause_time.as_ns());
+        p.publish_counter("net.links", fs.links as u64);
+        p.publish_counter("net.link_busy_ns", fs.link_busy.as_ns());
+        p.publish_counter("net.link_max_busy_ns", fs.max_link_busy.as_ns());
+        p.publish_gauge(
+            "net.occupancy",
+            fs.occupancy(self.now().since(SimTime::ZERO)),
+        );
+        for (n, d) in fs
+            .node_deflections
+            .iter()
+            .enumerate()
+            .take(self.lanes.len())
+        {
+            p.publish_counter(&format!("net.node{n}.deflections"), *d);
+        }
         let ps = self.parsim_stats();
         p.publish_counter("parsim.rounds", ps.rounds);
         p.publish_counter("parsim.windows", ps.windows);
@@ -361,6 +425,7 @@ impl Machine {
             net_delivered: self.net.delivered(),
             net_deflections: self.net.deflections(),
             net_mean_hops: self.net.mean_hops(),
+            net_fabric: self.net.stats(),
             instrs: self.total_instrs(),
             parsim: self.parsim_stats(),
             traffic: self.traffic_summary(),
