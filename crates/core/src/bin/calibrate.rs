@@ -1,7 +1,9 @@
 //! Calibration helper: prints the key figure shapes at a chosen scale.
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, StoreCli};
 
 fn main() {
+    let store = StoreCli::from_env_args().apply();
     let scale = match std::env::args().nth(1).as_deref() {
         Some("full") => RunScale::full(),
         _ => RunScale::quick(),
@@ -21,4 +23,7 @@ fn main() {
     println!("Fig6b breakdown: {:?}", experiments::fig6b(scale));
     println!("Mem page hit rate: {:.2}", experiments::mem_pages(scale));
     println!("[{:.1}s total]", t0.elapsed().as_secs_f32());
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
+    }
 }

@@ -15,18 +15,23 @@
 //! with 95% confidence intervals instead of the normalized figures),
 //! `--traffic=<rate|curve>` (run the two-chip exemplar under open-loop
 //! arrivals and print its tail-latency summary; see
-//! `piranha::observe::TrafficCli` for the spec grammar).
+//! `piranha::observe::TrafficCli` for the spec grammar),
+//! `--store=<dir>` (persist every run in an on-disk result store and
+//! resume from it on re-runs; `PIRANHA_STORE` works too — see
+//! `piranha::observe::StoreCli`; a summary line goes to stderr).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli, SampleCli, TrafficCli};
+use piranha::observe::{self, ParallelCli, ProbeCli, SampleCli, StoreCli, TrafficCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let scale = scale_from_args();
     if std::env::args().any(|a| a == "--fingerprints") {
         print!(
             "{}",
             experiments::render_fingerprints(&experiments::fig5_fingerprints(scale))
         );
+        report_store(&store);
         return;
     }
     if let Some(sample) = SampleCli::from_env_args().sample_config() {
@@ -48,6 +53,7 @@ fn main() {
                 )
             );
         }
+        report_store(&store);
         return;
     }
     println!(
@@ -66,6 +72,13 @@ fn main() {
     );
     run_probe_exports(scale);
     run_traffic_exemplar();
+    report_store(&store);
+}
+
+fn report_store(store: &Option<std::sync::Arc<piranha::serve::DiskStore>>) {
+    if let Some(store) = store {
+        eprintln!("{}", observe::store_summary(store));
+    }
 }
 
 fn run_traffic_exemplar() {

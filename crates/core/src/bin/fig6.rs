@@ -4,12 +4,14 @@
 //! Flags: `--quick` (CI scale), `--parallel=<n>` (lane workers for
 //! multi-chip machines — here only the probed exemplar),
 //! `--trace=<path>` (Chrome-trace JSON of a probed exemplar run),
-//! `--metrics=<path>` (flat metric dump).
+//! `--metrics=<path>` (flat metric dump), `--store=<dir>` (persistent
+//! result store; see `piranha::observe::StoreCli`).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, ParallelCli, ProbeCli};
+use piranha::observe::{self, ParallelCli, ProbeCli, StoreCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
@@ -36,5 +38,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
     }
 }

@@ -10,12 +10,15 @@
 //! arrivals and print its tail-latency summary; see
 //! `piranha::observe::TrafficCli` for the spec grammar),
 //! `--topology=`/`--queue=` (run the exemplar on an overridden fabric
-//! and print its fabric counters; see `piranha::observe::FabricCli`).
+//! and print its fabric counters; see `piranha::observe::FabricCli`),
+//! `--store=<dir>` (persistent result store; see
+//! `piranha::observe::StoreCli`).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli, TrafficCli};
+use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli, StoreCli, TrafficCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
@@ -26,6 +29,7 @@ fn main() {
             "{}",
             experiments::render_fingerprints(&experiments::fig7_fingerprints(scale))
         );
+        report_store(&store);
         return;
     }
     println!("Figure 7 — multi-chip OLTP speedup (vs each design's single chip)");
@@ -62,5 +66,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    report_store(&store);
+}
+
+fn report_store(store: &Option<std::sync::Arc<piranha::serve::DiskStore>>) {
+    if let Some(store) = store {
+        eprintln!("{}", observe::store_summary(store));
     }
 }

@@ -9,12 +9,14 @@
 //! (Chrome-trace JSON of a probed exemplar run), `--metrics=<path>`
 //! (flat metric dump), `--topology=`/`--queue=` (run the two-chip
 //! exemplar on an overridden fabric and print its fabric counters; see
-//! `piranha::observe::FabricCli`).
+//! `piranha::observe::FabricCli`), `--store=<dir>` (persistent result
+//! store; see `piranha::observe::StoreCli`).
 use piranha::experiments::{self, RunScale};
-use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli};
+use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli, StoreCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
@@ -25,6 +27,7 @@ fn main() {
             "{}",
             experiments::render_fingerprints(&experiments::fig8_fingerprints(scale))
         );
+        report_store(&store);
         return;
     }
     println!(
@@ -60,5 +63,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    report_store(&store);
+}
+
+fn report_store(store: &Option<std::sync::Arc<piranha::serve::DiskStore>>) {
+    if let Some(store) = store {
+        eprintln!("{}", observe::store_summary(store));
     }
 }

@@ -13,14 +13,17 @@
 //! - `--metrics=<path>` — write the headline availability report as
 //!   JSON (this is what the CI `fault-smoke` step validates);
 //! - `--parallel=<n>` — run multi-chip machines (the sweep's and the
-//!   headline's) with `n` lane workers; bit-identical to serial.
+//!   headline's) with `n` lane workers; bit-identical to serial;
+//! - `--store=<dir>` — persistent result store; see
+//!   `piranha::observe::StoreCli`.
 use piranha::experiments::{self, RunScale};
 use piranha::harness::run_config;
-use piranha::observe::{self, FaultCli, ParallelCli, ProbeCli};
-use piranha::{FaultConfig, RunResult};
+use piranha::observe::{self, FaultCli, ParallelCli, ProbeCli, StoreCli};
+use piranha::FaultConfig;
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let quick = std::env::args().any(|a| a == "--quick");
     let txns: u64 = if quick { 40 } else { 200 };
     let fcli = FaultCli::from_env_args();
@@ -96,27 +99,14 @@ fn main() {
 
     let probe_cli = ProbeCli::from_env_args();
     if let Some(path) = &probe_cli.metrics {
-        let body = headline_json(&cfg.name, txns, &r1, &r2, slowdown);
+        let body = observe::json::fault_headline(&cfg.name, txns, &r1, &r2, slowdown);
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("writing {} failed: {e}", path.display());
             std::process::exit(1);
         }
         println!("  availability report -> {}", path.display());
     }
-}
-
-/// The JSON report the CI `fault-smoke` step validates.
-fn headline_json(config: &str, txns: u64, r1: &RunResult, r2: &RunResult, slowdown: f64) -> String {
-    let mut av = r1.availability.clone();
-    av.slowdown = Some(slowdown);
-    format!(
-        "{{\"config\":\"{config}\",\"txns_per_cpu\":{txns},\
-         \"committed\":{},\"fingerprint\":{},\"fingerprint_repeat\":{},\
-         \"deterministic\":{},\"availability\":{}}}\n",
-        r1.committed_txns.unwrap_or(0),
-        r1.fingerprint(),
-        r2.fingerprint(),
-        r1.fingerprint() == r2.fingerprint(),
-        av.to_json()
-    )
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
+    }
 }

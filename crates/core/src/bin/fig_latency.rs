@@ -16,12 +16,15 @@
 //! - `--topology=<ring|mesh|torus|fattree>` / `--queue=<droptail|lossy|pfc>`
 //!   — sweep the same load fractions over an overridden fabric
 //!   (calibration reruns on the overridden machine, so the load
-//!   fractions stay anchored to *its* service rate).
+//!   fractions stay anchored to *its* service rate);
+//! - `--store=<dir>` — persistent result store; see
+//!   `piranha::observe::StoreCli`.
 use piranha::experiments::{self, LatencyReport};
-use piranha::observe::{FabricCli, ParallelCli, ProbeCli};
+use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli, StoreCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let quick = std::env::args().any(|a| a == "--quick");
     let mut cfg = experiments::fig_latency_config();
     if let Err(e) = FabricCli::from_env_args().apply(&mut cfg) {
@@ -33,7 +36,7 @@ fn main() {
 
     let cli = ProbeCli::from_env_args();
     if let Some(path) = &cli.metrics {
-        if let Err(e) = std::fs::write(path, report_json(&rep)) {
+        if let Err(e) = std::fs::write(path, observe::json::latency_report(&rep)) {
             eprintln!("writing {} failed: {e}", path.display());
             std::process::exit(1);
         }
@@ -43,6 +46,9 @@ fn main() {
     if std::env::args().any(|a| a == "--check") {
         check(&rep);
         println!("latency-smoke checks passed");
+    }
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
     }
 }
 
@@ -65,43 +71,4 @@ fn check(rep: &LatencyReport) {
         rep.knee.is_some(),
         "no saturation knee detected within the swept range"
     );
-}
-
-/// The JSON report the CI `latency-smoke` step uploads.
-fn report_json(rep: &LatencyReport) -> String {
-    let rows: Vec<String> = rep
-        .rows
-        .iter()
-        .map(|r| {
-            format!(
-                "{{\"fraction\":{},\"rate_tpmc\":{},\"p50_ns\":{},\
-                 \"p95_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\
-                 \"drop_rate\":{},\"generated\":{},\"accepted\":{},\
-                 \"dropped\":{},\"deferred\":{},\"completed\":{},\
-                 \"fingerprint\":{}}}",
-                r.fraction,
-                r.rate_tpmc,
-                r.p50_ns,
-                r.p95_ns,
-                r.p99_ns,
-                r.mean_ns,
-                r.drop_rate,
-                r.ledger.generated,
-                r.ledger.accepted,
-                r.ledger.dropped,
-                r.ledger.deferred,
-                r.ledger.completed,
-                r.fingerprint
-            )
-        })
-        .collect();
-    format!(
-        "{{\"config\":\"{}\",\"txns_per_cpu\":{},\"service_tpmc\":{},\
-         \"knee\":{},\"rows\":[{}]}}\n",
-        rep.config,
-        rep.txns_per_cpu,
-        rep.service_tpmc,
-        rep.knee.map_or("null".into(), |k| k.to_string()),
-        rows.join(",")
-    )
 }

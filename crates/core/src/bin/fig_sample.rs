@@ -11,62 +11,28 @@
 //!   `sample-smoke` step validates);
 //! - `--parallel=<n>` — run detailed windows with `n` lane workers
 //!   (single-chip P8 always runs serially; the flag is accepted for
-//!   symmetry with the other figure binaries).
-use piranha::experiments::{self, SampleReport};
-use piranha::observe::{ParallelCli, ProbeCli};
+//!   symmetry with the other figure binaries);
+//! - `--store=<dir>` — persistent result store; see
+//!   `piranha::observe::StoreCli`.
+use piranha::experiments;
+use piranha::observe::{self, ParallelCli, ProbeCli, StoreCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let quick = std::env::args().any(|a| a == "--quick");
     let rep = experiments::fig_sample(quick);
     print!("{}", experiments::render_sample_report(&rep));
 
     let cli = ProbeCli::from_env_args();
     if let Some(path) = &cli.metrics {
-        if let Err(e) = std::fs::write(path, report_json(&rep)) {
+        if let Err(e) = std::fs::write(path, observe::json::sample_report(&rep)) {
             eprintln!("writing {} failed: {e}", path.display());
             std::process::exit(1);
         }
         println!("sampling report -> {}", path.display());
     }
-}
-
-/// The JSON report the CI `sample-smoke` step validates.
-fn report_json(rep: &SampleReport) -> String {
-    let rows: Vec<String> = rep
-        .rows
-        .iter()
-        .map(|r| {
-            format!(
-                "{{\"period\":{},\"window\":{},\"windows\":{},\
-                 \"cpi_mean\":{},\"cpi_ci95\":{},\"stall_mean\":{},\
-                 \"detailed_fraction\":{},\"detailed_instrs\":{},\
-                 \"warmed_instrs\":{},\"cpi_error\":{},\"within_ci\":{},\
-                 \"speedup\":{},\"host_secs\":{}}}",
-                r.period,
-                r.window,
-                r.estimate.windows,
-                r.estimate.cpi_mean,
-                r.estimate.cpi_ci95,
-                r.estimate.stall_mean,
-                r.estimate.detailed_fraction,
-                r.estimate.detailed_instrs,
-                r.estimate.warmed_instrs,
-                r.cpi_error,
-                r.within_ci,
-                r.speedup,
-                r.host_secs
-            )
-        })
-        .collect();
-    format!(
-        "{{\"config\":\"{}\",\"txns_per_cpu\":{},\"ref_cpi\":{},\
-         \"ref_committed\":{},\"host_secs_detailed\":{},\"rows\":[{}]}}\n",
-        rep.config,
-        rep.txns_per_cpu,
-        rep.ref_cpi,
-        rep.ref_committed,
-        rep.host_secs_detailed,
-        rows.join(",")
-    )
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
+    }
 }

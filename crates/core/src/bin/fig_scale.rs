@@ -16,12 +16,15 @@
 //!   asserted unconditionally inside the sweep);
 //! - `--metrics=<path>` — write the sweep as JSON;
 //! - `--parallel=<n>` — run every machine with `n` lane workers
-//!   (bit-identical to serial; only wall-clock changes).
+//!   (bit-identical to serial; only wall-clock changes);
+//! - `--store=<dir>` — persistent result store; see
+//!   `piranha::observe::StoreCli`.
 use piranha::experiments::{self, ScaleReport};
-use piranha::observe::{FabricCli, ParallelCli, ProbeCli};
+use piranha::observe::{self, FabricCli, ParallelCli, ProbeCli, StoreCli};
 
 fn main() {
     ParallelCli::from_env_args().apply();
+    let store = StoreCli::from_env_args().apply();
     let quick = std::env::args().any(|a| a == "--quick");
     let fabric = FabricCli::from_env_args();
     let (topology, queue) = match fabric.resolve() {
@@ -36,7 +39,7 @@ fn main() {
 
     let cli = ProbeCli::from_env_args();
     if let Some(path) = &cli.metrics {
-        if let Err(e) = std::fs::write(path, report_json(&rep)) {
+        if let Err(e) = std::fs::write(path, observe::json::scale_report(&rep)) {
             eprintln!("writing {} failed: {e}", path.display());
             std::process::exit(1);
         }
@@ -46,6 +49,9 @@ fn main() {
     if std::env::args().any(|a| a == "--check") {
         check(&rep);
         println!("scale-smoke checks passed");
+    }
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
     }
 }
 
@@ -74,44 +80,4 @@ fn check(rep: &ScaleReport) {
             r.queue
         );
     }
-}
-
-/// The JSON report the CI `scale-smoke` step uploads.
-fn report_json(rep: &ScaleReport) -> String {
-    let rows: Vec<String> = rep
-        .rows
-        .iter()
-        .map(|r| {
-            format!(
-                "{{\"nodes\":{},\"topology\":\"{}\",\"queue\":\"{}\",\
-                 \"committed\":{},\"tpmc\":{},\"sim_us\":{},\
-                 \"delivered\":{},\"walks\":{},\"retransmits\":{},\
-                 \"deflections\":{},\"drops\":{},\"pauses\":{},\
-                 \"pause_ns\":{},\"mean_hops\":{},\"links\":{},\
-                 \"occupancy\":{},\"fingerprint\":{}}}",
-                r.nodes,
-                r.topology,
-                r.queue,
-                r.committed,
-                r.tpmc,
-                r.sim_us,
-                r.fabric.delivered,
-                r.fabric.walks,
-                r.fabric.retransmits,
-                r.fabric.deflections,
-                r.fabric.drops,
-                r.fabric.pauses,
-                r.fabric.pause_time.as_ns(),
-                r.fabric.mean_hops,
-                r.fabric.links,
-                r.occupancy,
-                r.fingerprint
-            )
-        })
-        .collect();
-    format!(
-        "{{\"txns_per_cpu\":{},\"rows\":[{}]}}\n",
-        rep.txns_per_cpu,
-        rows.join(",")
-    )
 }

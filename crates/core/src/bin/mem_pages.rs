@@ -1,8 +1,10 @@
 //! Regenerates the §2.4 claim: RDRAM open-page hit rate on OLTP with a
 //! ~1 µs page-open policy.
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, StoreCli};
 
 fn main() {
+    let store = StoreCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
@@ -13,4 +15,7 @@ fn main() {
         "RDRAM open-page hit rate on OLTP (1µs hold): {:.0}%",
         r * 100.0
     );
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
+    }
 }

@@ -1,8 +1,13 @@
 //! Regenerates the §4 sensitivity results: the pessimistic P8 variant
 //! and the TPC-C-like workload.
+//!
+//! Flags: `--quick` (CI scale), `--store=<dir>` (persistent result
+//! store; see `piranha::observe::StoreCli`).
 use piranha::experiments::{self, RunScale};
+use piranha::observe::{self, StoreCli};
 
 fn main() {
+    let store = StoreCli::from_env_args().apply();
     let scale = if std::env::args().any(|a| a == "--quick") {
         RunScale::quick()
     } else {
@@ -11,5 +16,8 @@ fn main() {
     println!("§4 sensitivity (speedups)");
     for (label, s) in experiments::sensitivity(scale) {
         println!("  {label:<32} {s:>6.2}x");
+    }
+    if let Some(store) = &store {
+        eprintln!("{}", observe::store_summary(store));
     }
 }

@@ -38,6 +38,7 @@
 //! | §3.1 Workloads (OLTP, DSS) | [`workloads`] |
 //! | §4 Evaluation | [`experiments`] |
 //! | Observability (tracing & metrics) | [`probe`], [`observe`] |
+//! | Result store & experiment service | [`serve`] |
 
 #![warn(missing_docs)]
 
@@ -100,6 +101,11 @@ pub mod harness {
 /// Tracing & metrics subsystem (re-export of `piranha-probe`).
 pub mod probe {
     pub use piranha_probe::*;
+}
+/// Persistent result store and long-running experiment service
+/// (re-export of `piranha-serve`).
+pub mod serve {
+    pub use piranha_serve::*;
 }
 /// Fault injection, recovery, and availability reporting (re-export of
 /// `piranha-faults`).

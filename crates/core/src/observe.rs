@@ -17,7 +17,7 @@
 //! never produced with a probe attached (and would be bit-identical if
 //! they were — see `tests/probe_determinism.rs`).
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use piranha_harness::{run_config_parallel_machine, run_config_probed, RunScale};
 use piranha_probe::{chrome, ProbeConfig, TraceLevel};
@@ -163,6 +163,91 @@ impl ParallelCli {
             piranha_harness::set_node_workers(w);
         }
     }
+}
+
+/// The persistent-result-store flag of a figure binary:
+///
+/// - `--store=<dir>` — memoize every harness run in a content-addressed
+///   on-disk store ([`piranha_serve::DiskStore`]) keyed by the stable
+///   `cache_key`, so re-running a figure (or resuming a killed sweep)
+///   recomputes only the tuples the store does not hold yet. Results
+///   are bit-identical with and without the flag — the store is a
+///   cache, never an input; loads that fail verification fall back to
+///   recomputation.
+///
+/// `StoreCli::from_env_args` falls back to the `PIRANHA_STORE`
+/// environment variable when the flag is absent, so whole CI jobs can
+/// opt in without touching each invocation.
+#[derive(Debug, Clone, Default)]
+pub struct StoreCli {
+    /// The store directory, if requested.
+    pub dir: Option<PathBuf>,
+}
+
+impl StoreCli {
+    /// Parse `--store=` out of the process arguments, falling back to
+    /// the `PIRANHA_STORE` environment variable.
+    pub fn from_env_args() -> Self {
+        let mut cli = Self::parse(std::env::args().skip(1));
+        if cli.dir.is_none() {
+            cli.dir = std::env::var("PIRANHA_STORE")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from);
+        }
+        cli
+    }
+
+    /// Parse the flag from an explicit argument list (no environment
+    /// fallback); unrelated arguments are ignored.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = StoreCli::default();
+        for a in args {
+            if let Some(v) = a.strip_prefix("--store=") {
+                cli.dir = Some(PathBuf::from(v));
+            }
+        }
+        cli
+    }
+
+    /// Whether a store was requested.
+    pub fn active(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Open the store and install it as the process-wide default every
+    /// subsequently built `Harness` picks up
+    /// ([`piranha_serve::install_store`]). Returns the store handle so
+    /// the binary can print [`store_summary`] when it is done; `None`
+    /// when the flag was absent.
+    ///
+    /// Exits the process (status 1) if the directory cannot be created
+    /// — a mistyped `--store=` silently computing everything from
+    /// scratch would defeat the point.
+    pub fn apply(&self) -> Option<std::sync::Arc<piranha_serve::DiskStore>> {
+        let dir = self.dir.as_ref()?;
+        match piranha_serve::install_store(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("cannot open result store {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The `--store=` summary line a figure binary prints (to stderr, so
+/// diffable stdout contracts like `--fingerprints` stay intact) after
+/// its runs: what this process computed versus loaded, and how many
+/// entries the store now holds. The CI `serve-smoke` step greps the
+/// `computed 0` of a warm second run out of this.
+pub fn store_summary(store: &piranha_serve::DiskStore) -> String {
+    let (computed, store_hits) = piranha_harness::process_counters();
+    format!(
+        "result store {}: computed {computed}, loaded {store_hits}; {} entries on disk",
+        store.dir().display(),
+        store.len(),
+    )
 }
 
 /// The sampled-execution flag of a figure binary:
@@ -541,7 +626,7 @@ pub fn export_probed_run(cli: &ProbeCli, w: &Workload, scale: RunScale) -> std::
         ));
     }
     if let Some(path) = &cli.metrics {
-        let body = if is_json(path) {
+        let body = if json::is_json(path) {
             r.metrics.to_json()
         } else {
             r.metrics.to_csv()
@@ -558,13 +643,172 @@ pub fn export_probed_run(cli: &ProbeCli, w: &Workload, scale: RunScale) -> std::
     Ok(out)
 }
 
-fn is_json(path: &Path) -> bool {
-    path.extension()
-        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+/// The one JSON surface the figure binaries share: the workspace's JSON
+/// value type (re-exported from `piranha-serve`, where the persistent
+/// result store's envelope and the experiment service's wire protocol
+/// use it too) plus the report emitters the CI smoke steps parse.
+///
+/// Consolidating the emitters here keeps their field names in one
+/// place; the values come straight from the report structs, so a field
+/// rename is a compile error instead of a silently drifting contract.
+pub mod json {
+    use std::path::Path;
+
+    pub use piranha_serve::json::{escape, Json};
+    use piranha_system::RunResult;
+
+    use crate::experiments::{LatencyReport, SampleReport, ScaleReport};
+
+    /// Whether an export path selects JSON by extension (`.json`, any
+    /// case) — the `--metrics=` format switch.
+    pub fn is_json(path: &Path) -> bool {
+        path.extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+    }
+
+    fn field(name: &str, v: Json) -> (String, Json) {
+        (name.to_string(), v)
+    }
+
+    /// The JSON report the CI `scale-smoke` step uploads (`fig_scale
+    /// --metrics=`).
+    pub fn scale_report(rep: &ScaleReport) -> String {
+        let rows: Vec<Json> = rep
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    field("nodes", Json::U64(r.nodes as u64)),
+                    field("topology", Json::str(r.topology)),
+                    field("queue", Json::str(r.queue)),
+                    field("committed", Json::U64(r.committed)),
+                    field("tpmc", Json::F64(r.tpmc)),
+                    field("sim_us", Json::F64(r.sim_us)),
+                    field("delivered", Json::U64(r.fabric.delivered)),
+                    field("walks", Json::U64(r.fabric.walks)),
+                    field("retransmits", Json::U64(r.fabric.retransmits)),
+                    field("deflections", Json::U64(r.fabric.deflections)),
+                    field("drops", Json::U64(r.fabric.drops)),
+                    field("pauses", Json::U64(r.fabric.pauses)),
+                    field("pause_ns", Json::U64(r.fabric.pause_time.as_ns())),
+                    field("mean_hops", Json::F64(r.fabric.mean_hops)),
+                    field("links", Json::U64(r.fabric.links as u64)),
+                    field("occupancy", Json::F64(r.occupancy)),
+                    field("fingerprint", Json::U64(r.fingerprint)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            field("txns_per_cpu", Json::U64(rep.txns_per_cpu)),
+            field("rows", Json::Arr(rows)),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// The JSON report the CI `latency-smoke` step uploads
+    /// (`fig_latency --metrics=`).
+    pub fn latency_report(rep: &LatencyReport) -> String {
+        let rows: Vec<Json> = rep
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    field("fraction", Json::F64(r.fraction)),
+                    field("rate_tpmc", Json::F64(r.rate_tpmc)),
+                    field("p50_ns", Json::U64(r.p50_ns)),
+                    field("p95_ns", Json::U64(r.p95_ns)),
+                    field("p99_ns", Json::U64(r.p99_ns)),
+                    field("mean_ns", Json::F64(r.mean_ns)),
+                    field("drop_rate", Json::F64(r.drop_rate)),
+                    field("generated", Json::U64(r.ledger.generated)),
+                    field("accepted", Json::U64(r.ledger.accepted)),
+                    field("dropped", Json::U64(r.ledger.dropped)),
+                    field("deferred", Json::U64(r.ledger.deferred)),
+                    field("completed", Json::U64(r.ledger.completed)),
+                    field("fingerprint", Json::U64(r.fingerprint)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            field("config", Json::str(&rep.config)),
+            field("txns_per_cpu", Json::U64(rep.txns_per_cpu)),
+            field("service_tpmc", Json::F64(rep.service_tpmc)),
+            field("knee", rep.knee.map_or(Json::Null, |k| Json::U64(k as u64))),
+            field("rows", Json::Arr(rows)),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// The JSON report the CI `sample-smoke` step validates
+    /// (`fig_sample --metrics=`).
+    pub fn sample_report(rep: &SampleReport) -> String {
+        let rows: Vec<Json> = rep
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    field("period", Json::U64(r.period)),
+                    field("window", Json::U64(r.window)),
+                    field("windows", Json::U64(r.estimate.windows)),
+                    field("cpi_mean", Json::F64(r.estimate.cpi_mean)),
+                    field("cpi_ci95", Json::F64(r.estimate.cpi_ci95)),
+                    field("stall_mean", Json::F64(r.estimate.stall_mean)),
+                    field("detailed_fraction", Json::F64(r.estimate.detailed_fraction)),
+                    field("detailed_instrs", Json::U64(r.estimate.detailed_instrs)),
+                    field("warmed_instrs", Json::U64(r.estimate.warmed_instrs)),
+                    field("cpi_error", Json::F64(r.cpi_error)),
+                    field("within_ci", Json::Bool(r.within_ci)),
+                    field("speedup", Json::F64(r.speedup)),
+                    field("host_secs", Json::F64(r.host_secs)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            field("config", Json::str(&rep.config)),
+            field("txns_per_cpu", Json::U64(rep.txns_per_cpu)),
+            field("ref_cpi", Json::F64(rep.ref_cpi)),
+            field("ref_committed", Json::U64(rep.ref_committed)),
+            field("host_secs_detailed", Json::F64(rep.host_secs_detailed)),
+            field("rows", Json::Arr(rows)),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// The JSON report the CI `fault-smoke` step validates
+    /// (`fig_faults --metrics=`): the headline faulted run, its repeat
+    /// (determinism proof), and the availability ledger with the
+    /// slowdown versus the fault-free baseline stamped in.
+    pub fn fault_headline(
+        config: &str,
+        txns_per_cpu: u64,
+        r1: &RunResult,
+        r2: &RunResult,
+        slowdown: f64,
+    ) -> String {
+        let mut av = r1.availability.clone();
+        av.slowdown = Some(slowdown);
+        let availability =
+            Json::parse(&av.to_json()).expect("AvailabilityReport::to_json emits valid JSON");
+        let doc = Json::obj(vec![
+            field("config", Json::str(config)),
+            field("txns_per_cpu", Json::U64(txns_per_cpu)),
+            field("committed", Json::U64(r1.committed_txns.unwrap_or(0))),
+            field("fingerprint", Json::U64(r1.fingerprint())),
+            field("fingerprint_repeat", Json::U64(r2.fingerprint())),
+            field(
+                "deterministic",
+                Json::Bool(r1.fingerprint() == r2.fingerprint()),
+            ),
+            field("availability", availability),
+        ]);
+        format!("{doc}\n")
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::path::Path;
+
     use super::*;
 
     fn args(v: &[&str]) -> Vec<String> {
@@ -582,10 +826,51 @@ mod tests {
 
     #[test]
     fn metrics_format_follows_extension() {
-        assert!(is_json(Path::new("out.json")));
-        assert!(is_json(Path::new("out.JSON")));
-        assert!(!is_json(Path::new("out.csv")));
-        assert!(!is_json(Path::new("out")));
+        assert!(json::is_json(Path::new("out.json")));
+        assert!(json::is_json(Path::new("out.JSON")));
+        assert!(!json::is_json(Path::new("out.csv")));
+        assert!(!json::is_json(Path::new("out")));
+    }
+
+    #[test]
+    fn store_flag_parses_and_ignores_the_rest() {
+        assert!(!StoreCli::parse(args(&["--quick"])).active());
+        let cli = StoreCli::parse(args(&["--quick", "--store=/tmp/results"]));
+        assert_eq!(cli.dir.as_deref(), Some(Path::new("/tmp/results")));
+        assert!(cli.active());
+    }
+
+    #[test]
+    fn report_emitters_produce_valid_json() {
+        use crate::experiments::{LatencyReport, LatencyRow};
+        use json::Json;
+        let rep = LatencyReport {
+            config: "P4x2".into(),
+            txns_per_cpu: 20,
+            service_tpmc: 123.5,
+            rows: vec![LatencyRow {
+                fraction: 0.25,
+                rate_tpmc: 30.875,
+                p50_ns: 100,
+                p95_ns: 200,
+                p99_ns: 300,
+                mean_ns: 120.0,
+                drop_rate: 0.0,
+                ledger: piranha_system::TrafficLedger::default(),
+                fingerprint: u64::MAX,
+            }],
+            knee: None,
+        };
+        let doc = Json::parse(&json::latency_report(&rep)).unwrap();
+        assert_eq!(doc.get("config").and_then(Json::as_str), Some("P4x2"));
+        assert!(doc.get("knee").is_some_and(Json::is_null));
+        let row = &doc.get("rows").and_then(Json::as_arr).unwrap()[0];
+        // u64 fields survive without an f64 round trip.
+        assert_eq!(
+            row.get("fingerprint").and_then(Json::as_u64),
+            Some(u64::MAX)
+        );
+        assert_eq!(row.get("p99_ns").and_then(Json::as_u64), Some(300));
     }
 
     #[test]

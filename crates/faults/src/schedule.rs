@@ -43,7 +43,11 @@ impl FaultKind {
         }
     }
 
-    fn from_token(tok: &str) -> Option<Self> {
+    /// Parse a script token back into its kind (the inverse of
+    /// [`FaultKind::token`]); used by fault-script parsing and by the
+    /// persistent result store when rebuilding an availability ledger's
+    /// per-kind map from its JSON envelope.
+    pub fn from_token(tok: &str) -> Option<Self> {
         Some(match tok {
             "flap" => FaultKind::LinkFlap,
             "corrupt" => FaultKind::PacketCorrupt,

@@ -39,10 +39,188 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use piranha_system::{Machine, Probe, ProbeConfig, RunResult, SystemConfig};
 use piranha_workloads::Workload;
+
+/// A persistent backing store for memoized results, keyed by
+/// [`cache_key`]. Implemented by `piranha_serve::DiskStore` (a
+/// content-addressed on-disk cache with a versioned JSON envelope); the
+/// harness only sees this trait, so the store crate can sit above it in
+/// the dependency graph.
+///
+/// Contract: `load(key)` returns a result **bit-identical** to what
+/// `run_config` would produce for the tuple behind `key`, or `None`
+/// (missing, corrupt, or written by an incompatible build — the store
+/// must reject rather than serve those). `save` must tolerate concurrent
+/// writers of the same key: the simulator is deterministic, so
+/// last-writer-wins is safe.
+pub trait ResultStore: Send + Sync {
+    /// Fetch the persisted result for `key`, if a valid entry exists.
+    fn load(&self, key: &str) -> Option<RunResult>;
+    /// Persist `result` under `key`. Errors are the store's to swallow
+    /// (a full disk must not fail the sweep); it simply won't hit later.
+    fn save(&self, key: &str, result: &RunResult);
+}
+
+/// The process-wide default store newly built harnesses attach
+/// (`Harness::new` / `Harness::with_threads`). Installed by the
+/// `--store=<dir>` / `PIRANHA_STORE` rider of the figure binaries.
+static DEFAULT_STORE: RwLock<Option<Arc<dyn ResultStore>>> = RwLock::new(None);
+
+/// Install (or clear) the process-wide default result store. Every
+/// harness constructed afterwards persists its runs there; existing
+/// harnesses are unaffected.
+pub fn set_default_store(store: Option<Arc<dyn ResultStore>>) {
+    *DEFAULT_STORE.write().unwrap() = store;
+}
+
+/// The currently installed process-wide default store, if any.
+pub fn default_store() -> Option<Arc<dyn ResultStore>> {
+    DEFAULT_STORE.read().unwrap().clone()
+}
+
+/// Where a memoized result came from, for cache-provenance accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Served from the in-memory cache (or computed by a concurrent
+    /// claimant of the same key while we waited).
+    Memory,
+    /// Loaded from the persistent [`ResultStore`].
+    Store,
+    /// Simulated by this call.
+    Computed,
+}
+
+/// In-flight-aware memo table shared between harnesses (and the serve
+/// worker pool). Each key is either absent, being computed by exactly
+/// one claimant, or ready; [`SharedCache::claim`] blocks on in-flight
+/// keys instead of recomputing, which makes duplicate submissions of
+/// the same tuple idempotent across threads.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCache {
+    inner: Arc<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: Mutex<HashMap<String, Slot>>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    InFlight,
+    Ready(Arc<RunResult>),
+}
+
+/// The outcome of [`SharedCache::claim`]: either the key is already
+/// resolved, or the caller now owns the obligation to compute it.
+pub enum Claim {
+    /// The result is ready (possibly after waiting on another claimant).
+    Ready(Arc<RunResult>),
+    /// The caller must compute the result and [`ClaimGuard::fulfill`]
+    /// it. Dropping the guard unfulfilled (e.g. on panic) releases the
+    /// key so waiting claimants retry instead of hanging.
+    Owed(ClaimGuard),
+}
+
+/// Ownership token for an in-flight key (see [`Claim::Owed`]).
+pub struct ClaimGuard {
+    cache: SharedCache,
+    key: String,
+    fulfilled: bool,
+}
+
+impl ClaimGuard {
+    /// The claimed key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Publish the computed result and wake every waiting claimant.
+    pub fn fulfill(mut self, result: RunResult) -> Arc<RunResult> {
+        let r = Arc::new(result);
+        {
+            let mut map = self.cache.inner.map.lock().unwrap();
+            map.insert(self.key.clone(), Slot::Ready(Arc::clone(&r)));
+        }
+        self.cache.inner.ready.notify_all();
+        self.fulfilled = true;
+        r
+    }
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            // Abandoned (panic or early return): release the key so a
+            // waiting claimant can take over rather than deadlock.
+            let mut map = self.cache.inner.map.lock().unwrap();
+            if matches!(map.get(&self.key), Some(Slot::InFlight)) {
+                map.remove(&self.key);
+            }
+            drop(map);
+            self.cache.inner.ready.notify_all();
+        }
+    }
+}
+
+impl SharedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ready result for `key`, if any (never blocks).
+    pub fn lookup(&self, key: &str) -> Option<Arc<RunResult>> {
+        match self.inner.map.lock().unwrap().get(key) {
+            Some(Slot::Ready(r)) => Some(Arc::clone(r)),
+            _ => None,
+        }
+    }
+
+    /// Resolve `key` to a ready result or the obligation to compute it.
+    /// If another claimant is already computing `key`, this blocks until
+    /// that computation lands (or is abandoned, in which case the claim
+    /// is retried and may become ours).
+    pub fn claim(&self, key: &str) -> Claim {
+        let mut map = self.inner.map.lock().unwrap();
+        loop {
+            match map.get(key) {
+                Some(Slot::Ready(r)) => return Claim::Ready(Arc::clone(r)),
+                Some(Slot::InFlight) => {
+                    map = self.inner.ready.wait(map).unwrap();
+                }
+                None => {
+                    map.insert(key.to_string(), Slot::InFlight);
+                    return Claim::Owed(ClaimGuard {
+                        cache: self.clone(),
+                        key: key.to_string(),
+                        fulfilled: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Number of *ready* entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .map
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether no entry is ready.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// How long to run each configuration. Figures in the paper used 500
 /// OLTP transactions; we size in instructions per CPU.
@@ -179,6 +357,25 @@ pub fn set_node_workers(workers: usize) {
 /// The current per-machine lane-worker count.
 pub fn node_workers() -> usize {
     NODE_WORKERS.load(Ordering::Relaxed).max(1)
+}
+
+/// Process-wide provenance tally, summed over every `Harness` in the
+/// process. The figure binaries build many short-lived harnesses
+/// internally; these counters let `--store=` report one summary line
+/// (and let CI assert a warm store recomputes nothing) without
+/// threading each harness's per-instance counters out.
+static PROCESS_COMPUTED: AtomicUsize = AtomicUsize::new(0);
+static PROCESS_STORE_HITS: AtomicUsize = AtomicUsize::new(0);
+
+/// `(computed, store_hits)` summed across every harness resolution in
+/// this process: simulations actually executed versus results served
+/// from the persistent [`ResultStore`]. In-memory cache hits are not
+/// counted (they cost nothing and would dwarf the interesting numbers).
+pub fn process_counters() -> (usize, usize) {
+    (
+        PROCESS_COMPUTED.load(Ordering::Relaxed),
+        PROCESS_STORE_HITS.load(Ordering::Relaxed),
+    )
 }
 
 /// Like [`run_config`], but with an observability probe attached per
@@ -370,16 +567,42 @@ pub fn default_threads() -> usize {
 
 /// A memoizing executor for simulation runs.
 ///
-/// Results are cached by [`cache_key`]; [`Harness::execute`] runs every
-/// uncached request of a [`RunPlan`] across scoped worker threads, and
-/// [`Harness::get`] returns cached results (simulating inline, serially,
-/// on a miss so figures never see a gap).
-#[derive(Debug)]
+/// Results are cached by [`cache_key`] in a [`SharedCache`];
+/// [`Harness::execute`] runs every uncached request of a [`RunPlan`]
+/// across scoped worker threads, and [`Harness::get`] returns cached
+/// results (simulating inline, serially, on a miss so figures never see
+/// a gap).
+///
+/// Two extra layers compose in transparently:
+///
+/// - **Persistence** — with a [`ResultStore`] attached (explicitly via
+///   [`Harness::set_store`] or process-wide via [`set_default_store`]),
+///   every miss consults the store before simulating and every computed
+///   result is persisted, so sweeps resume across processes.
+/// - **In-flight dedup** — the cache tracks keys *being* computed, so a
+///   key submitted while already in flight (a second harness sharing the
+///   cache, or the serve worker pool) waits on the running computation
+///   instead of recomputing it.
 pub struct Harness {
-    cache: HashMap<String, Arc<RunResult>>,
+    cache: SharedCache,
+    store: Option<Arc<dyn ResultStore>>,
     threads: usize,
     executed: usize,
     hits: usize,
+    store_hits: usize,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("cached", &self.cache.len())
+            .field("threads", &self.threads)
+            .field("executed", &self.executed)
+            .field("hits", &self.hits)
+            .field("store_hits", &self.store_hits)
+            .field("store", &self.store.is_some())
+            .finish()
+    }
 }
 
 impl Default for Harness {
@@ -389,18 +612,22 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// A harness using [`default_threads`] workers.
+    /// A harness using [`default_threads`] workers (and the process-wide
+    /// default [`ResultStore`], if one is installed).
     pub fn new() -> Self {
         Self::with_threads(default_threads())
     }
 
-    /// A harness with an explicit worker count (`1` = serial).
+    /// A harness with an explicit worker count (`1` = serial). Picks up
+    /// the process-wide default store.
     pub fn with_threads(threads: usize) -> Self {
         Harness {
-            cache: HashMap::new(),
+            cache: SharedCache::new(),
+            store: default_store(),
             threads: threads.max(1),
             executed: 0,
             hits: 0,
+            store_hits: 0,
         }
     }
 
@@ -409,12 +636,32 @@ impl Harness {
         Self::with_threads(1)
     }
 
+    /// Attach (or detach) a persistent result store.
+    pub fn set_store(&mut self, store: Option<Arc<dyn ResultStore>>) {
+        self.store = store;
+    }
+
+    /// The in-memory cache, cloneable into another harness
+    /// ([`Harness::with_cache`]) or the serve worker pool so concurrent
+    /// consumers share results and in-flight dedup.
+    pub fn shared_cache(&self) -> SharedCache {
+        self.cache.clone()
+    }
+
+    /// Replace the in-memory cache (builder-style), typically with one
+    /// shared from another harness.
+    pub fn with_cache(mut self, cache: SharedCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// The worker-thread bound.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// How many simulations have actually been executed.
+    /// How many simulations this harness actually executed (store loads
+    /// and waits on another claimant's computation are *not* counted).
     pub fn unique_runs(&self) -> usize {
         self.executed
     }
@@ -424,17 +671,47 @@ impl Harness {
         self.hits
     }
 
+    /// How many results were served from the persistent store instead of
+    /// being recomputed.
+    pub fn store_hits(&self) -> usize {
+        self.store_hits
+    }
+
+    /// Resolve one request through the cache/store/compute stack:
+    /// ready cache entry → persistent store → simulate. Blocks if the
+    /// key is in flight elsewhere (idempotent duplicate submission).
+    fn resolve(&self, req: &RunRequest) -> (Arc<RunResult>, Provenance) {
+        let key = req.key();
+        match self.cache.claim(&key) {
+            Claim::Ready(r) => (r, Provenance::Memory),
+            Claim::Owed(guard) => {
+                if let Some(r) = self.store.as_ref().and_then(|s| s.load(&key)) {
+                    PROCESS_STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                    return (guard.fulfill(r), Provenance::Store);
+                }
+                let r = run_config(req.cfg.clone(), &req.workload, req.scale);
+                if let Some(s) = &self.store {
+                    s.save(&key, &r);
+                }
+                PROCESS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+                (guard.fulfill(r), Provenance::Computed)
+            }
+        }
+    }
+
     /// Execute every request of `plan` that is not already cached,
     /// fanning the unique runs out over up to `threads` scoped workers.
     ///
     /// Workers pull tasks from a shared index in plan order, so with one
     /// worker this degrades to exactly the serial loop. Each task builds
     /// its own `Machine`, making results independent of scheduling.
+    /// Requests whose key lands in the persistent store or is computed
+    /// concurrently by another cache sharer are *not* re-simulated.
     pub fn execute(&mut self, plan: &RunPlan) {
         let todo: Vec<&RunRequest> = plan
             .requests()
             .iter()
-            .filter(|r| !self.cache.contains_key(&r.key()))
+            .filter(|r| self.cache.lookup(&r.key()).is_none())
             .collect();
         if todo.is_empty() {
             return;
@@ -452,54 +729,57 @@ impl Harness {
             .max()
             .unwrap_or(1);
         let workers = piranha_parsim::sweep_share(self.threads, per_run).min(todo.len());
+        let executed = AtomicUsize::new(0);
+        let store_hits = AtomicUsize::new(0);
+        let count = |p: Provenance| match p {
+            Provenance::Computed => {
+                executed.fetch_add(1, Ordering::Relaxed);
+            }
+            Provenance::Store => {
+                store_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Provenance::Memory => {}
+        };
         if workers <= 1 {
             for req in todo {
-                let r = Arc::new(run_config(req.cfg.clone(), &req.workload, req.scale));
-                self.cache.insert(req.key(), r);
-                self.executed += 1;
+                let (_, p) = self.resolve(req);
+                count(p);
             }
-            return;
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(req) = todo.get(i) else { break };
+                        let (_, p) = self.resolve(req);
+                        count(p);
+                    });
+                }
+            });
         }
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<RunResult>>> =
-            todo.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(req) = todo.get(i) else { break };
-                    let r = run_config(req.cfg.clone(), &req.workload, req.scale);
-                    *results[i].lock().unwrap() = Some(r);
-                });
-            }
-        });
-        for (req, cell) in todo.iter().zip(results) {
-            let r = cell
-                .into_inner()
-                .unwrap()
-                .expect("worker completed every claimed task");
-            self.cache.insert(req.key(), Arc::new(r));
-            self.executed += 1;
-        }
+        self.executed += executed.into_inner();
+        self.store_hits += store_hits.into_inner();
     }
 
     /// The memoized result for one tuple; simulates inline (serially) if
-    /// it is not cached yet.
+    /// it is not cached yet — or loads it from the store, or waits for a
+    /// concurrent claimant, through the same claim protocol
+    /// [`Harness::execute`] uses.
     pub fn get(&mut self, cfg: &SystemConfig, w: &Workload, scale: RunScale) -> Arc<RunResult> {
-        let key = cache_key(cfg, w, scale);
-        if let Some(r) = self.cache.get(&key) {
-            self.hits += 1;
-            return Arc::clone(r);
+        let req = RunRequest::new(cfg.clone(), w.clone(), scale);
+        let (r, p) = self.resolve(&req);
+        match p {
+            Provenance::Memory => self.hits += 1,
+            Provenance::Store => self.store_hits += 1,
+            Provenance::Computed => self.executed += 1,
         }
-        let r = Arc::new(run_config(cfg.clone(), w, scale));
-        self.cache.insert(key, Arc::clone(&r));
-        self.executed += 1;
         r
     }
 
-    /// Whether a tuple is already cached.
+    /// Whether a tuple is already cached (ready, not merely in flight).
     pub fn contains(&self, cfg: &SystemConfig, w: &Workload, scale: RunScale) -> bool {
-        self.cache.contains_key(&cache_key(cfg, w, scale))
+        self.cache.lookup(&cache_key(cfg, w, scale)).is_some()
     }
 }
 
@@ -670,5 +950,139 @@ mod tests {
         // Only checks the parser contract; the env var itself is global
         // state we do not mutate in tests.
         assert!(default_threads() >= 1);
+    }
+
+    /// In-memory [`ResultStore`] with save/load counters, standing in
+    /// for the on-disk store in unit tests.
+    #[derive(Default)]
+    struct MemStore {
+        map: Mutex<HashMap<String, RunResult>>,
+        saves: AtomicUsize,
+        loads: AtomicUsize,
+    }
+
+    impl ResultStore for MemStore {
+        fn load(&self, key: &str) -> Option<RunResult> {
+            let r = self.map.lock().unwrap().get(key).cloned();
+            if r.is_some() {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+            }
+            r
+        }
+        fn save(&self, key: &str, result: &RunResult) {
+            self.saves.fetch_add(1, Ordering::Relaxed);
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), result.clone());
+        }
+    }
+
+    #[test]
+    fn store_persists_and_short_circuits_recompute() {
+        let store = Arc::new(MemStore::default());
+        let mut plan = RunPlan::new();
+        plan.add(tiny_cfg("A", 1), synth(), RunScale::tiny());
+        plan.add(tiny_cfg("B", 1), synth(), RunScale::tiny());
+
+        let mut first = Harness::serial();
+        first.set_store(Some(store.clone() as Arc<dyn ResultStore>));
+        first.execute(&plan);
+        assert_eq!(first.unique_runs(), 2);
+        assert_eq!(first.store_hits(), 0);
+        assert_eq!(store.saves.load(Ordering::Relaxed), 2);
+
+        // A fresh harness (fresh in-memory cache, same store) resumes
+        // from disk: zero simulations, two store hits.
+        let mut second = Harness::serial();
+        second.set_store(Some(store.clone() as Arc<dyn ResultStore>));
+        second.execute(&plan);
+        assert_eq!(second.unique_runs(), 0, "resumed entirely from store");
+        assert_eq!(second.store_hits(), 2);
+        assert_eq!(store.saves.load(Ordering::Relaxed), 2, "nothing re-saved");
+
+        // And the results agree bit-for-bit with a storeless run.
+        let mut bare = Harness::serial();
+        bare.execute(&plan);
+        for req in plan.requests() {
+            let a = second.get(&req.cfg, &req.workload, req.scale);
+            let b = bare.get(&req.cfg, &req.workload, req.scale);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn partial_store_resumes_only_missing_rows() {
+        let store = Arc::new(MemStore::default());
+        let mut warm = RunPlan::new();
+        warm.add(tiny_cfg("A", 1), synth(), RunScale::tiny());
+        let mut h = Harness::serial();
+        h.set_store(Some(store.clone() as Arc<dyn ResultStore>));
+        h.execute(&warm);
+
+        // A superset plan in a fresh harness recomputes only row B, as a
+        // killed-and-restarted sweep would.
+        let mut full = warm.clone();
+        full.add(tiny_cfg("B", 1), synth(), RunScale::tiny());
+        let mut resumed = Harness::serial();
+        resumed.set_store(Some(store.clone() as Arc<dyn ResultStore>));
+        resumed.execute(&full);
+        assert_eq!(resumed.store_hits(), 1);
+        assert_eq!(resumed.unique_runs(), 1);
+    }
+
+    #[test]
+    fn duplicate_submission_in_flight_is_idempotent() {
+        // Two harnesses sharing one cache race the same plan; the
+        // in-flight claim protocol must hand every key to exactly one of
+        // them, so total simulations equal the number of unique tuples.
+        let mut plan = RunPlan::new();
+        for (name, cpus) in [("A", 1), ("B", 2), ("C", 1), ("D", 2)] {
+            plan.add(tiny_cfg(name, cpus), synth(), RunScale::tiny());
+        }
+        let lead = Harness::with_threads(2);
+        let cache = lead.shared_cache();
+        let (a, b) = std::thread::scope(|s| {
+            let plan_a = plan.clone();
+            let cache_a = cache.clone();
+            let ta = s.spawn(move || {
+                let mut h = Harness::with_threads(2).with_cache(cache_a);
+                h.set_store(None);
+                h.execute(&plan_a);
+                h.unique_runs()
+            });
+            let plan_b = plan.clone();
+            let tb = s.spawn(move || {
+                let mut h = Harness::with_threads(2).with_cache(cache);
+                h.set_store(None);
+                h.execute(&plan_b);
+                h.unique_runs()
+            });
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(a + b, plan.len(), "each tuple simulated exactly once");
+        assert_eq!(lead.shared_cache().len(), plan.len());
+    }
+
+    #[test]
+    fn abandoned_claim_is_released_to_waiters() {
+        let cache = SharedCache::new();
+        let key = "k";
+        let Claim::Owed(guard) = cache.claim(key) else {
+            panic!("fresh key must be owed");
+        };
+        // Simulate a panicking worker: the guard drops unfulfilled while
+        // another thread is blocked waiting on the in-flight entry.
+        let waiter = std::thread::spawn({
+            let cache = cache.clone();
+            move || match cache.claim(key) {
+                Claim::Ready(_) => panic!("nothing was ever fulfilled"),
+                Claim::Owed(g) => g.key().to_string(),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(guard);
+        assert_eq!(waiter.join().unwrap(), key, "waiter inherited the claim");
+        assert!(cache.lookup(key).is_none());
     }
 }

@@ -247,6 +247,33 @@ impl Histogram {
     pub fn p99_ns(&self) -> u64 {
         self.percentile_ns(99.0)
     }
+
+    /// The raw per-bucket counts (power-of-two bucket `i` covers
+    /// `[2^(i-1), 2^i)` ns; bucket 0 is sub-nanosecond). Exposed so a
+    /// histogram can be persisted field-for-field and rebuilt with
+    /// [`Histogram::from_parts`] — the persistent result store round-trips
+    /// latency histograms this way.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from persisted parts (the inverse of reading
+    /// [`Histogram::bucket_counts`], [`Histogram::count`],
+    /// [`Histogram::sum_ns`], and [`Histogram::max_ns`]). The caller is
+    /// responsible for internal consistency (`count == Σ buckets`); a
+    /// histogram rebuilt from the parts of another is indistinguishable
+    /// from the original, which the store round-trip tests assert.
+    pub fn from_parts(mut buckets: Vec<u64>, count: u64, sum_ns: u64, max_ns: u64) -> Self {
+        // Normalize to the canonical 40-bucket geometry so `merge`'s
+        // equal-length debug assertion holds against live histograms.
+        buckets.resize(40, 0);
+        Histogram {
+            buckets,
+            count,
+            sum_ns,
+            max_ns,
+        }
+    }
 }
 
 impl Default for Histogram {

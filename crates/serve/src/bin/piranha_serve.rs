@@ -1,0 +1,76 @@
+//! The long-running experiment server.
+//!
+//! ```text
+//! piranha_serve [--addr=HOST:PORT] [--store=DIR] [--threads=N] [--parallel=N]
+//! ```
+//!
+//! - `--addr=` — listen address (default `127.0.0.1:7654`; use port 0
+//!   for an ephemeral port, printed at startup);
+//! - `--store=` — persistent result store directory (falls back to the
+//!   `PIRANHA_STORE` environment variable; omit both for memory-only);
+//! - `--threads=` — sweep thread budget for the worker pool (default:
+//!   `PIRANHA_THREADS` / available parallelism);
+//! - `--parallel=` — lane workers per multi-chip simulation; the pool
+//!   width is divided by this so the total stays within budget.
+//!
+//! Clients speak newline-delimited JSON — see `piranha_serve::service`
+//! for the protocol, and the `fig_queue` binary for a worked example.
+
+use std::sync::Arc;
+
+use piranha_serve::{DiskStore, Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7654".to_string();
+    let mut store_dir = std::env::var("PIRANHA_STORE")
+        .ok()
+        .filter(|s| !s.is_empty());
+    let mut cfg = ServerConfig::default();
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--addr=") {
+            addr = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--store=") {
+            store_dir = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                cfg.threads = n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--parallel=") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                piranha_harness::set_node_workers(n.max(1));
+            }
+        } else if a == "--help" || a == "-h" {
+            println!(
+                "usage: piranha_serve [--addr=HOST:PORT] [--store=DIR] \
+                 [--threads=N] [--parallel=N]"
+            );
+            return;
+        }
+    }
+
+    let store = match &store_dir {
+        None => None,
+        Some(dir) => match DiskStore::open(dir) {
+            Ok(s) => Some(Arc::new(s) as Arc<dyn piranha_harness::ResultStore>),
+            Err(e) => {
+                eprintln!("piranha_serve: cannot open store {dir:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let server = match Server::bind(addr.as_str(), store, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("piranha_serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!(
+        "piranha_serve listening on {bound} (store: {})",
+        store_dir.as_deref().unwrap_or("none"),
+    );
+    server.run();
+    println!("piranha_serve: shut down");
+}

@@ -1,0 +1,120 @@
+//! Cache-key stability guard: the content address of the persistent
+//! result store.
+//!
+//! `piranha::harness::cache_key` turns a `(config, workload, scale)`
+//! tuple into the string the in-memory cache *and* the on-disk
+//! [`piranha::serve::DiskStore`] key by. Since the key is a `Debug`
+//! rendering, any rename or reorder of a config/workload field silently
+//! changes every address — which is *correct* (a changed config must
+//! not alias an old result) but must always be a **visible, deliberate**
+//! event: it orphans every stored entry, so sweeps resume from scratch.
+//! This test pins the store address of every golden-plan tuple (plus
+//! the other `RunScale` presets) to `tests/golden_cache_keys.tsv`.
+//!
+//! To regenerate after an intentional config/workload schema change:
+//!
+//! ```text
+//! cargo test --release --test cache_key_stability -- --ignored bless
+//! ```
+//!
+//! and commit the updated `.tsv` alongside the schema change.
+
+use piranha::experiments::{golden_label, golden_plan, RunScale};
+use piranha::harness::cache_key;
+use piranha::serve::DiskStore;
+
+const GOLDEN: &str = include_str!("golden_cache_keys.tsv");
+
+/// The pinned grid: every golden-plan tuple at quick scale, plus the
+/// P8/OLTP anchor at each other scale preset (scale is part of the
+/// key, so a changed preset must orphan its entries too).
+fn grid() -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for req in golden_plan(RunScale::quick()).requests() {
+        rows.push((
+            golden_label(req),
+            cache_key(&req.cfg, &req.workload, req.scale),
+        ));
+    }
+    let p8 = piranha::SystemConfig::piranha_p8();
+    let w = piranha::experiments::oltp();
+    for (name, scale) in [
+        ("tiny", RunScale::tiny()),
+        ("full", RunScale::full()),
+        ("completion", RunScale::completion()),
+    ] {
+        rows.push((format!("P8|oltp|scale-{name}"), cache_key(&p8, &w, scale)));
+    }
+    rows
+}
+
+fn render(rows: &[(String, String)]) -> String {
+    rows.iter()
+        .map(|(label, key)| format!("{label}\t{}\n", DiskStore::address(key)))
+        .collect()
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests")
+}
+
+#[test]
+fn cache_keys_are_deterministic_and_distinct() {
+    let rows = grid();
+    let again = grid();
+    assert_eq!(rows, again, "cache_key must be a pure function");
+    let distinct: std::collections::HashSet<&String> = rows.iter().map(|(_, k)| k).collect();
+    assert_eq!(distinct.len(), rows.len(), "grid tuples must not alias");
+    let addrs: std::collections::HashSet<String> =
+        rows.iter().map(|(_, k)| DiskStore::address(k)).collect();
+    assert_eq!(addrs.len(), rows.len(), "store addresses must not collide");
+}
+
+#[test]
+fn store_addresses_match_checked_in_values() {
+    assert!(
+        !GOLDEN.trim().is_empty(),
+        "golden file missing — run the ignored `bless` test to create it"
+    );
+    let got = render(&grid());
+    if got != GOLDEN {
+        let diff: Vec<String> = got
+            .lines()
+            .zip(GOLDEN.lines().chain(std::iter::repeat("<missing>")))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| format!("  got:    {a}\n  golden: {b}"))
+            .collect();
+        panic!(
+            "cache keys changed — {} of {} addresses differ (stored results \
+             will be orphaned):\n{}\n\
+             If the config/workload schema change is intentional, re-bless \
+             with:\n  cargo test --release --test cache_key_stability -- \
+             --ignored bless",
+            diff.len(),
+            got.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+/// The scale presets must disagree — a quick result served to a full
+/// sweep would be a silent correctness bug, not a cache hit.
+#[test]
+fn scale_is_part_of_the_key() {
+    let p8 = piranha::SystemConfig::piranha_p8();
+    let w = piranha::experiments::oltp();
+    let quick = cache_key(&p8, &w, RunScale::quick());
+    let full = cache_key(&p8, &w, RunScale::full());
+    assert_ne!(quick, full);
+    assert_ne!(DiskStore::address(&quick), DiskStore::address(&full));
+}
+
+/// Regenerates the golden address table. Ignored by default; run
+/// explicitly when a schema change legitimately re-keys the store.
+#[test]
+#[ignore = "regenerates the golden cache-key table; run explicitly to bless"]
+fn bless() {
+    let out = render(&grid());
+    std::fs::write(golden_dir().join("golden_cache_keys.tsv"), &out).unwrap();
+    println!("blessed {} cache-key addresses", out.lines().count());
+}

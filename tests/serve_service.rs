@@ -1,0 +1,162 @@
+//! End-to-end exercise of the experiment service over real TCP: submit
+//! a plan, stream progress, verify provenance transitions
+//! (computed → memory → store across server generations), deduplicate
+//! duplicate specs, and drain cleanly on shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use piranha::harness::ResultStore;
+use piranha::serve::{Client, DiskStore, RunSpec, Server, ServerConfig};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("piranha-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawn a server on an ephemeral port; returns its address and the
+/// thread to join after `shutdown`.
+fn spawn_server(store: Option<Arc<dyn ResultStore>>) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", store, ServerConfig { threads: 2 })
+        .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound socket").to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn plan() -> Vec<RunSpec> {
+    vec![
+        RunSpec::new("p1", "oltp", "tiny"),
+        RunSpec::new("p2", "oltp", "tiny"),
+        RunSpec::new("p4", "oltp", "tiny").with_chips(2),
+    ]
+}
+
+#[test]
+fn submit_watch_and_resubmit_over_tcp() {
+    let (addr, handle) = spawn_server(None);
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(client.ping().expect("ping") >= 1, "worker pool is alive");
+
+    // Cold submission: nothing cached, every entry computes.
+    let ticket = client.submit(&plan()).expect("submit");
+    assert_eq!((ticket.total, ticket.cached), (3, 0));
+    let mut events = Vec::new();
+    client
+        .watch(ticket.job, |ev| {
+            if let Some(kind) = ev.get("event").and_then(|v| v.as_str()) {
+                events.push(kind.to_string());
+            }
+        })
+        .expect("watch");
+    assert_eq!(events.last().map(String::as_str), Some("job_done"));
+    assert_eq!(
+        events.iter().filter(|e| *e == "done").count(),
+        3,
+        "every entry must report done: {events:?}"
+    );
+    let status = client.status(ticket.job).expect("status");
+    assert!(status.is_done());
+    assert_eq!(status.done, 3);
+    for row in &status.rows {
+        assert_eq!(row.provenance.as_deref(), Some("computed"));
+        assert!(row.fingerprint.is_some(), "done rows carry a fingerprint");
+    }
+
+    // Identical plan again: acknowledged fully cached, done at submit,
+    // and every row now answered from memory.
+    let again = client.submit(&plan()).expect("resubmit");
+    assert_eq!((again.total, again.cached), (3, 3));
+    let warm = client.status(again.job).expect("status");
+    assert!(warm.is_done(), "a fully cached job completes at submit");
+    for (row, cold_row) in warm.rows.iter().zip(&status.rows) {
+        assert_eq!(row.provenance.as_deref(), Some("memory"));
+        assert_eq!(
+            row.fingerprint, cold_row.fingerprint,
+            "cached answers must be bit-identical"
+        );
+    }
+
+    // A plan with internal duplicates resolves each tuple once.
+    let mut dup = plan();
+    dup.extend(plan());
+    let t = client.submit(&dup).expect("submit duplicates");
+    assert_eq!((t.total, t.cached), (6, 6), "all dupes hit the cache");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread drains");
+}
+
+#[test]
+fn a_restarted_server_serves_from_its_store() {
+    let dir = tmpdir("restart");
+
+    // Generation one computes and persists.
+    let store: Arc<dyn ResultStore> = Arc::new(DiskStore::open(&dir).unwrap());
+    let (addr, handle) = spawn_server(Some(store));
+    let mut client = Client::connect(&addr).expect("connect");
+    let ticket = client.submit(&plan()).expect("submit");
+    let done = client
+        .wait(ticket.job, Duration::from_millis(5))
+        .expect("wait");
+    let cold_fps: Vec<Option<String>> = done.rows.iter().map(|r| r.fingerprint.clone()).collect();
+    client.shutdown().expect("shutdown");
+    handle.join().expect("generation one drains");
+    assert_eq!(DiskStore::open(&dir).unwrap().len(), 3);
+
+    // Generation two (fresh memory cache, same directory) serves every
+    // entry from the store without recomputing.
+    let store: Arc<dyn ResultStore> = Arc::new(DiskStore::open(&dir).unwrap());
+    let (addr, handle) = spawn_server(Some(store));
+    let mut client = Client::connect(&addr).expect("connect");
+    let ticket = client.submit(&plan()).expect("submit");
+    let done = client
+        .wait(ticket.job, Duration::from_millis(5))
+        .expect("wait");
+    for (row, cold) in done.rows.iter().zip(&cold_fps) {
+        assert_eq!(row.provenance.as_deref(), Some("store"));
+        assert_eq!(&row.fingerprint, cold, "store replay is bit-identical");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("executed").and_then(|v| v.as_u64()),
+        Some(0),
+        "generation two must not simulate anything: {stats}"
+    );
+    assert_eq!(stats.get("store_hits").and_then(|v| v.as_u64()), Some(3));
+    client.shutdown().expect("shutdown");
+    handle.join().expect("generation two drains");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_submissions_are_rejected_not_fatal() {
+    let (addr, handle) = spawn_server(None);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let err = client
+        .submit(&[RunSpec::new("p9000", "oltp", "tiny")])
+        .expect_err("unknown preset must be rejected");
+    assert!(err.contains("p9000"), "error names the offender: {err}");
+    let err = client
+        .submit(&[RunSpec::new("p1", "oltp", "galactic")])
+        .expect_err("unknown scale must be rejected");
+    assert!(err.contains("galactic"), "error names the offender: {err}");
+    client
+        .submit(&[])
+        .expect_err("an empty plan must be rejected");
+    let err = client.status(999).expect_err("unknown job id");
+    assert!(err.contains("999"), "error names the job: {err}");
+
+    // The connection (and the server) survives every rejection.
+    assert!(client.ping().is_ok());
+    let ticket = client
+        .submit(&[RunSpec::new("p1", "synth", "tiny")])
+        .expect("a good plan still works");
+    let done = client
+        .wait(ticket.job, Duration::from_millis(5))
+        .expect("wait");
+    assert!(done.is_done());
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread drains");
+}
